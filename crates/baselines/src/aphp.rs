@@ -1,0 +1,233 @@
+//! APHP-lite: intra-procedural API post-handling specification inference
+//! and detection.
+//!
+//! Specification form (the 4-tuple of Lin et al.): target API,
+//! post-operation API, critical variable (implicit: the target's result),
+//! and a path condition that this reimplementation — like the original's
+//! weakest configuration — does not discharge with a solver, reproducing
+//! its over-reporting.
+
+use crate::{BaselineReport, Tool};
+use seal_core::{BugType, Patch};
+use seal_ir::ids::BlockId;
+use seal_ir::module::Module;
+use seal_ir::tac::{Callee, Inst, Terminator};
+use std::collections::BTreeSet;
+
+/// An APHP 4-tuple (the critical variable is the target's return value and
+/// the path condition is kept as an opaque count, matching the tool's
+/// description-derived conditions which are unavailable here — patch
+/// descriptions are excluded from inputs, §5).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PostHandlingSpec {
+    /// API whose result requires post-handling.
+    pub target_api: String,
+    /// Required post-operation.
+    pub post_op: String,
+    /// Patch the tuple was mined from.
+    pub origin: String,
+}
+
+/// Mines 4-tuples from a patch: every call added by the patch becomes a
+/// post-operation candidate for every API called earlier in the same
+/// function (the pattern-matching over-approximation that drives APHP's
+/// incorrect-specification rate of 90.8%, §8.3).
+pub fn infer(patch: &Patch) -> Vec<PostHandlingSpec> {
+    let Ok(compiled) = patch.compile() else {
+        return vec![];
+    };
+    let mut specs = Vec::new();
+    for fname in &compiled.changed {
+        let (Some(pre_f), Some(post_f)) = (compiled.pre.function(fname), compiled.post.function(fname))
+        else {
+            continue;
+        };
+        let pre_calls = api_calls(&compiled.pre, pre_f);
+        let post_calls = api_calls(&compiled.post, post_f);
+        // Added calls: APIs appearing more often post than pre.
+        for api in post_calls.iter().collect::<BTreeSet<_>>() {
+            let pre_n = pre_calls.iter().filter(|a| a == &api).count();
+            let post_n = post_calls.iter().filter(|a| a == &api).count();
+            if post_n > pre_n {
+                // Every earlier API in the function is a suspected target.
+                for target in post_calls.iter().collect::<BTreeSet<_>>() {
+                    if target != api {
+                        specs.push(PostHandlingSpec {
+                            target_api: target.clone(),
+                            post_op: api.clone(),
+                            origin: patch.id.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    specs.sort();
+    specs.dedup_by(|a, b| a.target_api == b.target_api && a.post_op == b.post_op);
+    specs
+}
+
+fn api_calls(module: &Module, f: &seal_ir::FuncBody) -> Vec<String> {
+    f.blocks
+        .iter()
+        .flat_map(|b| &b.insts)
+        .filter_map(|i| match i {
+            Inst::Call {
+                callee: Callee::Direct(name),
+                ..
+            } if module.is_api(name) => Some(name.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Detects violations: a function calling the target API is flagged unless
+/// the post-operation post-dominates the call (i.e. occurs on *every* path
+/// to the exit). Legitimate success paths without cleanup therefore flag —
+/// the intra-procedural, path-insensitive over-reporting of §8.3.
+pub fn detect(module: &Module, specs: &[PostHandlingSpec]) -> Vec<BaselineReport> {
+    let mut out = Vec::new();
+    let mut seen = BTreeSet::new();
+    for spec in specs {
+        for (f, _) in module.callers_of_api(&spec.target_api) {
+            if !calls_on_all_paths(f, &spec.post_op) && seen.insert((f.name.clone(), spec.post_op.clone())) {
+                out.push(BaselineReport {
+                    tool: Tool::Aphp,
+                    function: f.name.clone(),
+                    bug_type: BugType::MemLeak,
+                    detail: format!(
+                        "`{}` result may miss post-operation `{}` (from {})",
+                        spec.target_api, spec.post_op, spec.origin
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// True if every path from entry to exit passes a call to `api`.
+fn calls_on_all_paths(f: &seal_ir::FuncBody, api: &str) -> bool {
+    // DFS over blocks, treating blocks that call `api` as absorbing.
+    let calls_api = |b: BlockId| {
+        f.block(b).insts.iter().any(|i| {
+            matches!(i, Inst::Call { callee: Callee::Direct(n), .. } if n == api)
+        })
+    };
+    let mut stack = vec![f.entry()];
+    let mut seen = BTreeSet::new();
+    while let Some(b) = stack.pop() {
+        if !seen.insert(b) {
+            continue;
+        }
+        if calls_api(b) {
+            continue; // path satisfied
+        }
+        match &f.block(b).terminator {
+            Terminator::Return(_) => return false, // exit without the call
+            t => stack.extend(t.successors()),
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADER: &str = "\
+void *dsp_alloc(unsigned long size);\n\
+void dsp_free(void *buf);\n\
+int dsp_start(void *buf);\n";
+
+    fn leak_patch() -> Patch {
+        let pre = format!(
+            "{HEADER}\
+int orig_probe(int id) {{\n\
+    void *buf = dsp_alloc(64);\n\
+    if (buf == NULL) return -12;\n\
+    int ret = dsp_start(buf);\n\
+    if (ret < 0) {{ return ret; }}\n\
+    return 0;\n\
+}}"
+        );
+        let post = format!(
+            "{HEADER}\
+int orig_probe(int id) {{\n\
+    void *buf = dsp_alloc(64);\n\
+    if (buf == NULL) return -12;\n\
+    int ret = dsp_start(buf);\n\
+    if (ret < 0) {{ dsp_free(buf); return ret; }}\n\
+    return 0;\n\
+}}"
+        );
+        Patch::new("leak-1", pre, post)
+    }
+
+    #[test]
+    fn mines_post_handling_tuples_including_spurious_ones() {
+        let specs = infer(&leak_patch());
+        // The correct tuple...
+        assert!(specs
+            .iter()
+            .any(|s| s.target_api == "dsp_alloc" && s.post_op == "dsp_free"));
+        // ...and the over-approximated one (dsp_start also "needs" free).
+        assert!(specs
+            .iter()
+            .any(|s| s.target_api == "dsp_start" && s.post_op == "dsp_free"));
+    }
+
+    #[test]
+    fn flags_buggy_and_correct_callers_alike() {
+        let specs = infer(&leak_patch());
+        let target_src = format!(
+            "{HEADER}\
+int buggy_probe(int id) {{\n\
+    void *buf = dsp_alloc(64);\n\
+    if (buf == NULL) return -12;\n\
+    int ret = dsp_start(buf);\n\
+    if (ret < 0) {{ return ret; }}\n\
+    return 0;\n\
+}}\n\
+int correct_probe(int id) {{\n\
+    void *buf = dsp_alloc(64);\n\
+    if (buf == NULL) return -12;\n\
+    int ret = dsp_start(buf);\n\
+    if (ret < 0) {{ dsp_free(buf); return ret; }}\n\
+    return 0;\n\
+}}"
+        );
+        let module = seal_ir::lower(&seal_kir::compile(&target_src, "t.c").unwrap());
+        let reports = detect(&module, &specs);
+        // Path-insensitivity: both flagged (the success path never frees).
+        let flagged: BTreeSet<_> = reports.iter().map(|r| r.function.as_str()).collect();
+        assert!(flagged.contains("buggy_probe"));
+        assert!(flagged.contains("correct_probe"));
+    }
+
+    #[test]
+    fn all_paths_check() {
+        let src = format!(
+            "{HEADER}\
+int always(int id) {{\n\
+    void *buf = dsp_alloc(64);\n\
+    dsp_free(buf);\n\
+    return 0;\n\
+}}"
+        );
+        let module = seal_ir::lower(&seal_kir::compile(&src, "t.c").unwrap());
+        let f = module.function("always").unwrap();
+        assert!(calls_on_all_paths(f, "dsp_free"));
+        assert!(!calls_on_all_paths(f, "dsp_start"));
+    }
+
+    #[test]
+    fn no_added_calls_means_no_specs() {
+        let p = Patch::new(
+            "p",
+            "int f(int x) { return x; }",
+            "int f(int x) { return x + 1; }",
+        );
+        assert!(infer(&p).is_empty());
+    }
+}

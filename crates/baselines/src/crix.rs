@@ -1,0 +1,353 @@
+//! CRIX-lite: deviation-based missing-check detection.
+//!
+//! For every interface, the implementations are *peer slices*: functions
+//! expected to manipulate the same critical variables. Guarding conditions
+//! on each critical variable are collected syntactically
+//! (`(variable key, operator, constant)` triples) and cross-checked: when
+//! a clear majority of peers guard a variable they use sensitively, the
+//! minority that does not is reported.
+//!
+//! Two deliberate fidelity points from §8.3: conditions are compared
+//! *syntactically* (coarse-grained condition modeling — `chan > 100` and
+//! `chan > 500` are different checks, so hardware with larger limits
+//! deviates and false-positives), and there is no patch input at all (the
+//! majority, not a fix, defines the specification).
+
+use crate::{BaselineReport, Tool};
+use seal_core::BugType;
+use seal_ir::module::Module;
+use seal_ir::tac::{Callee, Inst, Operand, Place, Projection, Rvalue, Terminator};
+use seal_kir::ast::BinOp;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Fraction of peers that must share a guard for it to become the norm.
+const MAJORITY: f64 = 0.6;
+/// Minimum peers for cross-checking to be meaningful.
+const MIN_PEERS: usize = 4;
+
+/// A syntactic guard observed in one implementation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Guard {
+    /// Critical-variable key (e.g. `arg0.len` or `ret:kmalloc`).
+    pub key: String,
+    /// Comparison operator spelling.
+    pub op: &'static str,
+    /// Compared constant.
+    pub constant: i64,
+}
+
+/// Runs CRIX-lite over a module.
+pub fn detect(module: &Module) -> Vec<BaselineReport> {
+    let mut out = Vec::new();
+    let mut interfaces: BTreeSet<_> = module.bindings.iter().map(|b| &b.interface).collect();
+    let all: Vec<_> = interfaces.iter().cloned().cloned().collect();
+    interfaces.clear();
+    for iface in &all {
+        let impls = module.implementations(iface);
+        if impls.len() < MIN_PEERS {
+            continue;
+        }
+        // Per impl: guards and sensitively-used variable keys.
+        let facts: Vec<(String, BTreeSet<Guard>, BTreeSet<String>)> = impls
+            .iter()
+            .map(|f| (f.name.clone(), guards_of(module, f), uses_of(module, f)))
+            .collect();
+        // For each guard key, count peers (among those that *use* the
+        // variable) that have it.
+        let mut guard_counts: BTreeMap<Guard, usize> = BTreeMap::new();
+        for (_, guards, _) in &facts {
+            for g in guards {
+                *guard_counts.entry(g.clone()).or_default() += 1;
+            }
+        }
+        for (guard, &have) in &guard_counts {
+            let users: Vec<&(String, BTreeSet<Guard>, BTreeSet<String>)> = facts
+                .iter()
+                .filter(|(_, _, uses)| uses.contains(&guard.key))
+                .collect();
+            if users.len() < MIN_PEERS {
+                continue;
+            }
+            let frac = have as f64 / users.len() as f64;
+            if frac < MAJORITY {
+                continue;
+            }
+            for (name, guards, _) in &users {
+                if !guards.contains(guard) {
+                    out.push(BaselineReport {
+                        tool: Tool::Crix,
+                        function: name.clone(),
+                        bug_type: bug_type_of(guard),
+                        detail: format!(
+                            "missing check `{} {} {}` present in {:.0}% of {} peers of {}",
+                            guard.key,
+                            guard.op,
+                            guard.constant,
+                            frac * 100.0,
+                            users.len(),
+                            iface
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    // One report per (function, guard-shape) is already ensured; dedupe by
+    // function+detail for safety.
+    let mut seen = BTreeSet::new();
+    out.retain(|r| seen.insert((r.function.clone(), r.detail.clone())));
+    out
+}
+
+/// Syntactic guards: comparison rvalues feeding branch terminators.
+fn guards_of(module: &Module, f: &seal_ir::FuncBody) -> BTreeSet<Guard> {
+    let mut out = BTreeSet::new();
+    for b in &f.blocks {
+        if !matches!(b.terminator, Terminator::Branch { .. }) {
+            continue;
+        }
+        // Conservative: any comparison computed in the block counts as a
+        // guard (coarse condition modeling).
+        for inst in &b.insts {
+            if let Inst::Assign {
+                rv: Rvalue::Binary(op, lhs, rhs),
+                ..
+            } = inst
+            {
+                let (Some(op_str), true) = (cmp_str(*op), true) else {
+                    continue;
+                };
+                let (var, constant) = match (lhs, rhs) {
+                    (v, Operand::Const(c)) => (v, *c),
+                    (Operand::Const(c), v) => (v, *c),
+                    (v, Operand::Null) => (v, 0),
+                    (Operand::Null, v) => (v, 0),
+                    _ => continue,
+                };
+                if let Some(key) = key_of(module, f, var) {
+                    out.insert(Guard {
+                        key,
+                        op: op_str,
+                        constant,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Variable keys used sensitively (deref/index/divisor).
+fn uses_of(module: &Module, f: &seal_ir::FuncBody) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for b in &f.blocks {
+        for inst in &b.insts {
+            match inst {
+                Inst::Load { place, .. } | Inst::Store { place, .. } => {
+                    if place.is_indirect() {
+                        if let seal_ir::tac::PlaceBase::Local(l) = &place.base {
+                            if let Some(key) = key_of(module, f, &Operand::Local(*l)) {
+                                out.insert(key);
+                            }
+                        }
+                        // Field loads through params register the field key
+                        // as well, so `d->len`-style guards cross-check.
+                        if let Some(key) = place_key(f, place) {
+                            out.insert(key);
+                        }
+                    }
+                    for p in &place.projections {
+                        if let Projection::Index { index, .. } = p {
+                            if let Some(key) = key_of(module, f, index) {
+                                out.insert(key);
+                            }
+                        }
+                    }
+                }
+                Inst::Assign {
+                    rv: Rvalue::Binary(BinOp::Div | BinOp::Rem, _, rhs),
+                    ..
+                } => {
+                    if let Some(key) = key_of(module, f, rhs) {
+                        out.insert(key);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Syntactic key of an operand: parameter (by index), parameter field
+/// (through a load), or API return. Returns `None` for untracked values.
+fn key_of(module: &Module, f: &seal_ir::FuncBody, op: &Operand) -> Option<String> {
+    let l = op.as_local()?;
+    if (l.index()) < f.param_count {
+        return Some(format!("arg{}", l.index()));
+    }
+    // Find the unique defining instruction, syntactically.
+    let mut def: Option<&Inst> = None;
+    for b in &f.blocks {
+        for inst in &b.insts {
+            if inst.def() == Some(l) {
+                if def.is_some() {
+                    return None; // multiple defs: untracked
+                }
+                def = Some(inst);
+            }
+        }
+    }
+    match def? {
+        Inst::Load { place, .. } => place_key(f, place),
+        Inst::Call {
+            callee: Callee::Direct(name),
+            ..
+        } if module.is_api(name) => Some(format!("ret:{name}")),
+        Inst::Assign {
+            rv: Rvalue::Use(inner),
+            ..
+        } => key_of(module, f, inner),
+        _ => None,
+    }
+}
+
+fn place_key(f: &seal_ir::FuncBody, place: &Place) -> Option<String> {
+    let seal_ir::tac::PlaceBase::Local(base) = &place.base else {
+        return None;
+    };
+    if base.index() >= f.param_count {
+        return None;
+    }
+    let fields: Vec<&str> = place
+        .projections
+        .iter()
+        .filter_map(|p| match p {
+            Projection::Field { field, .. } => Some(field.as_str()),
+            _ => None,
+        })
+        .collect();
+    if fields.is_empty() {
+        Some(format!("arg{}", base.index()))
+    } else {
+        Some(format!("arg{}.{}", base.index(), fields.join(".")))
+    }
+}
+
+fn cmp_str(op: BinOp) -> Option<&'static str> {
+    Some(match op {
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        _ => return None,
+    })
+}
+
+fn bug_type_of(guard: &Guard) -> BugType {
+    if guard.constant == 0 && guard.op == "==" {
+        BugType::Npd
+    } else if guard.op == "<" || guard.op == "<=" || guard.op == ">" || guard.op == ">=" {
+        BugType::Oob
+    } else {
+        BugType::Npd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module_of(src: &str) -> Module {
+        seal_ir::lower(&seal_kir::compile(src, "t.c").unwrap())
+    }
+
+    fn peers_src(buggy_one: bool) -> String {
+        let header = "struct data { int len; char block[34]; };\n\
+                      struct alg { int (*xfer)(struct data *d); };\n";
+        let mut src = String::from(header);
+        for i in 0..5 {
+            let guard = if i == 0 && buggy_one {
+                ""
+            } else {
+                "if (d->len > 32) return -22;\n    "
+            };
+            src.push_str(&format!(
+                "int drv{i}_xfer(struct data *d) {{\n\
+                 \x20   {guard}return (int)d->block[d->len];\n\
+                 }}\n\
+                 struct alg a{i} = {{ .xfer = drv{i}_xfer, }};\n"
+            ));
+        }
+        src
+    }
+
+    #[test]
+    fn flags_minority_without_guard() {
+        let m = module_of(&peers_src(true));
+        let reports = detect(&m);
+        assert!(
+            reports.iter().any(|r| r.function == "drv0_xfer"),
+            "reports: {reports:#?}"
+        );
+        assert!(!reports.iter().any(|r| r.function == "drv1_xfer"));
+    }
+
+    #[test]
+    fn silent_when_all_agree() {
+        let m = module_of(&peers_src(false));
+        let reports = detect(&m);
+        assert!(reports.is_empty(), "{reports:#?}");
+    }
+
+    #[test]
+    fn different_constants_are_different_checks() {
+        // 4 peers guard at 100, one guards at 500: syntactic comparison
+        // cannot unify them, so the 500-peer is (wrongly) flagged.
+        let header = "struct mux { int table[512]; };\n\
+                      struct mops { int (*sel)(struct mux *m, int chan); };\n";
+        let mut src = String::from(header);
+        for (i, bound) in [100, 100, 100, 100, 500].iter().enumerate() {
+            src.push_str(&format!(
+                "int m{i}_sel(struct mux *m, int chan) {{\n\
+                 \x20   if (chan > {bound}) return -22;\n\
+                 \x20   m->table[chan] = 1;\n\
+                 \x20   return 0;\n\
+                 }}\n\
+                 struct mops mo{i} = {{ .sel = m{i}_sel, }};\n"
+            ));
+        }
+        let m = module_of(&src);
+        let reports = detect(&m);
+        assert!(
+            reports.iter().any(|r| r.function == "m4_sel"),
+            "syntactic modeling should flag the deviant bound: {reports:#?}"
+        );
+    }
+
+    #[test]
+    fn too_few_peers_is_silent() {
+        let header = "struct data { int len; };\nstruct alg { int (*xfer)(struct data *d); };\n";
+        let src = format!(
+            "{header}\
+             int a_xfer(struct data *d) {{ if (d->len > 3) return -22; return d->len; }}\n\
+             int b_xfer(struct data *d) {{ return d->len; }}\n\
+             struct alg aa = {{ .xfer = a_xfer, }};\n\
+             struct alg bb = {{ .xfer = b_xfer, }};\n"
+        );
+        let m = module_of(&src);
+        assert!(detect(&m).is_empty());
+    }
+
+    #[test]
+    fn null_guard_classified_npd() {
+        let g = Guard {
+            key: "ret:kmalloc".into(),
+            op: "==",
+            constant: 0,
+        };
+        assert_eq!(bug_type_of(&g), BugType::Npd);
+    }
+}

@@ -1,0 +1,44 @@
+//! `seal-baselines` — reimplementations of the two comparison tools of
+//! §8.3, faithful to their published designs at the granularity the paper
+//! evaluates:
+//!
+//! * [`aphp`] — APHP (USENIX Security '23): *patch-based*, intra-procedural
+//!   API post-handling detection with 4-tuple specifications
+//!   `<target API, post-operation, critical variable, path condition>`.
+//!   Covers only root cause ③ (missing error handling / cleanup); its
+//!   path-insensitive post-dominance check floods reports on functions that
+//!   legitimately skip the post-operation on success paths — the source of
+//!   the paper's 28,479-report / 60-TP behaviour.
+//! * [`crix`] — CRIX (USENIX Security '19): *deviation-based* missing-check
+//!   detection that cross-checks the guarding conditions of peer slices of
+//!   the same critical variable across implementations of one interface.
+//!   Covers root causes ① and ③ (missing checks); its syntactic condition
+//!   modeling cannot see that `chan > 100` and `chan > 500` guard different
+//!   hardware, producing the deviation false positives of §8.3.
+
+pub mod aphp;
+pub mod crix;
+
+use seal_core::BugType;
+
+/// Which baseline produced a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tool {
+    /// APHP-lite.
+    Aphp,
+    /// CRIX-lite.
+    Crix,
+}
+
+/// A baseline bug report (deliberately simpler than SEAL's).
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// Reporting tool.
+    pub tool: Tool,
+    /// Flagged function.
+    pub function: String,
+    /// Claimed bug class.
+    pub bug_type: BugType,
+    /// Human-readable reason.
+    pub detail: String,
+}

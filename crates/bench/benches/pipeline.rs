@@ -1,0 +1,151 @@
+//! Criterion benchmarks for the SEAL pipeline phases (§8.4) and the two
+//! ablations DESIGN.md calls out: PDG-summary reuse (§6.2.3) and path
+//! sensitivity (§6.4).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use seal_core::{detect_bugs, DetectConfig, Seal};
+use seal_corpus::{generate, CorpusConfig};
+use seal_ir::callgraph::CallGraph;
+use seal_ir::ids::FuncId;
+use seal_pdg::cond::CondCtx;
+use seal_pdg::graph::Pdg;
+use seal_pdg::slice::{forward_paths, is_source, SliceConfig};
+use seal_solver::{is_sat, CmpOp, Formula};
+use std::collections::BTreeSet;
+
+fn bench_config() -> CorpusConfig {
+    CorpusConfig {
+        seed: 11,
+        drivers_per_template: 12,
+        bug_rate: 0.2,
+        patches_per_template: 2,
+        refactor_patches: 2,
+    }
+}
+
+/// Per-table phase: patch processing (PDG construction for both versions,
+/// differencing, abstraction) — the paper's 8.78 s/patch cost.
+fn patch_inference(c: &mut Criterion) {
+    let corpus = generate(&bench_config());
+    let seal = Seal::default();
+    let patch = corpus
+        .patches
+        .iter()
+        .find(|p| p.id.starts_with("oob-check"))
+        .expect("corpus has OOB patches")
+        .clone();
+    c.bench_function("patch_inference/oob_patch", |b| {
+        b.iter(|| seal.infer(&patch).unwrap())
+    });
+    let leak = corpus
+        .patches
+        .iter()
+        .find(|p| p.id.starts_with("leak-errpath"))
+        .unwrap()
+        .clone();
+    c.bench_function("patch_inference/leak_patch", |b| {
+        b.iter(|| seal.infer(&leak).unwrap())
+    });
+}
+
+/// PDG construction on the whole synthetic kernel (the dominant detection
+/// phase in the paper's Table of §8.4).
+fn pdg_construction(c: &mut Criterion) {
+    let corpus = generate(&bench_config());
+    let module = corpus.target_module();
+    let cg = CallGraph::build(&module);
+    let scope: BTreeSet<FuncId> = (0..module.functions.len() as u32).map(FuncId).collect();
+    c.bench_function("pdg_construction/whole_kernel", |b| {
+        b.iter(|| Pdg::build(&module, &cg, &scope))
+    });
+}
+
+/// Value-flow path searching over the whole-kernel PDG.
+fn slicing(c: &mut Criterion) {
+    let corpus = generate(&bench_config());
+    let module = corpus.target_module();
+    let cg = CallGraph::build(&module);
+    let scope: BTreeSet<FuncId> = (0..module.functions.len() as u32).map(FuncId).collect();
+    let pdg = Pdg::build(&module, &cg, &scope);
+    let sources: Vec<_> = (0..pdg.nodes.len() as u32)
+        .filter(|&n| is_source(&pdg, n))
+        .collect();
+    c.bench_function("slicing/forward_all_sources", |b| {
+        b.iter_batched(
+            || CondCtx::new(&pdg),
+            |mut cctx| {
+                let mut total = 0usize;
+                for &s in &sources {
+                    total += forward_paths(&pdg, &mut cctx, s, SliceConfig::default()).len();
+                }
+                total
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// End-to-end detection plus the two ablations.
+fn bug_detection(c: &mut Criterion) {
+    let corpus = generate(&bench_config());
+    let module = corpus.target_module();
+    let seal = Seal::default();
+    let mut specs = Vec::new();
+    for p in &corpus.patches {
+        specs.extend(seal.infer(p).unwrap());
+    }
+
+    c.bench_function("bug_detection/default", |b| {
+        b.iter(|| detect_bugs(&module, &specs, &DetectConfig::default()))
+    });
+    c.bench_function("bug_detection/ablation_no_pdg_cache", |b| {
+        b.iter(|| {
+            detect_bugs(
+                &module,
+                &specs,
+                &DetectConfig {
+                    reuse_pdg_cache: false,
+                    ..DetectConfig::default()
+                },
+            )
+        })
+    });
+    c.bench_function("bug_detection/ablation_path_insensitive", |b| {
+        b.iter(|| {
+            detect_bugs(
+                &module,
+                &specs,
+                &DetectConfig {
+                    path_sensitive: false,
+                    ..DetectConfig::default()
+                },
+            )
+        })
+    });
+}
+
+/// The solver on the NNF/DNF workloads detection generates.
+fn solver(c: &mut Criterion) {
+    type F = Formula<u32>;
+    // Representative: a guard conjunction with one disjunctive delta.
+    let spec_cond: F = Formula::cmp(1, CmpOp::Gt, 32);
+    let path_cond: F = Formula::cmp(0, CmpOp::Eq, 1)
+        .and(Formula::cmp(1, CmpOp::Le, 32))
+        .and(Formula::cmp(2, CmpOp::Ne, 0));
+    c.bench_function("solver/joint_sat_guard", |b| {
+        b.iter(|| is_sat(&spec_cond.clone().and(path_cond.clone())))
+    });
+    // Wide disjunction stress (DNF expansion).
+    let mut wide: F = Formula::True;
+    for i in 0..8 {
+        wide = wide.and(Formula::cmp(i, CmpOp::Ne, 0).or(Formula::cmp(i + 8, CmpOp::Ne, 0)));
+    }
+    c.bench_function("solver/dnf_256_clauses", |b| b.iter(|| is_sat(&wide)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = patch_inference, pdg_construction, slicing, bug_detection, solver
+}
+criterion_main!(benches);

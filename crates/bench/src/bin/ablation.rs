@@ -1,0 +1,67 @@
+//! Ablation study — the two design levers DESIGN.md calls out:
+//!
+//! * **path sensitivity** (§6.4): disabling the solver-backed feasibility
+//!   and condition-consistency checks shows how much precision the
+//!   quasi-path-sensitive design buys;
+//! * **PDG summary reuse** (§6.2.3): disabling the per-scope PDG cache
+//!   shows the cost of re-deriving summaries.
+
+use seal_bench::{eval_config, print_table};
+use seal_core::{detect_bugs_with_stats, DetectConfig, Seal};
+use seal_corpus::ledger::score;
+use seal_corpus::generate;
+use std::time::Instant;
+
+fn main() {
+    let corpus = generate(&eval_config());
+    let target = corpus.target_module();
+    let seal = Seal::default();
+    let mut specs = Vec::new();
+    for p in &corpus.patches {
+        specs.extend(seal.infer(p).expect("corpus patches compile"));
+    }
+
+    let mut rows = Vec::new();
+    for (label, cfg) in [
+        ("full SEAL", DetectConfig::default()),
+        (
+            "no path sensitivity",
+            DetectConfig {
+                path_sensitive: false,
+                ..DetectConfig::default()
+            },
+        ),
+        (
+            "no PDG summary reuse",
+            DetectConfig {
+                reuse_pdg_cache: false,
+                ..DetectConfig::default()
+            },
+        ),
+    ] {
+        let t0 = Instant::now();
+        let (reports, stats) = detect_bugs_with_stats(&target, &specs, &cfg);
+        let wall = t0.elapsed();
+        let s = score(&reports, &corpus.ground_truth);
+        rows.push(vec![
+            label.to_string(),
+            format!("{}", s.true_positives.len() + s.false_positives.len()),
+            format!("{:.1}%", 100.0 * s.precision()),
+            format!("{:.1}%", 100.0 * s.recall()),
+            format!("{wall:.2?}"),
+            format!("{:.2?}", stats.pdg_time),
+        ]);
+    }
+
+    println!("Ablation study (detection stage)\n");
+    print_table(
+        &["Configuration", "Reported bugs", "Precision", "Recall", "Wall", "PDG time"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: dropping path sensitivity floods false positives\n\
+         (guarded siblings are no longer distinguishable from unguarded ones);\n\
+         dropping summary reuse multiplies PDG construction time while leaving\n\
+         results identical."
+    );
+}

@@ -1,0 +1,684 @@
+//! Stage ④ — path-sensitive bug detection (§6.4).
+//!
+//! For every specification, detection regions are the other
+//! implementations of the same function pointer (resolved through the
+//! module's interface bindings) or, for interface-free specifications, the
+//! other usages of the same APIs. Per region, the spec's values and uses
+//! are instantiated (`𝔸⁻¹`); if either set is empty the region is skipped
+//! (§6.4.1). Realizable value-flow paths are then searched bottom-up over
+//! a demand-built PDG (cached per scope, the summary reuse of §6.2.3) and
+//! checked against the spec's condition, order, and quantifier.
+
+use crate::report::{classify_spec, BugReport};
+use crate::roles;
+use seal_ir::callgraph::CallGraph;
+use seal_ir::ids::FuncId;
+use seal_ir::module::{InterfaceId, Module};
+use seal_pdg::cond::CondCtx;
+use seal_pdg::graph::{NodeId, Pdg};
+use seal_pdg::slice::{forward_paths, SliceConfig, ValueFlowPath};
+use seal_solver::Formula;
+use seal_spec::{Quantifier, Relation, Specification, SpecUse, SpecValue};
+use std::collections::{BTreeSet, HashMap};
+
+/// Budgets and ablation switches for detection.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectConfig {
+    /// Path-search budgets.
+    pub slice: SliceConfig,
+    /// Cap on regions examined per specification.
+    pub max_regions: usize,
+    /// Reuse demand-built PDGs across regions with the same scope (the
+    /// summary memoization of §6.2.3). Disable to measure its effect.
+    pub reuse_pdg_cache: bool,
+    /// Evaluate path feasibility and condition consistency with the solver
+    /// (§6.4's path sensitivity). Disable for the ablation baseline.
+    pub path_sensitive: bool,
+}
+
+impl Default for DetectConfig {
+    fn default() -> Self {
+        DetectConfig {
+            slice: SliceConfig::default(),
+            max_regions: 512,
+            reuse_pdg_cache: true,
+            path_sensitive: true,
+        }
+    }
+}
+
+/// Phase timing and counters for one detection run (§8.4's split between
+/// PDG generation and path searching).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DetectStats {
+    /// Time spent building PDGs.
+    pub pdg_time: std::time::Duration,
+    /// Time spent searching and examining paths.
+    pub search_time: std::time::Duration,
+    /// Regions examined.
+    pub regions: usize,
+    /// Regions skipped by the instantiation check (§6.4.1).
+    pub skipped: usize,
+}
+
+/// Checks all specifications against a module and reports violations.
+pub fn detect_bugs(
+    module: &Module,
+    specs: &[Specification],
+    cfg: &DetectConfig,
+) -> Vec<BugReport> {
+    detect_bugs_with_stats(module, specs, cfg).0
+}
+
+/// [`detect_bugs`] with phase statistics.
+pub fn detect_bugs_with_stats(
+    module: &Module,
+    specs: &[Specification],
+    cfg: &DetectConfig,
+) -> (Vec<BugReport>, DetectStats) {
+    let cg = CallGraph::build(module);
+    let mut pdg_cache: HashMap<BTreeSet<FuncId>, Pdg<'_>> = HashMap::new();
+    let mut out = Vec::new();
+    let mut stats = DetectStats::default();
+    for spec in specs {
+        for region in regions_for_with_cg(module, &cg, spec)
+            .into_iter()
+            .take(cfg.max_regions)
+        {
+            stats.regions += 1;
+            let scope = region_scope(&cg, region);
+            if !cfg.reuse_pdg_cache {
+                pdg_cache.remove(&scope);
+            }
+            let t0 = std::time::Instant::now();
+            let pdg = pdg_cache
+                .entry(scope.clone())
+                .or_insert_with(|| Pdg::build(module, &cg, &scope));
+            stats.pdg_time += t0.elapsed();
+            let t1 = std::time::Instant::now();
+            let report = check_region(module, pdg, spec, region, cfg);
+            stats.search_time += t1.elapsed();
+            match report {
+                Some(report) => out.push(report),
+                None => stats.skipped += 1,
+            }
+        }
+    }
+    dedup_reports(&mut out);
+    (out, stats)
+}
+
+/// Detection regions for a specification (§6.4.1): sibling implementations
+/// of the interface, or usages of the spec's APIs for interface-free
+/// specs. An API "usage" includes every function that reaches the API
+/// through its direct-call scope — drivers routinely wrap allocations in
+/// local helpers, and the violation may sit in the wrapper's caller.
+pub fn regions_for(module: &Module, spec: &Specification) -> Vec<FuncId> {
+    let cg = CallGraph::build(module);
+    regions_for_with_cg(module, &cg, spec)
+}
+
+/// [`regions_for`] with a prebuilt call graph.
+pub fn regions_for_with_cg(
+    module: &Module,
+    cg: &CallGraph,
+    spec: &Specification,
+) -> Vec<FuncId> {
+    match &spec.interface {
+        Some(iface) => {
+            let Some((s, f)) = iface.split_once("::") else {
+                return vec![];
+            };
+            module
+                .implementations(&InterfaceId::new(s, f))
+                .into_iter()
+                .map(|b| b.id)
+                .collect()
+        }
+        None => {
+            // Direct callers plus their transitive callers.
+            let mut out: BTreeSet<FuncId> = BTreeSet::new();
+            let mut frontier: Vec<FuncId> = Vec::new();
+            for api in spec.apis() {
+                for (body, _) in module.callers_of_api(&api) {
+                    if out.insert(body.id) {
+                        frontier.push(body.id);
+                    }
+                }
+            }
+            while let Some(f) = frontier.pop() {
+                for caller in cg.callers(f) {
+                    if out.insert(caller) {
+                        frontier.push(caller);
+                    }
+                }
+            }
+            out.into_iter().collect()
+        }
+    }
+}
+
+/// Region scope: the region function plus its transitive defined callees
+/// (bottom-up summaries stay within direct calls; indirect calls are not
+/// expanded, matching "our slicing does not cross the boundary of function
+/// pointers", §7).
+fn region_scope(cg: &CallGraph, region: FuncId) -> BTreeSet<FuncId> {
+    cg.reachable_from(&[region])
+}
+
+/// Evaluates one specification in one region.
+fn check_region(
+    module: &Module,
+    pdg: &Pdg<'_>,
+    spec: &Specification,
+    region: FuncId,
+    cfg: &DetectConfig,
+) -> Option<BugReport> {
+    let mut cctx = CondCtx::new(pdg);
+    let constraint = spec.constraints.first()?;
+    let body = module.body(region);
+
+    match (&constraint.quantifier, &constraint.relation) {
+        (q, Relation::Reach { value, use_, cond }) => {
+            let sources = roles::instantiate_value(pdg, region, value);
+            if sources.is_empty() {
+                return None;
+            }
+            // Condition variables must also instantiate in this region.
+            for v in cond.vars() {
+                if roles::instantiate_value(pdg, region, &v).is_empty() {
+                    return None;
+                }
+            }
+            if !use_instantiable(pdg, region, use_) {
+                return None;
+            }
+            // Gather matching realizable paths; track whether the spec's
+            // condition region is reachable from the sources at all.
+            let mut matching: Vec<ValueFlowPath> = Vec::new();
+            let mut applicable = matches!(cond, Formula::True);
+            for &s in &sources {
+                for p in forward_paths(pdg, &mut cctx, s, cfg.slice) {
+                    if cfg.path_sensitive && !seal_solver::is_sat(&p.cond).possibly_sat() {
+                        continue; // infeasible path
+                    }
+                    if !applicable
+                        && (!cfg.path_sensitive || cond_consistent(pdg, &p, cond, false))
+                    {
+                        applicable = true;
+                    }
+                    if !path_matches(pdg, &p, value, use_, &body.name) {
+                        continue;
+                    }
+                    let strict = !matches!(q, Quantifier::NotExists);
+                    if !cfg.path_sensitive || cond_consistent(pdg, &p, cond, strict) {
+                        matching.push(p);
+                    }
+                }
+            }
+            match q {
+                Quantifier::Exists | Quantifier::ForAll => {
+                    // A required flow is only demanded where the triggering
+                    // situation `c` is reachable (§6.4.1's "cease analysis"
+                    // rule, lifted from syntax to conditions).
+                    if !applicable {
+                        return None;
+                    }
+                    if matching.is_empty() {
+                        return Some(make_report(
+                            module,
+                            spec,
+                            region,
+                            vec![],
+                            format!(
+                                "required flow `{value} ↪ {use_}` is missing in `{}`",
+                                body.name
+                            ),
+                        ));
+                    }
+                    None
+                }
+                Quantifier::NotExists => {
+                    let witness = matching.first()?;
+                    let lines = witness_lines(pdg, witness);
+                    Some(make_report(
+                        module,
+                        spec,
+                        region,
+                        lines,
+                        format!(
+                            "forbidden flow `{value} ↪ {use_}` is realizable in `{}`",
+                            body.name
+                        ),
+                    ))
+                }
+            }
+        }
+        (Quantifier::NotExists, Relation::Order { value, first, second }) => {
+            let sources = roles::instantiate_value(pdg, region, value);
+            if sources.is_empty() {
+                return None;
+            }
+            let mut first_hits: Vec<(NodeId, ValueFlowPath)> = Vec::new();
+            let mut second_hits: Vec<(NodeId, ValueFlowPath)> = Vec::new();
+            for &s in &sources {
+                for p in forward_paths(pdg, &mut cctx, s, cfg.slice) {
+                    let Some((u, _)) = roles::sink_use(pdg, &p) else {
+                        continue;
+                    };
+                    if cfg.path_sensitive && !seal_solver::is_sat(&p.cond).possibly_sat() {
+                        continue;
+                    }
+                    if use_matches(&u, first) {
+                        first_hits.push((p.sink(), p.clone()));
+                    }
+                    if use_matches(&u, second) {
+                        second_hits.push((p.sink(), p));
+                    }
+                }
+            }
+            for (fnode, fpath) in &first_hits {
+                for (snode, spath) in &second_hits {
+                    if fnode == snode {
+                        continue;
+                    }
+                    let (Some(fo), Some(so)) = (pdg.omega(*fnode), pdg.omega(*snode)) else {
+                        continue;
+                    };
+                    if fo.func != so.func {
+                        continue;
+                    }
+                    if fo < so {
+                        // Forbidden order realized.
+                        let mut lines = witness_lines(pdg, fpath);
+                        lines.extend(witness_lines(pdg, spath));
+                        return Some(make_report(
+                            module,
+                            spec,
+                            region,
+                            lines,
+                            format!(
+                                "forbidden order `{first} ≺ {second}` on `{value}` in `{}`",
+                                body.name
+                            ),
+                        ));
+                    }
+                }
+            }
+            None
+        }
+        // ∃/∀ order constraints are not produced by extraction.
+        _ => None,
+    }
+}
+
+/// Whether a use of the spec's kind is instantiable in the region at all.
+fn use_instantiable(pdg: &Pdg<'_>, region: FuncId, u: &SpecUse) -> bool {
+    use seal_ir::tac::{Callee, Inst, PlaceBase, Terminator};
+    let module = pdg.module;
+    for &f in &pdg.scope {
+        let body = module.body(f);
+        for loc in body.all_locs() {
+            if loc.is_terminator() {
+                if matches!(u, SpecUse::RetI)
+                    && f == region
+                    && matches!(body.block(loc.block).terminator, Terminator::Return(Some(_)))
+                {
+                    return true;
+                }
+                continue;
+            }
+            let Some(inst) = body.inst_at(loc) else {
+                continue;
+            };
+            let hit = match (u, inst) {
+                (SpecUse::ArgF { api, .. }, Inst::Call { callee: Callee::Direct(n), .. }) => {
+                    n == api
+                }
+                (SpecUse::Deref, Inst::Load { place, .. })
+                | (SpecUse::Deref, Inst::Store { place, .. }) => place.is_indirect(),
+                (SpecUse::Div, Inst::Assign { rv, .. }) => matches!(
+                    rv,
+                    seal_ir::tac::Rvalue::Binary(
+                        seal_kir::ast::BinOp::Div | seal_kir::ast::BinOp::Rem,
+                        ..
+                    )
+                ),
+                (SpecUse::IndexUse, Inst::Load { place, .. })
+                | (SpecUse::IndexUse, Inst::Store { place, .. }) => place
+                    .projections
+                    .iter()
+                    .any(|p| matches!(p, seal_ir::tac::Projection::Index { .. })),
+                (SpecUse::GlobalStore { name }, Inst::Store { place, .. }) => {
+                    matches!(&place.base, PlaceBase::Global(g) if g == name)
+                }
+                _ => false,
+            };
+            if hit {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Whether a concrete path instantiates the abstract `(value, use)` pair.
+/// `RetI` sinks only count when the returning function is the region
+/// itself (an interface has a single return; §4.2).
+fn path_matches(
+    pdg: &Pdg<'_>,
+    p: &ValueFlowPath,
+    value: &SpecValue,
+    use_: &SpecUse,
+    region_name: &str,
+) -> bool {
+    let Some(v) = roles::source_value(pdg, p) else {
+        return false;
+    };
+    if !value_matches(&v, value) {
+        return false;
+    }
+    let Some((u, ret_func)) = roles::sink_use(pdg, p) else {
+        return false;
+    };
+    if matches!(use_, SpecUse::RetI) && ret_func.as_deref() != Some(region_name) {
+        return false;
+    }
+    use_matches(&u, use_)
+}
+
+fn value_matches(concrete: &SpecValue, spec: &SpecValue) -> bool {
+    match (spec, concrete) {
+        (
+            SpecValue::ArgI { index, fields },
+            SpecValue::ArgI {
+                index: i2,
+                fields: f2,
+            },
+        ) => index == i2 && (fields.is_empty() || fields == f2),
+        (a, b) => a == b,
+    }
+}
+
+fn use_matches(concrete: &SpecUse, spec: &SpecUse) -> bool {
+    concrete == spec
+}
+
+/// Condition consistency (§6.4.2), directional by quantifier:
+///
+/// * `∄` specs forbid the flow *under* `c`; a path counts when its own
+///   condition does not preclude `c` — joint satisfiability. (A guarded
+///   sibling whose `Ψ` contradicts `c` is safe; an unguarded one is not.)
+/// * `∃`/`∀` specs require the flow to cover situation `c`; besides joint
+///   satisfiability, the relaxed containment check asks that the critical
+///   interaction data of `c` occur along `Ψ(p)` at all.
+fn cond_consistent(
+    pdg: &Pdg<'_>,
+    p: &ValueFlowPath,
+    cond: &Formula<SpecValue>,
+    strict: bool,
+) -> bool {
+    if matches!(cond, Formula::True) {
+        return true;
+    }
+    let psi = roles::abstract_cond(pdg, &p.cond);
+    let joint = cond.clone().and(psi.clone());
+    if !seal_solver::is_sat(&joint).possibly_sat() {
+        return false;
+    }
+    if !strict {
+        return true;
+    }
+    let cond_vars = cond.vars();
+    let psi_vars = psi.vars();
+    if psi_vars.is_empty() {
+        return true;
+    }
+    cond_vars.iter().any(|v| psi_vars.contains(v)) || matches!(psi, Formula::True)
+}
+
+fn witness_lines(pdg: &Pdg<'_>, p: &ValueFlowPath) -> Vec<u32> {
+    let mut lines: Vec<u32> = p.nodes.iter().map(|&n| pdg.line_of(n)).collect();
+    lines.dedup();
+    lines.retain(|&l| l != 0);
+    lines
+}
+
+fn make_report(
+    module: &Module,
+    spec: &Specification,
+    region: FuncId,
+    witness_lines: Vec<u32>,
+    explanation: String,
+) -> BugReport {
+    let body = module.body(region);
+    BugReport {
+        spec: spec.clone(),
+        module: module.name.clone(),
+        function: body.name.clone(),
+        line: body.span.line,
+        bug_type: classify_spec(spec),
+        witness_lines,
+        explanation,
+    }
+}
+
+fn dedup_reports(reports: &mut Vec<BugReport>) {
+    // Identity excludes the origin patch: the same logical violation found
+    // through specs mined from different historical patches is one report.
+    let mut seen = BTreeSet::new();
+    reports.retain(|r| {
+        seen.insert((
+            r.module.clone(),
+            r.function.clone(),
+            r.bug_type,
+            format!("{:?}{:?}", r.spec.interface, r.spec.constraints),
+        ))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::patch::Patch;
+    use crate::Seal;
+
+    /// End-to-end Fig. 1/Fig. 3 scenario: the spec inferred from the
+    /// cx23885 patch finds the same bug in a sibling implementation.
+    #[test]
+    fn fig3_spec_finds_sibling_npd() {
+        let shared = "\
+struct riscmem { int *cpu; };
+void *dma_alloc_coherent(unsigned long size);
+struct vb2_ops { int (*buf_prepare)(struct riscmem *risc); };
+";
+        let pre = format!(
+            "{shared}\
+int vbibuffer(struct riscmem *risc) {{
+    risc->cpu = (int *)dma_alloc_coherent(64);
+    if (risc->cpu == NULL) return -12;
+    return 0;
+}}
+int buffer_prepare(struct riscmem *risc) {{ vbibuffer(risc); return 0; }}
+struct vb2_ops qops = {{ .buf_prepare = buffer_prepare, }};"
+        );
+        let post = format!(
+            "{shared}\
+int vbibuffer(struct riscmem *risc) {{
+    risc->cpu = (int *)dma_alloc_coherent(64);
+    if (risc->cpu == NULL) return -12;
+    return 0;
+}}
+int buffer_prepare(struct riscmem *risc) {{ return vbibuffer(risc); }}
+struct vb2_ops qops = {{ .buf_prepare = buffer_prepare, }};"
+        );
+        // Target: another driver implementing the same interface with the
+        // same dropped-error-code bug, and a correct sibling.
+        let target_src = format!(
+            "{shared}\
+int tw68_alloc(struct riscmem *risc) {{
+    risc->cpu = (int *)dma_alloc_coherent(128);
+    if (risc->cpu == NULL) return -12;
+    return 0;
+}}
+int tw68_buf_prepare(struct riscmem *risc) {{ tw68_alloc(risc); return 0; }}
+int good_buf_prepare(struct riscmem *risc) {{
+    risc->cpu = (int *)dma_alloc_coherent(128);
+    if (risc->cpu == NULL) return -12;
+    return 0;
+}}
+struct vb2_ops tw68_qops = {{ .buf_prepare = tw68_buf_prepare, }};
+struct vb2_ops good_qops = {{ .buf_prepare = good_buf_prepare, }};"
+        );
+        let target = seal_ir::lower(&seal_kir::compile(&target_src, "target.c").unwrap());
+        let seal = Seal::default();
+        let reports = seal
+            .run(&Patch::new("fig3", pre, post), &target)
+            .unwrap();
+        assert!(
+            reports.iter().any(|r| r.function == "tw68_buf_prepare"),
+            "reports: {:#?}",
+            reports.iter().map(|r| r.to_string()).collect::<Vec<_>>()
+        );
+        assert!(
+            !reports.iter().any(|r| r.function == "good_buf_prepare"),
+            "correct sibling must not be flagged"
+        );
+    }
+
+    /// Fig. 4 scenario: missing bounds check caught in a sibling.
+    #[test]
+    fn fig4_spec_finds_missing_check() {
+        let shared = "\
+struct smbus_data { int len; char block[34]; };
+struct i2c_algorithm { int (*smbus_xfer)(int size, struct smbus_data *data); };
+";
+        let body_unchecked = "\
+               char sink;
+               int i;
+               if (size == 1) {
+                 for (i = 1; i <= data->len; i++) { sink = data->block[i]; }
+               }
+               return (int)sink;";
+        let body_checked = "\
+               char sink;
+               int i;
+               if (size == 1) {
+                 if (data->len <= 32) {
+                   for (i = 1; i <= data->len; i++) { sink = data->block[i]; }
+                 }
+               }
+               return (int)sink;";
+        let pre = format!(
+            "{shared}int xfer_emulated(int size, struct smbus_data *data) {{\n{body_unchecked}\n}}\n\
+             struct i2c_algorithm alg = {{ .smbus_xfer = xfer_emulated, }};"
+        );
+        let post = format!(
+            "{shared}int xfer_emulated(int size, struct smbus_data *data) {{\n{body_checked}\n}}\n\
+             struct i2c_algorithm alg = {{ .smbus_xfer = xfer_emulated, }};"
+        );
+        let target_src = format!(
+            "{shared}int xgene_xfer(int size, struct smbus_data *data) {{\n{body_unchecked}\n}}\n\
+             int safe_xfer(int size, struct smbus_data *data) {{\n{body_checked}\n}}\n\
+             struct i2c_algorithm a1 = {{ .smbus_xfer = xgene_xfer, }};\n\
+             struct i2c_algorithm a2 = {{ .smbus_xfer = safe_xfer, }};"
+        );
+        let target = seal_ir::lower(&seal_kir::compile(&target_src, "target.c").unwrap());
+        let seal = Seal::default();
+        let reports = seal
+            .run(&Patch::new("fig4", pre, post), &target)
+            .unwrap();
+        assert!(
+            reports.iter().any(|r| r.function == "xgene_xfer"),
+            "reports: {:#?}",
+            reports.iter().map(|r| r.to_string()).collect::<Vec<_>>()
+        );
+        assert!(!reports.iter().any(|r| r.function == "safe_xfer"));
+    }
+
+    /// Fig. 5 scenario: use-after-put order violation in a sibling.
+    #[test]
+    fn fig5_spec_finds_order_violation() {
+        let shared = "\
+struct device { int devt; };
+struct platform_device { struct device dev; };
+struct platform_driver { int (*remove)(struct platform_device *pdev); };
+void put_device(struct device *dev);
+void release_resources(struct device *dev);
+";
+        let pre = format!(
+            "{shared}int telem_remove(struct platform_device *pdev) {{\n\
+               put_device(&pdev->dev);\n\
+               release_resources(&pdev->dev);\n\
+               return 0;\n\
+             }}\nstruct platform_driver telem_driver = {{ .remove = telem_remove, }};"
+        );
+        let post = format!(
+            "{shared}int telem_remove(struct platform_device *pdev) {{\n\
+               release_resources(&pdev->dev);\n\
+               put_device(&pdev->dev);\n\
+               return 0;\n\
+             }}\nstruct platform_driver telem_driver = {{ .remove = telem_remove, }};"
+        );
+        let target_src = format!(
+            "{shared}int viacam_remove(struct platform_device *pdev) {{\n\
+               put_device(&pdev->dev);\n\
+               release_resources(&pdev->dev);\n\
+               return 0;\n\
+             }}\n\
+             int ok_remove(struct platform_device *pdev) {{\n\
+               release_resources(&pdev->dev);\n\
+               put_device(&pdev->dev);\n\
+               return 0;\n\
+             }}\n\
+             struct platform_driver d1 = {{ .remove = viacam_remove, }};\n\
+             struct platform_driver d2 = {{ .remove = ok_remove, }};"
+        );
+        let target = seal_ir::lower(&seal_kir::compile(&target_src, "target.c").unwrap());
+        let seal = Seal::default();
+        let reports = seal
+            .run(&Patch::new("fig5", pre, post), &target)
+            .unwrap();
+        assert!(
+            reports.iter().any(|r| r.function == "viacam_remove"),
+            "reports: {:#?}",
+            reports.iter().map(|r| r.to_string()).collect::<Vec<_>>()
+        );
+        assert!(!reports.iter().any(|r| r.function == "ok_remove"));
+    }
+
+    #[test]
+    fn region_skipped_when_value_missing() {
+        // Spec requires -12 literal; region never mentions it → no report.
+        let shared = "\
+struct riscmem { int *cpu; };
+void *dma_alloc_coherent(unsigned long size);
+struct vb2_ops { int (*buf_prepare)(struct riscmem *risc); };
+";
+        let pre = format!(
+            "{shared}int bp(struct riscmem *r) {{\n\
+               r->cpu = (int *)dma_alloc_coherent(64);\n\
+               if (r->cpu == NULL) return -12;\n\
+               return 0;\n\
+             }}\n\
+             int outer(struct riscmem *r) {{ bp(r); return 0; }}\n\
+             struct vb2_ops q = {{ .buf_prepare = outer, }};"
+        );
+        let post = format!(
+            "{shared}int bp(struct riscmem *r) {{\n\
+               r->cpu = (int *)dma_alloc_coherent(64);\n\
+               if (r->cpu == NULL) return -12;\n\
+               return 0;\n\
+             }}\n\
+             int outer(struct riscmem *r) {{ return bp(r); }}\n\
+             struct vb2_ops q = {{ .buf_prepare = outer, }};"
+        );
+        let target_src = format!(
+            "{shared}int simple_prepare(struct riscmem *r) {{ return 0; }}\n\
+             struct vb2_ops q2 = {{ .buf_prepare = simple_prepare, }};"
+        );
+        let target = seal_ir::lower(&seal_kir::compile(&target_src, "t2.c").unwrap());
+        let seal = Seal::default();
+        let reports = seal.run(&Patch::new("p", pre, post), &target).unwrap();
+        assert!(reports.is_empty(), "{:#?}", reports.iter().map(|r| r.to_string()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,478 @@
+//! Stage ③ — specification extraction (Alg. 2 + §6.3.3).
+//!
+//! Turns the classified path sets into quantified constraints:
+//!
+//! * `P−` → `∄ v ↪ u under Ψ−` (the removed flow was wrong),
+//! * `P+` → `∃ v ↪ u under Ψ+` (the added flow is required),
+//! * `PΨ` → `∄ v ↪ u under Ψδ` where `Ψδ = Ψ− ∧ ¬Ψ+` (the newly rejected
+//!   condition region),
+//! * `PΩ` → `∄ first ≺ second` for matched path pairs from the same value
+//!   whose sink order flipped between versions (the pre-patch order was
+//!   wrong).
+//!
+//! Quantifier validation (§6.3.3): a `P−`-derived `∄` constraint whose
+//! `(v, u)` pair still occurs post-patch is ambiguous (the patch moved the
+//! flow rather than outlawing it) and is dropped.
+
+use crate::diff::{AbstractPath, ChangedPaths};
+use crate::patch::CompiledPatch;
+use seal_solver::Formula;
+use seal_spec::{
+    Constraint, Provenance, Quantifier, Relation, Specification, SpecUse, SpecValue,
+};
+
+/// Runs Alg. 2 over the diff result.
+pub fn extract_specs(patch: &CompiledPatch, changed: &ChangedPaths) -> Vec<Specification> {
+    let mut out: Vec<Specification> = Vec::new();
+
+    // P− → ∄ reach. Quantifier validation (§6.3.3): when paths with the
+    // same abstract endpoints survive post-patch, the flow as such is not
+    // outlawed — only the *condition region* the surviving paths no longer
+    // cover is (e.g. pre-patch `return 0` on the error branch is removed
+    // while the success-path `return 0` stays: forbidden region is the
+    // error condition). Equivalent-condition survivors suppress entirely.
+    for p in &changed.removed {
+        if !worth_specifying(p) {
+            continue;
+        }
+        let survivors: Vec<&AbstractPath> = changed
+            .added
+            .iter()
+            .chain(changed.unchanged_pairs.iter().map(|(_, q)| q))
+            .filter(|q| same_endpoints(p, q))
+            .collect();
+        let mut forbidden = p.cond.clone();
+        let mut fully_survives = false;
+        for q in &survivors {
+            if seal_solver::equivalent(&p.cond, &q.cond) {
+                fully_survives = true;
+                break;
+            }
+            forbidden = forbidden.and(q.cond.clone().negate());
+        }
+        if fully_survives || !seal_solver::is_sat(&forbidden).possibly_sat() {
+            continue;
+        }
+        out.push(make_spec(
+            patch,
+            p,
+            Constraint {
+                quantifier: Quantifier::NotExists,
+                relation: Relation::Reach {
+                    value: p.value.clone(),
+                    use_: p.use_.clone(),
+                    cond: normalize_cond(forbidden.nnf()),
+                },
+            },
+            Provenance::RemovedPath,
+        ));
+    }
+
+    // P+ → ∃ reach under the post-patch condition.
+    for p in &changed.added {
+        if !worth_specifying(p) {
+            continue;
+        }
+        out.push(make_spec(
+            patch,
+            p,
+            Constraint {
+                quantifier: Quantifier::Exists,
+                relation: Relation::Reach {
+                    value: p.value.clone(),
+                    use_: p.use_.clone(),
+                    cond: normalize_cond(p.cond.clone()),
+                },
+            },
+            Provenance::AddedPath,
+        ));
+    }
+
+    // PΨ → ∄ reach under the delta condition Ψδ = Ψ− ∧ ¬Ψ+.
+    for (pre, post) in &changed.cond_changed {
+        if !worth_specifying(pre) {
+            continue;
+        }
+        // A condition change around a *literal* flow regulates nothing: the
+        // guard is about other data, and the constant path (e.g. `acc = 0`
+        // reaching the return) is incidental to the fix (§8.2 discusses
+        // exactly this kind of irrelevant-path imprecision).
+        if matches!(pre.value, SpecValue::Literal(_)) {
+            continue;
+        }
+        // Spec 4.2 retains only the *changed* condition ("does not
+        // incorporate φ2 and φ4, but retains φ3"): the forbidden region is
+        // the negation of the conjuncts the patch added, with unchanged
+        // context atoms (e.g. the switch arm) dropped so the rule
+        // generalizes across implementations with different contexts.
+        let pre_atoms = conjuncts_of(&pre.cond);
+        let new_atoms: Vec<_> = conjuncts_of(&post.cond)
+            .into_iter()
+            .filter(|a| !pre_atoms.contains(a))
+            .collect();
+        let delta = if new_atoms.is_empty() {
+            pre.cond.clone().and(post.cond.clone().negate())
+        } else {
+            new_atoms
+                .into_iter()
+                .fold(Formula::True, Formula::and)
+                .negate()
+        };
+        if !seal_solver::is_sat(&delta).possibly_sat() {
+            continue;
+        }
+        let delta = simplify_delta(delta);
+        out.push(make_spec(
+            patch,
+            pre,
+            Constraint {
+                quantifier: Quantifier::NotExists,
+                relation: Relation::Reach {
+                    value: pre.value.clone(),
+                    use_: pre.use_.clone(),
+                    cond: normalize_cond(delta),
+                },
+            },
+            Provenance::CondChanged,
+        ));
+    }
+
+    // PΩ → ∄ (first ≺ second) for flipped sink orders (Alg. 2 lines 10–19).
+    for (i, (pre_a, post_a)) in changed.unchanged_pairs.iter().enumerate() {
+        for (pre_b, post_b) in changed.unchanged_pairs.iter().skip(i + 1) {
+            // Order relations are only meaningful between use sites of the
+            // same data (§5 step 3). Overlapping access paths compare:
+            // `pdev->dev.devt` is inside `pdev->dev`, so `put_device(&dev)`
+            // and a later read of `dev.devt` use the same data.
+            let Some(shared) = comparable_value(&pre_a.value, &pre_b.value) else {
+                continue;
+            };
+            let (Some(oa_pre), Some(ob_pre), Some(oa_post), Some(ob_post)) = (
+                &pre_a.sink_omega,
+                &pre_b.sink_omega,
+                &post_a.sink_omega,
+                &post_b.sink_omega,
+            ) else {
+                continue;
+            };
+            // Ω only compares within one function.
+            if oa_pre.0 != ob_pre.0 || oa_post.0 != ob_post.0 {
+                continue;
+            }
+            let pre_a_first = (oa_pre.1, oa_pre.2) < (ob_pre.1, ob_pre.2);
+            let post_a_first = (oa_post.1, oa_post.2) < (ob_post.1, ob_post.2);
+            if pre_a_first == post_a_first {
+                continue;
+            }
+            // The pre-patch order is the forbidden one.
+            let (first, second) = if pre_a_first {
+                (pre_a.use_.clone(), pre_b.use_.clone())
+            } else {
+                (pre_b.use_.clone(), pre_a.use_.clone())
+            };
+            if first == second {
+                continue;
+            }
+            out.push(make_spec(
+                patch,
+                pre_a,
+                Constraint {
+                    quantifier: Quantifier::NotExists,
+                    relation: Relation::Order {
+                        value: shared,
+                        first,
+                        second,
+                    },
+                },
+                Provenance::OrderChanged,
+            ));
+        }
+    }
+
+    out.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+    out.dedup_by(|a, b| a.interface == b.interface && a.constraints == b.constraints);
+    out
+}
+
+fn same_endpoints(a: &AbstractPath, b: &AbstractPath) -> bool {
+    comparable_value(&a.value, &b.value).is_some() && a.use_ == b.use_ && a.ret_func == b.ret_func
+}
+
+/// Two values are order-comparable when one names a sub-object of the
+/// other; the shared (shorter) access path is the regulated data.
+pub fn comparable_value(a: &SpecValue, b: &SpecValue) -> Option<SpecValue> {
+    match (a, b) {
+        (
+            SpecValue::ArgI { index, fields },
+            SpecValue::ArgI {
+                index: i2,
+                fields: f2,
+            },
+        ) if index == i2 => {
+            let n = fields.len().min(f2.len());
+            if fields[..n] == f2[..n] {
+                Some(if fields.len() <= f2.len() {
+                    a.clone()
+                } else {
+                    b.clone()
+                })
+            } else {
+                None
+            }
+        }
+        _ if a == b => Some(a.clone()),
+        _ => None,
+    }
+}
+
+/// Filters out paths that cannot generalize: flows from a literal into a
+/// helper's return with no interface context and no API involvement would
+/// constrain nothing.
+fn worth_specifying(p: &AbstractPath) -> bool {
+    let has_api = matches!(p.value, SpecValue::RetF { .. })
+        || matches!(p.use_, SpecUse::ArgF { .. })
+        || p.cond
+            .vars()
+            .iter()
+            .any(|v| matches!(v, SpecValue::RetF { .. }));
+    let has_iface = p.interface.is_some();
+    // Pure literal-to-return flows inside unbound helpers say nothing.
+    if matches!(p.value, SpecValue::Literal(_))
+        && matches!(p.use_, SpecUse::RetI)
+        && !has_iface
+        && !has_api
+    {
+        return false;
+    }
+    has_api || has_iface
+}
+
+/// Deduplicates top-level conjuncts (`a && a` → `a`) for readable specs.
+fn normalize_cond(f: Formula<SpecValue>) -> Formula<SpecValue> {
+    conjuncts_of(&f)
+        .into_iter()
+        .fold(Formula::True, Formula::and)
+}
+
+/// Top-level conjuncts of a formula, for delta computation.
+fn conjuncts_of(f: &Formula<SpecValue>) -> std::collections::BTreeSet<Formula<SpecValue>> {
+    fn walk(
+        f: &Formula<SpecValue>,
+        out: &mut std::collections::BTreeSet<Formula<SpecValue>>,
+    ) {
+        match f {
+            Formula::True => {}
+            Formula::And(xs) => {
+                for x in xs {
+                    walk(x, out);
+                }
+            }
+            other => {
+                out.insert(other.clone());
+            }
+        }
+    }
+    let mut out = std::collections::BTreeSet::new();
+    walk(f, &mut out);
+    out
+}
+
+/// Flattens double negations introduced by the delta construction so the
+/// rendered specs stay readable; semantics are unchanged.
+fn simplify_delta(f: Formula<SpecValue>) -> Formula<SpecValue> {
+    f.nnf()
+}
+
+fn make_spec(
+    patch: &CompiledPatch,
+    p: &AbstractPath,
+    constraint: Constraint,
+    provenance: Provenance,
+) -> Specification {
+    // RetI sinks bind the spec to the interface of the returning function;
+    // otherwise use the path's interface context. Specs with no interface
+    // elements stay interface-free and apply at API granularity (§5 remark).
+    let interface = match (&constraint.relation, &p.ret_func) {
+        (Relation::Reach { use_: SpecUse::RetI, .. }, Some(f)) => {
+            crate::roles::interface_of_func(&patch.post, f)
+                .or_else(|| crate::roles::interface_of_func(&patch.pre, f))
+                .or_else(|| p.interface.clone())
+        }
+        _ => p.interface.clone(),
+    };
+    let involves_iface_elems = matches!(constraint.relation.value(), SpecValue::ArgI { .. })
+        || constraint
+            .relation
+            .uses()
+            .iter()
+            .any(|u| matches!(u, SpecUse::RetI));
+    Specification {
+        interface: if involves_iface_elems { interface } else { None },
+        constraints: vec![constraint],
+        origin_patch: patch.id.clone(),
+        provenance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::{diff_patch, DiffConfig};
+    use crate::patch::Patch;
+
+    fn infer(pre: &str, post: &str) -> Vec<Specification> {
+        let compiled = Patch::new("t", pre, post).compile().unwrap();
+        let changed = diff_patch(&compiled, &DiffConfig::default());
+        extract_specs(&compiled, &changed)
+    }
+
+    #[test]
+    fn fig3_yields_exists_reach_spec() {
+        let shared = "\
+struct riscmem { int *cpu; };
+void *dma_alloc_coherent(unsigned long size);
+struct vb2_ops { int (*buf_prepare)(struct riscmem *risc); };
+int vbibuffer(struct riscmem *risc) {
+    risc->cpu = (int *)dma_alloc_coherent(64);
+    if (risc->cpu == NULL) return -12;
+    return 0;
+}
+";
+        let pre = format!(
+            "{shared}\nint buffer_prepare(struct riscmem *risc) {{ vbibuffer(risc); return 0; }}\n\
+             struct vb2_ops qops = {{ .buf_prepare = buffer_prepare, }};"
+        );
+        let post = format!(
+            "{shared}\nint buffer_prepare(struct riscmem *risc) {{ return vbibuffer(risc); }}\n\
+             struct vb2_ops qops = {{ .buf_prepare = buffer_prepare, }};"
+        );
+        let specs = infer(&pre, &post);
+        let hit = specs.iter().find(|s| {
+            s.interface.as_deref() == Some("vb2_ops::buf_prepare")
+                && s.constraints.iter().any(|c| {
+                    c.quantifier == Quantifier::Exists
+                        && matches!(
+                            &c.relation,
+                            Relation::Reach {
+                                value: SpecValue::Literal(-12),
+                                use_: SpecUse::RetI,
+                                ..
+                            }
+                        )
+                })
+        });
+        assert!(hit.is_some(), "specs: {:#?}", specs.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fig4_yields_not_exists_under_delta() {
+        let shared = "\
+struct smbus_data { int len; char block[34]; };
+struct i2c_algorithm { int (*smbus_xfer)(int size, struct smbus_data *data); };
+";
+        let pre = format!(
+            "{shared}\nint xfer_emulated(int size, struct smbus_data *data) {{\n\
+               char sink;\n\
+               int i;\n\
+               if (size == 1) {{\n\
+                 for (i = 1; i <= data->len; i++) {{ sink = data->block[i]; }}\n\
+               }}\n\
+               return (int)sink;\n\
+             }}\n\
+             struct i2c_algorithm alg = {{ .smbus_xfer = xfer_emulated, }};"
+        );
+        let post = format!(
+            "{shared}\nint xfer_emulated(int size, struct smbus_data *data) {{\n\
+               char sink;\n\
+               int i;\n\
+               if (size == 1) {{\n\
+                 if (data->len <= 32) {{\n\
+                   for (i = 1; i <= data->len; i++) {{ sink = data->block[i]; }}\n\
+                 }}\n\
+               }}\n\
+               return (int)sink;\n\
+             }}\n\
+             struct i2c_algorithm alg = {{ .smbus_xfer = xfer_emulated, }};"
+        );
+        let specs = infer(&pre, &post);
+        let hit = specs.iter().find(|s| {
+            s.constraints.iter().any(|c| {
+                c.quantifier == Quantifier::NotExists
+                    && matches!(&c.relation, Relation::Reach { cond, .. } if !matches!(cond, Formula::True))
+            }) && s.provenance == Provenance::CondChanged
+        });
+        assert!(hit.is_some(), "specs: {:#?}", specs.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        // The delta condition must mention the len field.
+        let spec = hit.unwrap();
+        let Relation::Reach { cond, .. } = &spec.constraints[0].relation else {
+            panic!()
+        };
+        assert!(cond
+            .vars()
+            .iter()
+            .any(|v| matches!(v, SpecValue::ArgI { fields, .. } if fields.contains(&"len".to_string()))));
+    }
+
+    #[test]
+    fn fig5_yields_order_spec() {
+        let shared = "\
+struct device { int devt; };
+struct platform_device { struct device dev; };
+struct platform_driver { int (*remove)(struct platform_device *pdev); };
+void put_device(struct device *dev);
+void release_resources(struct device *dev);
+";
+        let pre = format!(
+            "{shared}\nint telem_remove(struct platform_device *pdev) {{\n\
+               put_device(&pdev->dev);\n\
+               release_resources(&pdev->dev);\n\
+               return 0;\n\
+             }}\n\
+             struct platform_driver telem_driver = {{ .remove = telem_remove, }};"
+        );
+        let post = format!(
+            "{shared}\nint telem_remove(struct platform_device *pdev) {{\n\
+               release_resources(&pdev->dev);\n\
+               put_device(&pdev->dev);\n\
+               return 0;\n\
+             }}\n\
+             struct platform_driver telem_driver = {{ .remove = telem_remove, }};"
+        );
+        let specs = infer(&pre, &post);
+        let hit = specs.iter().find(|s| {
+            s.provenance == Provenance::OrderChanged
+                && s.constraints.iter().any(|c| {
+                    c.quantifier == Quantifier::NotExists
+                        && matches!(
+                            &c.relation,
+                            Relation::Order {
+                                first: SpecUse::ArgF { api, .. },
+                                ..
+                            } if api == "put_device"
+                        )
+                })
+        });
+        assert!(hit.is_some(), "specs: {:#?}", specs.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_versions_yield_no_specs() {
+        let src = "int f(int *p) { if (p == NULL) { return -22; } return *p; }";
+        assert!(infer(src, src).is_empty());
+    }
+
+    #[test]
+    fn added_null_check_yields_spec() {
+        let shared = "struct ops { int (*prep)(int *p); };\n";
+        let pre = format!(
+            "{shared}int do_prep(int *p) {{ return *p; }}\nstruct ops t = {{ .prep = do_prep, }};"
+        );
+        let post = format!(
+            "{shared}int do_prep(int *p) {{ if (p == NULL) return -22; return *p; }}\nstruct ops t = {{ .prep = do_prep, }};"
+        );
+        let specs = infer(&pre, &post);
+        assert!(!specs.is_empty());
+        // Expect either a PΨ spec on the deref path or a P+ error-code spec.
+        assert!(specs.iter().any(|s| s.interface.as_deref() == Some("ops::prep")));
+    }
+}

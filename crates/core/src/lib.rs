@@ -1,0 +1,85 @@
+//! `seal-core` — SEAL's specification inference and violation detection.
+//!
+//! Implements the four-stage workflow of Fig. 7:
+//!
+//! 1. **PDG construction** for the pre- and post-patch versions of a
+//!    security patch ([`patch`]),
+//! 2. **PDG differentiation** into changed value-flow path sets
+//!    `P−, P+, PΨ, PΩ` ([`diff`], Alg. 1),
+//! 3. **specification extraction** with domain mapping `𝔸` and quantifier
+//!    inference ([`extract`], Alg. 2 and §6.3.3),
+//! 4. **path-sensitive bug detection** by reachability search in other
+//!    implementations/usages of the same interface ([`detect`], §6.4).
+//!
+//! The [`Seal`] facade ties the stages together:
+//!
+//! ```
+//! use seal_core::{Patch, Seal};
+//!
+//! let pre = "
+//! struct ops { int (*prep)(int *p); };
+//! int do_prep(int *p) { return *p; }
+//! struct ops t = { .prep = do_prep, };
+//! ";
+//! let post = "
+//! struct ops { int (*prep)(int *p); };
+//! int do_prep(int *p) { if (p == NULL) return -22; return *p; }
+//! struct ops t = { .prep = do_prep, };
+//! ";
+//! let seal = Seal::default();
+//! let specs = seal.infer(&Patch::new("p1", pre, post)).unwrap();
+//! assert!(!specs.is_empty());
+//! ```
+
+pub mod detect;
+pub mod diff;
+pub mod extract;
+pub mod patch;
+pub mod report;
+pub mod roles;
+
+pub use detect::{detect_bugs, detect_bugs_with_stats, DetectConfig, DetectStats};
+pub use diff::{ChangedPaths, DiffConfig};
+pub use patch::{CompiledPatch, Patch};
+pub use report::{BugReport, BugType};
+
+use seal_spec::Specification;
+
+/// End-to-end SEAL driver with tunable budgets.
+#[derive(Debug, Clone, Default)]
+pub struct Seal {
+    /// Differencing budgets.
+    pub diff: DiffConfig,
+    /// Detection budgets.
+    pub detect: DetectConfig,
+}
+
+impl Seal {
+    /// Infers interface specifications from one security patch
+    /// (stages ①–③).
+    pub fn infer(&self, patch: &Patch) -> Result<Vec<Specification>, seal_kir::KirError> {
+        let compiled = patch.compile()?;
+        let changed = diff::diff_patch(&compiled, &self.diff);
+        Ok(extract::extract_specs(&compiled, &changed))
+    }
+
+    /// Detects violations of `specs` inside `module` (stage ④).
+    pub fn detect(
+        &self,
+        module: &seal_ir::Module,
+        specs: &[Specification],
+    ) -> Vec<BugReport> {
+        detect::detect_bugs(module, specs, &self.detect)
+    }
+
+    /// Convenience: infer from a patch and immediately hunt for violations
+    /// in a target module.
+    pub fn run(
+        &self,
+        patch: &Patch,
+        target: &seal_ir::Module,
+    ) -> Result<Vec<BugReport>, seal_kir::KirError> {
+        let specs = self.infer(patch)?;
+        Ok(self.detect(target, &specs))
+    }
+}

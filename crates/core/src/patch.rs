@@ -1,0 +1,143 @@
+//! Security patches: pre/post source pairs and their compiled forms.
+//!
+//! The paper links both versions into one bitcode with renamed symbols
+//! (§7, "LLVM Bitcode Generation"); here the two versions are compiled to
+//! separate [`Module`]s and compared structurally, which serves the same
+//! purpose without the renaming machinery.
+
+use seal_ir::module::Module;
+use seal_kir::pretty;
+use seal_kir::KirError;
+use std::collections::BTreeSet;
+
+/// A security patch: two versions of one compilation unit. Patch
+/// descriptions are deliberately *not* part of the input (§5: "patch
+/// descriptions are excluded").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Patch {
+    /// Stable identifier (commit hash in the paper's dataset).
+    pub id: String,
+    /// Pre-patch source.
+    pub pre: String,
+    /// Post-patch source.
+    pub post: String,
+}
+
+impl Patch {
+    /// Creates a patch from its two versions.
+    pub fn new(id: impl Into<String>, pre: impl Into<String>, post: impl Into<String>) -> Self {
+        Patch {
+            id: id.into(),
+            pre: pre.into(),
+            post: post.into(),
+        }
+    }
+
+    /// Compiles both versions and computes the changed-function set.
+    pub fn compile(&self) -> Result<CompiledPatch, KirError> {
+        let pre_tu = seal_kir::compile(&self.pre, &format!("{}:pre", self.id))?;
+        let post_tu = seal_kir::compile(&self.post, &format!("{}:post", self.id))?;
+        let pre = seal_ir::lower(&pre_tu);
+        let post = seal_ir::lower(&post_tu);
+        let changed = changed_functions(&pre_tu, &post_tu);
+        Ok(CompiledPatch {
+            id: self.id.clone(),
+            pre,
+            post,
+            changed,
+        })
+    }
+}
+
+/// A compiled patch: both module versions plus the set of function names
+/// whose bodies differ (including additions/removals).
+#[derive(Debug)]
+pub struct CompiledPatch {
+    /// Patch identifier.
+    pub id: String,
+    /// Pre-patch module.
+    pub pre: Module,
+    /// Post-patch module.
+    pub post: Module,
+    /// Names of syntactically changed functions.
+    pub changed: BTreeSet<String>,
+}
+
+/// Function-level change detection by comparing normalized pretty-printed
+/// bodies — the structural analogue of a textual diff hunks-to-functions
+/// mapping.
+fn changed_functions(
+    pre: &seal_kir::TranslationUnit,
+    post: &seal_kir::TranslationUnit,
+) -> BTreeSet<String> {
+    let mut changed = BTreeSet::new();
+    let render = |f: &seal_kir::ast::Function| {
+        let mut s = String::new();
+        pretty::print_function(&mut s, f);
+        s
+    };
+    for f in &pre.functions {
+        match post.function(&f.name) {
+            None => {
+                changed.insert(f.name.clone());
+            }
+            Some(g) => {
+                if render(f) != render(g) {
+                    changed.insert(f.name.clone());
+                }
+            }
+        }
+    }
+    for g in &post.functions {
+        if pre.function(&g.name).is_none() {
+            changed.insert(g.name.clone());
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_changed_function() {
+        let p = Patch::new(
+            "p1",
+            "int f(int x) { return x; }\nint g(void) { return 1; }",
+            "int f(int x) { return x + 1; }\nint g(void) { return 1; }",
+        );
+        let c = p.compile().unwrap();
+        assert_eq!(c.changed.iter().collect::<Vec<_>>(), vec!["f"]);
+    }
+
+    #[test]
+    fn detects_added_and_removed_functions() {
+        let p = Patch::new(
+            "p2",
+            "int old_helper(void) { return 0; }\nint f(void) { return old_helper(); }",
+            "int new_helper(void) { return 0; }\nint f(void) { return new_helper(); }",
+        );
+        let c = p.compile().unwrap();
+        assert!(c.changed.contains("old_helper"));
+        assert!(c.changed.contains("new_helper"));
+        assert!(c.changed.contains("f"));
+    }
+
+    #[test]
+    fn line_shifts_alone_are_not_changes() {
+        let p = Patch::new(
+            "p3",
+            "int f(int x) { return x; }",
+            "\n\n\nint f(int x)\n{\n    return x;\n}",
+        );
+        let c = p.compile().unwrap();
+        assert!(c.changed.is_empty());
+    }
+
+    #[test]
+    fn compile_error_propagates() {
+        let p = Patch::new("p4", "int f(void) { return unknown_var; }", "int f(void) { return 0; }");
+        assert!(p.compile().is_err());
+    }
+}

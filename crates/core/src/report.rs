@@ -1,0 +1,362 @@
+//! Bug reports (§7, "Bug Report"): the violated specification, the buggy
+//! region with line numbers, and a witness or absence explanation.
+
+use seal_spec::{Quantifier, Relation, Specification, SpecUse, SpecValue};
+use seal_solver::CmpOp;
+use std::fmt;
+
+/// Bug classes of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BugType {
+    /// NULL pointer dereference (CWE-476).
+    Npd,
+    /// Memory/resource leak (CWE-401/402).
+    MemLeak,
+    /// Wrong error code (CWE-393).
+    WrongEc,
+    /// Out-of-bounds access (CWE-125/787).
+    Oob,
+    /// Use-after-free / double free (CWE-415/416).
+    Uaf,
+    /// Divide by zero (CWE-369).
+    Dbz,
+    /// Uninitialized value (CWE-456/457).
+    Uninit,
+    /// Anything else.
+    Other,
+}
+
+impl BugType {
+    /// Root-cause bucket of Table 2 (① checks, ② return values, ③ error
+    /// handling, ④ usage orders).
+    pub fn root_cause(&self) -> u8 {
+        match self {
+            BugType::Oob | BugType::Dbz => 1,
+            BugType::Uninit => 2,
+            BugType::MemLeak | BugType::WrongEc => 3,
+            BugType::Uaf => 4,
+            BugType::Npd => 1, // NPDs span ①–④; default to missing checks.
+            BugType::Other => 0,
+        }
+    }
+
+    /// Human-readable label used in tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BugType::Npd => "NPD",
+            BugType::MemLeak => "MemLeak",
+            BugType::WrongEc => "Wrong EC",
+            BugType::Oob => "OOB",
+            BugType::Uaf => "UAF",
+            BugType::Dbz => "DbZ",
+            BugType::Uninit => "Uninit Val",
+            BugType::Other => "Other",
+        }
+    }
+}
+
+/// Heuristic classification of the bug class a specification guards
+/// against, from the shape of its first constraint.
+pub fn classify_spec(spec: &Specification) -> BugType {
+    let Some(c) = spec.constraints.first() else {
+        return BugType::Other;
+    };
+    match (&c.quantifier, &c.relation) {
+        (_, Relation::Order { first, .. }) => {
+            // Forbidden "release before use" orders are UAF-shaped.
+            if matches!(first, SpecUse::ArgF { .. }) {
+                BugType::Uaf
+            } else {
+                BugType::Other
+            }
+        }
+        (Quantifier::NotExists, Relation::Reach { use_, cond, .. }) => match use_ {
+            SpecUse::Div => BugType::Dbz,
+            SpecUse::IndexUse => BugType::Oob,
+            SpecUse::Deref => {
+                // A null-condition guard means NPD; a bounds condition OOB.
+                let mut null_like = false;
+                let mut bound_like = false;
+                cond.for_each_atom(&mut |a| {
+                    let zero = matches!(a.rhs, seal_solver::Term::Const(0))
+                        || matches!(a.lhs, seal_solver::Term::Const(0));
+                    if a.op == CmpOp::Eq && zero {
+                        null_like = true;
+                    }
+                    if matches!(a.op, CmpOp::Gt | CmpOp::Ge | CmpOp::Lt | CmpOp::Le) {
+                        bound_like = true;
+                    }
+                });
+                if null_like {
+                    BugType::Npd
+                } else if bound_like {
+                    BugType::Oob
+                } else {
+                    BugType::Npd
+                }
+            }
+            SpecUse::ArgF { .. } => BugType::Uaf,
+            SpecUse::RetI => BugType::WrongEc,
+            SpecUse::GlobalStore { .. } => BugType::Other,
+        },
+        (_, Relation::Reach { value, use_, .. }) => match (value, use_) {
+            // A required flow of an API result into a releasing API.
+            (SpecValue::RetF { .. }, SpecUse::ArgF { .. }) => BugType::MemLeak,
+            // A required error-code flow to the interface return.
+            (SpecValue::Literal(v), SpecUse::RetI) if *v < 0 => BugType::WrongEc,
+            (SpecValue::Literal(_), SpecUse::RetI) => BugType::WrongEc,
+            (SpecValue::ArgI { .. }, SpecUse::GlobalStore { .. }) => BugType::Uninit,
+            (_, SpecUse::GlobalStore { .. }) => BugType::Uninit,
+            _ => BugType::Other,
+        },
+    }
+}
+
+/// One detected violation.
+#[derive(Debug, Clone)]
+pub struct BugReport {
+    /// The violated specification.
+    pub spec: Specification,
+    /// Module the bug lives in.
+    pub module: String,
+    /// Buggy function.
+    pub function: String,
+    /// Line of the function definition.
+    pub line: u32,
+    /// Classified bug type.
+    pub bug_type: BugType,
+    /// Witness value-flow path lines (empty when the violation is a
+    /// *missing* path).
+    pub witness_lines: Vec<u32>,
+    /// Human-readable explanation.
+    pub explanation: String,
+}
+
+impl BugReport {
+    /// Renders the report as the markdown document §7 describes: the buggy
+    /// value-flow path with line numbers, the inferred specification, and —
+    /// when available — the original patch "as example", which is what let
+    /// maintainers review the paper's reports quickly.
+    pub fn to_markdown(&self, original_patch: Option<&crate::Patch>) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "## [{}] {} — `{}` ({}:{})
+",
+            self.bug_type.label(),
+            self.explanation,
+            self.function,
+            self.module,
+            self.line
+        );
+        if self.witness_lines.is_empty() {
+            let _ = writeln!(
+                out,
+                "No witness path: the required value flow is absent in this
+implementation.
+"
+            );
+        } else {
+            let lines: Vec<String> =
+                self.witness_lines.iter().map(|l| l.to_string()).collect();
+            let _ = writeln!(out, "Buggy value-flow path via lines: {}
+", lines.join(" → "));
+        }
+        let _ = writeln!(out, "Violated specification:
+
+```
+{}
+```
+", self.spec);
+        if let Some(patch) = original_patch {
+            let _ = writeln!(
+                out,
+                "Original patch `{}` (the fix to mirror):
+
+```c
+--- pre
+{}
++++ post
+{}
+```",
+                patch.id,
+                patch.pre.trim_end(),
+                patch.post.trim_end()
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Display for BugReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{}] {} in {}:{} (line {})",
+            self.bug_type.label(),
+            self.explanation,
+            self.module,
+            self.function,
+            self.line
+        )?;
+        if !self.witness_lines.is_empty() {
+            let lines: Vec<String> = self.witness_lines.iter().map(|l| l.to_string()).collect();
+            writeln!(f, "  witness path via lines: {}", lines.join(" -> "))?;
+        }
+        write!(f, "  violated: {}", self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seal_solver::Formula;
+    use seal_spec::{Constraint, Provenance};
+
+    fn spec_with(c: Constraint) -> Specification {
+        Specification {
+            interface: Some("ops::prep".into()),
+            constraints: vec![c],
+            origin_patch: "p".into(),
+            provenance: Provenance::AddedPath,
+        }
+    }
+
+    #[test]
+    fn classify_npd_guard() {
+        let s = spec_with(Constraint {
+            quantifier: Quantifier::NotExists,
+            relation: Relation::Reach {
+                value: SpecValue::ret_of("kmalloc"),
+                use_: SpecUse::Deref,
+                cond: Formula::cmp(SpecValue::ret_of("kmalloc"), CmpOp::Eq, 0),
+            },
+        });
+        assert_eq!(classify_spec(&s), BugType::Npd);
+        assert_eq!(BugType::Npd.root_cause(), 1);
+    }
+
+    #[test]
+    fn classify_oob_bounds() {
+        let s = spec_with(Constraint {
+            quantifier: Quantifier::NotExists,
+            relation: Relation::Reach {
+                value: SpecValue::arg_field(1, "block"),
+                use_: SpecUse::IndexUse,
+                cond: Formula::cmp(SpecValue::arg_field(1, "len"), CmpOp::Gt, 32),
+            },
+        });
+        assert_eq!(classify_spec(&s), BugType::Oob);
+    }
+
+    #[test]
+    fn classify_wrong_ec() {
+        let s = spec_with(Constraint {
+            quantifier: Quantifier::Exists,
+            relation: Relation::Reach {
+                value: SpecValue::Literal(-12),
+                use_: SpecUse::RetI,
+                cond: Formula::True,
+            },
+        });
+        assert_eq!(classify_spec(&s), BugType::WrongEc);
+    }
+
+    #[test]
+    fn classify_leak_and_uaf() {
+        let leak = spec_with(Constraint {
+            quantifier: Quantifier::Exists,
+            relation: Relation::Reach {
+                value: SpecValue::ret_of("kmalloc"),
+                use_: SpecUse::ArgF {
+                    api: "kfree".into(),
+                    index: 0,
+                },
+                cond: Formula::True,
+            },
+        });
+        assert_eq!(classify_spec(&leak), BugType::MemLeak);
+        let uaf = spec_with(Constraint {
+            quantifier: Quantifier::NotExists,
+            relation: Relation::Order {
+                value: SpecValue::arg(0),
+                first: SpecUse::ArgF {
+                    api: "put_device".into(),
+                    index: 0,
+                },
+                second: SpecUse::Deref,
+            },
+        });
+        assert_eq!(classify_spec(&uaf), BugType::Uaf);
+    }
+
+    #[test]
+    fn classify_dbz() {
+        let s = spec_with(Constraint {
+            quantifier: Quantifier::NotExists,
+            relation: Relation::Reach {
+                value: SpecValue::arg_field(0, "clock"),
+                use_: SpecUse::Div,
+                cond: Formula::cmp(SpecValue::arg_field(0, "clock"), CmpOp::Eq, 0),
+            },
+        });
+        assert_eq!(classify_spec(&s), BugType::Dbz);
+    }
+
+    #[test]
+    fn markdown_rendering_includes_patch() {
+        let s = spec_with(Constraint {
+            quantifier: Quantifier::Exists,
+            relation: Relation::Reach {
+                value: SpecValue::Literal(-12),
+                use_: SpecUse::RetI,
+                cond: Formula::True,
+            },
+        });
+        let r = BugReport {
+            spec: s,
+            module: "kernel.c".into(),
+            function: "tw68_buf_prepare".into(),
+            line: 9,
+            bug_type: BugType::WrongEc,
+            witness_lines: vec![],
+            explanation: "required flow missing".into(),
+        };
+        let patch = crate::Patch::new("cx-fix", "int f(void) { return 0; }", "int f(void) { return 1; }");
+        let md = r.to_markdown(Some(&patch));
+        assert!(md.contains("## [Wrong EC]"));
+        assert!(md.contains("tw68_buf_prepare"));
+        assert!(md.contains("No witness path"));
+        assert!(md.contains("cx-fix"));
+        assert!(md.contains("--- pre"));
+        let md_bare = r.to_markdown(None);
+        assert!(!md_bare.contains("Original patch"));
+    }
+
+    #[test]
+    fn report_display_contains_essentials() {
+        let s = spec_with(Constraint {
+            quantifier: Quantifier::NotExists,
+            relation: Relation::Reach {
+                value: SpecValue::ret_of("kmalloc"),
+                use_: SpecUse::Deref,
+                cond: Formula::cmp(SpecValue::ret_of("kmalloc"), CmpOp::Eq, 0),
+            },
+        });
+        let r = BugReport {
+            spec: s,
+            module: "driver_a.c".into(),
+            function: "probe".into(),
+            line: 42,
+            bug_type: BugType::Npd,
+            witness_lines: vec![42, 44, 45],
+            explanation: "unchecked dereference of kmalloc result".into(),
+        };
+        let text = r.to_string();
+        assert!(text.contains("NPD"));
+        assert!(text.contains("probe"));
+        assert!(text.contains("42 -> 44 -> 45"));
+        assert!(text.contains("violated"));
+    }
+}

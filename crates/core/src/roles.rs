@@ -1,0 +1,517 @@
+//! Domain mapping `𝔸`: abstraction of PDG entities into the spec domains
+//! `V` and `U` of Fig. 2 (§6.3.3).
+//!
+//! The mapping is many-to-one — any dereference site maps to `deref`, any
+//! parameter of any implementation of an interface maps to the same
+//! `arg_k^i` — which is precisely what lets a specification inferred from
+//! one implementation be checked against its siblings.
+
+use seal_ir::module::Module;
+use seal_ir::tac::{Callee, Inst, Projection};
+use seal_pdg::cell::CellRoot;
+use seal_pdg::graph::{NodeId, NodeKind, Pdg, UseKind};
+use seal_pdg::slice::{literal_of, ValueFlowPath};
+use seal_solver::Formula;
+use seal_spec::{SpecUse, SpecValue};
+
+/// Renders a function's interface binding as `struct::field`, if any.
+pub fn interface_of_func(module: &Module, func: &str) -> Option<String> {
+    module
+        .interfaces_of(func)
+        .first()
+        .map(|i| format!("{}::{}", i.struct_name, i.field))
+}
+
+/// Maps a PDG node to the `V` domain, tracing through short copy chains.
+pub fn classify_value(pdg: &Pdg<'_>, node: NodeId) -> Option<SpecValue> {
+    classify_value_depth(pdg, node, 0)
+}
+
+fn classify_value_depth(pdg: &Pdg<'_>, node: NodeId, depth: usize) -> Option<SpecValue> {
+    if depth > 8 {
+        return None;
+    }
+    if let Some(v) = literal_of(pdg, node) {
+        return Some(SpecValue::Literal(v));
+    }
+    match pdg.kind(node) {
+        NodeKind::Param { index, .. } => Some(SpecValue::ArgI {
+            index: *index,
+            fields: vec![],
+        }),
+        NodeKind::GlobalDef { name } => Some(SpecValue::Global { name: name.clone() }),
+        NodeKind::ConstArg { value, .. } => Some(SpecValue::Literal(*value)),
+        NodeKind::Ret { .. } => None,
+        NodeKind::Inst(loc) if loc.is_terminator() => {
+            // `return x;` classifies as x's unique definition.
+            let body = pdg.module.body(loc.func);
+            if let seal_ir::tac::Terminator::Return(Some(seal_ir::tac::Operand::Local(l))) =
+                &body.block(loc.block).terminator
+            {
+                let defs = pdg.defs_of_operand(node, *l);
+                if defs.len() == 1 {
+                    return classify_value_depth(pdg, defs[0], depth + 1);
+                }
+            }
+            None
+        }
+        NodeKind::Inst(loc) => {
+            let body = pdg.module.body(loc.func);
+            match body.inst_at(*loc) {
+                Some(Inst::Call { callee, .. }) => match callee {
+                    Callee::Direct(name) if pdg.module.is_api(name) => {
+                        Some(SpecValue::RetF { api: name.clone() })
+                    }
+                    Callee::Direct(name) => {
+                        // A defined helper's result: chase into the callee's
+                        // returns (driver-local wrappers around APIs are
+                        // ubiquitous, e.g. Fig. 3's `cx23885_vbibuffer`).
+                        let callee_id = pdg.module.func_id(name)?;
+                        let ret = pdg.node(&NodeKind::Ret { func: callee_id })?;
+                        let classified: Vec<Option<SpecValue>> = pdg
+                            .data_preds(ret)
+                            .iter()
+                            .map(|&r| classify_value_depth(pdg, r, depth + 1))
+                            .collect();
+                        let first = classified.first()?.clone()?;
+                        classified
+                            .iter()
+                            .all(|c| c.as_ref() == Some(&first))
+                            .then_some(first)
+                    }
+                    _ => None,
+                },
+                Some(Inst::Load { place, .. }) => {
+                    // First preference: the value that was *stored* into the
+                    // loaded cell (so `risc->cpu` classifies as
+                    // `ret^dma_alloc_coherent` after `risc->cpu =
+                    // dma_alloc_coherent(..)`, as in Spec 4.1's condition).
+                    let store_preds: Vec<NodeId> = pdg
+                        .data_preds(node)
+                        .iter()
+                        .copied()
+                        .filter(|&p| {
+                            matches!(
+                                pdg.inst(p),
+                                Some(Inst::Store { .. })
+                            )
+                        })
+                        .collect();
+                    if !store_preds.is_empty() {
+                        let classified: Vec<Option<SpecValue>> = store_preds
+                            .iter()
+                            .map(|&sp| classify_store_value(pdg, sp, depth))
+                            .collect();
+                        if let Some(first) = classified[0].clone() {
+                            if classified.iter().all(|c| c.as_ref() == Some(&first)) {
+                                return Some(first);
+                            }
+                        }
+                    }
+                    classify_place(pdg, loc.func, place)
+                }
+                Some(Inst::AddrOf { place, .. }) => {
+                    // `&pdev->dev` names the interaction data `arg.dev`.
+                    classify_place(pdg, loc.func, place)
+                }
+                Some(Inst::Assign { .. }) => {
+                    // Copy/arith chains: follow a unique predecessor.
+                    let preds = pdg.data_preds(node);
+                    if preds.len() == 1 {
+                        classify_value_depth(pdg, preds[0], depth + 1)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Classifies a place by its abstract cells (param objects, globals, API
+/// results), preserving visible field names.
+fn classify_place(
+    pdg: &Pdg<'_>,
+    func: seal_ir::ids::FuncId,
+    place: &seal_ir::tac::Place,
+) -> Option<SpecValue> {
+    let pts = pdg.pts.get(&func)?;
+    let cells = pts.cells_of_place(place);
+    let first = cells.first()?;
+    let fields: Vec<String> = place
+        .projections
+        .iter()
+        .filter_map(|p| match p {
+            Projection::Field { field, .. } => Some(field.clone()),
+            _ => None,
+        })
+        .collect();
+    match &first.root {
+        CellRoot::ParamObj(_, i) => Some(SpecValue::ArgI { index: *i, fields }),
+        CellRoot::Global(g) => Some(SpecValue::Global { name: g.clone() }),
+        CellRoot::RetObj(site) => {
+            let api = api_of_call(pdg, *site)?;
+            Some(SpecValue::RetF { api })
+        }
+        _ => None,
+    }
+}
+
+/// Classifies the value a store writes (through the store node's operand
+/// definitions).
+fn classify_store_value(pdg: &Pdg<'_>, store_node: NodeId, depth: usize) -> Option<SpecValue> {
+    let Some(Inst::Store { value, .. }) = pdg.inst(store_node) else {
+        return None;
+    };
+    match value {
+        seal_ir::tac::Operand::Const(c) => Some(SpecValue::Literal(*c)),
+        seal_ir::tac::Operand::Null => Some(SpecValue::Literal(0)),
+        seal_ir::tac::Operand::Local(l) => {
+            let defs = pdg.defs_of_operand(store_node, *l);
+            if defs.len() == 1 {
+                classify_value_depth(pdg, defs[0], depth + 1)
+            } else {
+                None
+            }
+        }
+        seal_ir::tac::Operand::Global(g) => Some(SpecValue::Global { name: g.clone() }),
+        _ => None,
+    }
+}
+
+fn api_of_call(pdg: &Pdg<'_>, loc: seal_ir::ids::InstLoc) -> Option<String> {
+    match pdg.module.body(loc.func).inst_at(loc)? {
+        Inst::Call {
+            callee: Callee::Direct(name),
+            ..
+        } if pdg.module.is_api(name) => Some(name.clone()),
+        _ => None,
+    }
+}
+
+/// Maps a path's source into `V`, refining a bare parameter by the first
+/// field load along the path (so `arg_2.block` and `arg_2.len` become
+/// distinct values, as in Spec 4.2).
+pub fn source_value(pdg: &Pdg<'_>, path: &ValueFlowPath) -> Option<SpecValue> {
+    let base = classify_value(pdg, path.source())?;
+    if let SpecValue::ArgI { index, fields } = &base {
+        if fields.is_empty() && path.nodes.len() > 1 {
+            // Skip interprocedural Param hops (the argument re-enters a
+            // helper as its own parameter), then look at the first real
+            // access: its field chain names the regulated sub-object. The
+            // index stays the *source* function's — the many-to-one
+            // abstraction 𝔸 speaks about the interface's argument.
+            for &n in path.nodes.iter().skip(1) {
+                if matches!(pdg.kind(n), NodeKind::Param { .. }) {
+                    continue;
+                }
+                if let Some(SpecValue::ArgI { fields: f2, .. }) = classify_value(pdg, n) {
+                    if !f2.is_empty() {
+                        return Some(SpecValue::ArgI {
+                            index: *index,
+                            fields: f2,
+                        });
+                    }
+                }
+                break;
+            }
+        }
+    }
+    Some(base)
+}
+
+/// Maps a path's sink into `U`. Returns the use plus the name of the
+/// returning function for `RetI` sinks (so callers can resolve the
+/// interface).
+pub fn sink_use(pdg: &Pdg<'_>, path: &ValueFlowPath) -> Option<(SpecUse, Option<String>)> {
+    if path.sink_kind.is_none() {
+        // A literal `return -E;` is simultaneously the birth and the return
+        // of the value: the sink is the return itself. The same applies
+        // when the path ends at the Ret aggregation pseudo-node.
+        match pdg.kind(path.sink()) {
+            NodeKind::Ret { func } => {
+                return Some((SpecUse::RetI, Some(pdg.module.body(*func).name.clone())));
+            }
+            NodeKind::Inst(loc) if loc.is_terminator() => {
+                if matches!(
+                    pdg.module.body(loc.func).block(loc.block).terminator,
+                    seal_ir::tac::Terminator::Return(Some(_))
+                ) {
+                    return Some((
+                        SpecUse::RetI,
+                        Some(pdg.module.body(loc.func).name.clone()),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    match path.sink_kind.as_ref()? {
+        UseKind::ApiArg { api, index } => Some((
+            SpecUse::ArgF {
+                api: api.clone(),
+                index: *index,
+            },
+            None,
+        )),
+        UseKind::FuncRet { func } => Some((SpecUse::RetI, Some(func.clone()))),
+        UseKind::GlobalStore { name } => {
+            Some((SpecUse::GlobalStore { name: name.clone() }, None))
+        }
+        UseKind::Deref => Some((SpecUse::Deref, None)),
+        UseKind::Div => Some((SpecUse::Div, None)),
+        UseKind::IndexUse => Some((SpecUse::IndexUse, None)),
+        UseKind::CondUse | UseKind::Intermediate => None,
+    }
+}
+
+/// Abstracts a path condition into the spec domain, dropping atoms whose
+/// variables are not interaction data (§6.2.2: "only retain conditions over
+/// interaction data").
+pub fn abstract_cond(pdg: &Pdg<'_>, cond: &seal_solver::Formula<seal_pdg::cond::CondVar>) -> Formula<SpecValue> {
+    let vars = cond.vars();
+    let mapped: std::collections::HashMap<seal_pdg::cond::CondVar, SpecValue> = vars
+        .into_iter()
+        .filter_map(|v| {
+            let node = v.node()?;
+            classify_value(pdg, node).map(|sv| (v, sv))
+        })
+        .collect();
+    cond.clone()
+        .filter_vars(&|v| mapped.contains_key(v))
+        .map(&mut |v| mapped.get(&v).cloned().expect("filtered to mapped vars"))
+}
+
+/// The interface context of a path: the binding of the function containing
+/// its sink, or of its source's function.
+pub fn path_interface(pdg: &Pdg<'_>, path: &ValueFlowPath) -> Option<String> {
+    for &n in [path.sink(), path.source()].iter() {
+        if let Some(f) = pdg.func_of(n) {
+            let name = &pdg.module.body(f).name;
+            if let Some(i) = interface_of_func(pdg.module, name) {
+                return Some(i);
+            }
+        }
+    }
+    // Any node on the path inside an interface implementation.
+    for &n in &path.nodes {
+        if let Some(f) = pdg.func_of(n) {
+            let name = &pdg.module.body(f).name;
+            if let Some(i) = interface_of_func(pdg.module, name) {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Finds the nodes of a region PDG that instantiate a spec value (`𝔸⁻¹`).
+///
+/// Only *origination* nodes qualify (parameters, API calls, globals,
+/// literals — [`seal_pdg::slice::is_source`]): intermediate nodes such as
+/// loads or returns also classify into `V`, but starting a search there
+/// would skip the guards between the value's birth and that point.
+pub fn instantiate_value(pdg: &Pdg<'_>, region: seal_ir::ids::FuncId, v: &SpecValue) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for n in 0..pdg.nodes.len() as NodeId {
+        if !seal_pdg::slice::is_source(pdg, n) {
+            continue;
+        }
+        // Restrict to nodes of the region or its callees in scope.
+        if !pdg
+            .func_of(n)
+            .map(|f| pdg.scope.contains(&f))
+            .unwrap_or(matches!(pdg.kind(n), NodeKind::GlobalDef { .. }))
+        {
+            continue;
+        }
+        let Some(cv) = classify_value(pdg, n) else {
+            continue;
+        };
+        let matched = match (v, &cv) {
+            // A bare parameter can instantiate a field-refined value (the
+            // path's first load performs the refinement), and vice versa.
+            (
+                SpecValue::ArgI { index, fields },
+                SpecValue::ArgI {
+                    index: i2,
+                    fields: f2,
+                },
+            ) => index == i2 && (fields.is_empty() || f2.is_empty() || fields == f2),
+            (a, b) => a == b,
+        };
+        if matched {
+            // Parameters must belong to the region function itself.
+            if let NodeKind::Param { func, .. } = pdg.kind(n) {
+                if *func != region {
+                    continue;
+                }
+            }
+            out.push(n);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seal_ir::callgraph::CallGraph;
+    use seal_ir::ids::FuncId;
+    use seal_ir::lower;
+    use seal_kir::compile;
+    use seal_pdg::cond::CondCtx;
+    use seal_pdg::slice::{forward_paths, SliceConfig};
+    use std::collections::BTreeSet;
+
+    fn setup(src: &str) -> (seal_ir::Module, CallGraph) {
+        let m = lower(&compile(src, "t.c").unwrap());
+        let cg = CallGraph::build(&m);
+        (m, cg)
+    }
+
+    fn full(m: &seal_ir::Module) -> BTreeSet<FuncId> {
+        (0..m.functions.len() as u32).map(FuncId).collect()
+    }
+
+    #[test]
+    fn classifies_api_return() {
+        let (m, cg) = setup(
+            "void *kmalloc(unsigned long n);\nint f(void) { void *p = kmalloc(8); if (p) { return 1; } return 0; }",
+        );
+        let pdg = Pdg::build(&m, &cg, &full(&m));
+        let f = m.function("f").unwrap();
+        let call = f
+            .inst_locs()
+            .find(|&l| matches!(f.inst_at(l), Some(Inst::Call { .. })))
+            .unwrap();
+        let n = pdg.node(&NodeKind::Inst(call)).unwrap();
+        assert_eq!(
+            classify_value(&pdg, n),
+            Some(SpecValue::ret_of("kmalloc"))
+        );
+    }
+
+    #[test]
+    fn classifies_param_field_load() {
+        let (m, cg) = setup(
+            "struct data { int len; char block[34]; };\n\
+             int f(struct data *d) { return d->len; }",
+        );
+        let pdg = Pdg::build(&m, &cg, &full(&m));
+        let f = m.function("f").unwrap();
+        let load = f
+            .inst_locs()
+            .find(|&l| matches!(f.inst_at(l), Some(Inst::Load { .. })))
+            .unwrap();
+        let n = pdg.node(&NodeKind::Inst(load)).unwrap();
+        assert_eq!(
+            classify_value(&pdg, n),
+            Some(SpecValue::arg_field(0, "len"))
+        );
+    }
+
+    #[test]
+    fn source_refined_by_field() {
+        let (m, cg) = setup(
+            "struct data { int len; };\n\
+             int f(struct data *d) { return d->len; }",
+        );
+        let pdg = Pdg::build(&m, &cg, &full(&m));
+        let mut cctx = CondCtx::new(&pdg);
+        let p = pdg
+            .node(&NodeKind::Param {
+                func: m.func_id("f").unwrap(),
+                index: 0,
+            })
+            .unwrap();
+        let paths = forward_paths(&pdg, &mut cctx, p, SliceConfig::default());
+        let path = paths
+            .iter()
+            .find(|p| matches!(p.sink_kind, Some(UseKind::FuncRet { .. })))
+            .unwrap();
+        assert_eq!(
+            source_value(&pdg, path),
+            Some(SpecValue::arg_field(0, "len"))
+        );
+    }
+
+    #[test]
+    fn path_interface_resolves_binding() {
+        let (m, cg) = setup(
+            "struct ops { int (*prep)(int *p); };\n\
+             int do_prep(int *p) { return *p; }\n\
+             struct ops t = { .prep = do_prep, };",
+        );
+        let pdg = Pdg::build(&m, &cg, &full(&m));
+        let mut cctx = CondCtx::new(&pdg);
+        let p = pdg
+            .node(&NodeKind::Param {
+                func: m.func_id("do_prep").unwrap(),
+                index: 0,
+            })
+            .unwrap();
+        let paths = forward_paths(&pdg, &mut cctx, p, SliceConfig::default());
+        assert_eq!(
+            path_interface(&pdg, &paths[0]),
+            Some("ops::prep".to_string())
+        );
+    }
+
+    #[test]
+    fn abstract_cond_keeps_interaction_atoms_only() {
+        let (m, cg) = setup(
+            "void *kmalloc(unsigned long n);\nint g(void);\n\
+             int f(int x) {\n\
+               void *p = kmalloc(8);\n\
+               int local = g();\n\
+               if (p == NULL) { if (local > 3) { return -12; } }\n\
+               return 0;\n\
+             }",
+        );
+        let pdg = Pdg::build(&m, &cg, &full(&m));
+        let mut cctx = CondCtx::new(&pdg);
+        // The return -12 node condition has p==NULL and local>3.
+        let f = m.function("f").unwrap();
+        let ret = f
+            .all_locs()
+            .find(|&l| {
+                l.is_terminator()
+                    && matches!(
+                        f.block(l.block).terminator,
+                        seal_ir::Terminator::Return(Some(seal_ir::Operand::Const(-12)))
+                    )
+            })
+            .unwrap();
+        let n = pdg.node(&NodeKind::Inst(ret)).unwrap();
+        let cond = cctx.node_cond(n);
+        assert_eq!(cond.atom_count(), 2);
+        let abstracted = abstract_cond(&pdg, &cond);
+        // g() is a defined-function-free API here... g is an API (no body),
+        // so both atoms survive; check that kmalloc's atom maps to RetF.
+        assert!(abstracted
+            .vars()
+            .contains(&SpecValue::ret_of("kmalloc")));
+    }
+
+    #[test]
+    fn instantiate_value_finds_params_and_api_calls() {
+        let (m, cg) = setup(
+            "void *kmalloc(unsigned long n);\n\
+             int f(int *q) { void *p = kmalloc(4); if (p) { return *q; } return 0; }",
+        );
+        let pdg = Pdg::build(&m, &cg, &full(&m));
+        let region = m.func_id("f").unwrap();
+        let args = instantiate_value(&pdg, region, &SpecValue::arg(0));
+        assert!(!args.is_empty());
+        let rets = instantiate_value(&pdg, region, &SpecValue::ret_of("kmalloc"));
+        assert!(!rets.is_empty());
+    }
+
+    #[test]
+    fn interface_lookup_none_for_unbound() {
+        let (m, _) = setup("int plain(int x) { return x; }");
+        assert_eq!(interface_of_func(&m, "plain"), None);
+    }
+}

@@ -1,0 +1,154 @@
+//! Ground-truth bookkeeping and report scoring.
+
+use seal_core::{BugReport, BugType};
+
+/// One seeded bug in the target kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeededBug {
+    /// The buggy function (the report's `function` field must match).
+    pub function: String,
+    /// Driver the function belongs to.
+    pub driver: String,
+    /// Subsystem path (Table 1 style).
+    pub subsystem: String,
+    /// True bug class.
+    pub bug_type: BugType,
+    /// Template that seeded it.
+    pub template: String,
+    /// Years the bug has been latent (Fig. 8(a) model).
+    pub latent_years: u32,
+}
+
+/// Scoring of a report set against the ledger.
+#[derive(Debug, Default, Clone)]
+pub struct Score {
+    /// Reports whose function is a seeded bug.
+    pub true_positives: Vec<(String, BugType, u32)>,
+    /// Reports on functions that are not seeded buggy.
+    pub false_positives: Vec<String>,
+    /// Seeded bugs never reported.
+    pub false_negatives: Vec<String>,
+}
+
+impl Score {
+    /// Precision = TP / (TP + FP).
+    pub fn precision(&self) -> f64 {
+        let tp = self.true_positives.len() as f64;
+        let fp = self.false_positives.len() as f64;
+        if tp + fp == 0.0 {
+            0.0
+        } else {
+            tp / (tp + fp)
+        }
+    }
+
+    /// Recall = TP / (TP + FN).
+    pub fn recall(&self) -> f64 {
+        let tp = self.true_positives.len() as f64;
+        let fnn = self.false_negatives.len() as f64;
+        if tp + fnn == 0.0 {
+            0.0
+        } else {
+            tp / (tp + fnn)
+        }
+    }
+}
+
+/// Scores reports against the ledger at *bug* granularity: multiple
+/// reports on the same function count once on either side (the paper
+/// counts bugs for TPs; raw report counts are tracked separately by the
+/// harness).
+pub fn score(reports: &[BugReport], ledger: &[SeededBug]) -> Score {
+    let mut score = Score::default();
+    let mut reported: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for r in reports {
+        reported.insert(r.function.as_str());
+    }
+    let mut seen_tp = std::collections::BTreeSet::new();
+    let mut seen_fp = std::collections::BTreeSet::new();
+    for r in reports {
+        match ledger.iter().find(|b| b.function == r.function) {
+            Some(b) => {
+                if seen_tp.insert(b.function.as_str()) {
+                    score
+                        .true_positives
+                        .push((b.function.clone(), b.bug_type, b.latent_years));
+                }
+            }
+            None => {
+                if seen_fp.insert(r.function.as_str()) {
+                    score.false_positives.push(r.function.clone());
+                }
+            }
+        }
+    }
+    for b in ledger {
+        if !reported.contains(b.function.as_str()) {
+            score.false_negatives.push(b.function.clone());
+        }
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seal_spec::{Provenance, Specification};
+
+    fn fake_report(func: &str) -> BugReport {
+        BugReport {
+            spec: Specification {
+                interface: None,
+                constraints: vec![],
+                origin_patch: "p".into(),
+                provenance: Provenance::AddedPath,
+            },
+            module: "kernel.c".into(),
+            function: func.into(),
+            line: 1,
+            bug_type: BugType::Npd,
+            witness_lines: vec![],
+            explanation: "x".into(),
+        }
+    }
+
+    fn seeded(func: &str) -> SeededBug {
+        SeededBug {
+            function: func.into(),
+            driver: "drv".into(),
+            subsystem: "drivers/media/usb".into(),
+            bug_type: BugType::Npd,
+            template: "t".into(),
+            latent_years: 8,
+        }
+    }
+
+    #[test]
+    fn scoring_counts_tp_fp_fn() {
+        let ledger = vec![seeded("buggy_a"), seeded("buggy_b")];
+        let reports = vec![fake_report("buggy_a"), fake_report("clean_c")];
+        let s = score(&reports, &ledger);
+        assert_eq!(s.true_positives.len(), 1);
+        assert_eq!(s.false_positives, vec!["clean_c"]);
+        assert_eq!(s.false_negatives, vec!["buggy_b"]);
+        assert!((s.precision() - 0.5).abs() < 1e-9);
+        assert!((s.recall() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_reports_count_once() {
+        let ledger = vec![seeded("buggy_a")];
+        let reports = vec![fake_report("buggy_a"), fake_report("buggy_a")];
+        let s = score(&reports, &ledger);
+        assert_eq!(s.true_positives.len(), 1);
+        assert!(s.false_positives.is_empty());
+        assert_eq!(s.recall(), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = score(&[], &[]);
+        assert_eq!(s.precision(), 0.0);
+        assert_eq!(s.recall(), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Linux-flavoured naming pools for subsystems and drivers.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Subsystem paths in the style of Table 1's "SubSystem (Location)" column.
+pub const SUBSYSTEMS: &[&str] = &[
+    "drivers/media/usb",
+    "drivers/media/pci",
+    "drivers/media/i2c",
+    "drivers/video/fbdev",
+    "drivers/i2c/busses",
+    "drivers/net/wireless",
+    "drivers/platform",
+    "drivers/staging",
+    "drivers/spi",
+    "drivers/mmc/host",
+    "drivers/usb",
+    "drivers/dma",
+    "drivers/firmware",
+    "drivers/iommu",
+    "drivers/tty",
+    "drivers/regulator",
+    "fs/ext4",
+    "fs/quota",
+    "net/sched",
+    "net/hsr",
+    "core/mm",
+];
+
+/// Vendor-ish and chip-ish fragments combined into driver names.
+const PREFIXES: &[&str] = &[
+    "rtl", "gl", "dw", "ce", "tga", "nv", "au", "ks", "tw", "xgene", "stm", "meson", "mv",
+    "weim", "tegra", "rt", "asc", "spm", "rtw", "opera", "su", "gfs", "hi", "via", "netup",
+    "ahci", "mtk", "lpc", "amd", "go", "dwc", "fw", "tcf", "prp", "shmem", "wiz", "telem",
+    "cx", "em", "az", "imx", "qcom", "sun", "rk", "bcm", "omap", "exynos", "mxs", "zynq",
+];
+
+const SUFFIXES: &[&str] = &[
+    "28xxu", "861", "2102", "6230", "fb", "idia", "1200", "wlan", "68", "slimpro", "32adc",
+    "sm", "xor", "89", "5665", "init", "mc", "1135", "3000", "846", "cam", "unidvb", "platform",
+    "iommu", "18xx", "8131", "7007", "3imx", "net", "gate", "7180", "210x", "411x", "5640",
+    "9887", "3308", "2835", "4430", "5422", "28xx", "7000",
+];
+
+/// Generates unique driver names.
+pub struct DriverNamePool {
+    used: std::collections::HashSet<String>,
+}
+
+impl DriverNamePool {
+    /// Creates a pool (the rng argument keeps construction uniform with
+    /// use sites).
+    pub fn new(_rng: &mut SmallRng) -> Self {
+        DriverNamePool {
+            used: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Draws a fresh unique driver name.
+    pub fn next_name(&mut self, rng: &mut SmallRng) -> String {
+        loop {
+            let p = PREFIXES[rng.gen_range(0..PREFIXES.len())];
+            let s = SUFFIXES[rng.gen_range(0..SUFFIXES.len())];
+            let candidate = if rng.gen_bool(0.25) {
+                format!("{p}{s}_{}", rng.gen_range(1..9))
+            } else {
+                format!("{p}{s}")
+            };
+            if self.used.insert(candidate.clone()) {
+                return candidate;
+            }
+        }
+    }
+}
+
+/// Assigns a subsystem to a driver (stable per call, random draw).
+pub fn subsystem_for(_driver: &str, rng: &mut SmallRng) -> String {
+    SUBSYSTEMS[rng.gen_range(0..SUBSYSTEMS.len())].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names_are_unique() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut pool = DriverNamePool::new(&mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            assert!(seen.insert(pool.next_name(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn names_are_identifiers() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut pool = DriverNamePool::new(&mut rng);
+        for _ in 0..100 {
+            let n = pool.next_name(&mut rng);
+            assert!(n.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn subsystems_cover_table1_locations() {
+        assert!(SUBSYSTEMS.contains(&"drivers/media/usb"));
+        assert!(SUBSYSTEMS.contains(&"fs/ext4"));
+        assert!(SUBSYSTEMS.contains(&"core/mm"));
+    }
+}

@@ -1,0 +1,949 @@
+//! Bug templates: one per interaction-data mishandling class.
+//!
+//! Each template owns one or more *variants* of a kernel-core interface
+//! (distinct `*_ops` structs sharing the same APIs — the way `vb2_ops`
+//! coexists with per-subsystem ops tables in Linux) and can emit
+//!
+//! * driver implementations (correct or seeded-buggy) for the target
+//!   kernel, and
+//! * security patches fixing the same mistake in a *historical* driver —
+//!   the input SEAL infers specifications from.
+//!
+//! Interface variants shape the Fig. 8(b) distribution: most variants
+//! carry one or two seeded bugs (most specifications are violated once or
+//! twice), while the single-variant templates (`ec-npd`, `leak-errpath`)
+//! accumulate the >5-violation tail. Several templates route interaction
+//! data through driver-local helper functions, reproducing the §3.2
+//! finding that most bug traces cross function boundaries.
+//!
+//! The per-template `bug_rate_scale` values are calibrated so confirmed
+//! bugs distribute like Table 2 (NPD 31.0%, MemLeak 23.7%, WrongEC 19.8%,
+//! OOB 10.3%, UAF 9.2%, DbZ 4.3%, Uninit 1.7%). Two *ambiguity* templates
+//! generate patches whose specifications are overly specific (the Fig. 9
+//! discussion); their violations are the engineered false positives that
+//! pull report precision toward the paper's 71.9%.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use seal_core::BugType;
+
+/// A bug-seeding / patch-producing template.
+pub trait Template {
+    /// Stable template name (used in patch ids and the ledger).
+    fn name(&self) -> &'static str;
+    /// Ledger bug class for seeded instances.
+    fn bug_type(&self) -> BugType;
+    /// Number of interface variants.
+    fn variants(&self) -> usize {
+        1
+    }
+    /// Interface/API/struct declarations for all variants.
+    fn header(&self) -> String;
+    /// One driver implementation (+ ops binding) for the target kernel.
+    fn driver(&self, driver: &str, variant: usize, buggy: bool, rng: &mut SmallRng) -> String;
+    /// A patch fixing a historical driver: `(pre, post)` bodies (the
+    /// header is prepended by the generator).
+    fn patch(&self, origin: &str, variant: usize, rng: &mut SmallRng) -> (String, String) {
+        let (mut r1, mut r2) = paired_rngs(rng);
+        (
+            self.driver(origin, variant, true, &mut r1),
+            self.driver(origin, variant, false, &mut r2),
+        )
+    }
+    /// The name of the function the ledger records as buggy.
+    fn buggy_function_name(&self, driver: &str) -> String;
+    /// Whether this template seeds ledger bugs (ambiguity templates don't).
+    fn seeds_bugs(&self) -> bool {
+        true
+    }
+    /// Whether this template's patches produce incorrect specifications.
+    fn is_ambiguous(&self) -> bool {
+        false
+    }
+    /// Whether reports on this template's correct drivers are expected
+    /// (i.e., engineered false positives).
+    fn flags_correct_impls(&self) -> bool {
+        false
+    }
+    /// Scaling of the base bug rate (Table 2 calibration).
+    fn bug_rate_scale(&self) -> f64 {
+        1.0
+    }
+    /// Driver instances to generate given the configured base count.
+    fn planned_instances(&self, base: usize) -> usize {
+        base
+    }
+    /// Patches to generate given the configured base count.
+    fn planned_patches(&self, base: usize) -> usize {
+        base
+    }
+}
+
+/// All templates in a fixed order.
+pub fn all_templates() -> Vec<Box<dyn Template>> {
+    vec![
+        Box::new(ErrorCodeNpd),
+        Box::new(NullCheckNpd),
+        Box::new(ErrorPathLeak),
+        Box::new(GotoCleanupLeak),
+        Box::new(SwallowedErrorCode),
+        Box::new(BoundsCheckOob),
+        Box::new(SignednessOob),
+        Box::new(PutBeforeUseUaf),
+        Box::new(DivByZero),
+        Box::new(UninitOnFailure),
+        Box::new(AdhocModeFp),
+        Box::new(AdhocThresholdFp),
+    ]
+}
+
+/// Variant suffix (`""` for single-variant templates).
+fn sfx(variants: usize, v: usize) -> String {
+    if variants <= 1 {
+        String::new()
+    } else {
+        format!("_v{v}")
+    }
+}
+
+// ------------------------------------------------------------------------
+// T1 — Fig. 3: dropped error code after DMA allocation failure → NPD.
+// Single variant (the >5-violation tail of Fig. 8(b)); helper-crossing.
+// ------------------------------------------------------------------------
+
+struct ErrorCodeNpd;
+
+impl Template for ErrorCodeNpd {
+    fn name(&self) -> &'static str {
+        "ec-npd"
+    }
+    fn bug_type(&self) -> BugType {
+        BugType::Npd
+    }
+    fn header(&self) -> String {
+        "struct riscmem { int *cpu; };\n\
+         void *dma_alloc_coherent(unsigned long size);\n\
+         struct vb2_ops { int (*buf_prepare)(struct riscmem *risc); };\n"
+            .into()
+    }
+    fn driver(&self, d: &str, _v: usize, buggy: bool, rng: &mut SmallRng) -> String {
+        let size = [32u32, 64, 128, 256][rng.gen_range(0..4)];
+        let call = if buggy {
+            format!("{d}_vbi(risc);\n    return 0;")
+        } else {
+            format!("return {d}_vbi(risc);")
+        };
+        format!(
+            "int {d}_vbi(struct riscmem *risc) {{\n\
+             \x20   risc->cpu = (int *)dma_alloc_coherent({size});\n\
+             \x20   if (risc->cpu == NULL) return -12;\n\
+             \x20   return 0;\n\
+             }}\n\
+             int {d}_buf_prepare(struct riscmem *risc) {{\n\
+             \x20   {call}\n\
+             }}\n\
+             struct vb2_ops {d}_qops = {{ .buf_prepare = {d}_buf_prepare, }};\n"
+        )
+    }
+    fn buggy_function_name(&self, d: &str) -> String {
+        format!("{d}_buf_prepare")
+    }
+    fn bug_rate_scale(&self) -> f64 {
+        0.90
+    }
+}
+
+// ------------------------------------------------------------------------
+// T2 — Fig. 4: missing bounds check on a user-controlled length → OOB.
+// Five interface variants; intra-procedural traces.
+// ------------------------------------------------------------------------
+
+struct BoundsCheckOob;
+
+impl Template for BoundsCheckOob {
+    fn name(&self) -> &'static str {
+        "oob-check"
+    }
+    fn bug_type(&self) -> BugType {
+        BugType::Oob
+    }
+    fn variants(&self) -> usize {
+        5
+    }
+    fn header(&self) -> String {
+        let mut out = String::new();
+        for v in 0..self.variants() {
+            let s = sfx(self.variants(), v);
+            out.push_str(&format!(
+                "struct smbus_data{s} {{ int len; char block[34]; }};\n\
+                 struct i2c_algorithm{s} {{ int (*smbus_xfer)(int size, struct smbus_data{s} *data); }};\n"
+            ));
+        }
+        out
+    }
+    fn driver(&self, d: &str, v: usize, buggy: bool, rng: &mut SmallRng) -> String {
+        let s = sfx(self.variants(), v);
+        let sel = rng.gen_range(1..4);
+        // The block access sits in a driver-local read helper, so the
+        // user-data-to-dereference trace crosses functions (§3.2).
+        let loop_body =
+            format!("for (i = 1; i <= data->len; i++) {{ acc = acc + {d}_get(data, i); }}");
+        let guarded = if buggy {
+            loop_body
+        } else {
+            format!("if (data->len <= 32) {{ {loop_body} }}")
+        };
+        format!(
+            "int {d}_get(struct smbus_data{s} *data, int i) {{\n\
+             \x20   return (int)data->block[i];\n\
+             }}\n\
+             int {d}_xfer(int size, struct smbus_data{s} *data) {{\n\
+             \x20   int acc = 0;\n\
+             \x20   int i;\n\
+             \x20   if (size == {sel}) {{\n\
+             \x20       {guarded}\n\
+             \x20   }}\n\
+             \x20   return acc;\n\
+             }}\n\
+             struct i2c_algorithm{s} {d}_alg = {{ .smbus_xfer = {d}_xfer, }};\n"
+        )
+    }
+    fn buggy_function_name(&self, d: &str) -> String {
+        format!("{d}_xfer")
+    }
+    fn bug_rate_scale(&self) -> f64 {
+        0.38
+    }
+}
+
+// ------------------------------------------------------------------------
+// T3 — Fig. 5: refcount released before last use → UAF.
+// Four interface variants; intra-procedural traces.
+// ------------------------------------------------------------------------
+
+struct PutBeforeUseUaf;
+
+impl Template for PutBeforeUseUaf {
+    fn name(&self) -> &'static str {
+        "uaf-order"
+    }
+    fn bug_type(&self) -> BugType {
+        BugType::Uaf
+    }
+    fn variants(&self) -> usize {
+        4
+    }
+    fn header(&self) -> String {
+        let mut out = String::from(
+            "struct device { int devt; };\n\
+             struct platform_device { struct device dev; };\n\
+             void put_device(struct device *dev);\n\
+             void release_minor(struct device *dev);\n",
+        );
+        for v in 0..self.variants() {
+            let s = sfx(self.variants(), v);
+            out.push_str(&format!(
+                "struct platform_driver{s} {{ int (*remove)(struct platform_device *pdev); }};\n"
+            ));
+        }
+        out
+    }
+    fn driver(&self, d: &str, v: usize, buggy: bool, _rng: &mut SmallRng) -> String {
+        let s = sfx(self.variants(), v);
+        let body = if buggy {
+            "put_device(&pdev->dev);\n    release_minor(&pdev->dev);"
+        } else {
+            "release_minor(&pdev->dev);\n    put_device(&pdev->dev);"
+        };
+        format!(
+            "int {d}_remove(struct platform_device *pdev) {{\n\
+             \x20   {body}\n\
+             \x20   return 0;\n\
+             }}\n\
+             struct platform_driver{s} {d}_driver = {{ .remove = {d}_remove, }};\n"
+        )
+    }
+    fn buggy_function_name(&self, d: &str) -> String {
+        format!("{d}_remove")
+    }
+    fn bug_rate_scale(&self) -> f64 {
+        0.52
+    }
+    fn planned_patches(&self, base: usize) -> usize {
+        // Order-changing patches are a visible share of the paper's input
+        // (PΩ is 8.0% of relations); generate proportionally more.
+        base * 2
+    }
+}
+
+// ------------------------------------------------------------------------
+// T4 — unchecked allocation result dereferenced → NPD.
+// Five variants; the allocation lives in a driver-local helper, so traces
+// cross function boundaries (§3.2).
+// ------------------------------------------------------------------------
+
+struct NullCheckNpd;
+
+impl Template for NullCheckNpd {
+    fn name(&self) -> &'static str {
+        "npd-check"
+    }
+    fn bug_type(&self) -> BugType {
+        BugType::Npd
+    }
+    fn variants(&self) -> usize {
+        5
+    }
+    fn header(&self) -> String {
+        let mut out = String::from("void *devm_kzalloc(unsigned long size);\n");
+        for v in 0..self.variants() {
+            let s = sfx(self.variants(), v);
+            out.push_str(&format!(
+                "struct fw_mem{s} {{ int ready; int cookie; }};\n\
+                 struct firmware_ops{s} {{ int (*fw_probe)(int id); }};\n"
+            ));
+        }
+        out
+    }
+    fn driver(&self, d: &str, v: usize, buggy: bool, rng: &mut SmallRng) -> String {
+        let s = sfx(self.variants(), v);
+        let size = [16u32, 24, 48][rng.gen_range(0..3)];
+        let check = if buggy {
+            ""
+        } else {
+            "if (m == NULL) return -12;\n    "
+        };
+        format!(
+            "struct fw_mem{s} *{d}_alloc_state(int id) {{\n\
+             \x20   struct fw_mem{s} *m = (struct fw_mem{s} *)devm_kzalloc({size});\n\
+             \x20   return m;\n\
+             }}\n\
+             int {d}_fw_probe(int id) {{\n\
+             \x20   struct fw_mem{s} *m = {d}_alloc_state(id);\n\
+             \x20   {check}m->ready = id;\n\
+             \x20   return 0;\n\
+             }}\n\
+             struct firmware_ops{s} {d}_fw_ops = {{ .fw_probe = {d}_fw_probe, }};\n"
+        )
+    }
+    fn buggy_function_name(&self, d: &str) -> String {
+        format!("{d}_fw_probe")
+    }
+    fn bug_rate_scale(&self) -> f64 {
+        0.85
+    }
+}
+
+// ------------------------------------------------------------------------
+// T5 — allocation not released on an error path → memory leak.
+// Single variant (API-scoped specs; >5-violation tail); helper-crossing.
+// ------------------------------------------------------------------------
+
+struct ErrorPathLeak;
+
+impl Template for ErrorPathLeak {
+    fn name(&self) -> &'static str {
+        "leak-errpath"
+    }
+    fn bug_type(&self) -> BugType {
+        BugType::MemLeak
+    }
+    fn header(&self) -> String {
+        "void *dsp_alloc(unsigned long size);\n\
+         void dsp_free(void *buf);\n\
+         int dsp_start(void *buf);\n\
+         int dsp_register(void *buf);\n\
+         struct snd_soc_ops { int (*dai_probe)(int id); };\n"
+            .into()
+    }
+    fn driver(&self, d: &str, _v: usize, buggy: bool, rng: &mut SmallRng) -> String {
+        let size = [64u32, 96, 192][rng.gen_range(0..3)];
+        let free_on_start_fail = if buggy { "" } else { "dsp_free(buf);\n        " };
+        format!(
+            "void *{d}_dsp_open(void) {{\n\
+             \x20   void *b = dsp_alloc({size});\n\
+             \x20   return b;\n\
+             }}\n\
+             int {d}_dai_probe(int id) {{\n\
+             \x20   void *buf = {d}_dsp_open();\n\
+             \x20   if (buf == NULL) return -12;\n\
+             \x20   int ret = dsp_start(buf);\n\
+             \x20   if (ret < 0) {{\n\
+             \x20       {free_on_start_fail}return ret;\n\
+             \x20   }}\n\
+             \x20   ret = dsp_register(buf);\n\
+             \x20   if (ret < 0) {{\n\
+             \x20       dsp_free(buf);\n\
+             \x20       return ret;\n\
+             \x20   }}\n\
+             \x20   return 0;\n\
+             }}\n\
+             struct snd_soc_ops {d}_dai_ops = {{ .dai_probe = {d}_dai_probe, }};\n"
+        )
+    }
+    fn buggy_function_name(&self, d: &str) -> String {
+        format!("{d}_dai_probe")
+    }
+    fn bug_rate_scale(&self) -> f64 {
+        0.93
+    }
+}
+
+// ------------------------------------------------------------------------
+// T10 — error swallowed: 0 returned although the parse API failed.
+// Five variants; intra-procedural traces.
+// ------------------------------------------------------------------------
+
+struct SwallowedErrorCode;
+
+impl Template for SwallowedErrorCode {
+    fn name(&self) -> &'static str {
+        "ec-swallow"
+    }
+    fn bug_type(&self) -> BugType {
+        BugType::WrongEc
+    }
+    fn variants(&self) -> usize {
+        5
+    }
+    fn header(&self) -> String {
+        let mut out = String::from("int parse_rate(int rate);\nint apply_rate(int rate);\n");
+        for v in 0..self.variants() {
+            let s = sfx(self.variants(), v);
+            out.push_str(&format!(
+                "struct debugfs_ops{s} {{ int (*set_rate)(int rate); }};\n"
+            ));
+        }
+        out
+    }
+    fn driver(&self, d: &str, v: usize, buggy: bool, _rng: &mut SmallRng) -> String {
+        let s = sfx(self.variants(), v);
+        let on_err = if buggy { "return 0;" } else { "return ret;" };
+        // Parsing goes through a driver-local wrapper, so the error-code
+        // trace crosses functions (§3.2).
+        format!(
+            "int {d}_parse(int rate) {{\n\
+             \x20   int r = parse_rate(rate);\n\
+             \x20   return r;\n\
+             }}\n\
+             int {d}_set_rate(int rate) {{\n\
+             \x20   int ret = {d}_parse(rate);\n\
+             \x20   if (ret < 0) {{\n\
+             \x20       {on_err}\n\
+             \x20   }}\n\
+             \x20   apply_rate(rate);\n\
+             \x20   return 0;\n\
+             }}\n\
+             struct debugfs_ops{s} {d}_dbg_ops = {{ .set_rate = {d}_set_rate, }};\n"
+        )
+    }
+    fn buggy_function_name(&self, d: &str) -> String {
+        format!("{d}_set_rate")
+    }
+    fn bug_rate_scale(&self) -> f64 {
+        1.11
+    }
+}
+
+// ------------------------------------------------------------------------
+// T6 — user-controlled divisor used unchecked → divide by zero.
+// Two variants; intra-procedural traces.
+// ------------------------------------------------------------------------
+
+struct DivByZero;
+
+impl Template for DivByZero {
+    fn name(&self) -> &'static str {
+        "dbz-pixclock"
+    }
+    fn bug_type(&self) -> BugType {
+        BugType::Dbz
+    }
+    fn variants(&self) -> usize {
+        2
+    }
+    fn header(&self) -> String {
+        let mut out = String::new();
+        for v in 0..self.variants() {
+            let s = sfx(self.variants(), v);
+            out.push_str(&format!(
+                "struct fb_var{s} {{ int pixclock; int xres; }};\n\
+                 struct fb_ops{s} {{ int (*check_var)(struct fb_var{s} *var); }};\n"
+            ));
+        }
+        out
+    }
+    fn driver(&self, d: &str, v: usize, buggy: bool, rng: &mut SmallRng) -> String {
+        let s = sfx(self.variants(), v);
+        let base = [1000000u32, 2000000, 4000000][rng.gen_range(0..3)];
+        let check = if buggy {
+            ""
+        } else {
+            "if (var->pixclock == 0) return -22;\n    "
+        };
+        format!(
+            "int {d}_check_var(struct fb_var{s} *var) {{\n\
+             \x20   {check}int rate = {base} / var->pixclock;\n\
+             \x20   if (rate > var->xres) return -22;\n\
+             \x20   return 0;\n\
+             }}\n\
+             struct fb_ops{s} {d}_fb_ops = {{ .check_var = {d}_check_var, }};\n"
+        )
+    }
+    fn buggy_function_name(&self, d: &str) -> String {
+        format!("{d}_check_var")
+    }
+    fn bug_rate_scale(&self) -> f64 {
+        0.24
+    }
+}
+
+// ------------------------------------------------------------------------
+// T7 — read failure not propagated: caller consumes uninitialized data.
+// Single variant; the read lives in a helper (trace crosses functions).
+// ------------------------------------------------------------------------
+
+struct UninitOnFailure;
+
+impl Template for UninitOnFailure {
+    fn name(&self) -> &'static str {
+        "uninit-mac"
+    }
+    fn bug_type(&self) -> BugType {
+        BugType::Uninit
+    }
+    fn header(&self) -> String {
+        "struct usb_dev { int state; };\n\
+         int usb_read_cmd(struct usb_dev *d, char *buf, int len);\n\
+         struct dvb_usb_ops { int (*read_mac)(struct usb_dev *d, char *mac); };\n"
+            .into()
+    }
+    fn driver(&self, d: &str, _v: usize, buggy: bool, _rng: &mut SmallRng) -> String {
+        let propagate = if buggy {
+            ""
+        } else {
+            "if (ret < 0) return ret;\n    "
+        };
+        format!(
+            "int {d}_do_read(struct usb_dev *dev, char *mac) {{\n\
+             \x20   int r = usb_read_cmd(dev, mac, 6);\n\
+             \x20   return r;\n\
+             }}\n\
+             int {d}_read_mac(struct usb_dev *dev, char *mac) {{\n\
+             \x20   int ret = {d}_do_read(dev, mac);\n\
+             \x20   {propagate}return 0;\n\
+             }}\n\
+             struct dvb_usb_ops {d}_dvb_ops = {{ .read_mac = {d}_read_mac, }};\n"
+        )
+    }
+    fn buggy_function_name(&self, d: &str) -> String {
+        format!("{d}_read_mac")
+    }
+    fn bug_rate_scale(&self) -> f64 {
+        0.10
+    }
+}
+
+// ------------------------------------------------------------------------
+// T8 — ambiguity template: an origin-specific mode guard generalized into
+// an incorrect specification (Fig. 9 / §8.2 imprecision source).
+// ------------------------------------------------------------------------
+
+struct AdhocModeFp;
+
+impl Template for AdhocModeFp {
+    fn name(&self) -> &'static str {
+        "fp-mode"
+    }
+    fn bug_type(&self) -> BugType {
+        BugType::Npd
+    }
+    fn header(&self) -> String {
+        "struct sensor { int mode; int *regs; };\n\
+         struct sensor_ops { int (*sensor_init)(struct sensor *s); };\n"
+            .into()
+    }
+    fn driver(&self, d: &str, _v: usize, _buggy: bool, rng: &mut SmallRng) -> String {
+        // Every driver is CORRECT for its own hardware; the spec inferred
+        // from the origin's `mode == 3` guard is simply not universal.
+        // Strict drivers reject mode >= 2 (the spec's mode==3 region is
+        // unreachable → no report); permissive ones handle mode 3 fine
+        // (report → engineered FP).
+        let strict = rng.gen_bool(0.80);
+        let guard = if strict {
+            "if (s->mode > 1) return -22;"
+        } else {
+            "if (s->mode > 7) return -22;"
+        };
+        format!(
+            "int {d}_sensor_init(struct sensor *s) {{\n\
+             \x20   {guard}\n\
+             \x20   s->regs[0] = s->mode;\n\
+             \x20   return 0;\n\
+             }}\n\
+             struct sensor_ops {d}_sensor_ops = {{ .sensor_init = {d}_sensor_init, }};\n"
+        )
+    }
+    fn patch(&self, o: &str, _v: usize, _rng: &mut SmallRng) -> (String, String) {
+        // The origin hardware genuinely cannot handle mode 3; the patch is
+        // right for it but over-specific as a rule.
+        let pre = format!(
+            "int {o}_sensor_init(struct sensor *s) {{\n\
+             \x20   s->regs[0] = s->mode;\n\
+             \x20   return 0;\n\
+             }}\n\
+             struct sensor_ops {o}_sensor_ops = {{ .sensor_init = {o}_sensor_init, }};\n"
+        );
+        let post = format!(
+            "int {o}_sensor_init(struct sensor *s) {{\n\
+             \x20   if (s->mode == 3) return -22;\n\
+             \x20   s->regs[0] = s->mode;\n\
+             \x20   return 0;\n\
+             }}\n\
+             struct sensor_ops {o}_sensor_ops = {{ .sensor_init = {o}_sensor_init, }};\n"
+        );
+        (pre, post)
+    }
+    fn buggy_function_name(&self, d: &str) -> String {
+        format!("{d}_sensor_init")
+    }
+    fn seeds_bugs(&self) -> bool {
+        false
+    }
+    fn is_ambiguous(&self) -> bool {
+        true
+    }
+    fn flags_correct_impls(&self) -> bool {
+        true
+    }
+    fn planned_patches(&self, base: usize) -> usize {
+        (base * 2).max(1)
+    }
+}
+
+// ------------------------------------------------------------------------
+// T9 — ambiguity template: an origin-specific table bound generalized into
+// an incorrect specification.
+// ------------------------------------------------------------------------
+
+struct AdhocThresholdFp;
+
+impl Template for AdhocThresholdFp {
+    fn name(&self) -> &'static str {
+        "fp-threshold"
+    }
+    fn bug_type(&self) -> BugType {
+        BugType::Oob
+    }
+    fn header(&self) -> String {
+        "struct mux { int table[512]; };\n\
+         struct mux_ops { int (*mux_select)(struct mux *m, int chan); };\n"
+            .into()
+    }
+    fn driver(&self, d: &str, _v: usize, _buggy: bool, rng: &mut SmallRng) -> String {
+        // Strict drivers expose 100 channels; large ones legitimately
+        // expose 500 (the inferred `chan > 100` rule misfires on them).
+        let strict = rng.gen_bool(0.72);
+        let bound = if strict { 100 } else { 500 };
+        format!(
+            "int {d}_mux_select(struct mux *m, int chan) {{\n\
+             \x20   if (chan > {bound}) return -22;\n\
+             \x20   m->table[chan] = 1;\n\
+             \x20   return 0;\n\
+             }}\n\
+             struct mux_ops {d}_mux_ops = {{ .mux_select = {d}_mux_select, }};\n"
+        )
+    }
+    fn patch(&self, o: &str, _v: usize, _rng: &mut SmallRng) -> (String, String) {
+        let pre = format!(
+            "int {o}_mux_select(struct mux *m, int chan) {{\n\
+             \x20   m->table[chan] = 1;\n\
+             \x20   return 0;\n\
+             }}\n\
+             struct mux_ops {o}_mux_ops = {{ .mux_select = {o}_mux_select, }};\n"
+        );
+        let post = format!(
+            "int {o}_mux_select(struct mux *m, int chan) {{\n\
+             \x20   if (chan > 100) return -22;\n\
+             \x20   m->table[chan] = 1;\n\
+             \x20   return 0;\n\
+             }}\n\
+             struct mux_ops {o}_mux_ops = {{ .mux_select = {o}_mux_select, }};\n"
+        );
+        (pre, post)
+    }
+    fn buggy_function_name(&self, d: &str) -> String {
+        format!("{d}_mux_select")
+    }
+    fn seeds_bugs(&self) -> bool {
+        false
+    }
+    fn is_ambiguous(&self) -> bool {
+        true
+    }
+    fn flags_correct_impls(&self) -> bool {
+        true
+    }
+    fn planned_patches(&self, base: usize) -> usize {
+        (base * 2).max(1)
+    }
+}
+
+// ------------------------------------------------------------------------
+// T11 — Fig. 9 shape: device-tree node reference not released on the
+// error exit; the fix routes the error path through a `goto` cleanup
+// label, the kernel's canonical idiom.
+// ------------------------------------------------------------------------
+
+struct GotoCleanupLeak;
+
+impl Template for GotoCleanupLeak {
+    fn name(&self) -> &'static str {
+        "leak-goto"
+    }
+    fn bug_type(&self) -> BugType {
+        BugType::MemLeak
+    }
+    fn variants(&self) -> usize {
+        2
+    }
+    fn header(&self) -> String {
+        let mut out = String::from(
+            "struct dt_node { int id; };\n\
+             struct dt_node *of_get_next_child(struct dt_node *parent);\n\
+             int of_property_read_u32(struct dt_node *node, char *name, int *out);\n\
+             void of_node_put(struct dt_node *node);\n",
+        );
+        for v in 0..self.variants() {
+            let s = sfx(self.variants(), v);
+            out.push_str(&format!(
+                "struct serdes_ops{s} {{ int (*serdes_probe)(struct dt_node *parent); }};\n"
+            ));
+        }
+        out
+    }
+    fn driver(&self, d: &str, v: usize, buggy: bool, _rng: &mut SmallRng) -> String {
+        let s = sfx(self.variants(), v);
+        let on_err = if buggy {
+            "return ret;"
+        } else {
+            "goto err_node;"
+        };
+        format!(
+            "int {d}_serdes_probe(struct dt_node *parent) {{\n\
+             \x20   struct dt_node *subnode = of_get_next_child(parent);\n\
+             \x20   int val;\n\
+             \x20   int ret = of_property_read_u32(subnode, \"reg\", &val);\n\
+             \x20   if (ret != 0) {{\n\
+             \x20       {on_err}\n\
+             \x20   }}\n\
+             \x20   of_node_put(subnode);\n\
+             \x20   return 0;\n\
+             err_node:\n\
+             \x20   of_node_put(subnode);\n\
+             \x20   return ret;\n\
+             }}\n\
+             struct serdes_ops{s} {d}_serdes_ops = {{ .serdes_probe = {d}_serdes_probe, }};\n"
+        )
+    }
+    fn buggy_function_name(&self, d: &str) -> String {
+        format!("{d}_serdes_probe")
+    }
+    fn bug_rate_scale(&self) -> f64 {
+        0.40
+    }
+}
+
+// ------------------------------------------------------------------------
+// T12 — signedness: a signed length must be rejected when negative before
+// flowing into a copy API (the §9 extension direction, expressible as a
+// condition-delta specification).
+// ------------------------------------------------------------------------
+
+struct SignednessOob;
+
+impl Template for SignednessOob {
+    fn name(&self) -> &'static str {
+        "oob-signedness"
+    }
+    fn bug_type(&self) -> BugType {
+        BugType::Oob
+    }
+    fn variants(&self) -> usize {
+        2
+    }
+    fn header(&self) -> String {
+        let mut out = String::from("int copy_frame(char *dst, char *src, int len);\n");
+        for v in 0..self.variants() {
+            let s = sfx(self.variants(), v);
+            out.push_str(&format!(
+                "struct net_rx_ops{s} {{ int (*rx_frame)(char *dst, char *buf, int len); }};\n"
+            ));
+        }
+        out
+    }
+    fn driver(&self, d: &str, v: usize, buggy: bool, rng: &mut SmallRng) -> String {
+        let s = sfx(self.variants(), v);
+        let mtu = [1500u32, 2048, 9000][rng.gen_range(0..3)];
+        let sign_check = if buggy {
+            ""
+        } else {
+            "if (len < 0) return -22;\n    "
+        };
+        format!(
+            "int {d}_rx_frame(char *dst, char *buf, int len) {{\n\
+             \x20   {sign_check}if (len > {mtu}) {{\n\
+             \x20       return -22;\n\
+             \x20   }}\n\
+             \x20   return copy_frame(dst, buf, len);\n\
+             }}\n\
+             struct net_rx_ops{s} {d}_rx_ops = {{ .rx_frame = {d}_rx_frame, }};\n"
+        )
+    }
+    fn buggy_function_name(&self, d: &str) -> String {
+        format!("{d}_rx_frame")
+    }
+    fn bug_rate_scale(&self) -> f64 {
+        0.20
+    }
+}
+
+/// Draws one seed and returns two identical rng streams so the pre and
+/// post patch variants see the same constants (the patch must differ only
+/// in the fix).
+fn paired_rngs(rng: &mut SmallRng) -> (SmallRng, SmallRng) {
+    use rand::SeedableRng;
+    let seed: u64 = rng.gen();
+    (
+        SmallRng::seed_from_u64(seed),
+        SmallRng::seed_from_u64(seed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn all_drivers_compile_in_every_variant() {
+        for t in all_templates() {
+            for v in 0..t.variants() {
+                for buggy in [false, true] {
+                    let src =
+                        format!("{}\n{}", t.header(), t.driver("samp", v, buggy, &mut rng()));
+                    assert!(
+                        seal_kir::compile(&src, "t.c").is_ok(),
+                        "template {} v{v} ({}buggy) does not compile:\n{src}",
+                        t.name(),
+                        if buggy { "" } else { "non-" }
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_patches_compile_and_differ() {
+        for t in all_templates() {
+            for v in 0..t.variants() {
+                let (pre, post) = t.patch("orig", v, &mut rng());
+                assert_ne!(pre, post, "patch of {} v{v} must change code", t.name());
+                for (tag, src) in [("pre", &pre), ("post", &post)] {
+                    let full = format!("{}\n{}", t.header(), src);
+                    assert!(
+                        seal_kir::compile(&full, "p.c").is_ok(),
+                        "{} v{v} {tag} does not compile:\n{full}",
+                        t.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn patch_pre_post_share_constants() {
+        // The patch must only differ in the fix, not in drawn constants.
+        let t = ErrorCodeNpd;
+        let mut r = rng();
+        for _ in 0..16 {
+            let (pre, post) = t.patch("orig", 0, &mut r);
+            let size_of = |s: &str| {
+                s.split("dma_alloc_coherent(")
+                    .nth(1)
+                    .and_then(|rest| rest.split(')').next())
+                    .map(|x| x.to_string())
+            };
+            assert_eq!(size_of(&pre), size_of(&post));
+        }
+    }
+
+    #[test]
+    fn buggy_function_names_exist_in_source() {
+        for t in all_templates() {
+            let src = t.driver("samp", 0, true, &mut rng());
+            assert!(
+                src.contains(&t.buggy_function_name("samp")),
+                "{}: buggy name missing",
+                t.name()
+            );
+        }
+    }
+
+    #[test]
+    fn variants_use_distinct_interfaces() {
+        let t = BoundsCheckOob;
+        let d0 = t.driver("a", 0, false, &mut rng());
+        let d1 = t.driver("a", 1, false, &mut rng());
+        assert!(d0.contains("i2c_algorithm_v0"));
+        assert!(d1.contains("i2c_algorithm_v1"));
+    }
+
+    #[test]
+    fn bug_rate_scales_match_table2_proportions() {
+        let templates = all_templates();
+        let total: f64 = templates
+            .iter()
+            .filter(|t| t.seeds_bugs())
+            .map(|t| t.bug_rate_scale())
+            .sum();
+        let share = |ty: BugType| {
+            templates
+                .iter()
+                .filter(|t| t.seeds_bugs() && t.bug_type() == ty)
+                .map(|t| t.bug_rate_scale())
+                .sum::<f64>()
+                / total
+        };
+        assert!((share(BugType::Npd) - 0.310).abs() < 0.02);
+        assert!((share(BugType::MemLeak) - 0.237).abs() < 0.02);
+        assert!((share(BugType::WrongEc) - 0.198).abs() < 0.02);
+        assert!((share(BugType::Oob) - 0.103).abs() < 0.02);
+        assert!((share(BugType::Uaf) - 0.092).abs() < 0.02);
+        assert!((share(BugType::Dbz) - 0.043).abs() < 0.02);
+        assert!((share(BugType::Uninit) - 0.017).abs() < 0.02);
+    }
+
+    #[test]
+    fn ambiguous_templates_do_not_seed() {
+        for t in all_templates() {
+            if t.is_ambiguous() {
+                assert!(!t.seeds_bugs());
+                assert!(t.flags_correct_impls());
+            }
+        }
+    }
+
+    #[test]
+    fn helper_templates_cross_functions() {
+        // T4's allocation is in a helper — two functions per driver.
+        let t = NullCheckNpd;
+        let src = t.driver("x", 0, true, &mut rng());
+        assert!(src.contains("x_alloc_state"));
+        assert!(src.contains("x_fw_probe"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the corpus generator: any seed must produce a
+//! compilable kernel, compilable patches, and a consistent ledger.
+
+use proptest::prelude::*;
+use seal_corpus::{generate, CorpusConfig};
+
+fn small_config(seed: u64, rate: f64) -> CorpusConfig {
+    CorpusConfig {
+        seed,
+        drivers_per_template: 4,
+        bug_rate: rate,
+        patches_per_template: 1,
+        refactor_patches: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The target kernel compiles and lowers for any seed and bug rate.
+    #[test]
+    fn kernel_compiles_for_any_seed(seed in any::<u64>(), rate in 0.0f64..1.0) {
+        let corpus = generate(&small_config(seed, rate));
+        let module = corpus.target_module(); // panics on miscompile
+        prop_assert!(module.functions.len() > 10);
+    }
+
+    /// Every generated patch compiles in both versions and actually
+    /// changes at least one function.
+    #[test]
+    fn patches_compile_and_differ(seed in any::<u64>()) {
+        let corpus = generate(&small_config(seed, 0.3));
+        for p in &corpus.patches {
+            let compiled = p.compile()
+                .unwrap_or_else(|e| panic!("patch {} does not compile: {e}", p.id));
+            prop_assert!(
+                !compiled.changed.is_empty(),
+                "patch {} changes nothing",
+                p.id
+            );
+        }
+    }
+
+    /// Ledger entries reference functions that exist, exactly once each.
+    #[test]
+    fn ledger_is_consistent(seed in any::<u64>()) {
+        let corpus = generate(&small_config(seed, 0.5));
+        let module = corpus.target_module();
+        let mut seen = std::collections::BTreeSet::new();
+        for b in &corpus.ground_truth {
+            prop_assert!(module.function(&b.function).is_some(), "{} missing", b.function);
+            prop_assert!(seen.insert(b.function.clone()), "{} duplicated", b.function);
+            prop_assert!(b.latent_years >= 1 && b.latent_years <= 17);
+        }
+    }
+
+    /// Generation is a pure function of the configuration.
+    #[test]
+    fn generation_is_deterministic(seed in any::<u64>()) {
+        let a = generate(&small_config(seed, 0.4));
+        let b = generate(&small_config(seed, 0.4));
+        prop_assert_eq!(a.target_source, b.target_source);
+        prop_assert_eq!(a.patches.len(), b.patches.len());
+        for (x, y) in a.patches.iter().zip(&b.patches) {
+            prop_assert_eq!(&x.pre, &y.pre);
+            prop_assert_eq!(&x.post, &y.post);
+        }
+    }
+}

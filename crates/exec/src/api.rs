@@ -1,0 +1,207 @@
+//! API models: concrete semantics for the corpus's kernel APIs, with a
+//! fault-injection plan (the dynamic analogue of the paper's PoC step).
+
+use crate::heap::{Heap, Value};
+use std::collections::HashMap;
+
+/// Which API call should fail.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// `(api name, 0-based occurrence)` → the nth dynamic call to that API
+    /// fails (allocators return NULL, transfer APIs return a negative
+    /// error).
+    pub failures: Vec<(String, usize)>,
+}
+
+impl FaultPlan {
+    /// No injected failures.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Fails the nth call to one API.
+    pub fn fail_call(api: impl Into<String>, nth: usize) -> Self {
+        FaultPlan {
+            failures: vec![(api.into(), nth)],
+        }
+    }
+
+    fn should_fail(&self, api: &str, occurrence: usize) -> bool {
+        self.failures
+            .iter()
+            .any(|(a, n)| a == api && *n == occurrence)
+    }
+}
+
+/// Concrete semantics of an external API call.
+pub trait ApiModel {
+    /// Executes `api(args)`, mutating the heap, and returns the result.
+    fn call(&mut self, api: &str, args: &[Value], heap: &mut Heap) -> Value;
+}
+
+/// Semantics for every API the synthetic corpus uses, driven by a
+/// [`FaultPlan`]:
+///
+/// * allocators (`kmalloc`, `dma_alloc_coherent`, `devm_kzalloc`,
+///   `dsp_alloc`, `of_get_next_child`) return fresh objects or NULL,
+/// * releasers (`kfree`, `dsp_free`, `of_node_put`, `put_device`) free
+///   their argument,
+/// * transfer/parse APIs (`dsp_start`, `dsp_register`, `parse_rate`,
+///   `of_property_read_u32`, `usb_read_cmd`) return 0 or `-5`,
+/// * `copy_frame(dst, src, len)` writes `len` bytes into `dst` — the
+///   concrete OOB when `len` is out of range,
+/// * unknown APIs return 0 (inert).
+pub struct CorpusApis {
+    plan: FaultPlan,
+    counts: HashMap<String, usize>,
+    /// Default object size for allocators without a usable size argument.
+    default_alloc_size: i64,
+}
+
+impl CorpusApis {
+    /// Creates the model with a fault plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        CorpusApis {
+            plan,
+            counts: HashMap::new(),
+            default_alloc_size: 64,
+        }
+    }
+
+    fn occurrence(&mut self, api: &str) -> usize {
+        let c = self.counts.entry(api.to_string()).or_insert(0);
+        let n = *c;
+        *c += 1;
+        n
+    }
+}
+
+/// APIs that allocate.
+pub const ALLOCATORS: &[&str] = &[
+    "kmalloc",
+    "dma_alloc_coherent",
+    "devm_kzalloc",
+    "dsp_alloc",
+    "of_get_next_child",
+];
+
+/// APIs that release their first pointer argument.
+pub const RELEASERS: &[&str] = &["kfree", "dsp_free", "of_node_put", "put_device"];
+
+/// APIs that return a status (0 ok, negative errno).
+pub const STATUS_APIS: &[&str] = &[
+    "dsp_start",
+    "dsp_register",
+    "parse_rate",
+    "apply_rate",
+    "of_property_read_u32",
+    "usb_read_cmd",
+    "release_minor",
+];
+
+impl ApiModel for CorpusApis {
+    fn call(&mut self, api: &str, args: &[Value], heap: &mut Heap) -> Value {
+        let occ = self.occurrence(api);
+        let fail = self.plan.should_fail(api, occ);
+        if ALLOCATORS.contains(&api) {
+            if fail {
+                return Value::Null;
+            }
+            let size = args
+                .first()
+                .and_then(|v| v.as_int())
+                .filter(|&s| s > 0)
+                .unwrap_or(self.default_alloc_size);
+            let obj = heap.alloc(size, api);
+            return Value::Ptr(obj, 0);
+        }
+        if RELEASERS.contains(&api) {
+            if let Some(Value::Ptr(obj, _)) = args.first() {
+                heap.free(*obj);
+            }
+            return Value::Int(0);
+        }
+        if STATUS_APIS.contains(&api) {
+            return Value::Int(if fail { -5 } else { 0 });
+        }
+        if api == "copy_frame" {
+            // copy_frame(dst, src, len): touch dst[0..len).
+            if let (Some(Value::Ptr(dst, base)), Some(len)) =
+                (args.first(), args.get(2).and_then(|v| v.as_int()))
+            {
+                let size = heap.object(*dst).size;
+                // Negative or over-large lengths clobber out of bounds —
+                // surfaced via an in-band marker the interpreter checks.
+                if len < 0 || base + len > size {
+                    return Value::Int(i64::MIN); // OOB marker
+                }
+                for i in 0..len.min(64) {
+                    heap.write(*dst, base + i, Value::Int(0));
+                }
+                return Value::Int(0);
+            }
+            return Value::Int(if fail { -5 } else { 0 });
+        }
+        Value::Int(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_fails_on_planned_occurrence() {
+        let mut m = CorpusApis::new(FaultPlan::fail_call("kmalloc", 1));
+        let mut h = Heap::new();
+        assert!(matches!(m.call("kmalloc", &[Value::Int(8)], &mut h), Value::Ptr(..)));
+        assert_eq!(m.call("kmalloc", &[Value::Int(8)], &mut h), Value::Null);
+        assert!(matches!(m.call("kmalloc", &[Value::Int(8)], &mut h), Value::Ptr(..)));
+    }
+
+    #[test]
+    fn releaser_frees_object() {
+        let mut m = CorpusApis::new(FaultPlan::none());
+        let mut h = Heap::new();
+        let Value::Ptr(obj, _) = m.call("dsp_alloc", &[Value::Int(8)], &mut h) else {
+            panic!()
+        };
+        assert_eq!(h.live_api_allocations().len(), 1);
+        m.call("dsp_free", &[Value::Ptr(obj, 0)], &mut h);
+        assert!(h.live_api_allocations().is_empty());
+    }
+
+    #[test]
+    fn status_api_fails_with_errno() {
+        let mut m = CorpusApis::new(FaultPlan::fail_call("dsp_start", 0));
+        let mut h = Heap::new();
+        assert_eq!(m.call("dsp_start", &[], &mut h), Value::Int(-5));
+        assert_eq!(m.call("dsp_start", &[], &mut h), Value::Int(0));
+    }
+
+    #[test]
+    fn copy_frame_flags_bad_lengths() {
+        let mut m = CorpusApis::new(FaultPlan::none());
+        let mut h = Heap::new();
+        let dst = h.alloc(16, "");
+        let ok = m.call(
+            "copy_frame",
+            &[Value::Ptr(dst, 0), Value::Null, Value::Int(8)],
+            &mut h,
+        );
+        assert_eq!(ok, Value::Int(0));
+        let oob = m.call(
+            "copy_frame",
+            &[Value::Ptr(dst, 0), Value::Null, Value::Int(-3)],
+            &mut h,
+        );
+        assert_eq!(oob, Value::Int(i64::MIN));
+    }
+
+    #[test]
+    fn unknown_api_is_inert() {
+        let mut m = CorpusApis::new(FaultPlan::none());
+        let mut h = Heap::new();
+        assert_eq!(m.call("printk", &[], &mut h), Value::Int(0));
+    }
+}

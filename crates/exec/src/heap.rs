@@ -1,0 +1,176 @@
+//! Concrete memory model: byte-offset-addressed objects on a tracked heap.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a heap object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub usize);
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer (all integral widths collapse, like the analysis side).
+    Int(i64),
+    /// Pointer into a heap object at a byte offset.
+    Ptr(ObjId, i64),
+    /// NULL.
+    Null,
+    /// Address of a named function.
+    FuncRef(String),
+    /// Static string data.
+    Str(String),
+    /// Never written.
+    Uninit,
+}
+
+impl Value {
+    /// Truthiness per C (`NULL` and 0 are false; uninitialized reads in
+    /// conditions are the caller's fault and count as false).
+    pub fn truthy(&self) -> bool {
+        !matches!(self, Value::Int(0) | Value::Null | Value::Uninit)
+    }
+
+    /// Integer view, when the value is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Null => Some(0),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Ptr(o, off) => write!(f, "&obj{}+{off}", o.0),
+            Value::Null => write!(f, "NULL"),
+            Value::FuncRef(n) => write!(f, "&{n}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Uninit => write!(f, "<uninit>"),
+        }
+    }
+}
+
+/// One allocated object.
+#[derive(Debug, Clone)]
+pub struct Object {
+    /// Cells keyed by byte offset.
+    pub cells: HashMap<i64, Value>,
+    /// Object size in bytes (index checks); `i64::MAX` for unsized stack
+    /// cells.
+    pub size: i64,
+    /// Whether the object was released.
+    pub freed: bool,
+    /// Which API produced it (empty for stack storage).
+    pub origin: String,
+}
+
+/// The tracked heap: allocation, release, and cell access with fault
+/// reporting left to the interpreter.
+#[derive(Debug, Default)]
+pub struct Heap {
+    objects: Vec<Object>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Heap::default()
+    }
+
+    /// Allocates a fresh object.
+    pub fn alloc(&mut self, size: i64, origin: impl Into<String>) -> ObjId {
+        self.objects.push(Object {
+            cells: HashMap::new(),
+            size,
+            freed: false,
+            origin: origin.into(),
+        });
+        ObjId(self.objects.len() - 1)
+    }
+
+    /// Marks an object freed; double frees are reported by the caller via
+    /// the returned previous state.
+    pub fn free(&mut self, obj: ObjId) -> bool {
+        let o = &mut self.objects[obj.0];
+        let was_freed = o.freed;
+        o.freed = true;
+        was_freed
+    }
+
+    /// Immutable object access.
+    pub fn object(&self, obj: ObjId) -> &Object {
+        &self.objects[obj.0]
+    }
+
+    /// Reads a cell (returns `Uninit` for never-written cells).
+    pub fn read(&self, obj: ObjId, offset: i64) -> Value {
+        self.objects[obj.0]
+            .cells
+            .get(&offset)
+            .cloned()
+            .unwrap_or(Value::Uninit)
+    }
+
+    /// Writes a cell.
+    pub fn write(&mut self, obj: ObjId, offset: i64, value: Value) {
+        self.objects[obj.0].cells.insert(offset, value);
+    }
+
+    /// Objects allocated by APIs and never freed — the leak probe.
+    pub fn live_api_allocations(&self) -> Vec<ObjId> {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !o.freed && !o.origin.is_empty())
+            .map(|(i, _)| ObjId(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_write_cycle() {
+        let mut h = Heap::new();
+        let o = h.alloc(16, "kmalloc");
+        assert_eq!(h.read(o, 0), Value::Uninit);
+        h.write(o, 8, Value::Int(7));
+        assert_eq!(h.read(o, 8), Value::Int(7));
+        assert_eq!(h.read(o, 0), Value::Uninit);
+    }
+
+    #[test]
+    fn free_tracks_double_free() {
+        let mut h = Heap::new();
+        let o = h.alloc(8, "kmalloc");
+        assert!(!h.free(o));
+        assert!(h.free(o)); // second free reports prior freed state
+    }
+
+    #[test]
+    fn leak_probe_ignores_stack_and_freed() {
+        let mut h = Heap::new();
+        let _stack = h.alloc(8, "");
+        let api1 = h.alloc(8, "dsp_alloc");
+        let api2 = h.alloc(8, "dsp_alloc");
+        h.free(api1);
+        assert_eq!(h.live_api_allocations(), vec![api2]);
+    }
+
+    #[test]
+    fn value_truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-1).truthy());
+        assert!(Value::Ptr(ObjId(0), 0).truthy());
+        assert!(!Value::Uninit.truthy());
+        assert_eq!(Value::Null.as_int(), Some(0));
+        assert_eq!(Value::Ptr(ObjId(0), 0).as_int(), None);
+    }
+}

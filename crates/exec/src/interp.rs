@@ -1,0 +1,761 @@
+//! The IR interpreter.
+//!
+//! Executes one function (and its transitive direct callees) concretely.
+//! Named locals whose address is taken — or whose type is an aggregate —
+//! are backed by stack objects on the tracked heap, so `&val` out-params
+//! and struct locals behave like memory; everything else lives in
+//! registers. Execution stops at the first observed fault.
+
+use crate::api::ApiModel;
+use crate::heap::{Heap, ObjId, Value};
+use seal_ir::body::FuncBody;
+use seal_ir::ids::LocalId;
+use seal_ir::module::Module;
+use seal_ir::tac::{Callee, Inst, Operand, Place, PlaceBase, Projection, Rvalue, Terminator};
+use seal_kir::ast::{BinOp, UnOp};
+use seal_kir::types::Type;
+use std::collections::{HashMap, HashSet};
+
+/// A concrete fault (or resource-exhaustion stop) observed at runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// NULL pointer dereferenced.
+    NullDeref {
+        /// Source line of the access.
+        line: u32,
+    },
+    /// Freed object accessed.
+    UseAfterFree {
+        /// Source line of the access.
+        line: u32,
+    },
+    /// Object released twice.
+    DoubleFree {
+        /// Source line of the releasing call.
+        line: u32,
+    },
+    /// Index outside the object.
+    OutOfBounds {
+        /// Source line of the access.
+        line: u32,
+        /// Byte offset attempted.
+        offset: i64,
+        /// Object size.
+        size: i64,
+    },
+    /// Division or remainder by zero.
+    DivByZero {
+        /// Source line of the operation.
+        line: u32,
+    },
+    /// A value that was never written was consumed.
+    UninitRead {
+        /// Source line of the consumption.
+        line: u32,
+    },
+    /// The instruction budget ran out (runaway loop or recursion).
+    OutOfFuel,
+    /// A function or feature the interpreter does not model was hit.
+    Unsupported(String),
+}
+
+/// The interpreter for one module.
+pub struct Interp<'m, A: ApiModel> {
+    module: &'m Module,
+    /// Tracked heap (owned; inspect after a call for leak probes).
+    pub heap: Heap,
+    api: A,
+    fuel: u64,
+    globals: HashMap<String, ObjId>,
+}
+
+impl<'m> Interp<'m, crate::api::CorpusApis> {
+    /// Creates an interpreter with the corpus API model and a fault plan.
+    pub fn new(module: &'m Module, plan: crate::api::FaultPlan) -> Self {
+        Interp::with_api(module, crate::api::CorpusApis::new(plan))
+    }
+}
+
+impl<'m, A: ApiModel> Interp<'m, A> {
+    /// Creates an interpreter with a custom API model.
+    pub fn with_api(module: &'m Module, api: A) -> Self {
+        let mut heap = Heap::new();
+        let mut globals = HashMap::new();
+        for g in &module.globals {
+            let size = module.structs.size_of(&g.ty).max(8);
+            let obj = heap.alloc(size as i64, "");
+            if let Some(v) = g.const_init {
+                heap.write(obj, 0, Value::Int(v));
+            }
+            globals.insert(g.name.clone(), obj);
+        }
+        Interp {
+            module,
+            heap,
+            api,
+            fuel: 100_000,
+            globals,
+        }
+    }
+
+    /// Objects allocated by APIs and never released (leak probe).
+    pub fn leaked_objects(&self) -> Vec<ObjId> {
+        self.heap.live_api_allocations()
+    }
+
+    /// Calls a function by name with concrete arguments.
+    ///
+    /// `Ok(value)` is normal completion (`Int(0)` for void); `Err` is the
+    /// first fault observed.
+    pub fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, Outcome> {
+        let body = self
+            .module
+            .function(name)
+            .ok_or_else(|| Outcome::Unsupported(format!("no function `{name}`")))?;
+        self.run_body(body, args.to_vec())
+    }
+
+    fn run_body(&mut self, body: &FuncBody, args: Vec<Value>) -> Result<Value, Outcome> {
+        // Frame setup: registers plus stack cells for addressable locals.
+        let addressable = addressable_locals(body);
+        let mut regs: Vec<Value> = vec![Value::Uninit; body.locals.len()];
+        let mut cells: HashMap<LocalId, ObjId> = HashMap::new();
+        for (i, decl) in body.locals.iter().enumerate() {
+            let lid = LocalId(i as u32);
+            if addressable.contains(&lid) {
+                let size = self.module.structs.size_of(&decl.ty).max(8);
+                let obj = self.heap.alloc(size as i64, "");
+                cells.insert(lid, obj);
+            }
+        }
+        for (i, arg) in args.into_iter().enumerate().take(body.param_count) {
+            let lid = LocalId(i as u32);
+            match cells.get(&lid) {
+                Some(&obj) => self.heap.write(obj, 0, arg),
+                None => regs[i] = arg,
+            }
+        }
+
+        let mut frame = Frame {
+            body,
+            regs,
+            cells,
+        };
+        let mut block = body.entry();
+        loop {
+            let bb = frame.body.block(block);
+            for (idx, inst) in bb.insts.iter().enumerate() {
+                self.fuel = self.fuel.checked_sub(1).ok_or(Outcome::OutOfFuel)?;
+                if self.fuel == 0 {
+                    return Err(Outcome::OutOfFuel);
+                }
+                let line = bb.spans.get(idx).map(|s| s.line).unwrap_or(0);
+                self.step(&mut frame, inst, line)?;
+            }
+            // Terminators consume fuel too, or an empty `while (1) {}`
+            // would spin forever.
+            self.fuel = self.fuel.checked_sub(1).ok_or(Outcome::OutOfFuel)?;
+            if self.fuel == 0 {
+                return Err(Outcome::OutOfFuel);
+            }
+            let line = bb.term_span.line;
+            match &bb.terminator {
+                Terminator::Goto(b) => block = *b,
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let v = self.read_operand(&frame, cond)?;
+                    block = if v.truthy() { *then_bb } else { *else_bb };
+                }
+                Terminator::Switch {
+                    disc,
+                    cases,
+                    default,
+                } => {
+                    let v = self
+                        .read_operand(&frame, disc)?
+                        .as_int()
+                        .ok_or(Outcome::Unsupported("switch on non-integer".into()))?;
+                    block = cases
+                        .iter()
+                        .find(|(c, _)| *c == v)
+                        .map(|(_, b)| *b)
+                        .unwrap_or(*default);
+                }
+                Terminator::Return(v) => {
+                    let result = match v {
+                        Some(op) => self.read_operand(&frame, op)?,
+                        None => Value::Int(0),
+                    };
+                    return Ok(result);
+                }
+                Terminator::Unreachable => {
+                    let _ = line;
+                    return Err(Outcome::Unsupported("unreachable block".into()));
+                }
+            }
+        }
+    }
+
+    fn step(&mut self, frame: &mut Frame<'_>, inst: &Inst, line: u32) -> Result<(), Outcome> {
+        match inst {
+            Inst::Assign { dest, rv } => {
+                let v = self.eval_rvalue(frame, rv, line)?;
+                self.write_local(frame, *dest, v);
+            }
+            Inst::Load { dest, place } => {
+                let (obj, off) = self.resolve_place(frame, place, line)?;
+                self.check_access(obj, off, line)?;
+                let v = self.heap.read(obj, off);
+                self.write_local(frame, *dest, v);
+            }
+            Inst::Store { place, value } => {
+                let v = self.read_operand(frame, value)?;
+                let (obj, off) = self.resolve_place(frame, place, line)?;
+                self.check_access(obj, off, line)?;
+                self.heap.write(obj, off, v);
+            }
+            Inst::AddrOf { dest, place } => {
+                let (obj, off) = self.resolve_place(frame, place, line)?;
+                self.write_local(frame, *dest, Value::Ptr(obj, off));
+            }
+            Inst::Call { dest, callee, args } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.read_operand(frame, a)?);
+                }
+                let result = match callee {
+                    Callee::Direct(name) => {
+                        if let Some(body) = self.module.function(name) {
+                            self.run_body(body, argv)?
+                        } else {
+                            // Releaser double-free detection needs the
+                            // pre-call freed state.
+                            if crate::api::RELEASERS.contains(&name.as_str()) {
+                                if let Some(Value::Ptr(obj, _)) = argv.first() {
+                                    if self.heap.object(*obj).freed {
+                                        return Err(Outcome::DoubleFree { line });
+                                    }
+                                }
+                            }
+                            let r = self.api.call(name, &argv, &mut self.heap);
+                            if r == Value::Int(i64::MIN) {
+                                // The API model's in-band OOB marker.
+                                return Err(Outcome::OutOfBounds {
+                                    line,
+                                    offset: -1,
+                                    size: -1,
+                                });
+                            }
+                            r
+                        }
+                    }
+                    Callee::Indirect { ptr, .. } => {
+                        let v = self.read_operand(frame, ptr)?;
+                        match v {
+                            Value::FuncRef(name) => {
+                                let body = self.module.function(&name).ok_or_else(|| {
+                                    Outcome::Unsupported(format!("indirect to API `{name}`"))
+                                })?;
+                                self.run_body(body, argv)?
+                            }
+                            Value::Null => return Err(Outcome::NullDeref { line }),
+                            other => {
+                                return Err(Outcome::Unsupported(format!(
+                                    "indirect call through {other}"
+                                )))
+                            }
+                        }
+                    }
+                };
+                if let Some(d) = dest {
+                    self.write_local(frame, *d, result);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_rvalue(
+        &mut self,
+        frame: &Frame<'_>,
+        rv: &Rvalue,
+        line: u32,
+    ) -> Result<Value, Outcome> {
+        match rv {
+            Rvalue::Use(op) => self.read_operand(frame, op),
+            Rvalue::Unary(op, a) => {
+                let v = self.read_operand(frame, a)?;
+                let i = v.as_int().ok_or(Outcome::UninitRead { line })?;
+                Ok(Value::Int(match op {
+                    UnOp::Neg => -i,
+                    UnOp::Not => i64::from(i == 0),
+                    UnOp::BitNot => !i,
+                    _ => return Err(Outcome::Unsupported("addr/deref rvalue".into())),
+                }))
+            }
+            Rvalue::Binary(op, a, b) => {
+                let va = self.read_operand(frame, a)?;
+                let vb = self.read_operand(frame, b)?;
+                // Pointer comparisons.
+                if matches!(op, BinOp::Eq | BinOp::Ne) {
+                    let eq = match (&va, &vb) {
+                        (Value::Ptr(o1, f1), Value::Ptr(o2, f2)) => o1 == o2 && f1 == f2,
+                        (Value::Ptr(..), Value::Null) | (Value::Null, Value::Ptr(..)) => false,
+                        (Value::Null, Value::Null) => true,
+                        _ => {
+                            let (Some(x), Some(y)) = (va.as_int(), vb.as_int()) else {
+                                return Err(Outcome::UninitRead { line });
+                            };
+                            x == y
+                        }
+                    };
+                    let truth = if matches!(op, BinOp::Eq) { eq } else { !eq };
+                    return Ok(Value::Int(i64::from(truth)));
+                }
+                // Pointer arithmetic: offset adjustment.
+                if let (Value::Ptr(obj, off), Some(delta)) = (&va, vb.as_int()) {
+                    return Ok(match op {
+                        BinOp::Add => Value::Ptr(*obj, off + delta),
+                        BinOp::Sub => Value::Ptr(*obj, off - delta),
+                        _ => return Err(Outcome::Unsupported("pointer arithmetic".into())),
+                    });
+                }
+                let x = va.as_int().ok_or(Outcome::UninitRead { line })?;
+                let y = vb.as_int().ok_or(Outcome::UninitRead { line })?;
+                Ok(Value::Int(match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::Div => {
+                        if y == 0 {
+                            return Err(Outcome::DivByZero { line });
+                        }
+                        x.wrapping_div(y)
+                    }
+                    BinOp::Rem => {
+                        if y == 0 {
+                            return Err(Outcome::DivByZero { line });
+                        }
+                        x.wrapping_rem(y)
+                    }
+                    BinOp::Shl => x.wrapping_shl(y as u32),
+                    BinOp::Shr => x.wrapping_shr(y as u32),
+                    BinOp::BitAnd => x & y,
+                    BinOp::BitOr => x | y,
+                    BinOp::BitXor => x ^ y,
+                    BinOp::LogAnd => i64::from(x != 0 && y != 0),
+                    BinOp::LogOr => i64::from(x != 0 || y != 0),
+                    BinOp::Eq | BinOp::Ne => unreachable!("handled above"),
+                    BinOp::Lt => i64::from(x < y),
+                    BinOp::Gt => i64::from(x > y),
+                    BinOp::Le => i64::from(x <= y),
+                    BinOp::Ge => i64::from(x >= y),
+                }))
+            }
+        }
+    }
+
+    fn read_operand(&self, frame: &Frame<'_>, op: &Operand) -> Result<Value, Outcome> {
+        Ok(match op {
+            Operand::Local(l) => match frame.cells.get(l) {
+                Some(&obj) => self.heap.read(obj, 0),
+                None => frame.regs[l.index()].clone(),
+            },
+            Operand::Global(g) => match self.globals.get(g) {
+                Some(&obj) => self.heap.read(obj, 0),
+                None => Value::Uninit,
+            },
+            Operand::Const(c) => Value::Int(*c),
+            Operand::Null => Value::Null,
+            Operand::Str(s) => Value::Str(s.clone()),
+            Operand::FuncRef(n) => Value::FuncRef(n.clone()),
+        })
+    }
+
+    fn write_local(&mut self, frame: &mut Frame<'_>, l: LocalId, v: Value) {
+        match frame.cells.get(&l) {
+            Some(&obj) => self.heap.write(obj, 0, v),
+            None => frame.regs[l.index()] = v,
+        }
+    }
+
+    /// Resolves a place to a concrete `(object, byte offset)`.
+    fn resolve_place(
+        &mut self,
+        frame: &Frame<'_>,
+        place: &Place,
+        line: u32,
+    ) -> Result<(ObjId, i64), Outcome> {
+        // Starting address.
+        let mut projections = place.projections.as_slice();
+        let (mut obj, mut off) = match &place.base {
+            PlaceBase::Global(g) => {
+                let o = self
+                    .globals
+                    .get(g)
+                    .copied()
+                    .ok_or_else(|| Outcome::Unsupported(format!("unknown global {g}")))?;
+                (o, 0i64)
+            }
+            PlaceBase::Local(l) => {
+                match projections.first() {
+                    // The base's *value* is followed.
+                    Some(Projection::Deref) | Some(Projection::Index { .. }) => {
+                        let v = self.read_operand(frame, &Operand::Local(*l))?;
+                        let consumed_deref =
+                            matches!(projections.first(), Some(Projection::Deref));
+                        let (o, base_off) = match v {
+                            Value::Ptr(o, f) => (o, f),
+                            Value::Null => return Err(Outcome::NullDeref { line }),
+                            Value::Uninit => return Err(Outcome::UninitRead { line }),
+                            other => {
+                                return Err(Outcome::Unsupported(format!(
+                                    "deref of {other}"
+                                )))
+                            }
+                        };
+                        if consumed_deref {
+                            projections = &projections[1..];
+                        }
+                        (o, base_off)
+                    }
+                    // The local's own storage.
+                    _ => {
+                        let o = frame.cells.get(l).copied().ok_or_else(|| {
+                            Outcome::Unsupported(format!("non-addressable local {l}"))
+                        })?;
+                        (o, 0)
+                    }
+                }
+            }
+        };
+        for p in projections {
+            match p {
+                Projection::Field { offset, .. } => off += *offset as i64,
+                Projection::Deref => {
+                    self.check_access(obj, off, line)?;
+                    match self.heap.read(obj, off) {
+                        Value::Ptr(o, f) => {
+                            obj = o;
+                            off = f;
+                        }
+                        Value::Null => return Err(Outcome::NullDeref { line }),
+                        Value::Uninit => return Err(Outcome::UninitRead { line }),
+                        other => {
+                            return Err(Outcome::Unsupported(format!("deref of {other}")))
+                        }
+                    }
+                }
+                Projection::Index { index, elem } => {
+                    let i = self
+                        .read_operand(frame, index)?
+                        .as_int()
+                        .ok_or(Outcome::UninitRead { line })?;
+                    off += i * (*elem as i64);
+                }
+            }
+        }
+        Ok((obj, off))
+    }
+
+    /// Bounds and lifetime checks for one access.
+    fn check_access(&self, obj: ObjId, off: i64, line: u32) -> Result<(), Outcome> {
+        let o = self.heap.object(obj);
+        if o.freed {
+            return Err(Outcome::UseAfterFree { line });
+        }
+        if off < 0 || off >= o.size {
+            return Err(Outcome::OutOfBounds {
+                line,
+                offset: off,
+                size: o.size,
+            });
+        }
+        Ok(())
+    }
+}
+
+struct Frame<'b> {
+    body: &'b FuncBody,
+    regs: Vec<Value>,
+    cells: HashMap<LocalId, ObjId>,
+}
+
+/// Locals needing stack storage: aggregates, plus anything whose address
+/// is taken or whose own storage is accessed through a place.
+fn addressable_locals(body: &FuncBody) -> HashSet<LocalId> {
+    let mut out = HashSet::new();
+    for (i, decl) in body.locals.iter().enumerate() {
+        if matches!(decl.ty, Type::Struct(_) | Type::Array(..)) {
+            out.insert(LocalId(i as u32));
+        }
+    }
+    for b in &body.blocks {
+        for inst in &b.insts {
+            let place = match inst {
+                Inst::AddrOf { place, .. } => Some(place),
+                Inst::Load { place, .. } | Inst::Store { place, .. } => Some(place),
+                _ => None,
+            };
+            if let Some(place) = place {
+                if let PlaceBase::Local(l) = &place.base {
+                    // Direct (non-deref-first) access to the local's own
+                    // storage (address-of included).
+                    let own_storage = !matches!(
+                        place.projections.first(),
+                        Some(Projection::Deref) | Some(Projection::Index { .. })
+                    );
+                    if own_storage {
+                        out.insert(*l);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::FaultPlan;
+
+    fn module_of(src: &str) -> Module {
+        seal_ir::lower(&seal_kir::compile(src, "t.c").unwrap())
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let m = module_of("int f(int x) { int y = x * 2 + 1; return y; }");
+        let mut i = Interp::new(&m, FaultPlan::none());
+        assert_eq!(i.call("f", &[Value::Int(20)]), Ok(Value::Int(41)));
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        let m = module_of(
+            "int f(int n) { int acc = 0; int i; for (i = 1; i <= n; i++) { acc = acc + i; } return acc; }",
+        );
+        let mut i = Interp::new(&m, FaultPlan::none());
+        assert_eq!(i.call("f", &[Value::Int(10)]), Ok(Value::Int(55)));
+    }
+
+    #[test]
+    fn switch_dispatch() {
+        let m = module_of(
+            "int f(int s) { switch (s) { case 1: return 10; case 2: return 20; default: return -1; } }",
+        );
+        let mut i = Interp::new(&m, FaultPlan::none());
+        assert_eq!(i.call("f", &[Value::Int(2)]), Ok(Value::Int(20)));
+        assert_eq!(i.call("f", &[Value::Int(9)]), Ok(Value::Int(-1)));
+    }
+
+    #[test]
+    fn goto_cleanup_executes() {
+        let m = module_of(
+            "void of_node_put(void *n);\n\
+             int f(int x) {\n\
+               if (x < 0) goto out;\n\
+               return 1;\n\
+             out:\n\
+               return -22;\n\
+             }",
+        );
+        let mut i = Interp::new(&m, FaultPlan::none());
+        assert_eq!(i.call("f", &[Value::Int(-3)]), Ok(Value::Int(-22)));
+        assert_eq!(i.call("f", &[Value::Int(3)]), Ok(Value::Int(1)));
+    }
+
+    #[test]
+    fn allocation_and_field_store() {
+        let m = module_of(
+            "struct mem { int a; int b; };\n\
+             void *kmalloc(unsigned long n);\n\
+             int f(void) {\n\
+               struct mem *m = (struct mem *)kmalloc(8);\n\
+               if (m == NULL) return -12;\n\
+               m->b = 7;\n\
+               return m->b;\n\
+             }",
+        );
+        let mut i = Interp::new(&m, FaultPlan::none());
+        assert_eq!(i.call("f", &[]), Ok(Value::Int(7)));
+    }
+
+    #[test]
+    fn injected_allocation_failure_triggers_npd() {
+        let m = module_of(
+            "struct mem { int a; };\n\
+             void *kmalloc(unsigned long n);\n\
+             int f(void) {\n\
+               struct mem *m = (struct mem *)kmalloc(8);\n\
+               m->a = 1;\n\
+               return 0;\n\
+             }",
+        );
+        let mut i = Interp::new(&m, FaultPlan::fail_call("kmalloc", 0));
+        assert!(matches!(i.call("f", &[]), Err(Outcome::NullDeref { .. })));
+    }
+
+    #[test]
+    fn checked_code_survives_injected_failure() {
+        let m = module_of(
+            "struct mem { int a; };\n\
+             void *kmalloc(unsigned long n);\n\
+             int f(void) {\n\
+               struct mem *m = (struct mem *)kmalloc(8);\n\
+               if (m == NULL) return -12;\n\
+               m->a = 1;\n\
+               return 0;\n\
+             }",
+        );
+        let mut i = Interp::new(&m, FaultPlan::fail_call("kmalloc", 0));
+        assert_eq!(i.call("f", &[]), Ok(Value::Int(-12)));
+    }
+
+    #[test]
+    fn out_param_via_address_of() {
+        let m = module_of(
+            "int of_property_read_u32(void *n, char *name, int *out);\n\
+             int f(void *node) {\n\
+               int val = 5;\n\
+               int ret = of_property_read_u32(node, \"reg\", &val);\n\
+               return val;\n\
+             }",
+        );
+        let mut i = Interp::new(&m, FaultPlan::none());
+        // The model doesn't write out-params; val keeps its initial value.
+        assert_eq!(i.call("f", &[Value::Null]), Ok(Value::Int(5)));
+    }
+
+    #[test]
+    fn divide_by_zero_detected() {
+        let m = module_of("int f(int d) { return 100 / d; }");
+        let mut i = Interp::new(&m, FaultPlan::none());
+        assert!(matches!(
+            i.call("f", &[Value::Int(0)]),
+            Err(Outcome::DivByZero { .. })
+        ));
+        let mut i2 = Interp::new(&m, FaultPlan::none());
+        assert_eq!(i2.call("f", &[Value::Int(4)]), Ok(Value::Int(25)));
+    }
+
+    #[test]
+    fn array_index_bounds_checked() {
+        let m = module_of(
+            "struct data { int len; char block[34]; };\n\
+             int f(struct data *d, int i) { return (int)d->block[i]; }",
+        );
+        // Caller-provided object with the real layout: len at 0, block at 4.
+        let src_obj = "struct data { int len; char block[34]; };\n\
+             void *kmalloc(unsigned long n);\n\
+             int g(int idx) {\n\
+               struct data *d = (struct data *)kmalloc(40);\n\
+               if (d == NULL) return -12;\n\
+               d->block[0] = 1;\n\
+               return (int)d->block[idx];\n\
+             }";
+        let m2 = module_of(src_obj);
+        let mut i = Interp::new(&m2, FaultPlan::none());
+        assert_eq!(i.call("g", &[Value::Int(0)]), Ok(Value::Int(1)));
+        let mut i2 = Interp::new(&m2, FaultPlan::none());
+        assert!(matches!(
+            i2.call("g", &[Value::Int(100)]),
+            Err(Outcome::OutOfBounds { .. })
+        ));
+        let _ = m;
+    }
+
+    #[test]
+    fn use_after_free_detected() {
+        let m = module_of(
+            "void *kmalloc(unsigned long n);\n\
+             void kfree(void *p);\n\
+             int f(void) {\n\
+               int *p = (int *)kmalloc(8);\n\
+               if (p == NULL) return -12;\n\
+               kfree(p);\n\
+               *p = 3;\n\
+               return 0;\n\
+             }",
+        );
+        let mut i = Interp::new(&m, FaultPlan::none());
+        assert!(matches!(
+            i.call("f", &[]),
+            Err(Outcome::UseAfterFree { .. })
+        ));
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let m = module_of(
+            "void *kmalloc(unsigned long n);\n\
+             void kfree(void *p);\n\
+             int f(void) {\n\
+               int *p = (int *)kmalloc(8);\n\
+               if (p == NULL) return -12;\n\
+               kfree(p);\n\
+               kfree(p);\n\
+               return 0;\n\
+             }",
+        );
+        let mut i = Interp::new(&m, FaultPlan::none());
+        assert!(matches!(i.call("f", &[]), Err(Outcome::DoubleFree { .. })));
+    }
+
+    #[test]
+    fn leak_probe_observes_missing_free() {
+        let m = module_of(
+            "void *dsp_alloc(unsigned long n);\n\
+             void dsp_free(void *p);\n\
+             int dsp_start(void *p);\n\
+             int leaky(void) {\n\
+               void *b = dsp_alloc(64);\n\
+               if (b == NULL) return -12;\n\
+               int ret = dsp_start(b);\n\
+               if (ret < 0) { return ret; }\n\
+               dsp_free(b);\n\
+               return 0;\n\
+             }",
+        );
+        // Make dsp_start fail: the error path leaks.
+        let mut i = Interp::new(&m, FaultPlan::fail_call("dsp_start", 0));
+        assert_eq!(i.call("leaky", &[]), Ok(Value::Int(-5)));
+        assert_eq!(i.leaked_objects().len(), 1);
+        // Without the failure, the buffer is freed.
+        let mut i2 = Interp::new(&m, FaultPlan::none());
+        assert_eq!(i2.call("leaky", &[]), Ok(Value::Int(0)));
+        assert!(i2.leaked_objects().is_empty());
+    }
+
+    #[test]
+    fn infinite_loop_runs_out_of_fuel() {
+        let m = module_of("int f(void) { while (1) { } return 0; }");
+        let mut i = Interp::new(&m, FaultPlan::none());
+        assert_eq!(i.call("f", &[]), Err(Outcome::OutOfFuel));
+    }
+
+    #[test]
+    fn nested_calls_execute() {
+        let m = module_of(
+            "int helper(int x) { return x + 1; }\n\
+             int f(int x) { return helper(helper(x)); }",
+        );
+        let mut i = Interp::new(&m, FaultPlan::none());
+        assert_eq!(i.call("f", &[Value::Int(5)]), Ok(Value::Int(7)));
+    }
+
+    #[test]
+    fn global_reads_and_writes() {
+        let m = module_of(
+            "int counter = 3;\n\
+             int bump(void) { counter = counter + 1; return counter; }",
+        );
+        let mut i = Interp::new(&m, FaultPlan::none());
+        assert_eq!(i.call("bump", &[]), Ok(Value::Int(4)));
+        assert_eq!(i.call("bump", &[]), Ok(Value::Int(5)));
+    }
+}

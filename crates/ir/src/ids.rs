@@ -1,0 +1,114 @@
+//! Typed index newtypes for IR entities.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The underlying index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Index of a function body within a [`crate::Module`].
+    FuncId,
+    "fn"
+);
+id_type!(
+    /// Index of a basic block within a [`crate::FuncBody`].
+    BlockId,
+    "bb"
+);
+id_type!(
+    /// Index of a local slot (named variable or compiler temporary) within a
+    /// [`crate::FuncBody`].
+    LocalId,
+    "%"
+);
+
+/// Fully-qualified location of one instruction: function, block, and the
+/// instruction's index within the block. This is the node identity the PDG
+/// uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstLoc {
+    /// Owning function.
+    pub func: FuncId,
+    /// Owning block.
+    pub block: BlockId,
+    /// Index within the block; `usize::MAX` denotes the block terminator.
+    pub idx: usize,
+}
+
+impl InstLoc {
+    /// Location of a block's terminator.
+    pub fn terminator(func: FuncId, block: BlockId) -> Self {
+        InstLoc {
+            func,
+            block,
+            idx: usize::MAX,
+        }
+    }
+
+    /// Whether this designates a terminator.
+    pub fn is_terminator(&self) -> bool {
+        self.idx == usize::MAX
+    }
+}
+
+impl fmt::Display for InstLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_terminator() {
+            write!(f, "{}:{}:T", self.func, self.block)
+        } else {
+            write!(f, "{}:{}:{}", self.func, self.block, self.idx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FuncId(3).to_string(), "fn3");
+        assert_eq!(BlockId(0).to_string(), "bb0");
+        assert_eq!(LocalId(7).to_string(), "%7");
+        let loc = InstLoc {
+            func: FuncId(1),
+            block: BlockId(2),
+            idx: 4,
+        };
+        assert_eq!(loc.to_string(), "fn1:bb2:4");
+        assert!(InstLoc::terminator(FuncId(0), BlockId(0)).is_terminator());
+    }
+
+    #[test]
+    fn ordering_is_positional() {
+        let a = InstLoc {
+            func: FuncId(0),
+            block: BlockId(0),
+            idx: 1,
+        };
+        let b = InstLoc {
+            func: FuncId(0),
+            block: BlockId(1),
+            idx: 0,
+        };
+        assert!(a < b);
+    }
+}

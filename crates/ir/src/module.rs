@@ -1,0 +1,257 @@
+//! Module model: functions, globals, APIs, interfaces, and bindings.
+
+use crate::body::FuncBody;
+use crate::ids::FuncId;
+use seal_kir::span::Span;
+use seal_kir::types::{FuncSig, StructRegistry, Type};
+
+/// Identity of a function-pointer interface: a `(struct, field)` pair such
+/// as `vb2_ops::buf_prepare` (the `I` domain of the paper's Fig. 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InterfaceId {
+    /// Struct tag declaring the function-pointer field.
+    pub struct_name: String,
+    /// Field name.
+    pub field: String,
+}
+
+impl InterfaceId {
+    /// Creates an interface id.
+    pub fn new(struct_name: impl Into<String>, field: impl Into<String>) -> Self {
+        InterfaceId {
+            struct_name: struct_name.into(),
+            field: field.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for InterfaceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}::{}", self.struct_name, self.field)
+    }
+}
+
+/// A function-pointer interface declaration with its signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterfaceDef {
+    /// Identity.
+    pub id: InterfaceId,
+    /// Declared signature.
+    pub sig: FuncSig,
+}
+
+/// An API declaration (extern prototype) — the `F` domain of Fig. 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiDecl {
+    /// API name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Whether variadic.
+    pub variadic: bool,
+}
+
+/// A binding of an implementation function to an interface, discovered from
+/// a designated initializer or a store of a function reference into a
+/// struct field.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Binding {
+    /// Bound interface.
+    pub interface: InterfaceId,
+    /// Implementation function name.
+    pub func: String,
+}
+
+/// A global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalVar {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// Constant scalar initializer when statically known.
+    pub const_init: Option<i64>,
+    /// Definition site.
+    pub span: Span,
+}
+
+/// A lowered compilation unit.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    /// Module label (file name or synthetic id).
+    pub name: String,
+    /// Struct layouts carried over from the frontend.
+    pub structs: StructRegistry,
+    /// Lowered function bodies, indexed by [`FuncId`].
+    pub functions: Vec<FuncBody>,
+    /// Global variables.
+    pub globals: Vec<GlobalVar>,
+    /// API declarations (externs without bodies).
+    pub apis: Vec<ApiDecl>,
+    /// Function-pointer interfaces found in struct definitions.
+    pub interfaces: Vec<InterfaceDef>,
+    /// Interface-to-implementation bindings.
+    pub bindings: Vec<Binding>,
+}
+
+impl Module {
+    /// Looks up a function body by name.
+    pub fn function(&self, name: &str) -> Option<&FuncBody> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a function id by name.
+    pub fn func_id(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// The body for an id.
+    pub fn body(&self, id: FuncId) -> &FuncBody {
+        &self.functions[id.index()]
+    }
+
+    /// Looks up an API declaration by name. Any called function without a
+    /// body in this module counts as an API.
+    pub fn api(&self, name: &str) -> Option<&ApiDecl> {
+        self.apis.iter().find(|a| a.name == name)
+    }
+
+    /// True if `name` names an API (declared or implicit) rather than a
+    /// defined function.
+    pub fn is_api(&self, name: &str) -> bool {
+        self.function(name).is_none()
+    }
+
+    /// Looks up an interface definition.
+    pub fn interface(&self, id: &InterfaceId) -> Option<&InterfaceDef> {
+        self.interfaces.iter().find(|i| &i.id == id)
+    }
+
+    /// All implementations bound to an interface.
+    pub fn implementations(&self, id: &InterfaceId) -> Vec<&FuncBody> {
+        self.bindings
+            .iter()
+            .filter(|b| &b.interface == id)
+            .filter_map(|b| self.function(&b.func))
+            .collect()
+    }
+
+    /// The interfaces a function is bound to (usually zero or one).
+    pub fn interfaces_of(&self, func: &str) -> Vec<&InterfaceId> {
+        self.bindings
+            .iter()
+            .filter(|b| b.func == func)
+            .map(|b| &b.interface)
+            .collect()
+    }
+
+    /// All function bodies that call the named API directly, with the
+    /// number of such call sites.
+    pub fn callers_of_api(&self, api: &str) -> Vec<(&FuncBody, usize)> {
+        self.functions
+            .iter()
+            .filter_map(|f| {
+                let n = f
+                    .blocks
+                    .iter()
+                    .flat_map(|b| &b.insts)
+                    .filter(|i| {
+                        matches!(i, crate::tac::Inst::Call { callee: crate::tac::Callee::Direct(name), .. } if name == api)
+                    })
+                    .count();
+                (n > 0).then_some((f, n))
+            })
+            .collect()
+    }
+}
+
+/// Summary counters for a module (observability / harness output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuleStats {
+    /// Defined functions.
+    pub functions: usize,
+    /// Basic blocks across all functions.
+    pub blocks: usize,
+    /// Instructions across all functions (terminators excluded).
+    pub instructions: usize,
+    /// Declared APIs.
+    pub apis: usize,
+    /// Function-pointer interfaces.
+    pub interfaces: usize,
+    /// Interface-to-implementation bindings.
+    pub bindings: usize,
+}
+
+impl Module {
+    /// Computes summary counters.
+    pub fn stats(&self) -> ModuleStats {
+        ModuleStats {
+            functions: self.functions.len(),
+            blocks: self.functions.iter().map(|f| f.blocks.len()).sum(),
+            instructions: self
+                .functions
+                .iter()
+                .flat_map(|f| &f.blocks)
+                .map(|b| b.insts.len())
+                .sum(),
+            apis: self.apis.len(),
+            interfaces: self.interfaces.len(),
+            bindings: self.bindings.len(),
+        }
+    }
+
+    /// Renders every function body as readable text.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for f in &self.functions {
+            out.push_str(&f.dump());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interface_id_display() {
+        let id = InterfaceId::new("vb2_ops", "buf_prepare");
+        assert_eq!(id.to_string(), "vb2_ops::buf_prepare");
+    }
+
+    #[test]
+    fn stats_count_everything() {
+        let tu = seal_kir::compile(
+            "void api_a(int x);\n\
+             struct ops { int (*cb)(int v); };\n\
+             int impl_a(int v) { if (v > 0) { api_a(v); } return v; }\n\
+             struct ops t = { .cb = impl_a, };",
+            "t.c",
+        )
+        .unwrap();
+        let m = crate::lower::lower(&tu);
+        let st = m.stats();
+        assert_eq!(st.functions, 1);
+        assert_eq!(st.apis, 1);
+        assert_eq!(st.interfaces, 1);
+        assert_eq!(st.bindings, 1);
+        assert!(st.blocks >= 3);
+        assert!(st.instructions >= 2);
+        assert!(m.dump().contains("impl_a"));
+    }
+
+    #[test]
+    fn empty_module_lookups() {
+        let m = Module::default();
+        assert!(m.function("f").is_none());
+        assert!(m.is_api("kmalloc"));
+        assert!(m.implementations(&InterfaceId::new("a", "b")).is_empty());
+    }
+}

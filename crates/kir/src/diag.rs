@@ -1,0 +1,109 @@
+//! Diagnostics and error types shared by all frontend stages.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Which stage of the frontend produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Type checking / name resolution.
+    Type,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage::Lex => write!(f, "lex"),
+            Stage::Parse => write!(f, "parse"),
+            Stage::Type => write!(f, "type"),
+        }
+    }
+}
+
+/// A single frontend diagnostic with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stage that raised the diagnostic.
+    pub stage: Stage,
+    /// Human-readable message.
+    pub message: String,
+    /// Location in the source file.
+    pub span: Span,
+    /// File label supplied to the frontend entry point.
+    pub file: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} error: {}",
+            self.file, self.span, self.stage, self.message
+        )
+    }
+}
+
+/// Failure of a frontend stage; wraps one or more diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KirError {
+    /// All diagnostics gathered before the stage gave up.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl KirError {
+    /// Builds an error carrying a single diagnostic.
+    pub fn single(stage: Stage, message: impl Into<String>, span: Span, file: &str) -> Self {
+        KirError {
+            diagnostics: vec![Diagnostic {
+                stage,
+                message: message.into(),
+                span,
+                file: file.to_string(),
+            }],
+        }
+    }
+
+    /// The first diagnostic message, for terse test assertions.
+    pub fn first_message(&self) -> &str {
+        self.diagnostics
+            .first()
+            .map(|d| d.message.as_str())
+            .unwrap_or("")
+    }
+}
+
+impl fmt::Display for KirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for KirError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_error_displays_location() {
+        let e = KirError::single(Stage::Parse, "unexpected token", Span::new(3, 7), "f.c");
+        assert_eq!(e.to_string(), "f.c:3:7: parse error: unexpected token");
+        assert_eq!(e.first_message(), "unexpected token");
+    }
+
+    #[test]
+    fn empty_error_has_empty_message() {
+        let e = KirError { diagnostics: vec![] };
+        assert_eq!(e.first_message(), "");
+    }
+}

@@ -1,0 +1,471 @@
+//! Hand-written lexer for the KIR C subset.
+//!
+//! Supports `//` and `/* */` comments and a one-directive preprocessor:
+//! `#define NAME <integer>` lines are lexed into constant definitions that
+//! substitute for later uses of `NAME`, which is how KIR sources spell
+//! error-code macros such as `#define ENOMEM 12`.
+
+use crate::diag::{KirError, Stage};
+use crate::span::Span;
+use crate::token::{Keyword, Punct, Token, TokenKind};
+use std::collections::HashMap;
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    file: &'a str,
+    defines: HashMap<String, i64>,
+}
+
+/// Lexes `source` into a token stream ending with [`TokenKind::Eof`].
+pub fn lex(source: &str, file: &str) -> Result<Vec<Token>, KirError> {
+    let mut lx = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        file,
+        defines: HashMap::new(),
+    };
+    lx.run()
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> KirError {
+        KirError::single(Stage::Lex, msg, self.span(), self.file)
+    }
+
+    fn run(&mut self) -> Result<Vec<Token>, KirError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span,
+                });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'#' => {
+                    self.directive()?;
+                    continue;
+                }
+                b'0'..=b'9' => self.number()?,
+                b'\'' => self.char_lit()?,
+                b'"' => self.string_lit()?,
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident_or_keyword(),
+                _ => self.punct()?,
+            };
+            out.push(Token { kind, span });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), KirError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => return Err(self.err("unterminated block comment")),
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Handles `#define NAME <int>`; other directives are rejected.
+    fn directive(&mut self) -> Result<(), KirError> {
+        self.bump(); // '#'
+        let word = self.raw_word();
+        if word != "define" {
+            return Err(self.err(format!("unsupported directive `#{word}`")));
+        }
+        self.skip_spaces();
+        let name = self.raw_word();
+        if name.is_empty() {
+            return Err(self.err("expected macro name after #define"));
+        }
+        self.skip_spaces();
+        let neg = if self.peek() == Some(b'-') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let TokenKind::Int(v) = self.number()? else {
+            return Err(self.err("expected integer value in #define"));
+        };
+        self.defines.insert(name, if neg { -v } else { v });
+        Ok(())
+    }
+
+    fn skip_spaces(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.bump();
+        }
+    }
+
+    fn raw_word(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c == b'_' || c.is_ascii_alphanumeric() {
+                s.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn number(&mut self) -> Result<TokenKind, KirError> {
+        let mut text = String::new();
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() {
+                    text.push(c as char);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let v = i64::from_str_radix(&text, 16)
+                .map_err(|_| self.err(format!("invalid hex literal 0x{text}")))?;
+            self.eat_int_suffix();
+            return Ok(TokenKind::Int(v));
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() {
+            return Err(self.err("expected number"));
+        }
+        let v = text
+            .parse::<i64>()
+            .map_err(|_| self.err(format!("integer literal {text} out of range")))?;
+        self.eat_int_suffix();
+        Ok(TokenKind::Int(v))
+    }
+
+    fn eat_int_suffix(&mut self) {
+        while matches!(self.peek(), Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')) {
+            self.bump();
+        }
+    }
+
+    fn char_lit(&mut self) -> Result<TokenKind, KirError> {
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            Some(b'\\') => match self.bump() {
+                Some(b'n') => b'\n' as i64,
+                Some(b't') => b'\t' as i64,
+                Some(b'0') => 0,
+                Some(b'\\') => b'\\' as i64,
+                Some(b'\'') => b'\'' as i64,
+                other => {
+                    return Err(self.err(format!(
+                        "unsupported escape `\\{}`",
+                        other.map(|c| c as char).unwrap_or(' ')
+                    )))
+                }
+            },
+            Some(c) => c as i64,
+            None => return Err(self.err("unterminated char literal")),
+        };
+        if self.bump() != Some(b'\'') {
+            return Err(self.err("unterminated char literal"));
+        }
+        Ok(TokenKind::CharLit(c))
+    }
+
+    fn string_lit(&mut self) -> Result<TokenKind, KirError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => return Err(self.err("unterminated string literal")),
+                Some(b'"') => return Ok(TokenKind::Str(s)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    _ => return Err(self.err("unsupported string escape")),
+                },
+                Some(c) => s.push(c as char),
+            }
+        }
+    }
+
+    fn ident_or_keyword(&mut self) -> TokenKind {
+        let word = self.raw_word();
+        if let Some(kw) = Keyword::from_str(&word) {
+            TokenKind::Keyword(kw)
+        } else if let Some(&v) = self.defines.get(&word) {
+            TokenKind::Int(v)
+        } else {
+            TokenKind::Ident(word)
+        }
+    }
+
+    fn punct(&mut self) -> Result<TokenKind, KirError> {
+        use Punct::*;
+        let c = self.bump().expect("caller checked peek");
+        let two = |lx: &mut Self, next: u8, yes: Punct, no: Punct| {
+            if lx.peek() == Some(next) {
+                lx.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let p = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'.' => Dot,
+            b'~' => Tilde,
+            b'?' => Question,
+            b':' => Colon,
+            b'^' => Caret,
+            b'!' => two(self, b'=', Ne, Bang),
+            b'=' => two(self, b'=', Eq, Assign),
+            b'%' => Percent,
+            b'*' => two(self, b'=', StarAssign, Star),
+            b'/' => two(self, b'=', SlashAssign, Slash),
+            b'+' => {
+                if self.peek() == Some(b'+') {
+                    self.bump();
+                    PlusPlus
+                } else {
+                    two(self, b'=', PlusAssign, Plus)
+                }
+            }
+            b'-' => {
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    Arrow
+                } else if self.peek() == Some(b'-') {
+                    self.bump();
+                    MinusMinus
+                } else {
+                    two(self, b'=', MinusAssign, Minus)
+                }
+            }
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    AmpAmp
+                } else {
+                    two(self, b'=', AmpAssign, Amp)
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    PipePipe
+                } else {
+                    two(self, b'=', PipeAssign, Pipe)
+                }
+            }
+            b'<' => {
+                if self.peek() == Some(b'<') {
+                    self.bump();
+                    Shl
+                } else {
+                    two(self, b'=', Le, Lt)
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    Shr
+                } else {
+                    two(self, b'=', Ge, Gt)
+                }
+            }
+            other => {
+                return Err(self.err(format!("unexpected character `{}`", other as char)));
+            }
+        };
+        Ok(TokenKind::Punct(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src, "t.c")
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_simple_function_header() {
+        let ks = kinds("int f(void)");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Ident("f".into()),
+                TokenKind::Punct(Punct::LParen),
+                TokenKind::Keyword(Keyword::Void),
+                TokenKind::Punct(Punct::RParen),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_arrow_and_minus() {
+        let ks = kinds("p->f - 1");
+        assert!(ks.contains(&TokenKind::Punct(Punct::Arrow)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::Minus)));
+    }
+
+    #[test]
+    fn defines_substitute() {
+        let ks = kinds("#define ENOMEM 12\nreturn -ENOMEM;");
+        assert!(ks.contains(&TokenKind::Int(12)));
+        assert!(!ks.iter().any(|k| matches!(k, TokenKind::Ident(s) if s == "ENOMEM")));
+    }
+
+    #[test]
+    fn negative_define_value() {
+        let ks = kinds("#define EIO -5\nint x = EIO;");
+        assert!(ks.contains(&TokenKind::Int(-5)));
+    }
+
+    #[test]
+    fn hex_and_suffixes() {
+        assert!(kinds("0xFFul").contains(&TokenKind::Int(255)));
+        assert!(kinds("10UL").contains(&TokenKind::Int(10)));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a /* b */ c // d\n e");
+        let idents: Vec<_> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["a", "c", "e"]);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\nbb\n  c", "t.c").unwrap();
+        assert_eq!(toks[0].span, Span::new(1, 1));
+        assert_eq!(toks[1].span, Span::new(2, 1));
+        assert_eq!(toks[2].span, Span::new(3, 3));
+    }
+
+    #[test]
+    fn string_and_char_literals() {
+        let ks = kinds(r#""hi\n" 'x' '\0'"#);
+        assert_eq!(ks[0], TokenKind::Str("hi\n".into()));
+        assert_eq!(ks[1], TokenKind::CharLit('x' as i64));
+        assert_eq!(ks[2], TokenKind::CharLit(0));
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("/* oops", "t.c").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        assert!(lex("#include <stdio.h>", "t.c").is_err());
+    }
+
+    #[test]
+    fn shift_operators() {
+        let ks = kinds("a << 2 >> b <= c >= d");
+        assert!(ks.contains(&TokenKind::Punct(Punct::Shl)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::Shr)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::Le)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::Ge)));
+    }
+
+    #[test]
+    fn increment_decrement() {
+        let ks = kinds("i++; --j;");
+        assert!(ks.contains(&TokenKind::Punct(Punct::PlusPlus)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::MinusMinus)));
+    }
+
+    #[test]
+    fn null_keyword() {
+        assert!(kinds("NULL").contains(&TokenKind::Keyword(Keyword::Null)));
+    }
+}

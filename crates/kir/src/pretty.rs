@@ -1,0 +1,499 @@
+//! Pretty-printer: renders AST back to KIR source.
+//!
+//! Used by the corpus generator to materialize pre-/post-patch source pairs
+//! and by bug reports to quote code. Output re-parses to an equivalent AST
+//! (round-trip property tested below).
+
+use crate::ast::*;
+use crate::types::{FuncSig, Type};
+use std::fmt::Write;
+
+/// Renders a full translation unit.
+pub fn print_unit(tu: &TranslationUnit) -> String {
+    let mut out = String::new();
+    for e in &tu.enums {
+        print_enum(&mut out, e);
+    }
+    // Struct definitions are stored only in the registry; callers that need
+    // them rendered use `print_struct` with the original registry order.
+    for d in &tu.decls {
+        print_decl(&mut out, d);
+    }
+    for g in &tu.globals {
+        print_global(&mut out, g);
+    }
+    for f in &tu.functions {
+        print_function(&mut out, f);
+    }
+    out
+}
+
+/// Renders one struct definition.
+pub fn print_struct(out: &mut String, def: &crate::types::StructDef) {
+    let kw = if def.is_union { "union" } else { "struct" };
+    let _ = writeln!(out, "{kw} {} {{", def.name);
+    for f in &def.fields {
+        let _ = writeln!(out, "    {};", declarator(&f.ty, &f.name));
+    }
+    let _ = writeln!(out, "}};");
+}
+
+fn print_enum(out: &mut String, e: &EnumDef) {
+    let _ = write!(out, "enum");
+    if let Some(n) = &e.name {
+        let _ = write!(out, " {n}");
+    }
+    let _ = writeln!(out, " {{");
+    for (name, value) in &e.variants {
+        let _ = writeln!(out, "    {name} = {value},");
+    }
+    let _ = writeln!(out, "}};");
+}
+
+fn print_decl(out: &mut String, d: &FuncDecl) {
+    let _ = write!(out, "{} {}(", type_str(&d.ret), d.name);
+    print_params(out, &d.params, d.variadic);
+    let _ = writeln!(out, ");");
+}
+
+fn print_params(out: &mut String, params: &[Param], variadic: bool) {
+    if params.is_empty() && !variadic {
+        let _ = write!(out, "void");
+        return;
+    }
+    for (i, p) in params.iter().enumerate() {
+        if i > 0 {
+            let _ = write!(out, ", ");
+        }
+        let _ = write!(out, "{}", declarator(&p.ty, &p.name));
+    }
+    if variadic {
+        if !params.is_empty() {
+            let _ = write!(out, ", ");
+        }
+        let _ = write!(out, "...");
+    }
+}
+
+fn print_global(out: &mut String, g: &GlobalDef) {
+    if g.is_static {
+        let _ = write!(out, "static ");
+    }
+    if g.is_const {
+        let _ = write!(out, "const ");
+    }
+    let _ = write!(out, "{}", declarator(&g.ty, &g.name));
+    if let Some(init) = &g.init {
+        let _ = write!(out, " = ");
+        print_initializer(out, init);
+    }
+    let _ = writeln!(out, ";");
+}
+
+fn print_initializer(out: &mut String, init: &Initializer) {
+    match init {
+        Initializer::Expr(e) => {
+            let _ = write!(out, "{}", expr_str(e));
+        }
+        Initializer::Designated(pairs) => {
+            let _ = write!(out, "{{ ");
+            for (i, (field, sub)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ", ");
+                }
+                let _ = write!(out, ".{field} = ");
+                print_initializer(out, sub);
+            }
+            let _ = write!(out, " }}");
+        }
+        Initializer::List(items) => {
+            let _ = write!(out, "{{ ");
+            for (i, sub) in items.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ", ");
+                }
+                print_initializer(out, sub);
+            }
+            let _ = write!(out, " }}");
+        }
+    }
+}
+
+/// Renders one function definition.
+pub fn print_function(out: &mut String, f: &Function) {
+    if f.is_static {
+        let _ = write!(out, "static ");
+    }
+    let _ = write!(out, "{} {}(", type_str(&f.ret), f.name);
+    print_params(out, &f.params, false);
+    let _ = writeln!(out, ")");
+    print_block(out, &f.body, 0);
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(out: &mut String, b: &Block, level: usize) {
+    indent(out, level);
+    out.push_str("{\n");
+    for s in &b.stmts {
+        print_stmt(out, s, level + 1);
+    }
+    indent(out, level);
+    out.push_str("}\n");
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
+    match &s.kind {
+        StmtKind::Decl { name, ty, init } => {
+            indent(out, level);
+            let _ = write!(out, "{}", declarator(ty, name));
+            if let Some(e) = init {
+                let _ = write!(out, " = {}", expr_str(e));
+            }
+            out.push_str(";\n");
+        }
+        StmtKind::Expr(e) => {
+            indent(out, level);
+            let _ = writeln!(out, "{};", expr_str(e));
+        }
+        StmtKind::Assign { lhs, rhs } => {
+            indent(out, level);
+            let _ = writeln!(out, "{} = {};", expr_str(lhs), expr_str(rhs));
+        }
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            indent(out, level);
+            let _ = writeln!(out, "if ({})", expr_str(cond));
+            print_block(out, then_blk, level);
+            if let Some(e) = else_blk {
+                indent(out, level);
+                out.push_str("else\n");
+                print_block(out, e, level);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            indent(out, level);
+            let _ = writeln!(out, "while ({})", expr_str(cond));
+            print_block(out, body, level);
+        }
+        StmtKind::DoWhile { body, cond } => {
+            indent(out, level);
+            out.push_str("do\n");
+            print_block(out, body, level);
+            indent(out, level);
+            let _ = writeln!(out, "while ({});", expr_str(cond));
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            indent(out, level);
+            out.push_str("for (");
+            if let Some(i) = init {
+                let _ = write!(out, "{}", stmt_inline(i));
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                let _ = write!(out, "{}", expr_str(c));
+            }
+            out.push_str("; ");
+            if let Some(st) = step {
+                let _ = write!(out, "{}", stmt_inline(st));
+            }
+            out.push_str(")\n");
+            print_block(out, body, level);
+        }
+        StmtKind::Switch { scrutinee, cases } => {
+            indent(out, level);
+            let _ = writeln!(out, "switch ({}) {{", expr_str(scrutinee));
+            for case in cases {
+                for l in &case.labels {
+                    indent(out, level);
+                    let _ = writeln!(out, "case {l}:");
+                }
+                if case.is_default {
+                    indent(out, level);
+                    out.push_str("default:\n");
+                }
+                for st in &case.body.stmts {
+                    print_stmt(out, st, level + 1);
+                }
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        StmtKind::Break => {
+            indent(out, level);
+            out.push_str("break;\n");
+        }
+        StmtKind::Continue => {
+            indent(out, level);
+            out.push_str("continue;\n");
+        }
+        StmtKind::Goto(label) => {
+            indent(out, level);
+            let _ = writeln!(out, "goto {label};");
+        }
+        StmtKind::Label(label) => {
+            let _ = writeln!(out, "{label}:");
+        }
+        StmtKind::Return(v) => {
+            indent(out, level);
+            match v {
+                Some(e) => {
+                    let _ = writeln!(out, "return {};", expr_str(e));
+                }
+                None => out.push_str("return;\n"),
+            }
+        }
+        StmtKind::Block(b) => print_block(out, b, level),
+    }
+}
+
+/// Renders a statement without trailing `;` (for `for` clauses).
+fn stmt_inline(s: &Stmt) -> String {
+    match &s.kind {
+        StmtKind::Decl { name, ty, init } => {
+            let mut out = declarator(ty, name);
+            if let Some(e) = init {
+                let _ = write!(out, " = {}", expr_str(e));
+            }
+            out
+        }
+        StmtKind::Assign { lhs, rhs } => format!("{} = {}", expr_str(lhs), expr_str(rhs)),
+        StmtKind::Expr(e) => expr_str(e),
+        _ => String::new(),
+    }
+}
+
+/// Renders `ty name`, handling function-pointer and array declarators.
+pub fn declarator(ty: &Type, name: &str) -> String {
+    match ty {
+        Type::Ptr(inner) => {
+            if let Type::Func(sig) = inner.as_ref() {
+                return fn_ptr_declarator(sig, name);
+            }
+            format!("{} *{name}", type_str(inner))
+        }
+        Type::Array(elem, n) => format!("{} {name}[{n}]", type_str(elem)),
+        other => format!("{} {name}", type_str(other)),
+    }
+}
+
+fn fn_ptr_declarator(sig: &FuncSig, name: &str) -> String {
+    let mut out = format!("{} (*{name})(", type_str(&sig.ret));
+    if sig.params.is_empty() {
+        out.push_str("void");
+    }
+    for (i, p) in sig.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&declarator(p, ""));
+    }
+    out.push(')');
+    out
+}
+
+/// Renders a type in prefix position (without a declarator name).
+pub fn type_str(ty: &Type) -> String {
+    match ty {
+        Type::Void => "void".into(),
+        Type::Int => "int".into(),
+        Type::Long => "long".into(),
+        Type::UInt => "unsigned".into(),
+        Type::ULong => "unsigned long".into(),
+        Type::Char => "char".into(),
+        Type::Bool => "bool".into(),
+        Type::Ptr(inner) => format!("{} *", type_str(inner)),
+        Type::Array(elem, n) => format!("{}[{n}]", type_str(elem)),
+        Type::Struct(n) => format!("struct {n}"),
+        Type::Func(sig) => fn_ptr_declarator(sig, ""),
+        Type::Error => "int".into(),
+    }
+}
+
+/// Renders an expression with full parenthesization of compound operands.
+pub fn expr_str(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::IntLit(v) => v.to_string(),
+        ExprKind::CharLit(v) => format!("{v}"),
+        ExprKind::StrLit(s) => format!("{s:?}"),
+        ExprKind::Null => "NULL".into(),
+        ExprKind::Ident(n) => n.clone(),
+        ExprKind::Unary(op, inner) => {
+            let o = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+                UnOp::BitNot => "~",
+                UnOp::Deref => "*",
+                UnOp::Addr => "&",
+            };
+            format!("{o}{}", atom(inner))
+        }
+        ExprKind::Binary(op, l, r) => {
+            format!("{} {} {}", atom(l), op.as_str(), atom(r))
+        }
+        ExprKind::Call { callee, args } => {
+            let mut out = format!("{}(", atom_callee(callee));
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&expr_str(a));
+            }
+            out.push(')');
+            out
+        }
+        ExprKind::Member { base, field, arrow } => {
+            format!("{}{}{field}", atom(base), if *arrow { "->" } else { "." })
+        }
+        ExprKind::Index { base, index } => format!("{}[{}]", atom(base), expr_str(index)),
+        ExprKind::Cast { ty, expr } => format!("({}){}", type_str(ty), atom(expr)),
+        ExprKind::Sizeof(ty) => format!("sizeof({})", type_str(ty)),
+        ExprKind::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => format!("{} ? {} : {}", atom(cond), atom(then_e), atom(else_e)),
+        ExprKind::AssignExpr { lhs, rhs } => {
+            format!("({} = {})", expr_str(lhs), expr_str(rhs))
+        }
+    }
+}
+
+/// Parenthesizes compound subexpressions.
+fn atom(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::IntLit(v) if *v < 0 => format!("({v})"),
+        ExprKind::IntLit(_)
+        | ExprKind::CharLit(_)
+        | ExprKind::StrLit(_)
+        | ExprKind::Null
+        | ExprKind::Ident(_)
+        | ExprKind::Call { .. }
+        | ExprKind::Member { .. }
+        | ExprKind::Index { .. }
+        | ExprKind::Sizeof(_) => expr_str(e),
+        _ => format!("({})", expr_str(e)),
+    }
+}
+
+fn atom_callee(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::Ident(_) | ExprKind::Member { .. } => expr_str(e),
+        _ => format!("({})", expr_str(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn roundtrip(src: &str) {
+        let tu = compile(src, "t.c").unwrap();
+        let printed = print_unit(&tu);
+        // Struct defs aren't replayed by print_unit; prepend originals.
+        let again = compile(&format!("{src_structs}\n{printed}", src_structs = structs_of(src)), "t2.c");
+        assert!(again.is_ok(), "re-parse failed:\n{printed}\n{:?}", again.err());
+    }
+
+    /// Extracts struct/union/enum definition lines from the source so
+    /// round-trip tests can re-supply them.
+    fn structs_of(src: &str) -> String {
+        let mut out = String::new();
+        let mut depth = 0;
+        let mut capturing = false;
+        for line in src.lines() {
+            let t = line.trim_start();
+            if depth == 0
+                && ((t.starts_with("struct") || t.starts_with("union")) && t.contains('{'))
+            {
+                capturing = true;
+            }
+            if capturing {
+                out.push_str(line);
+                out.push('\n');
+                depth += line.matches('{').count() as i32 - line.matches('}').count() as i32;
+                if depth == 0 && line.contains('}') {
+                    capturing = false;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrips_fig3_patch_shape() {
+        roundtrip(
+            "#define ENOMEM 12\n\
+             struct riscmem { int *cpu; };\n\
+             void *dma_alloc_coherent(unsigned long size);\n\
+             int vbibuffer(struct riscmem *risc) {\n\
+               risc->cpu = dma_alloc_coherent(64);\n\
+               if (risc->cpu == NULL) return -ENOMEM;\n\
+               return 0;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_control_flow_zoo() {
+        roundtrip(
+            "int f(int n) {\n\
+               int acc = 0;\n\
+               int i;\n\
+               for (i = 0; i < n; i++) { acc += i; }\n\
+               while (acc > 100) { acc /= 2; }\n\
+               do { acc = acc - 1; } while (acc > 50);\n\
+               switch (acc) { case 0: return 0; case 1: return 1; default: break; }\n\
+               return acc > 0 ? acc : -acc;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_designated_initializer() {
+        roundtrip(
+            "struct ops { int (*cb)(int x); };\n\
+             int impl_cb(int x) { return x; }\n\
+             struct ops table = { .cb = impl_cb, };",
+        );
+    }
+
+    #[test]
+    fn declarator_forms() {
+        assert_eq!(declarator(&Type::Int, "x"), "int x");
+        assert_eq!(
+            declarator(&Type::Ptr(Box::new(Type::Struct("dev".into()))), "d"),
+            "struct dev *d"
+        );
+        assert_eq!(
+            declarator(&Type::Array(Box::new(Type::Char), 34), "block"),
+            "char block[34]"
+        );
+        let fp = Type::Ptr(Box::new(Type::Func(Box::new(FuncSig {
+            ret: Type::Int,
+            params: vec![Type::Int],
+            variadic: false,
+        }))));
+        assert_eq!(declarator(&fp, "cb"), "int (*cb)(int )");
+    }
+
+    #[test]
+    fn negative_literal_parenthesized() {
+        let tu = compile("int f(void) { return 0 - 12; }", "t.c").unwrap();
+        let printed = print_unit(&tu);
+        assert!(printed.contains("return 0 - 12;"));
+    }
+}

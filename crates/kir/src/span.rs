@@ -1,0 +1,69 @@
+//! Source locations.
+//!
+//! The paper's prototype compiles with `-g` to keep line numbers on PDG
+//! nodes (§7, "LLVM Bitcode Generation"); spans are this crate's equivalent.
+
+use std::fmt;
+
+/// A half-open region of source text, tracked as line/column of its start.
+///
+/// Only the start position participates in equality-insensitive comparisons
+/// downstream: the path-matching step of PDG differentiation explicitly
+/// ignores line numbers ("the statements inside paths are identical despite
+/// different line numbers", §5 Step 2), so spans are carried for reporting
+/// but never used as statement identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Span {
+    /// 1-based line of the first token.
+    pub line: u32,
+    /// 1-based column of the first token.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span that refers to no real source location (synthesized nodes).
+    pub const DUMMY: Span = Span { line: 0, col: 0 };
+
+    /// Creates a span at the given 1-based line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+
+    /// Returns true if this span was synthesized rather than parsed.
+    pub fn is_dummy(&self) -> bool {
+        self.line == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_dummy() {
+            write!(f, "<synthesized>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_is_dummy() {
+        assert!(Span::DUMMY.is_dummy());
+        assert!(!Span::new(1, 1).is_dummy());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Span::new(12, 3).to_string(), "12:3");
+        assert_eq!(Span::DUMMY.to_string(), "<synthesized>");
+    }
+
+    #[test]
+    fn ordering_is_line_major() {
+        assert!(Span::new(1, 9) < Span::new(2, 1));
+        assert!(Span::new(2, 1) < Span::new(2, 5));
+    }
+}

@@ -1,0 +1,84 @@
+//! Tests for multi-file linking (`compile_many`).
+
+use seal_kir::compile_many;
+
+const HEADER: &str = "
+struct riscmem { int *cpu; };
+void *dma_alloc_coherent(unsigned long size);
+struct vb2_ops { int (*buf_prepare)(struct riscmem *risc); };
+";
+
+#[test]
+fn links_two_driver_files_sharing_a_header() {
+    let a = format!(
+        "{HEADER}int cx_prepare(struct riscmem *r) {{\n\
+         r->cpu = (int *)dma_alloc_coherent(64);\n\
+         if (r->cpu == NULL) return -12;\n\
+         return 0;\n}}\n\
+         struct vb2_ops cx_q = {{ .buf_prepare = cx_prepare, }};"
+    );
+    let b = format!(
+        "{HEADER}int tw_prepare(struct riscmem *r) {{ return cx_prepare(r); }}\n\
+         struct vb2_ops tw_q = {{ .buf_prepare = tw_prepare, }};"
+    );
+    let tu = compile_many(&[("cx.c", a.as_str()), ("tw.c", b.as_str())]).unwrap();
+    assert!(tu.function("cx_prepare").is_some());
+    assert!(tu.function("tw_prepare").is_some());
+    assert_eq!(tu.file, "cx.c+tw.c");
+    // The merged module sees both implementations of the interface.
+    let module = seal_ir::lower(&tu);
+    let iface = seal_ir::InterfaceId::new("vb2_ops", "buf_prepare");
+    assert_eq!(module.implementations(&iface).len(), 2);
+}
+
+#[test]
+fn cross_file_call_resolves_after_link() {
+    // File B calls a function only defined in file A: must type-check as a
+    // real call (not an implicit API) after linking.
+    let a = "int shared_helper(int x) { return x + 1; }";
+    let b = "int user(int x) { return shared_helper(x); }";
+    let tu = compile_many(&[("a.c", a), ("b.c", b)]).unwrap();
+    // shared_helper is a definition, not an implicit decl.
+    assert!(tu.decl("shared_helper").is_none());
+    let module = seal_ir::lower(&tu);
+    assert!(!module.is_api("shared_helper"));
+}
+
+#[test]
+fn duplicate_function_definition_is_a_link_error() {
+    let a = "int f(void) { return 1; }";
+    let b = "int f(void) { return 2; }";
+    let err = compile_many(&[("a.c", a), ("b.c", b)]).unwrap_err();
+    assert!(err.first_message().contains("duplicate definition of function"));
+}
+
+#[test]
+fn conflicting_struct_definitions_are_a_link_error() {
+    let a = "struct s { int x; };";
+    let b = "struct s { long y; };";
+    let err = compile_many(&[("a.c", a), ("b.c", b)]).unwrap_err();
+    assert!(err.first_message().contains("conflicting definitions"));
+}
+
+#[test]
+fn duplicate_global_is_a_link_error() {
+    let a = "int shared_counter;";
+    let b = "int shared_counter;";
+    let err = compile_many(&[("a.c", a), ("b.c", b)]).unwrap_err();
+    assert!(err.first_message().contains("duplicate definition of global"));
+}
+
+#[test]
+fn identical_headers_do_not_conflict() {
+    let a = format!("{HEADER}int f(struct riscmem *r) {{ return 0; }}");
+    let b = format!("{HEADER}int g(struct riscmem *r) {{ return 1; }}");
+    assert!(compile_many(&[("a.c", a.as_str()), ("b.c", b.as_str())]).is_ok());
+}
+
+#[test]
+fn single_file_matches_compile() {
+    let src = "int f(int x) { return x; }";
+    let one = seal_kir::compile(src, "x.c").unwrap();
+    let many = compile_many(&[("x.c", src)]).unwrap();
+    assert_eq!(one.functions.len(), many.functions.len());
+}

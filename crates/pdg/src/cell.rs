@@ -1,0 +1,212 @@
+//! Abstract memory cells: field-sensitive access paths.
+//!
+//! A [`Cell`] names a memory object reachable from an analysis root —
+//! a parameter's pointee, a global, an address-taken local, or an API call
+//! result — through a chain of byte-offset field projections, element
+//! accesses, and pointer indirections. Two cells *may alias* when their
+//! roots coincide and their paths match element-wise; paths longer than
+//! [`K_LIMIT`] are summarized and alias anything sharing their prefix.
+//! This is the access-path flavor of the paper's field-sensitive alias
+//! reasoning (§7: fields distinguished "by the byte offsets from the base
+//! pointer").
+
+use seal_ir::ids::{FuncId, InstLoc, LocalId};
+use std::fmt;
+
+/// Path length bound; longer paths summarize.
+pub const K_LIMIT: usize = 8;
+
+/// Root of an access path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CellRoot {
+    /// The storage of a local slot (address-taken locals, struct locals).
+    Local(FuncId, LocalId),
+    /// A global variable's storage.
+    Global(String),
+    /// The unnamed object a pointer parameter points to.
+    ParamObj(FuncId, usize),
+    /// The unnamed object returned by a call (API allocation results).
+    RetObj(InstLoc),
+    /// Static string data.
+    Str,
+}
+
+/// One element of an access path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PathElem {
+    /// Struct field at a byte offset.
+    Field(u64),
+    /// Some array element (index-insensitive).
+    Index,
+    /// Pointer indirection: the object the cell's content points to.
+    Deref,
+}
+
+/// An abstract memory cell.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cell {
+    /// Path root.
+    pub root: CellRoot,
+    /// Projection chain (k-limited).
+    pub path: Vec<PathElem>,
+    /// True when the path was truncated at [`K_LIMIT`]; a summary cell
+    /// aliases every extension of its prefix.
+    pub summary: bool,
+}
+
+impl Cell {
+    /// A cell at a bare root.
+    pub fn root(root: CellRoot) -> Self {
+        Cell {
+            root,
+            path: vec![],
+            summary: false,
+        }
+    }
+
+    /// Extends the path by one element, applying the k-limit.
+    pub fn extend(&self, elem: PathElem) -> Cell {
+        if self.summary {
+            return self.clone();
+        }
+        let mut path = self.path.clone();
+        path.push(elem);
+        if path.len() > K_LIMIT {
+            path.truncate(K_LIMIT);
+            Cell {
+                root: self.root.clone(),
+                path,
+                summary: true,
+            }
+        } else {
+            Cell {
+                root: self.root.clone(),
+                path,
+                summary: false,
+            }
+        }
+    }
+
+    /// Extends by a sequence of elements.
+    pub fn extend_all(&self, elems: &[PathElem]) -> Cell {
+        let mut c = self.clone();
+        for e in elems {
+            c = c.extend(*e);
+        }
+        c
+    }
+
+    /// May-alias: equal roots and element-wise compatible paths; summary
+    /// cells alias anything extending their prefix.
+    pub fn may_alias(&self, other: &Cell) -> bool {
+        if self.root != other.root {
+            return false;
+        }
+        let n = self.path.len().min(other.path.len());
+        if self.path[..n] != other.path[..n] {
+            return false;
+        }
+        if self.path.len() == other.path.len() {
+            return true;
+        }
+        // Different lengths only alias through a summary prefix.
+        if self.path.len() < other.path.len() {
+            self.summary
+        } else {
+            other.summary
+        }
+    }
+
+    /// Must-alias (used for store kills): exact equality, no summaries, and
+    /// no index elements (different indices may differ at runtime).
+    pub fn must_alias(&self, other: &Cell) -> bool {
+        self == other
+            && !self.summary
+            && !self.path.iter().any(|e| matches!(e, PathElem::Index))
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.root {
+            CellRoot::Local(fid, l) => write!(f, "{fid}:{l}")?,
+            CellRoot::Global(g) => write!(f, "@{g}")?,
+            CellRoot::ParamObj(fid, i) => write!(f, "{fid}:param{i}*")?,
+            CellRoot::RetObj(loc) => write!(f, "ret@{loc}")?,
+            CellRoot::Str => write!(f, "<str>")?,
+        }
+        for e in &self.path {
+            match e {
+                PathElem::Field(off) => write!(f, ".{off}")?,
+                PathElem::Index => write!(f, "[*]")?,
+                PathElem::Deref => write!(f, ".*")?,
+            }
+        }
+        if self.summary {
+            write!(f, "...")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p0() -> Cell {
+        Cell::root(CellRoot::ParamObj(FuncId(0), 0))
+    }
+
+    #[test]
+    fn extend_and_display() {
+        let c = p0().extend(PathElem::Field(8)).extend(PathElem::Deref);
+        assert_eq!(c.path.len(), 2);
+        assert_eq!(c.to_string(), "fn0:param0*.8.*");
+    }
+
+    #[test]
+    fn may_alias_same_path() {
+        let a = p0().extend(PathElem::Field(8));
+        let b = p0().extend(PathElem::Field(8));
+        assert!(a.may_alias(&b));
+        let c = p0().extend(PathElem::Field(16));
+        assert!(!a.may_alias(&c));
+    }
+
+    #[test]
+    fn different_roots_never_alias() {
+        let a = p0();
+        let b = Cell::root(CellRoot::Global("telem_ida".into()));
+        assert!(!a.may_alias(&b));
+    }
+
+    #[test]
+    fn length_mismatch_requires_summary() {
+        let short = p0();
+        let long = p0().extend(PathElem::Field(8));
+        assert!(!short.may_alias(&long));
+        let mut summary = p0();
+        summary.summary = true;
+        assert!(summary.may_alias(&long));
+    }
+
+    #[test]
+    fn k_limit_truncates_to_summary() {
+        let mut c = p0();
+        for _ in 0..(K_LIMIT + 3) {
+            c = c.extend(PathElem::Deref);
+        }
+        assert!(c.summary);
+        assert_eq!(c.path.len(), K_LIMIT);
+    }
+
+    #[test]
+    fn must_alias_excludes_index() {
+        let a = p0().extend(PathElem::Index);
+        let b = p0().extend(PathElem::Index);
+        assert!(a.may_alias(&b));
+        assert!(!a.must_alias(&b));
+        let c = p0().extend(PathElem::Field(4));
+        assert!(c.must_alias(&c.clone()));
+    }
+}

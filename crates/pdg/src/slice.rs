@@ -1,0 +1,647 @@
+//! Value-flow path enumeration (Def. 6.2) by forward/backward slicing.
+//!
+//! Paths run from *interaction-data sources* (interface parameters, API
+//! returns, globals, literals) to *uses* (API arguments, interface returns,
+//! global stores, sensitive operations). Slicing follows data-dependence
+//! edges only; conditions come from [`crate::cond`], and enumeration is
+//! budgeted (depth and path-count caps) the way the paper bounds its
+//! inter-procedural searching with summaries (§6.2.3).
+
+use crate::cond::{CondCtx, CondVar};
+use crate::graph::{NodeId, NodeKind, Pdg, UseKind};
+use seal_ir::tac::{Inst, Operand, Rvalue, Terminator};
+use seal_solver::Formula;
+use std::collections::BTreeSet;
+
+/// Budgets for path enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct SliceConfig {
+    /// Maximum path length in nodes.
+    pub max_depth: usize,
+    /// Maximum number of paths returned per query.
+    pub max_paths: usize,
+}
+
+impl Default for SliceConfig {
+    fn default() -> Self {
+        SliceConfig {
+            max_depth: 48,
+            max_paths: 512,
+        }
+    }
+}
+
+/// One inter-procedural value-flow path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueFlowPath {
+    /// Nodes from source to sink.
+    pub nodes: Vec<NodeId>,
+    /// Path condition `Ψ(p)` over PDG value nodes.
+    pub cond: Formula<CondVar>,
+    /// Classification of the final hop, when it is a `U`-domain use.
+    pub sink_kind: Option<UseKind>,
+}
+
+impl ValueFlowPath {
+    /// Source node.
+    pub fn source(&self) -> NodeId {
+        *self.nodes.first().expect("paths are non-empty")
+    }
+
+    /// Sink node.
+    pub fn sink(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// Stable structural signature, line-number free (paper §5 step 2:
+    /// "statements inside paths are identical despite different line
+    /// numbers").
+    pub fn signature(&self, pdg: &Pdg<'_>) -> String {
+        self.nodes
+            .iter()
+            .map(|&n| node_signature(pdg, n))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+/// Whether a node originates interaction data (a Fig. 2 `V` element):
+/// parameters of interface implementations or scope entries, API call
+/// results, globals, and literals.
+pub fn is_source(pdg: &Pdg<'_>, n: NodeId) -> bool {
+    match pdg.kind(n) {
+        NodeKind::Param { func, .. } => {
+            let name = &pdg.module.body(*func).name;
+            !pdg.module.interfaces_of(name).is_empty() || pdg.data_preds(n).is_empty()
+        }
+        NodeKind::GlobalDef { .. } | NodeKind::ConstArg { .. } => true,
+        NodeKind::Ret { .. } => false,
+        NodeKind::Inst(loc) => {
+            if loc.is_terminator() {
+                return matches!(
+                    pdg.module.body(loc.func).block(loc.block).terminator,
+                    Terminator::Return(Some(Operand::Const(_)))
+                        | Terminator::Return(Some(Operand::Null))
+                );
+            }
+            match pdg.module.body(loc.func).inst_at(*loc) {
+                Some(Inst::Call { callee, dest, .. }) => {
+                    dest.is_some()
+                        && matches!(callee, seal_ir::tac::Callee::Direct(name) if pdg.module.is_api(name))
+                }
+                Some(Inst::Assign {
+                    rv: Rvalue::Use(Operand::Const(_) | Operand::Null),
+                    ..
+                }) => true,
+                Some(Inst::Store {
+                    value: Operand::Const(_) | Operand::Null,
+                    ..
+                }) => true,
+                _ => false,
+            }
+        }
+    }
+}
+
+/// Literal value carried by a source node, when the source is a literal.
+pub fn literal_of(pdg: &Pdg<'_>, n: NodeId) -> Option<i64> {
+    match pdg.kind(n) {
+        NodeKind::ConstArg { value, .. } => Some(*value),
+        NodeKind::Inst(loc) => {
+            if loc.is_terminator() {
+                match &pdg.module.body(loc.func).block(loc.block).terminator {
+                    Terminator::Return(Some(Operand::Const(c))) => Some(*c),
+                    Terminator::Return(Some(Operand::Null)) => Some(0),
+                    _ => None,
+                }
+            } else {
+                match pdg.module.body(loc.func).inst_at(*loc) {
+                    Some(Inst::Assign {
+                        rv: Rvalue::Use(Operand::Const(c)),
+                        ..
+                    }) => Some(*c),
+                    Some(Inst::Assign {
+                        rv: Rvalue::Use(Operand::Null),
+                        ..
+                    }) => Some(0),
+                    Some(Inst::Store {
+                        value: Operand::Const(c),
+                        ..
+                    }) => Some(*c),
+                    Some(Inst::Store {
+                        value: Operand::Null,
+                        ..
+                    }) => Some(0),
+                    _ => None,
+                }
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Enumerates forward value-flow paths from `start` to sinks.
+pub fn forward_paths(
+    pdg: &Pdg<'_>,
+    cctx: &mut CondCtx<'_, '_>,
+    start: NodeId,
+    cfg: SliceConfig,
+) -> Vec<ValueFlowPath> {
+    let mut out = Vec::new();
+    let mut stack = vec![start];
+    dfs_forward(pdg, cctx, &mut stack, &mut out, cfg);
+    out
+}
+
+fn dfs_forward(
+    pdg: &Pdg<'_>,
+    cctx: &mut CondCtx<'_, '_>,
+    stack: &mut Vec<NodeId>,
+    out: &mut Vec<ValueFlowPath>,
+    cfg: SliceConfig,
+) {
+    if out.len() >= cfg.max_paths {
+        return;
+    }
+    let cur = *stack.last().expect("stack never empty");
+    if stack.len() >= cfg.max_depth {
+        out.push(finish_path(pdg, cctx, stack, None));
+        return;
+    }
+    let succs: Vec<NodeId> = pdg.data_succs(cur).to_vec();
+    let mut extended = false;
+    for next in succs {
+        if stack.contains(&next) {
+            continue; // cycle
+        }
+        let kind = pdg.use_kind(cur, next);
+        if kind.is_sink() {
+            let mut nodes = stack.clone();
+            nodes.push(next);
+            out.push(finish_path_nodes(pdg, cctx, nodes, Some(kind)));
+            if out.len() >= cfg.max_paths {
+                return;
+            }
+            // A use is not the end of the value: a dereference loads a new
+            // value that keeps flowing (Fig. 6(a) passes through loads of
+            // `risc->cpu`), so traversal continues past the sink.
+        }
+        stack.push(next);
+        dfs_forward(pdg, cctx, stack, out, cfg);
+        stack.pop();
+        extended = true;
+    }
+    if !extended {
+        // Dead end: record the path so the differ can observe removals of
+        // flows that previously reached further (paths ending at
+        // irrelevant locals are filtered by the caller).
+        out.push(finish_path(pdg, cctx, stack, None));
+    }
+}
+
+/// Enumerates backward value-flow paths from `end` to sources. Returned
+/// paths are oriented source → end.
+pub fn backward_paths(
+    pdg: &Pdg<'_>,
+    cctx: &mut CondCtx<'_, '_>,
+    end: NodeId,
+    cfg: SliceConfig,
+) -> Vec<ValueFlowPath> {
+    let mut out = Vec::new();
+    let mut stack = vec![end];
+    dfs_backward(pdg, cctx, &mut stack, &mut out, cfg);
+    out
+}
+
+fn dfs_backward(
+    pdg: &Pdg<'_>,
+    cctx: &mut CondCtx<'_, '_>,
+    stack: &mut Vec<NodeId>,
+    out: &mut Vec<ValueFlowPath>,
+    cfg: SliceConfig,
+) {
+    if out.len() >= cfg.max_paths {
+        return;
+    }
+    let cur = *stack.last().expect("stack never empty");
+    if is_source(pdg, cur) || stack.len() >= cfg.max_depth {
+        let nodes: Vec<NodeId> = stack.iter().rev().copied().collect();
+        out.push(finish_path_nodes(pdg, cctx, nodes, None));
+        return;
+    }
+    let preds: Vec<NodeId> = pdg.data_preds(cur).to_vec();
+    if preds.is_empty() {
+        let nodes: Vec<NodeId> = stack.iter().rev().copied().collect();
+        out.push(finish_path_nodes(pdg, cctx, nodes, None));
+        return;
+    }
+    for prev in preds {
+        if stack.contains(&prev) {
+            continue;
+        }
+        stack.push(prev);
+        dfs_backward(pdg, cctx, stack, out, cfg);
+        stack.pop();
+        if out.len() >= cfg.max_paths {
+            return;
+        }
+    }
+}
+
+/// Full source→sink paths passing through a criterion node (§6.2.1).
+pub fn paths_through(
+    pdg: &Pdg<'_>,
+    cctx: &mut CondCtx<'_, '_>,
+    criterion: NodeId,
+    cfg: SliceConfig,
+) -> Vec<ValueFlowPath> {
+    let back = backward_paths(pdg, cctx, criterion, cfg);
+    let fwd = forward_paths(pdg, cctx, criterion, cfg);
+    let mut out = Vec::new();
+    for b in &back {
+        for f in &fwd {
+            if out.len() >= cfg.max_paths {
+                return out;
+            }
+            // Join at the criterion (drop the duplicated node).
+            let mut nodes = b.nodes.clone();
+            nodes.extend(f.nodes.iter().skip(1).copied());
+            // Reject joins that revisit nodes (spurious cycles).
+            let set: BTreeSet<NodeId> = nodes.iter().copied().collect();
+            if set.len() != nodes.len() {
+                continue;
+            }
+            out.push(finish_path_nodes(pdg, cctx, nodes, f.sink_kind.clone()));
+        }
+    }
+    out
+}
+
+fn finish_path(
+    pdg: &Pdg<'_>,
+    cctx: &mut CondCtx<'_, '_>,
+    stack: &[NodeId],
+    sink_kind: Option<UseKind>,
+) -> ValueFlowPath {
+    finish_path_nodes(pdg, cctx, stack.to_vec(), sink_kind)
+}
+
+fn finish_path_nodes(
+    _pdg: &Pdg<'_>,
+    cctx: &mut CondCtx<'_, '_>,
+    nodes: Vec<NodeId>,
+    sink_kind: Option<UseKind>,
+) -> ValueFlowPath {
+    // Ψ(p): conjunction of per-node execution conditions, deduplicated.
+    let mut conjuncts: BTreeSet<Formula<CondVar>> = BTreeSet::new();
+    for &n in &nodes {
+        let c = cctx.node_cond(n);
+        collect_conjuncts(c, &mut conjuncts);
+    }
+    let cond = conjuncts
+        .into_iter()
+        .fold(Formula::True, Formula::and);
+    ValueFlowPath {
+        nodes,
+        cond,
+        sink_kind,
+    }
+}
+
+fn collect_conjuncts(f: Formula<CondVar>, out: &mut BTreeSet<Formula<CondVar>>) {
+    match f {
+        Formula::True => {}
+        Formula::And(xs) => {
+            for x in xs {
+                collect_conjuncts(x, out);
+            }
+        }
+        other => {
+            out.insert(other);
+        }
+    }
+}
+
+/// A stable, line-number-free signature for a node, used to match paths
+/// across pre-/post-patch PDGs. Named locals print by name, temporaries as
+/// `_`, so renumbering between versions does not break matching.
+pub fn node_signature(pdg: &Pdg<'_>, n: NodeId) -> String {
+    let render_op = |func: seal_ir::ids::FuncId, op: &Operand| -> String {
+        match op {
+            Operand::Local(l) => {
+                let decl = &pdg.module.body(func).locals[l.index()];
+                if decl.is_temp {
+                    "_".to_string()
+                } else {
+                    decl.name.clone()
+                }
+            }
+            other => other.to_string(),
+        }
+    };
+    match pdg.kind(n) {
+        NodeKind::Param { func, index } => {
+            format!("{}#param{}", pdg.module.body(*func).name, index)
+        }
+        NodeKind::Ret { func } => format!("{}#ret", pdg.module.body(*func).name),
+        NodeKind::GlobalDef { name } => format!("@{name}"),
+        NodeKind::ConstArg { value, index, .. } => format!("const{value}#arg{index}"),
+        NodeKind::Inst(loc) => {
+            let body = pdg.module.body(loc.func);
+            let fname = &body.name;
+            if loc.is_terminator() {
+                let t = &body.block(loc.block).terminator;
+                return match t {
+                    Terminator::Return(Some(op)) => {
+                        format!("{fname}#ret({})", render_op(loc.func, op))
+                    }
+                    Terminator::Return(None) => format!("{fname}#ret()"),
+                    Terminator::Branch { cond, .. } => {
+                        format!("{fname}#br({})", render_op(loc.func, cond))
+                    }
+                    Terminator::Switch { disc, .. } => {
+                        format!("{fname}#switch({})", render_op(loc.func, disc))
+                    }
+                    _ => format!("{fname}#goto"),
+                };
+            }
+            let inst = body.inst_at(*loc).expect("non-terminator");
+            let sig = match inst {
+                Inst::Assign { rv, .. } => match rv {
+                    Rvalue::Use(a) => format!("use({})", render_op(loc.func, a)),
+                    Rvalue::Unary(op, a) => {
+                        format!("un({op:?},{})", render_op(loc.func, a))
+                    }
+                    Rvalue::Binary(op, a, b) => format!(
+                        "bin({},{},{})",
+                        op.as_str(),
+                        render_op(loc.func, a),
+                        render_op(loc.func, b)
+                    ),
+                },
+                Inst::Load { place, .. } => format!("load({})", place_sig(pdg, loc.func, place)),
+                Inst::Store { place, value } => format!(
+                    "store({},{})",
+                    place_sig(pdg, loc.func, place),
+                    render_op(loc.func, value)
+                ),
+                Inst::AddrOf { place, .. } => {
+                    format!("addr({})", place_sig(pdg, loc.func, place))
+                }
+                Inst::Call { callee, args, .. } => {
+                    let target = match callee {
+                        seal_ir::tac::Callee::Direct(name) => name.clone(),
+                        seal_ir::tac::Callee::Indirect { via_field, .. } => via_field
+                            .as_ref()
+                            .map(|(s, f)| format!("{s}::{f}"))
+                            .unwrap_or_else(|| "*".to_string()),
+                    };
+                    let rendered: Vec<String> =
+                        args.iter().map(|a| render_op(loc.func, a)).collect();
+                    format!("call {target}({})", rendered.join(","))
+                }
+            };
+            format!("{fname}#{sig}")
+        }
+    }
+}
+
+fn place_sig(pdg: &Pdg<'_>, func: seal_ir::ids::FuncId, place: &seal_ir::tac::Place) -> String {
+    use seal_ir::tac::{PlaceBase, Projection};
+    let mut s = match &place.base {
+        PlaceBase::Local(l) => {
+            let decl = &pdg.module.body(func).locals[l.index()];
+            if decl.is_temp {
+                "_".to_string()
+            } else {
+                decl.name.clone()
+            }
+        }
+        PlaceBase::Global(g) => format!("@{g}"),
+    };
+    for p in &place.projections {
+        match p {
+            Projection::Deref => s.push('*'),
+            Projection::Field { field, .. } => {
+                s.push('.');
+                s.push_str(field);
+            }
+            Projection::Index { .. } => s.push_str("[]"),
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seal_ir::callgraph::CallGraph;
+    use seal_ir::ids::FuncId;
+    use seal_ir::lower;
+    use seal_kir::compile;
+    use std::collections::BTreeSet;
+
+    fn setup(src: &str) -> (seal_ir::Module, CallGraph) {
+        let m = lower(&compile(src, "t.c").unwrap());
+        let cg = CallGraph::build(&m);
+        (m, cg)
+    }
+
+    fn full(m: &seal_ir::Module) -> BTreeSet<FuncId> {
+        (0..m.functions.len() as u32).map(FuncId).collect()
+    }
+
+    const FIG3_POST: &str = "\
+struct riscmem { int *cpu; };
+void *dma_alloc_coherent(unsigned long size);
+struct vb2_ops { int (*buf_prepare)(struct riscmem *risc); };
+int vbibuffer(struct riscmem *risc) {
+    risc->cpu = (int *)dma_alloc_coherent(64);
+    if (risc->cpu == NULL) return -12;
+    return 0;
+}
+int buffer_prepare(struct riscmem *risc) {
+    return vbibuffer(risc);
+}
+struct vb2_ops qops = { .buf_prepare = buffer_prepare, };
+";
+
+    #[test]
+    fn error_code_path_reaches_interface_return() {
+        let (m, cg) = setup(FIG3_POST);
+        let pdg = Pdg::build(&m, &cg, &full(&m));
+        let mut cctx = CondCtx::new(&pdg);
+        // Source: the `return -12` terminator in vbibuffer.
+        let f = m.function("vbibuffer").unwrap();
+        let src = f
+            .all_locs()
+            .find(|&loc| {
+                loc.is_terminator()
+                    && matches!(
+                        f.block(loc.block).terminator,
+                        Terminator::Return(Some(Operand::Const(-12)))
+                    )
+            })
+            .unwrap();
+        let n = pdg.node(&NodeKind::Inst(src)).unwrap();
+        assert!(is_source(&pdg, n), "literal return is a source");
+        assert_eq!(literal_of(&pdg, n), Some(-12));
+        let paths = forward_paths(&pdg, &mut cctx, n, SliceConfig::default());
+        // One of the paths must end at buffer_prepare's return.
+        let hit = paths.iter().find(|p| {
+            matches!(
+                &p.sink_kind,
+                Some(UseKind::FuncRet { func }) if func == "buffer_prepare"
+            )
+        });
+        assert!(hit.is_some(), "paths: {:#?}", paths.len());
+        // Its condition mentions the dma_alloc_coherent return == NULL.
+        let p = hit.unwrap();
+        assert!(p.cond.atom_count() >= 1);
+    }
+
+    #[test]
+    fn api_return_is_source() {
+        let (m, cg) = setup(FIG3_POST);
+        let pdg = Pdg::build(&m, &cg, &full(&m));
+        let f = m.function("vbibuffer").unwrap();
+        let call_loc = f
+            .inst_locs()
+            .find(|&loc| matches!(f.inst_at(loc), Some(Inst::Call { .. })))
+            .unwrap();
+        let n = pdg.node(&NodeKind::Inst(call_loc)).unwrap();
+        assert!(is_source(&pdg, n));
+    }
+
+    #[test]
+    fn backward_paths_reach_api_source() {
+        let (m, cg) = setup(
+            "void *dma_alloc_coherent(unsigned long size);\n\
+             void writeb(int v, int *addr);\n\
+             void f(void) {\n\
+               int *p = (int *)dma_alloc_coherent(8);\n\
+               writeb(1, p);\n\
+             }",
+        );
+        let pdg = Pdg::build(&m, &cg, &full(&m));
+        let mut cctx = CondCtx::new(&pdg);
+        let f = m.function("f").unwrap();
+        // The writeb call node.
+        let call_loc = f
+            .inst_locs()
+            .filter(|&loc| matches!(f.inst_at(loc), Some(Inst::Call { .. })))
+            .nth(1)
+            .unwrap();
+        let n = pdg.node(&NodeKind::Inst(call_loc)).unwrap();
+        let paths = backward_paths(&pdg, &mut cctx, n, SliceConfig::default());
+        assert!(paths
+            .iter()
+            .any(|p| is_source(&pdg, p.source())));
+    }
+
+    #[test]
+    fn paths_through_criterion_join() {
+        let (m, cg) = setup(
+            "int sanitize(int v) { return v; }\n\
+             int f(int x) { int y = sanitize(x); return y; }",
+        );
+        let pdg = Pdg::build(&m, &cg, &full(&m));
+        let mut cctx = CondCtx::new(&pdg);
+        // Criterion: the call instruction in f.
+        let f = m.function("f").unwrap();
+        let call_loc = f
+            .inst_locs()
+            .find(|&loc| matches!(f.inst_at(loc), Some(Inst::Call { .. })))
+            .unwrap();
+        let n = pdg.node(&NodeKind::Inst(call_loc)).unwrap();
+        let paths = paths_through(&pdg, &mut cctx, n, SliceConfig::default());
+        assert!(!paths.is_empty());
+        // Some path starts at f's x param and ends at f's return.
+        let fx = pdg
+            .node(&NodeKind::Param {
+                func: m.func_id("f").unwrap(),
+                index: 0,
+            })
+            .unwrap();
+        assert!(paths.iter().any(|p| p.source() == fx
+            && matches!(&p.sink_kind, Some(UseKind::FuncRet { func }) if func == "f")));
+    }
+
+    #[test]
+    fn signatures_ignore_line_numbers() {
+        let (m1, cg1) = setup("int f(int x) { int y = x + 1; return y; }");
+        let (m2, cg2) = setup("\n\n\nint f(int x) { int y = x + 1;\n\n return y; }");
+        let p1 = Pdg::build(&m1, &cg1, &full(&m1));
+        let p2 = Pdg::build(&m2, &cg2, &full(&m2));
+        let sigs1: BTreeSet<String> = (0..p1.len() as NodeId)
+            .map(|n| node_signature(&p1, n))
+            .collect();
+        let sigs2: BTreeSet<String> = (0..p2.len() as NodeId)
+            .map(|n| node_signature(&p2, n))
+            .collect();
+        assert_eq!(sigs1, sigs2);
+    }
+
+    #[test]
+    fn budget_limits_path_count() {
+        // A diamond chain produces exponentially many paths; the budget
+        // keeps enumeration bounded.
+        let mut src = String::from("int g(int v);\nint f(int x) { int a = x;\n");
+        for i in 0..10 {
+            src.push_str(&format!(
+                "if (x > {i}) {{ a = a + 1; }} else {{ a = a + 2; }}\n"
+            ));
+        }
+        src.push_str("return a; }\n");
+        let (m, cg) = setup(&src);
+        let pdg = Pdg::build(&m, &cg, &full(&m));
+        let mut cctx = CondCtx::new(&pdg);
+        let fx = pdg
+            .node(&NodeKind::Param {
+                func: m.func_id("f").unwrap(),
+                index: 0,
+            })
+            .unwrap();
+        let cfg = SliceConfig {
+            max_depth: 48,
+            max_paths: 64,
+        };
+        let paths = forward_paths(&pdg, &mut cctx, fx, cfg);
+        assert!(paths.len() <= 64);
+        assert!(!paths.is_empty());
+    }
+
+    #[test]
+    fn deref_sink_classified() {
+        let (m, cg) = setup("int f(int *p) { return *p; }");
+        let pdg = Pdg::build(&m, &cg, &full(&m));
+        let mut cctx = CondCtx::new(&pdg);
+        let px = pdg
+            .node(&NodeKind::Param {
+                func: m.func_id("f").unwrap(),
+                index: 0,
+            })
+            .unwrap();
+        let paths = forward_paths(&pdg, &mut cctx, px, SliceConfig::default());
+        assert!(paths
+            .iter()
+            .any(|p| p.sink_kind == Some(UseKind::Deref)));
+    }
+
+    #[test]
+    fn global_store_sink_classified() {
+        let (m, cg) = setup("int shared;\nvoid f(int x) { shared = x; }");
+        let pdg = Pdg::build(&m, &cg, &full(&m));
+        let mut cctx = CondCtx::new(&pdg);
+        let px = pdg
+            .node(&NodeKind::Param {
+                func: m.func_id("f").unwrap(),
+                index: 0,
+            })
+            .unwrap();
+        let paths = forward_paths(&pdg, &mut cctx, px, SliceConfig::default());
+        assert!(paths.iter().any(
+            |p| matches!(&p.sink_kind, Some(UseKind::GlobalStore { name }) if name == "shared")
+        ));
+    }
+}

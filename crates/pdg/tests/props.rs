@@ -1,0 +1,184 @@
+//! Property-based tests for the PDG substrate: alias-relation algebra,
+//! control-fact sanity on generated CFGs, and slicing invariants.
+
+use proptest::prelude::*;
+use seal_ir::callgraph::CallGraph;
+use seal_ir::ids::FuncId;
+use seal_pdg::cell::{Cell, CellRoot, PathElem};
+use seal_pdg::cond::CondCtx;
+use seal_pdg::graph::Pdg;
+use seal_pdg::slice::{backward_paths, forward_paths, is_source, SliceConfig};
+use std::collections::BTreeSet;
+
+fn root() -> impl Strategy<Value = CellRoot> {
+    prop_oneof![
+        (0u32..3, 0usize..3).prop_map(|(f, i)| CellRoot::ParamObj(FuncId(f), i)),
+        Just(CellRoot::Global("g".to_string())),
+        Just(CellRoot::Str),
+    ]
+}
+
+fn elem() -> impl Strategy<Value = PathElem> {
+    prop_oneof![
+        (0u64..4).prop_map(|o| PathElem::Field(o * 8)),
+        Just(PathElem::Index),
+        Just(PathElem::Deref),
+    ]
+}
+
+fn cell() -> impl Strategy<Value = Cell> {
+    (root(), prop::collection::vec(elem(), 0..6)).prop_map(|(r, path)| {
+        let mut c = Cell::root(r);
+        for e in path {
+            c = c.extend(e);
+        }
+        c
+    })
+}
+
+proptest! {
+    /// May-alias is reflexive and symmetric.
+    #[test]
+    fn may_alias_reflexive_symmetric(a in cell(), b in cell()) {
+        prop_assert!(a.may_alias(&a));
+        prop_assert_eq!(a.may_alias(&b), b.may_alias(&a));
+    }
+
+    /// Must-alias implies may-alias.
+    #[test]
+    fn must_implies_may(a in cell(), b in cell()) {
+        if a.must_alias(&b) {
+            prop_assert!(a.may_alias(&b));
+        }
+    }
+
+    /// Extending two cells by the same element preserves non-aliasing
+    /// (field-sensitivity is stable under projection).
+    #[test]
+    fn extension_preserves_disjointness(a in cell(), b in cell(), e in elem()) {
+        if !a.may_alias(&b) && !a.summary && !b.summary {
+            let (ea, eb) = (a.extend(e), b.extend(e));
+            prop_assert!(!ea.may_alias(&eb), "{a} vs {b} alias after .{e:?}");
+        }
+    }
+
+    /// Different fields of the same base never alias.
+    #[test]
+    fn sibling_fields_disjoint(a in cell(), o1 in 0u64..4, o2 in 0u64..4) {
+        prop_assume!(o1 != o2 && !a.summary);
+        let f1 = a.extend(PathElem::Field(o1 * 8));
+        let f2 = a.extend(PathElem::Field(o2 * 8));
+        prop_assert!(!f1.may_alias(&f2));
+    }
+}
+
+/// Generated branchy programs for whole-pipeline invariants.
+fn branchy_program() -> impl Strategy<Value = String> {
+    (
+        prop::collection::vec((0i64..64, 0u8..3), 1..5),
+        prop::collection::vec(any::<bool>(), 1..5),
+    )
+        .prop_map(|(conds, derefs)| {
+            let mut body = String::from("int acc = 0;\n");
+            for (i, ((c, kind), deref)) in conds.iter().zip(derefs.iter().cycle()).enumerate() {
+                let guard = match kind {
+                    0 => format!("x > {c}"),
+                    1 => format!("x == {c}"),
+                    _ => format!("x != {c}"),
+                };
+                let stmt = if *deref {
+                    "acc = acc + *p;".to_string()
+                } else {
+                    format!("acc = acc + {i};")
+                };
+                body.push_str(&format!("if ({guard}) {{ {stmt} }}\n"));
+            }
+            format!(
+                "int helper_api(int v);\n\
+                 int gen(int x, int *p) {{\n{body}\nreturn acc;\n}}"
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every enumerated forward path starts at its query node, stays
+    /// acyclic, and ends either at a sink or a dead end.
+    #[test]
+    fn forward_paths_are_simple(src in branchy_program()) {
+        let module = seal_ir::lower(&seal_kir::compile(&src, "g.c").unwrap());
+        let cg = CallGraph::build(&module);
+        let scope: BTreeSet<FuncId> =
+            (0..module.functions.len() as u32).map(FuncId).collect();
+        let pdg = Pdg::build(&module, &cg, &scope);
+        let mut cctx = CondCtx::new(&pdg);
+        for n in 0..pdg.nodes.len() as u32 {
+            if !is_source(&pdg, n) {
+                continue;
+            }
+            for p in forward_paths(&pdg, &mut cctx, n, SliceConfig::default()) {
+                prop_assert_eq!(p.source(), n);
+                let set: BTreeSet<_> = p.nodes.iter().collect();
+                prop_assert_eq!(set.len(), p.nodes.len(), "cycle in path");
+                // Consecutive nodes are data-connected.
+                for w in p.nodes.windows(2) {
+                    prop_assert!(pdg.data_succs(w[0]).contains(&w[1]));
+                }
+            }
+        }
+    }
+
+    /// Backward paths are forward paths reversed: each hop is a data edge.
+    #[test]
+    fn backward_paths_follow_edges(src in branchy_program()) {
+        let module = seal_ir::lower(&seal_kir::compile(&src, "g.c").unwrap());
+        let cg = CallGraph::build(&module);
+        let scope: BTreeSet<FuncId> =
+            (0..module.functions.len() as u32).map(FuncId).collect();
+        let pdg = Pdg::build(&module, &cg, &scope);
+        let mut cctx = CondCtx::new(&pdg);
+        // Query from every return terminator.
+        for n in 0..pdg.nodes.len() as u32 {
+            if pdg.terminator(n).is_none() {
+                continue;
+            }
+            for p in backward_paths(&pdg, &mut cctx, n, SliceConfig::default()) {
+                prop_assert_eq!(p.sink(), n);
+                for w in p.nodes.windows(2) {
+                    prop_assert!(pdg.data_succs(w[0]).contains(&w[1]));
+                }
+            }
+        }
+    }
+
+    /// Path conditions of enumerated paths never mention nodes outside the
+    /// PDG, and Ω stamps order consecutive same-function instruction nodes
+    /// consistently with block order.
+    #[test]
+    fn omega_is_consistent(src in branchy_program()) {
+        let module = seal_ir::lower(&seal_kir::compile(&src, "g.c").unwrap());
+        let cg = CallGraph::build(&module);
+        let scope: BTreeSet<FuncId> =
+            (0..module.functions.len() as u32).map(FuncId).collect();
+        let pdg = Pdg::build(&module, &cg, &scope);
+        // Within one block, instruction order equals Ω order.
+        let f = module.function("gen").unwrap();
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let mut last = None;
+            for i in 0..b.insts.len() {
+                let loc = seal_ir::ids::InstLoc {
+                    func: f.id,
+                    block: seal_ir::ids::BlockId(bi as u32),
+                    idx: i,
+                };
+                let n = pdg.node(&seal_pdg::graph::NodeKind::Inst(loc)).unwrap();
+                let om = pdg.omega(n).unwrap();
+                if let Some(prev) = last {
+                    prop_assert!(prev < om);
+                }
+                last = Some(om);
+            }
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Formula representation: boolean combinations of integer comparisons.
+
+use std::fmt;
+use std::hash::Hash;
+
+/// Comparison operators of the `C` grammar in Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// The negated operator (`!(a < b)` ⇔ `a >= b`).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// The operator with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        }
+    }
+
+    /// Evaluates the comparison on concrete integers.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// Source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// One side of a comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term<T> {
+    /// A symbolic variable.
+    Var(T),
+    /// An integer constant (`NULL` is 0).
+    Const(i64),
+}
+
+impl<T> Term<T> {
+    /// Maps the variable type.
+    pub fn map<U>(self, f: &mut impl FnMut(T) -> U) -> Term<U> {
+        match self {
+            Term::Var(v) => Term::Var(f(v)),
+            Term::Const(c) => Term::Const(c),
+        }
+    }
+}
+
+/// An atomic comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom<T> {
+    /// Left term.
+    pub lhs: Term<T>,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right term.
+    pub rhs: Term<T>,
+}
+
+impl<T> Atom<T> {
+    /// Builds `var op const`, the most common shape.
+    pub fn var_const(v: T, op: CmpOp, c: i64) -> Self {
+        Atom {
+            lhs: Term::Var(v),
+            op,
+            rhs: Term::Const(c),
+        }
+    }
+
+    /// Maps the variable type.
+    pub fn map<U>(self, f: &mut impl FnMut(T) -> U) -> Atom<U> {
+        Atom {
+            lhs: self.lhs.map(f),
+            op: self.op,
+            rhs: self.rhs.map(f),
+        }
+    }
+}
+
+/// A boolean combination of comparisons.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Formula<T> {
+    /// Constantly true.
+    True,
+    /// Constantly false.
+    False,
+    /// Atomic comparison.
+    Atom(Atom<T>),
+    /// Negation.
+    Not(Box<Formula<T>>),
+    /// Conjunction; empty means true.
+    And(Vec<Formula<T>>),
+    /// Disjunction; empty means false.
+    Or(Vec<Formula<T>>),
+}
+
+impl<T> Formula<T> {
+    /// `lhs op rhs` atom constructor.
+    pub fn atom(lhs: Term<T>, op: CmpOp, rhs: Term<T>) -> Self {
+        Formula::Atom(Atom { lhs, op, rhs })
+    }
+
+    /// `var op const` atom constructor.
+    pub fn cmp(v: T, op: CmpOp, c: i64) -> Self {
+        Formula::Atom(Atom::var_const(v, op, c))
+    }
+
+    /// Conjunction of two formulas with light simplification.
+    pub fn and(self, other: Formula<T>) -> Formula<T> {
+        match (self, other) {
+            (Formula::True, b) => b,
+            (a, Formula::True) => a,
+            (Formula::False, _) | (_, Formula::False) => Formula::False,
+            (Formula::And(mut xs), Formula::And(ys)) => {
+                xs.extend(ys);
+                Formula::And(xs)
+            }
+            (Formula::And(mut xs), b) => {
+                xs.push(b);
+                Formula::And(xs)
+            }
+            (a, Formula::And(mut ys)) => {
+                ys.insert(0, a);
+                Formula::And(ys)
+            }
+            (a, b) => Formula::And(vec![a, b]),
+        }
+    }
+
+    /// Disjunction of two formulas with light simplification.
+    pub fn or(self, other: Formula<T>) -> Formula<T> {
+        match (self, other) {
+            (Formula::False, b) => b,
+            (a, Formula::False) => a,
+            (Formula::True, _) | (_, Formula::True) => Formula::True,
+            (Formula::Or(mut xs), Formula::Or(ys)) => {
+                xs.extend(ys);
+                Formula::Or(xs)
+            }
+            (Formula::Or(mut xs), b) => {
+                xs.push(b);
+                Formula::Or(xs)
+            }
+            (a, b) => Formula::Or(vec![a, b]),
+        }
+    }
+
+    /// Logical negation (not normalized; use [`Formula::nnf`] to push in).
+    pub fn negate(self) -> Formula<T> {
+        match self {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Negation normal form: negations pushed onto atoms.
+    pub fn nnf(self) -> Formula<T> {
+        self.nnf_inner(false)
+    }
+
+    fn nnf_inner(self, neg: bool) -> Formula<T> {
+        match self {
+            Formula::True => {
+                if neg {
+                    Formula::False
+                } else {
+                    Formula::True
+                }
+            }
+            Formula::False => {
+                if neg {
+                    Formula::True
+                } else {
+                    Formula::False
+                }
+            }
+            Formula::Atom(mut a) => {
+                if neg {
+                    a.op = a.op.negate();
+                }
+                Formula::Atom(a)
+            }
+            Formula::Not(inner) => inner.nnf_inner(!neg),
+            Formula::And(xs) => {
+                let parts: Vec<_> = xs.into_iter().map(|x| x.nnf_inner(neg)).collect();
+                if neg {
+                    Formula::Or(parts)
+                } else {
+                    Formula::And(parts)
+                }
+            }
+            Formula::Or(xs) => {
+                let parts: Vec<_> = xs.into_iter().map(|x| x.nnf_inner(neg)).collect();
+                if neg {
+                    Formula::And(parts)
+                } else {
+                    Formula::Or(parts)
+                }
+            }
+        }
+    }
+
+    /// Maps the variable type throughout.
+    pub fn map<U>(self, f: &mut impl FnMut(T) -> U) -> Formula<U> {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom(a) => Formula::Atom(a.map(f)),
+            Formula::Not(inner) => Formula::Not(Box::new(inner.map(f))),
+            Formula::And(xs) => Formula::And(xs.into_iter().map(|x| x.map(f)).collect()),
+            Formula::Or(xs) => Formula::Or(xs.into_iter().map(|x| x.map(f)).collect()),
+        }
+    }
+
+    /// Visits every atom.
+    pub fn for_each_atom(&self, f: &mut impl FnMut(&Atom<T>)) {
+        match self {
+            Formula::Atom(a) => f(a),
+            Formula::Not(inner) => inner.for_each_atom(f),
+            Formula::And(xs) | Formula::Or(xs) => {
+                for x in xs {
+                    x.for_each_atom(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of atoms.
+    pub fn atom_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_atom(&mut |_| n += 1);
+        n
+    }
+}
+
+impl<T: Clone + Eq + Hash> Formula<T> {
+    /// All distinct variables mentioned.
+    pub fn vars(&self) -> Vec<T> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        self.for_each_atom(&mut |a| {
+            for t in [&a.lhs, &a.rhs] {
+                if let Term::Var(v) = t {
+                    if seen.insert(v.clone()) {
+                        out.push(v.clone());
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Keeps only atoms whose variables all satisfy `keep`; dropped atoms
+    /// are replaced by `True` (a sound over-approximation: models of the
+    /// original remain models of the result). Used to retain only
+    /// conditions over interaction data (§6.2.2: "only retain conditions
+    /// over interaction data").
+    ///
+    /// The formula is normalized to NNF first so negations live inside
+    /// atoms; dropping an atom under an unexpanded `¬` would otherwise
+    /// *under*-approximate (`¬true` is `false`).
+    pub fn filter_vars(self, keep: &impl Fn(&T) -> bool) -> Formula<T> {
+        fn walk<T>(f: Formula<T>, keep: &impl Fn(&T) -> bool) -> Formula<T> {
+            match f {
+                Formula::Atom(a) => {
+                    let ok = [&a.lhs, &a.rhs].iter().all(|t| match t {
+                        Term::Var(v) => keep(v),
+                        Term::Const(_) => true,
+                    });
+                    if ok {
+                        Formula::Atom(a)
+                    } else {
+                        Formula::True
+                    }
+                }
+                // NNF leaves no Not nodes; defensively treat one as opaque.
+                Formula::Not(_) => Formula::True,
+                Formula::And(xs) => xs
+                    .into_iter()
+                    .map(|x| walk(x, keep))
+                    .fold(Formula::True, Formula::and),
+                Formula::Or(xs) => {
+                    let parts: Vec<_> = xs.into_iter().map(|x| walk(x, keep)).collect();
+                    if parts.iter().any(|p| matches!(p, Formula::True)) {
+                        Formula::True
+                    } else {
+                        parts.into_iter().fold(Formula::False, Formula::or)
+                    }
+                }
+                other => other,
+            }
+        }
+        walk(self.nnf(), keep)
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Term<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Formula<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom(a) => write!(f, "{} {} {}", a.lhs, a.op.as_str(), a.rhs),
+            Formula::Not(inner) => write!(f, "!({inner})"),
+            Formula::And(xs) => {
+                write!(f, "(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " && ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(xs) => {
+                write!(f, "(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type F = Formula<&'static str>;
+
+    #[test]
+    fn and_or_simplify() {
+        let a: F = Formula::cmp("x", CmpOp::Eq, 0);
+        assert_eq!(a.clone().and(Formula::True), a);
+        assert_eq!(a.clone().and(Formula::False), Formula::False);
+        assert_eq!(a.clone().or(Formula::False), a);
+        assert_eq!(a.clone().or(Formula::True), Formula::True);
+    }
+
+    #[test]
+    fn nnf_pushes_negation() {
+        let f: F = Formula::cmp("x", CmpOp::Lt, 5)
+            .and(Formula::cmp("y", CmpOp::Eq, 0))
+            .negate()
+            .nnf();
+        // !(x<5 && y==0) = x>=5 || y!=0
+        let Formula::Or(parts) = f else { panic!("{f}") };
+        assert_eq!(parts.len(), 2);
+        assert!(matches!(&parts[0], Formula::Atom(a) if a.op == CmpOp::Ge));
+        assert!(matches!(&parts[1], Formula::Atom(a) if a.op == CmpOp::Ne));
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let f: F = Formula::cmp("x", CmpOp::Gt, 1).negate().negate();
+        assert_eq!(f, Formula::cmp("x", CmpOp::Gt, 1));
+    }
+
+    #[test]
+    fn vars_deduplicate() {
+        let f: F = Formula::cmp("x", CmpOp::Lt, 5).and(Formula::atom(
+            Term::Var("x"),
+            CmpOp::Ne,
+            Term::Var("y"),
+        ));
+        assert_eq!(f.vars(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn filter_vars_drops_foreign_atoms() {
+        let f: F = Formula::cmp("keep", CmpOp::Gt, 0).and(Formula::cmp("drop", CmpOp::Eq, 1));
+        let g = f.filter_vars(&|v| *v == "keep");
+        assert_eq!(g, Formula::cmp("keep", CmpOp::Gt, 0));
+    }
+
+    #[test]
+    fn map_changes_var_type() {
+        let f: F = Formula::cmp("x", CmpOp::Eq, 0);
+        let g: Formula<String> = f.map(&mut |v| v.to_uppercase());
+        assert_eq!(g, Formula::cmp("X".to_string(), CmpOp::Eq, 0));
+    }
+
+    #[test]
+    fn display_round() {
+        let f: F = Formula::cmp("p", CmpOp::Eq, 0).or(Formula::cmp("n", CmpOp::Gt, 32));
+        assert_eq!(f.to_string(), "(p == 0 || n > 32)");
+    }
+
+    #[test]
+    fn cmp_op_tables() {
+        assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
+        assert_eq!(CmpOp::Le.flip(), CmpOp::Ge);
+        assert!(CmpOp::Le.eval(3, 3));
+        assert!(!CmpOp::Ne.eval(3, 3));
+    }
+}

@@ -1,0 +1,19 @@
+//! `seal-solver` — a small decision procedure for path conditions.
+//!
+//! The paper discharges path-condition satisfiability to Z3 (§7). KIR path
+//! conditions live in a much smaller fragment — boolean combinations of
+//! comparisons between program values and integer constants (Fig. 2's `C`
+//! grammar) — so this crate implements a complete decision procedure for
+//! that fragment directly: negation-normal form → disjunctive normal form →
+//! per-conjunct consistency over integer intervals plus equality
+//! propagation between variables.
+//!
+//! Formulas are generic over the variable type `T`, so the same engine
+//! serves both IR-level conditions (variables are PDG values) and
+//! specification-level conditions (variables are Fig. 2 `V` elements).
+
+pub mod formula;
+pub mod sat;
+
+pub use formula::{Atom, CmpOp, Formula, Term};
+pub use sat::{equivalent, implies, is_sat, Verdict};

@@ -1,0 +1,445 @@
+//! Satisfiability for the comparison fragment.
+//!
+//! Pipeline: NNF → DNF (with a clause budget) → per-conjunct consistency.
+//! A conjunct is consistent iff
+//!
+//! 1. per-variable integer intervals (from `var op const` atoms, with
+//!    disequality points) are non-empty, and
+//! 2. equalities between variables (`x == y`) propagate without violating
+//!    the intervals or any `x != y` / strict-order atom between unified
+//!    variables.
+//!
+//! Var-var ordering atoms (`x < y`) are checked against derived intervals
+//! and unification only — a conjunct relating three variables by strict
+//! order with no constants is conservatively deemed satisfiable. This keeps
+//! the procedure sound for the checks SEAL makes (it never declares
+//! satisfiable formulas unsatisfiable beyond this documented
+//! approximation, and the approximation over-reports satisfiability, the
+//! conservative direction for bug detection: an infeasible path is kept
+//! rather than a feasible one dropped).
+
+use crate::formula::{Atom, CmpOp, Formula, Term};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Maximum number of DNF clauses explored before giving up.
+const DNF_BUDGET: usize = 4096;
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Definitely satisfiable.
+    Sat,
+    /// Definitely unsatisfiable.
+    Unsat,
+    /// Clause budget exceeded; treated as satisfiable by callers.
+    Unknown,
+}
+
+impl Verdict {
+    /// Whether callers should treat the formula as possibly satisfiable.
+    pub fn possibly_sat(self) -> bool {
+        !matches!(self, Verdict::Unsat)
+    }
+}
+
+/// Decides satisfiability of a formula.
+pub fn is_sat<T: Clone + Eq + Hash>(f: &Formula<T>) -> Verdict {
+    let nnf = f.clone().nnf();
+    let mut budget = DNF_BUDGET;
+    let clauses = match dnf(&nnf, &mut budget) {
+        Some(c) => c,
+        None => return Verdict::Unknown,
+    };
+    if clauses.is_empty() {
+        return Verdict::Unsat;
+    }
+    for clause in &clauses {
+        if conjunct_sat(clause) {
+            return Verdict::Sat;
+        }
+    }
+    Verdict::Unsat
+}
+
+/// `a ⇒ b`: is `a ∧ ¬b` unsatisfiable?
+pub fn implies<T: Clone + Eq + Hash>(a: &Formula<T>, b: &Formula<T>) -> bool {
+    matches!(is_sat(&a.clone().and(b.clone().negate())), Verdict::Unsat)
+}
+
+/// Logical equivalence: mutual implication.
+pub fn equivalent<T: Clone + Eq + Hash>(a: &Formula<T>, b: &Formula<T>) -> bool {
+    implies(a, b) && implies(b, a)
+}
+
+/// DNF as a list of atom conjunctions. `None` when the budget is exceeded.
+fn dnf<T: Clone>(f: &Formula<T>, budget: &mut usize) -> Option<Vec<Vec<Atom<T>>>> {
+    match f {
+        Formula::True => Some(vec![vec![]]),
+        Formula::False => Some(vec![]),
+        Formula::Atom(a) => Some(vec![vec![a.clone()]]),
+        Formula::Not(_) => unreachable!("input is in NNF"),
+        Formula::Or(xs) => {
+            let mut out = Vec::new();
+            for x in xs {
+                out.extend(dnf(x, budget)?);
+                if out.len() > *budget {
+                    return None;
+                }
+            }
+            Some(out)
+        }
+        Formula::And(xs) => {
+            let mut acc: Vec<Vec<Atom<T>>> = vec![vec![]];
+            for x in xs {
+                let sub = dnf(x, budget)?;
+                let mut next = Vec::with_capacity(acc.len() * sub.len().max(1));
+                for a in &acc {
+                    for s in &sub {
+                        let mut clause = a.clone();
+                        clause.extend(s.iter().cloned());
+                        next.push(clause);
+                        if next.len() > *budget {
+                            return None;
+                        }
+                    }
+                }
+                acc = next;
+                if acc.is_empty() {
+                    return Some(vec![]);
+                }
+            }
+            Some(acc)
+        }
+    }
+}
+
+/// Closed integer interval with disequality points.
+#[derive(Debug, Clone)]
+struct Range {
+    lo: i64,
+    hi: i64,
+    holes: Vec<i64>,
+}
+
+impl Range {
+    fn full() -> Self {
+        Range {
+            lo: i64::MIN,
+            hi: i64::MAX,
+            holes: vec![],
+        }
+    }
+
+    fn constrain(&mut self, op: CmpOp, c: i64) {
+        match op {
+            CmpOp::Eq => {
+                self.lo = self.lo.max(c);
+                self.hi = self.hi.min(c);
+            }
+            CmpOp::Ne => self.holes.push(c),
+            CmpOp::Lt => {
+                if c == i64::MIN {
+                    // `x < i64::MIN` has no integer solution.
+                    self.lo = 1;
+                    self.hi = 0;
+                } else {
+                    self.hi = self.hi.min(c - 1);
+                }
+            }
+            CmpOp::Le => self.hi = self.hi.min(c),
+            CmpOp::Gt => {
+                if c == i64::MAX {
+                    self.lo = 1;
+                    self.hi = 0;
+                } else {
+                    self.lo = self.lo.max(c + 1);
+                }
+            }
+            CmpOp::Ge => self.lo = self.lo.max(c),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        if self.lo > self.hi {
+            return true;
+        }
+        // Only a bounded, small interval can be emptied by holes.
+        if self.lo == self.hi {
+            return self.holes.contains(&self.lo);
+        }
+        let width = (self.hi as i128) - (self.lo as i128) + 1;
+        if width <= 64 {
+            let mut count = 0i128;
+            let mut holes = self.holes.clone();
+            holes.sort_unstable();
+            holes.dedup();
+            for h in holes {
+                if h >= self.lo && h <= self.hi {
+                    count += 1;
+                }
+            }
+            return count >= width;
+        }
+        false
+    }
+
+    fn intersect(&mut self, other: &Range) {
+        self.lo = self.lo.max(other.lo);
+        self.hi = self.hi.min(other.hi);
+        self.holes.extend(other.holes.iter().copied());
+    }
+}
+
+/// Union-find over variable indices.
+struct Uf {
+    parent: Vec<usize>,
+}
+
+impl Uf {
+    fn new(n: usize) -> Self {
+        Uf {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Consistency of one conjunction of atoms.
+fn conjunct_sat<T: Clone + Eq + Hash>(atoms: &[Atom<T>]) -> bool {
+    // Constant-constant atoms evaluate immediately.
+    for a in atoms {
+        if let (Term::Const(x), Term::Const(y)) = (&a.lhs, &a.rhs) {
+            if !a.op.eval(*x, *y) {
+                return false;
+            }
+        }
+    }
+
+    // Index variables.
+    let mut index: HashMap<&T, usize> = HashMap::new();
+    for a in atoms {
+        for t in [&a.lhs, &a.rhs] {
+            if let Term::Var(v) = t {
+                let n = index.len();
+                index.entry(v).or_insert(n);
+            }
+        }
+    }
+    let n = index.len();
+    let mut uf = Uf::new(n);
+
+    // Unify equal variables.
+    for a in atoms {
+        if a.op == CmpOp::Eq {
+            if let (Term::Var(x), Term::Var(y)) = (&a.lhs, &a.rhs) {
+                uf.union(index[x], index[y]);
+            }
+        }
+    }
+
+    // Per-class interval from var-const atoms.
+    let mut ranges: HashMap<usize, Range> = HashMap::new();
+    for a in atoms {
+        let (v, op, c) = match (&a.lhs, &a.rhs) {
+            (Term::Var(v), Term::Const(c)) => (v, a.op, *c),
+            (Term::Const(c), Term::Var(v)) => (v, a.op.flip(), *c),
+            _ => continue,
+        };
+        let root = uf.find(index[v]);
+        ranges
+            .entry(root)
+            .or_insert_with(Range::full)
+            .constrain(op, c);
+    }
+    for r in ranges.values() {
+        if r.is_empty() {
+            return false;
+        }
+    }
+
+    // Var-var disequalities and strict orders between unified variables are
+    // contradictions; orders also clash with disjoint intervals.
+    for a in atoms {
+        if let (Term::Var(x), Term::Var(y)) = (&a.lhs, &a.rhs) {
+            let (rx, ry) = (uf.find(index[x]), uf.find(index[y]));
+            if matches!(a.op, CmpOp::Ne | CmpOp::Lt | CmpOp::Gt) && rx == ry {
+                return false;
+            }
+            // Interval-based refutation of ordering atoms.
+            if rx != ry {
+                let full = Range::full();
+                let gx = ranges.get(&rx).unwrap_or(&full);
+                let gy = ranges.get(&ry).unwrap_or(&full);
+                let feasible = match a.op {
+                    CmpOp::Lt => gx.lo < gy.hi,
+                    CmpOp::Le => gx.lo <= gy.hi,
+                    CmpOp::Gt => gx.hi > gy.lo,
+                    CmpOp::Ge => gx.hi >= gy.lo,
+                    CmpOp::Eq => {
+                        let mut merged = gx.clone();
+                        merged.intersect(gy);
+                        !merged.is_empty()
+                    }
+                    CmpOp::Ne => true,
+                };
+                if !feasible {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula as F;
+
+    type Fm = F<&'static str>;
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(is_sat::<&str>(&F::True), Verdict::Sat);
+        assert_eq!(is_sat::<&str>(&F::False), Verdict::Unsat);
+    }
+
+    #[test]
+    fn interval_contradiction() {
+        let f: Fm = F::cmp("x", CmpOp::Lt, 0).and(F::cmp("x", CmpOp::Gt, 10));
+        assert_eq!(is_sat(&f), Verdict::Unsat);
+    }
+
+    #[test]
+    fn eq_ne_contradiction() {
+        let f: Fm = F::cmp("x", CmpOp::Eq, 5).and(F::cmp("x", CmpOp::Ne, 5));
+        assert_eq!(is_sat(&f), Verdict::Unsat);
+    }
+
+    #[test]
+    fn null_check_pattern() {
+        // ret == 0 && ret != 0 after negation — the canonical NPD guard.
+        let f: Fm = F::cmp("ret", CmpOp::Eq, 0)
+            .and(F::cmp("ret", CmpOp::Eq, 0).negate());
+        assert_eq!(is_sat(&f), Verdict::Unsat);
+    }
+
+    #[test]
+    fn disjunction_recovers_sat() {
+        let f: Fm = F::cmp("x", CmpOp::Lt, 0)
+            .or(F::cmp("x", CmpOp::Gt, 10))
+            .and(F::cmp("x", CmpOp::Eq, 20));
+        assert_eq!(is_sat(&f), Verdict::Sat);
+    }
+
+    #[test]
+    fn var_var_equality_propagates() {
+        let f: Fm = F::atom(Term::Var("x"), CmpOp::Eq, Term::Var("y"))
+            .and(F::cmp("x", CmpOp::Lt, 3))
+            .and(F::cmp("y", CmpOp::Gt, 7));
+        assert_eq!(is_sat(&f), Verdict::Unsat);
+    }
+
+    #[test]
+    fn var_var_strict_order_on_same_class() {
+        let f: Fm = F::atom(Term::Var("x"), CmpOp::Eq, Term::Var("y")).and(F::atom(
+            Term::Var("x"),
+            CmpOp::Lt,
+            Term::Var("y"),
+        ));
+        assert_eq!(is_sat(&f), Verdict::Unsat);
+    }
+
+    #[test]
+    fn var_var_order_against_intervals() {
+        // x >= 10 && y <= 3 && x < y is unsat.
+        let f: Fm = F::cmp("x", CmpOp::Ge, 10)
+            .and(F::cmp("y", CmpOp::Le, 3))
+            .and(F::atom(Term::Var("x"), CmpOp::Lt, Term::Var("y")));
+        assert_eq!(is_sat(&f), Verdict::Unsat);
+    }
+
+    #[test]
+    fn hole_exhaustion_small_domain() {
+        let f: Fm = F::cmp("x", CmpOp::Ge, 0)
+            .and(F::cmp("x", CmpOp::Le, 1))
+            .and(F::cmp("x", CmpOp::Ne, 0))
+            .and(F::cmp("x", CmpOp::Ne, 1));
+        assert_eq!(is_sat(&f), Verdict::Unsat);
+    }
+
+    #[test]
+    fn implication_and_equivalence() {
+        let a: Fm = F::cmp("x", CmpOp::Eq, 0);
+        let b: Fm = F::cmp("x", CmpOp::Le, 0).and(F::cmp("x", CmpOp::Ge, 0));
+        assert!(implies(&a, &b));
+        assert!(implies(&b, &a));
+        assert!(equivalent(&a, &b));
+        let c: Fm = F::cmp("x", CmpOp::Le, 0);
+        assert!(implies(&a, &c));
+        assert!(!implies(&c, &a));
+        assert!(!equivalent(&a, &c));
+    }
+
+    #[test]
+    fn negation_of_conjunction() {
+        // !(len > 32) && len == 100 is unsat.
+        let f: Fm = F::cmp("len", CmpOp::Gt, 32)
+            .negate()
+            .and(F::cmp("len", CmpOp::Eq, 100));
+        assert_eq!(is_sat(&f), Verdict::Unsat);
+    }
+
+    #[test]
+    fn const_const_atoms() {
+        let f: Fm = F::atom(Term::Const(3), CmpOp::Lt, Term::Const(2));
+        assert_eq!(is_sat(&f), Verdict::Unsat);
+        let g: Fm = F::atom(Term::Const(2), CmpOp::Lt, Term::Const(3));
+        assert_eq!(is_sat(&g), Verdict::Sat);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        // 13 binary disjunctions conjoined: 2^13 = 8192 clauses > budget.
+        let mut f: Fm = F::True;
+        for i in 0..13 {
+            let a = F::cmp("x", CmpOp::Ne, i);
+            let b = F::cmp("y", CmpOp::Ne, i);
+            f = f.and(a.or(b));
+        }
+        assert_eq!(is_sat(&f), Verdict::Unknown);
+        assert!(is_sat(&f).possibly_sat());
+    }
+
+    #[test]
+    fn saturating_bounds() {
+        let f: Fm = F::cmp("x", CmpOp::Lt, i64::MIN);
+        assert_eq!(is_sat(&f), Verdict::Unsat);
+        let g: Fm = F::cmp("x", CmpOp::Gt, i64::MAX);
+        assert_eq!(is_sat(&g), Verdict::Unsat);
+    }
+
+    #[test]
+    fn unsat_equiv_classes_with_eq_const() {
+        // x == y && x == 1 && y == 2.
+        let f: Fm = F::atom(Term::Var("x"), CmpOp::Eq, Term::Var("y"))
+            .and(F::cmp("x", CmpOp::Eq, 1))
+            .and(F::cmp("y", CmpOp::Eq, 2));
+        assert_eq!(is_sat(&f), Verdict::Unsat);
+    }
+}

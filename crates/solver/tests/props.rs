@@ -1,0 +1,168 @@
+//! Property-based tests for the path-condition solver: soundness of
+//! `is_sat` against brute-force evaluation, and semantic invariance of the
+//! normal-form transformations.
+
+use proptest::prelude::*;
+use seal_solver::{implies, is_sat, CmpOp, Formula, Term, Verdict};
+use std::collections::HashMap;
+
+/// Number of variables in generated formulas.
+const VARS: u8 = 3;
+/// Candidate values each variable ranges over in brute force. Includes the
+/// constants used by atoms plus sentinels outside them.
+const DOMAIN: [i64; 6] = [-2, -1, 0, 1, 2, 7];
+
+fn term_strategy() -> impl Strategy<Value = Term<u8>> {
+    prop_oneof![
+        (0..VARS).prop_map(Term::Var),
+        prop_oneof![Just(-2i64), Just(-1), Just(0), Just(1), Just(2)].prop_map(Term::Const),
+    ]
+}
+
+fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn formula_strategy() -> impl Strategy<Value = Formula<u8>> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        (term_strategy(), cmp_strategy(), term_strategy())
+            .prop_map(|(l, op, r)| Formula::atom(l, op, r)),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::And),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::Or),
+            inner.prop_map(|f| f.negate()),
+        ]
+    })
+}
+
+/// Ground-truth evaluation under an assignment.
+fn eval(f: &Formula<u8>, env: &HashMap<u8, i64>) -> bool {
+    let term = |t: &Term<u8>| match t {
+        Term::Var(v) => env[v],
+        Term::Const(c) => *c,
+    };
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Atom(a) => a.op.eval(term(&a.lhs), term(&a.rhs)),
+        Formula::Not(inner) => !eval(inner, env),
+        Formula::And(xs) => xs.iter().all(|x| eval(x, env)),
+        Formula::Or(xs) => xs.iter().any(|x| eval(x, env)),
+    }
+}
+
+/// All assignments over the finite probe domain.
+fn assignments() -> Vec<HashMap<u8, i64>> {
+    let mut out = vec![HashMap::new()];
+    for v in 0..VARS {
+        let mut next = Vec::new();
+        for env in &out {
+            for &val in &DOMAIN {
+                let mut e = env.clone();
+                e.insert(v, val);
+                next.push(e);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+proptest! {
+    /// If the solver says Unsat, no probe assignment may satisfy the
+    /// formula (the solver must never prune a feasible path).
+    #[test]
+    fn unsat_verdicts_are_sound(f in formula_strategy()) {
+        if is_sat(&f) == Verdict::Unsat {
+            for env in assignments() {
+                prop_assert!(!eval(&f, &env), "Unsat but satisfied by {env:?}: {f}");
+            }
+        }
+    }
+
+    /// If some probe assignment satisfies the formula, the solver must
+    /// report Sat (completeness over the probe domain).
+    #[test]
+    fn probe_sat_implies_solver_sat(f in formula_strategy()) {
+        let witnessed = assignments().iter().any(|env| eval(&f, env));
+        if witnessed {
+            prop_assert!(is_sat(&f).possibly_sat(), "probe-satisfiable but solver Unsat: {f}");
+        }
+    }
+
+    /// NNF preserves evaluation everywhere.
+    #[test]
+    fn nnf_preserves_semantics(f in formula_strategy()) {
+        let nnf = f.clone().nnf();
+        for env in assignments() {
+            prop_assert_eq!(eval(&f, &env), eval(&nnf, &env), "{} vs {}", f, nnf);
+        }
+    }
+
+    /// Negation flips evaluation everywhere.
+    #[test]
+    fn negate_flips_semantics(f in formula_strategy()) {
+        let neg = f.clone().negate();
+        for env in assignments() {
+            prop_assert_eq!(eval(&f, &env), !eval(&neg, &env));
+        }
+    }
+
+    /// `implies(a, b)` is sound: every probe model of `a` models `b`.
+    #[test]
+    fn implication_is_sound(a in formula_strategy(), b in formula_strategy()) {
+        if implies(&a, &b) {
+            for env in assignments() {
+                if eval(&a, &env) {
+                    prop_assert!(eval(&b, &env), "implies({a}, {b}) but {env:?} separates them");
+                }
+            }
+        }
+    }
+
+    /// `and`/`or` smart constructors match boolean semantics.
+    #[test]
+    fn connective_constructors_are_semantic(a in formula_strategy(), b in formula_strategy()) {
+        let conj = a.clone().and(b.clone());
+        let disj = a.clone().or(b.clone());
+        for env in assignments() {
+            prop_assert_eq!(eval(&conj, &env), eval(&a, &env) && eval(&b, &env));
+            prop_assert_eq!(eval(&disj, &env), eval(&a, &env) || eval(&b, &env));
+        }
+    }
+
+    /// `filter_vars` with an always-true predicate is the identity up to
+    /// evaluation; filtering everything yields a formula implied by the
+    /// original on its models (over-approximation).
+    #[test]
+    fn filter_vars_overapproximates(f in formula_strategy()) {
+        let kept = f.clone().filter_vars(&|_| true);
+        for env in assignments() {
+            prop_assert_eq!(eval(&f, &env), eval(&kept, &env));
+        }
+        // Dropping all atoms must never turn a satisfiable formula
+        // unsatisfiable (sound for conjunctive use).
+        let dropped = f.clone().filter_vars(&|_| false);
+        if is_sat(&f) == Verdict::Sat {
+            prop_assert!(is_sat(&dropped).possibly_sat());
+        }
+    }
+
+    /// Mapping variables through a bijection preserves satisfiability.
+    #[test]
+    fn var_renaming_preserves_sat(f in formula_strategy()) {
+        let renamed: Formula<u8> = f.clone().map(&mut |v| v + 100);
+        prop_assert_eq!(is_sat(&f), is_sat(&renamed));
+    }
+}

@@ -1,0 +1,153 @@
+//! Human-readable rendering of specifications, matching the paper's
+//! notation (`∀v: v ↪ u, where v = -ENOMEM, u = ret^buf_prepare, ...`).
+
+use crate::{Constraint, Quantifier, Relation, Specification, SpecUse, SpecValue};
+use std::fmt;
+
+impl fmt::Display for SpecValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecValue::ArgI { index, fields } => {
+                write!(f, "arg_{}^i", index + 1)?;
+                for fld in fields {
+                    write!(f, ".{fld}")?;
+                }
+                Ok(())
+            }
+            SpecValue::RetF { api } => write!(f, "ret^{api}"),
+            SpecValue::Global { name } => write!(f, "@{name}"),
+            SpecValue::Literal(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for SpecUse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecUse::ArgF { api, index } => write!(f, "arg_{}^{api}", index + 1),
+            SpecUse::RetI => write!(f, "ret^i"),
+            SpecUse::GlobalStore { name } => write!(f, "@{name} ="),
+            SpecUse::Deref => write!(f, "deref"),
+            SpecUse::Div => write!(f, "div"),
+            SpecUse::IndexUse => write!(f, "index"),
+        }
+    }
+}
+
+impl fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quantifier::ForAll => write!(f, "∀"),
+            Quantifier::Exists => write!(f, "∃"),
+            Quantifier::NotExists => write!(f, "∄"),
+        }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Relation::Reach { value, use_, cond } => {
+                write!(f, "{value} ↪ {use_}")?;
+                if !matches!(cond, seal_solver::Formula::True) {
+                    write!(f, " under {cond}")?;
+                }
+                Ok(())
+            }
+            Relation::Order {
+                value,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "({value} ↪ {first}) ∧ ({value} ↪ {second}) ∧ ({first} ≺ {second})"
+                )
+            }
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.quantifier, self.relation)
+    }
+}
+
+impl fmt::Display for Specification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.interface {
+            Some(i) => write!(f, "spec[{i}]")?,
+            None => write!(f, "spec[*]")?,
+        }
+        write!(f, " {{ ")?;
+        for (i, c) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, " }} (from {})", self.origin_patch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Provenance;
+    use seal_solver::{CmpOp, Formula};
+
+    #[test]
+    fn renders_spec41_like_paper() {
+        let s = Specification {
+            interface: Some("vb2_ops::buf_prepare".into()),
+            constraints: vec![Constraint {
+                quantifier: Quantifier::Exists,
+                relation: Relation::Reach {
+                    value: SpecValue::Literal(-12),
+                    use_: SpecUse::RetI,
+                    cond: Formula::cmp(SpecValue::ret_of("dma_alloc_coherent"), CmpOp::Eq, 0),
+                },
+            }],
+            origin_patch: "patch-0001".into(),
+            provenance: Provenance::AddedPath,
+        };
+        let text = s.to_string();
+        assert!(text.contains("vb2_ops::buf_prepare"));
+        assert!(text.contains("-12 ↪ ret^i"));
+        assert!(text.contains("ret^dma_alloc_coherent == 0"));
+    }
+
+    #[test]
+    fn renders_order_relation() {
+        let r = Relation::Order {
+            value: SpecValue::arg_field(0, "dev"),
+            first: SpecUse::ArgF {
+                api: "put_device".into(),
+                index: 0,
+            },
+            second: SpecUse::Deref,
+        };
+        let text = r.to_string();
+        assert!(text.contains("≺"));
+        assert!(text.contains("arg_1^put_device"));
+        assert!(text.contains("arg_1^i.dev"));
+    }
+
+    #[test]
+    fn quantifier_symbols() {
+        assert_eq!(Quantifier::ForAll.to_string(), "∀");
+        assert_eq!(Quantifier::Exists.to_string(), "∃");
+        assert_eq!(Quantifier::NotExists.to_string(), "∄");
+    }
+
+    #[test]
+    fn true_condition_is_elided() {
+        let r = Relation::Reach {
+            value: SpecValue::arg(0),
+            use_: SpecUse::Deref,
+            cond: Formula::True,
+        };
+        assert_eq!(r.to_string(), "arg_1^i ↪ deref");
+    }
+}

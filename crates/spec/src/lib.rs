@@ -1,0 +1,350 @@
+//! `seal-spec` — the interface-specification language of Fig. 2.
+//!
+//! A [`Specification`] constrains the *interaction data* of an interface:
+//! quantified path relations over abstract values (`V`), uses (`U`), and
+//! conditions (`C`). The two base relations are reachability
+//! (`v ↪ u under c`) and order precedence (`u1 ≺ u2`); quantifiers record
+//! whether matching paths must exist, may exist, or must not exist.
+//!
+//! Specifications are *abstract*: program variables of the originating
+//! patch are mapped into this domain by `seal-core`'s domain mapping `𝔸`
+//! (§6.3.3), and mapped back (`𝔸⁻¹`) when instantiating a specification
+//! inside a bug-detection region (§6.4.1).
+
+pub mod display;
+pub mod merge;
+pub mod parse;
+
+use seal_solver::Formula;
+
+/// The `V` domain: regulated incoming interaction data.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpecValue {
+    /// `arg_k^i` — argument `index` of the interface, optionally projected
+    /// through named fields (`arg_2^smbus_xfer.len`).
+    ArgI {
+        /// 0-based argument index.
+        index: usize,
+        /// Field projection chain (names, outermost first).
+        fields: Vec<String>,
+    },
+    /// `ret^f` — the return value of an API.
+    RetF {
+        /// API name.
+        api: String,
+    },
+    /// A global variable's value.
+    Global {
+        /// Global name.
+        name: String,
+    },
+    /// A literal (error codes such as `-ENOMEM`).
+    Literal(i64),
+}
+
+impl SpecValue {
+    /// Convenience constructor for an unprojected interface argument.
+    pub fn arg(index: usize) -> Self {
+        SpecValue::ArgI {
+            index,
+            fields: vec![],
+        }
+    }
+
+    /// Convenience constructor for a field of an interface argument.
+    pub fn arg_field(index: usize, field: impl Into<String>) -> Self {
+        SpecValue::ArgI {
+            index,
+            fields: vec![field.into()],
+        }
+    }
+
+    /// Convenience constructor for an API return value.
+    pub fn ret_of(api: impl Into<String>) -> Self {
+        SpecValue::RetF { api: api.into() }
+    }
+}
+
+/// The `U` domain: ultimate uses of interaction data.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpecUse {
+    /// `arg_k^f` — passed to an API as argument `index`.
+    ArgF {
+        /// API name.
+        api: String,
+        /// 0-based argument index.
+        index: usize,
+    },
+    /// `ret^i` — returned from the interface (an interface has one return,
+    /// so no quantifier attaches to this use; §4.2 Example 4.1).
+    RetI,
+    /// Assigned to a global variable.
+    GlobalStore {
+        /// Global name.
+        name: String,
+    },
+    /// Dereferenced (`deref`).
+    Deref,
+    /// Used as a divisor (`div`).
+    Div,
+    /// Used as an array index.
+    IndexUse,
+}
+
+/// Conditions `C`: first-order formulas over `V` (reusing the solver's
+/// formula engine, instantiated at the spec domain).
+pub type SpecCond = Formula<SpecValue>;
+
+/// Quantifiers over path relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Quantifier {
+    /// `∀` — every instantiation must satisfy the relation.
+    ForAll,
+    /// `∃` — at least one instantiation must satisfy it.
+    Exists,
+    /// `∄` — no instantiation may satisfy it.
+    NotExists,
+}
+
+/// Path relations `R`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Relation {
+    /// Reachability `v ↪ u` under condition `c`.
+    Reach {
+        /// Source value.
+        value: SpecValue,
+        /// Sink use.
+        use_: SpecUse,
+        /// Path condition.
+        cond: SpecCond,
+    },
+    /// Order `first ≺ second` between two uses of the same value
+    /// (`(v ↪ first) ∧ (v ↪ second) ∧ (first ≺ second)`).
+    Order {
+        /// Shared source value.
+        value: SpecValue,
+        /// The use required/forbidden to come first.
+        first: SpecUse,
+        /// The use required/forbidden to come second.
+        second: SpecUse,
+    },
+}
+
+impl Relation {
+    /// The regulated value of the relation.
+    pub fn value(&self) -> &SpecValue {
+        match self {
+            Relation::Reach { value, .. } | Relation::Order { value, .. } => value,
+        }
+    }
+
+    /// All uses mentioned.
+    pub fn uses(&self) -> Vec<&SpecUse> {
+        match self {
+            Relation::Reach { use_, .. } => vec![use_],
+            Relation::Order { first, second, .. } => vec![first, second],
+        }
+    }
+
+    /// APIs mentioned anywhere in the relation — value, uses, or condition
+    /// variables (for region selection).
+    pub fn apis(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let push = |s: &str, out: &mut Vec<String>| {
+            if !out.iter().any(|x| x == s) {
+                out.push(s.to_string());
+            }
+        };
+        if let SpecValue::RetF { api } = self.value() {
+            push(api, &mut out);
+        }
+        for u in self.uses() {
+            if let SpecUse::ArgF { api, .. } = u {
+                push(api, &mut out);
+            }
+        }
+        if let Relation::Reach { cond, .. } = self {
+            for v in cond.vars() {
+                if let SpecValue::RetF { api } = v {
+                    push(&api, &mut out);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One quantified constraint `Q`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Constraint {
+    /// Quantifier over path instantiations.
+    pub quantifier: Quantifier,
+    /// Constrained relation.
+    pub relation: Relation,
+}
+
+/// Which kind of value-flow change produced a constraint — the four path
+/// sets of Alg. 1 (`P−`, `P+`, `PΨ`, `PΩ`). Drives the §8.2 statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Provenance {
+    /// From a removed path (`P−`).
+    RemovedPath,
+    /// From an added path (`P+`).
+    AddedPath,
+    /// From a path whose condition changed (`PΨ`).
+    CondChanged,
+    /// From a path whose use-site order changed (`PΩ`).
+    OrderChanged,
+}
+
+/// A full interface specification.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Specification {
+    /// The function-pointer interface this spec applies to, as
+    /// `struct::field` (`None` when no interface elements are involved and
+    /// the spec applies at every usage of its APIs — the `kmalloc` remark
+    /// in §5).
+    pub interface: Option<String>,
+    /// Quantified constraints.
+    pub constraints: Vec<Constraint>,
+    /// Identifier of the security patch the spec was inferred from.
+    pub origin_patch: String,
+    /// Which path-change category produced it.
+    pub provenance: Provenance,
+}
+
+impl Specification {
+    /// All APIs mentioned by any constraint (used to pick bug-detection
+    /// regions when `interface` is `None`).
+    pub fn apis(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for c in &self.constraints {
+            for api in c.relation.apis() {
+                if !out.contains(&api) {
+                    out.push(api);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether any constraint involves interface elements (`arg^i`,
+    /// `ret^i`).
+    pub fn involves_interface_elements(&self) -> bool {
+        self.constraints.iter().any(|c| {
+            matches!(c.relation.value(), SpecValue::ArgI { .. })
+                || c.relation.uses().iter().any(|u| matches!(u, SpecUse::RetI))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seal_solver::{CmpOp, Formula};
+
+    /// Spec 4.1 from the paper: `∀v: v ↪ u` with v = -ENOMEM,
+    /// u = ret^buf_prepare, c = ret^dma_alloc_coherent == NULL.
+    fn spec_4_1() -> Specification {
+        Specification {
+            interface: Some("vb2_ops::buf_prepare".into()),
+            constraints: vec![Constraint {
+                quantifier: Quantifier::Exists,
+                relation: Relation::Reach {
+                    value: SpecValue::Literal(-12),
+                    use_: SpecUse::RetI,
+                    cond: Formula::cmp(SpecValue::ret_of("dma_alloc_coherent"), CmpOp::Eq, 0),
+                },
+            }],
+            origin_patch: "fig3".into(),
+            provenance: Provenance::AddedPath,
+        }
+    }
+
+    #[test]
+    fn spec41_shape() {
+        let s = spec_4_1();
+        assert!(s.involves_interface_elements());
+        assert_eq!(s.apis(), vec!["dma_alloc_coherent"]);
+    }
+
+    /// Spec 4.2: `∀v: ∄u: v ↪ u` with v = arg_2.block, u = deref,
+    /// c = arg_2.len > MAX.
+    #[test]
+    fn spec42_shape() {
+        let s = Specification {
+            interface: Some("i2c_algorithm::smbus_xfer".into()),
+            constraints: vec![Constraint {
+                quantifier: Quantifier::NotExists,
+                relation: Relation::Reach {
+                    value: SpecValue::arg_field(1, "block"),
+                    use_: SpecUse::Deref,
+                    cond: Formula::cmp(SpecValue::arg_field(1, "len"), CmpOp::Gt, 32),
+                },
+            }],
+            origin_patch: "fig4".into(),
+            provenance: Provenance::CondChanged,
+        };
+        assert!(s.involves_interface_elements());
+        assert!(s.apis().is_empty());
+    }
+
+    /// Spec 4.3: `∄ u1,u2: (v↪u1) ∧ (v↪u2) ∧ (u2 ≺ u1)` with u1 = deref,
+    /// u2 = arg_1^put_device.
+    #[test]
+    fn spec43_shape() {
+        let s = Specification {
+            interface: Some("platform_driver::remove".into()),
+            constraints: vec![Constraint {
+                quantifier: Quantifier::NotExists,
+                relation: Relation::Order {
+                    value: SpecValue::arg_field(0, "dev"),
+                    first: SpecUse::ArgF {
+                        api: "put_device".into(),
+                        index: 0,
+                    },
+                    second: SpecUse::Deref,
+                },
+            }],
+            origin_patch: "fig5".into(),
+            provenance: Provenance::OrderChanged,
+        };
+        assert_eq!(s.apis(), vec!["put_device"]);
+        let c = &s.constraints[0];
+        assert_eq!(c.relation.uses().len(), 2);
+    }
+
+    #[test]
+    fn api_scoped_spec_has_no_interface() {
+        // The kmalloc remark from §5: applicable anywhere.
+        let s = Specification {
+            interface: None,
+            constraints: vec![Constraint {
+                quantifier: Quantifier::NotExists,
+                relation: Relation::Reach {
+                    value: SpecValue::ret_of("kmalloc"),
+                    use_: SpecUse::Deref,
+                    cond: Formula::cmp(SpecValue::ret_of("kmalloc"), CmpOp::Eq, 0),
+                },
+            }],
+            origin_patch: "p0".into(),
+            provenance: Provenance::AddedPath,
+        };
+        assert!(!s.involves_interface_elements());
+        assert_eq!(s.apis(), vec!["kmalloc"]);
+    }
+
+    #[test]
+    fn relation_accessors() {
+        let r = Relation::Reach {
+            value: SpecValue::arg(0),
+            use_: SpecUse::ArgF {
+                api: "ida_free".into(),
+                index: 1,
+            },
+            cond: Formula::True,
+        };
+        assert_eq!(r.value(), &SpecValue::arg(0));
+        assert_eq!(r.apis(), vec!["ida_free"]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Specification-dataset merging (§9: "deduce more precise quantifier
+//! constraints … or merge specifications with domain knowledge instead of
+//! simply appending").
+//!
+//! Merging happens at three strengths:
+//!
+//! 1. **Identical** constraints from different patches collapse to one
+//!    specification that remembers every origin (`origin_patch` becomes a
+//!    `+`-joined list).
+//! 2. **Equivalent-condition** reach constraints (same quantifier, value,
+//!    use; conditions logically equivalent) also collapse — solved with
+//!    the path-condition decision procedure.
+//! 3. **Same-shape** reach constraints whose conditions differ merge by
+//!    *disjunction*: `∃ v↪u under c1` and `∃ v↪u under c2` learned from
+//!    two patches jointly say the flow is required whenever `c1 ∨ c2`
+//!    holds (dually for `∄`: forbidden on either region).
+
+use crate::{Constraint, Relation, Specification};
+use seal_solver::equivalent;
+
+/// Merges a dataset of specifications. Order-insensitive up to output
+/// ordering (sorted by rendering); lossless with respect to detection
+/// semantics.
+pub fn merge_specs(specs: Vec<Specification>) -> Vec<Specification> {
+    let mut out: Vec<Specification> = Vec::new();
+    'next: for spec in specs {
+        for existing in &mut out {
+            if try_merge(existing, &spec) {
+                continue 'next;
+            }
+        }
+        out.push(spec);
+    }
+    out.sort_by_key(|s| s.to_string());
+    out
+}
+
+/// Attempts to fold `incoming` into `existing`; true on success.
+fn try_merge(existing: &mut Specification, incoming: &Specification) -> bool {
+    if existing.interface != incoming.interface
+        || existing.constraints.len() != incoming.constraints.len()
+    {
+        return false;
+    }
+    // Pairwise-compatible constraints?
+    enum Plan {
+        Keep,
+        Disjoin(usize),
+    }
+    let mut plans = Vec::new();
+    for (i, (a, b)) in existing
+        .constraints
+        .iter()
+        .zip(&incoming.constraints)
+        .enumerate()
+    {
+        if a == b {
+            plans.push(Plan::Keep);
+            continue;
+        }
+        if a.quantifier != b.quantifier {
+            return false;
+        }
+        match (&a.relation, &b.relation) {
+            (
+                Relation::Reach {
+                    value: v1,
+                    use_: u1,
+                    cond: c1,
+                },
+                Relation::Reach {
+                    value: v2,
+                    use_: u2,
+                    cond: c2,
+                },
+            ) if v1 == v2 && u1 == u2 => {
+                if equivalent(c1, c2) {
+                    plans.push(Plan::Keep);
+                } else {
+                    plans.push(Plan::Disjoin(i));
+                }
+            }
+            _ => return false,
+        }
+    }
+    // Apply: disjoin where needed, extend provenance.
+    for (plan, b) in plans.iter().zip(&incoming.constraints) {
+        if let Plan::Disjoin(i) = plan {
+            let Relation::Reach { cond: c2, .. } = &b.relation else {
+                unreachable!("only reach constraints are disjoined");
+            };
+            let Constraint {
+                relation: Relation::Reach { cond, .. },
+                ..
+            } = &mut existing.constraints[*i]
+            else {
+                unreachable!("shape checked above");
+            };
+            *cond = cond.clone().or(c2.clone());
+        }
+    }
+    if !existing
+        .origin_patch
+        .split('+')
+        .any(|o| o == incoming.origin_patch)
+    {
+        existing.origin_patch =
+            format!("{}+{}", existing.origin_patch, incoming.origin_patch);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Provenance, Quantifier, SpecUse, SpecValue};
+    use seal_solver::{CmpOp, Formula};
+
+    fn reach_spec(origin: &str, api: &str, threshold: i64) -> Specification {
+        Specification {
+            interface: Some("ops::cb".into()),
+            constraints: vec![Constraint {
+                quantifier: Quantifier::Exists,
+                relation: Relation::Reach {
+                    value: SpecValue::ret_of(api),
+                    use_: SpecUse::RetI,
+                    cond: Formula::cmp(SpecValue::ret_of(api), CmpOp::Lt, threshold),
+                },
+            }],
+            origin_patch: origin.into(),
+            provenance: Provenance::AddedPath,
+        }
+    }
+
+    #[test]
+    fn identical_specs_collapse_and_remember_origins() {
+        let merged = merge_specs(vec![
+            reach_spec("p1", "parse", 0),
+            reach_spec("p2", "parse", 0),
+            reach_spec("p1", "parse", 0),
+        ]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].origin_patch, "p1+p2");
+    }
+
+    #[test]
+    fn equivalent_conditions_collapse() {
+        // `x < 0` and `x <= -1` are equivalent over the integers.
+        let mut a = reach_spec("p1", "parse", 0);
+        let mut b = reach_spec("p2", "parse", 0);
+        let set_cond = |s: &mut Specification, c: Formula<SpecValue>| {
+            let Relation::Reach { cond, .. } = &mut s.constraints[0].relation else {
+                unreachable!()
+            };
+            *cond = c;
+        };
+        set_cond(&mut a, Formula::cmp(SpecValue::ret_of("parse"), CmpOp::Lt, 0));
+        set_cond(&mut b, Formula::cmp(SpecValue::ret_of("parse"), CmpOp::Le, -1));
+        let merged = merge_specs(vec![a, b]);
+        assert_eq!(merged.len(), 1);
+    }
+
+    #[test]
+    fn different_conditions_disjoin() {
+        let merged = merge_specs(vec![
+            reach_spec("p1", "parse", 0),
+            reach_spec("p2", "parse", -5),
+        ]);
+        assert_eq!(merged.len(), 1);
+        let Relation::Reach { cond, .. } = &merged[0].constraints[0].relation else {
+            unreachable!()
+        };
+        // The disjunction covers both regions.
+        let probe = |v: i64| {
+            let instance = Formula::cmp(SpecValue::ret_of("parse"), CmpOp::Eq, v);
+            seal_solver::is_sat(&cond.clone().and(instance)).possibly_sat()
+        };
+        assert!(probe(-1)); // in c1 only
+        assert!(probe(-6)); // in both
+        assert!(!probe(3)); // in neither
+    }
+
+    #[test]
+    fn different_interfaces_stay_separate() {
+        let a = reach_spec("p1", "parse", 0);
+        let mut b = reach_spec("p2", "parse", 0);
+        b.interface = Some("other::cb".into());
+        assert_eq!(merge_specs(vec![a, b]).len(), 2);
+    }
+
+    #[test]
+    fn different_uses_stay_separate() {
+        let a = reach_spec("p1", "parse", 0);
+        let mut b = reach_spec("p2", "parse", 0);
+        let Relation::Reach { use_, .. } = &mut b.constraints[0].relation else {
+            unreachable!()
+        };
+        *use_ = SpecUse::Deref;
+        assert_eq!(merge_specs(vec![a, b]).len(), 2);
+    }
+
+    #[test]
+    fn different_quantifiers_stay_separate() {
+        let a = reach_spec("p1", "parse", 0);
+        let mut b = reach_spec("p2", "parse", 0);
+        b.constraints[0].quantifier = Quantifier::NotExists;
+        assert_eq!(merge_specs(vec![a, b]).len(), 2);
+    }
+
+    #[test]
+    fn order_specs_merge_only_when_identical() {
+        let order = |origin: &str| Specification {
+            interface: Some("platform_driver::remove".into()),
+            constraints: vec![Constraint {
+                quantifier: Quantifier::NotExists,
+                relation: Relation::Order {
+                    value: SpecValue::arg(0),
+                    first: SpecUse::ArgF {
+                        api: "put_device".into(),
+                        index: 0,
+                    },
+                    second: SpecUse::Deref,
+                },
+            }],
+            origin_patch: origin.into(),
+            provenance: Provenance::OrderChanged,
+        };
+        let merged = merge_specs(vec![order("p1"), order("p2")]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].origin_patch, "p1+p2");
+    }
+
+    #[test]
+    fn empty_and_singleton_are_noops() {
+        assert!(merge_specs(vec![]).is_empty());
+        let one = merge_specs(vec![reach_spec("p", "x", 0)]);
+        assert_eq!(one.len(), 1);
+    }
+}

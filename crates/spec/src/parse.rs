@@ -1,0 +1,605 @@
+//! Line-oriented text round-trip for specifications.
+//!
+//! §9 suggests maintainers "build a dataset of interface specifications"
+//! and extend it as patches land; this module gives that dataset a stable
+//! on-disk form. [`to_line`] serializes one specification to a single
+//! line; [`parse_line`] reads it back. The format is the paper notation
+//! plus a provenance tag:
+//!
+//! ```text
+//! spec[vb2_ops::buf_prepare] <P+> { ∃: -12 ↪ ret^i under ret^dma == 0 } (from fix-1)
+//! spec[*] <PΩ> { ∄: (arg_1^i ↪ arg_1^put_device) ∧ (arg_1^i ↪ deref) ∧ (arg_1^put_device ≺ deref) } (from fix-2)
+//! ```
+
+use crate::{Constraint, Provenance, Quantifier, Relation, Specification, SpecUse, SpecValue};
+use seal_solver::{CmpOp, Formula, Term};
+
+/// Canonicalizes a specification for serialization: condition variables
+/// holding [`SpecValue::Literal`] become plain constants (the two are
+/// semantically identical and print identically, so only the canonical
+/// form round-trips).
+pub fn canonicalize(spec: &Specification) -> Specification {
+    let mut out = spec.clone();
+    for c in &mut out.constraints {
+        if let Relation::Reach { cond, .. } = &mut c.relation {
+            *cond = canon_formula(cond.clone());
+        }
+    }
+    out
+}
+
+fn canon_formula(f: Formula<SpecValue>) -> Formula<SpecValue> {
+    let canon_term = |t: Term<SpecValue>| match t {
+        Term::Var(SpecValue::Literal(n)) => Term::Const(n),
+        other => other,
+    };
+    match f {
+        Formula::Atom(a) => Formula::Atom(seal_solver::Atom {
+            lhs: canon_term(a.lhs),
+            op: a.op,
+            rhs: canon_term(a.rhs),
+        }),
+        Formula::Not(inner) => Formula::Not(Box::new(canon_formula(*inner))),
+        Formula::And(xs) => Formula::And(xs.into_iter().map(canon_formula).collect()),
+        Formula::Or(xs) => Formula::Or(xs.into_iter().map(canon_formula).collect()),
+        other => other,
+    }
+}
+
+/// Serializes a specification to one parseable line (canonicalized — see
+/// [`canonicalize`]).
+pub fn to_line(spec: &Specification) -> String {
+    let spec = &canonicalize(spec);
+    let iface = spec.interface.as_deref().unwrap_or("*");
+    let prov = match spec.provenance {
+        Provenance::RemovedPath => "P-",
+        Provenance::AddedPath => "P+",
+        Provenance::CondChanged => "PΨ",
+        Provenance::OrderChanged => "PΩ",
+    };
+    let body = spec
+        .constraints
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join("; ");
+    format!("spec[{iface}] <{prov}> {{ {body} }} (from {})", spec.origin_patch)
+}
+
+/// Parses one line produced by [`to_line`].
+pub fn parse_line(line: &str) -> Result<Specification, ParseError> {
+    Parser::new(line).spec()
+}
+
+/// Parses a whole file of lines (empty lines and `#` comments skipped).
+pub fn parse_lines(text: &str) -> Result<Vec<Specification>, ParseError> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(parse_line)
+        .collect()
+}
+
+/// A parse failure with position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the line.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "spec parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest().starts_with(' ') {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{token}`")))
+        }
+    }
+
+    /// An identifier: letters, digits, `_`, `:`.
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        for (i, c) in self.rest().char_indices() {
+            if c.is_alphanumeric() || c == '_' || c == ':' {
+                continue;
+            }
+            self.pos = start + i;
+            break;
+        }
+        if self.pos == start {
+            // Ran to end of string.
+            if self
+                .rest()
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '_' || c == ':')
+                && !self.rest().is_empty()
+            {
+                self.pos = self.src.len();
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if text.is_empty() {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(text.to_string())
+    }
+
+    fn integer(&mut self) -> Result<i64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.rest().starts_with('-') {
+            self.pos += 1;
+        }
+        while self
+            .rest()
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_digit())
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        self.src[start..self.pos]
+            .parse()
+            .map_err(|_| self.err("expected integer"))
+    }
+
+    fn spec(&mut self) -> Result<Specification, ParseError> {
+        self.expect("spec[")?;
+        let iface_end = self
+            .rest()
+            .find(']')
+            .ok_or_else(|| self.err("unterminated interface"))?;
+        let iface = &self.rest()[..iface_end];
+        let interface = if iface == "*" {
+            None
+        } else {
+            Some(iface.to_string())
+        };
+        self.pos += iface_end + 1;
+        self.expect("<")?;
+        let provenance = if self.eat("P+") {
+            Provenance::AddedPath
+        } else if self.eat("P-") {
+            Provenance::RemovedPath
+        } else if self.eat("PΨ") {
+            Provenance::CondChanged
+        } else if self.eat("PΩ") {
+            Provenance::OrderChanged
+        } else {
+            return Err(self.err("expected provenance tag"));
+        };
+        self.expect(">")?;
+        self.expect("{")?;
+        let mut constraints = vec![self.constraint()?];
+        while self.eat(";") {
+            constraints.push(self.constraint()?);
+        }
+        self.expect("}")?;
+        self.expect("(from")?;
+        self.skip_ws();
+        let close = self
+            .rest()
+            .rfind(')')
+            .ok_or_else(|| self.err("unterminated origin"))?;
+        let origin_patch = self.rest()[..close].trim().to_string();
+        self.pos += close + 1;
+        Ok(Specification {
+            interface,
+            constraints,
+            origin_patch,
+            provenance,
+        })
+    }
+
+    fn constraint(&mut self) -> Result<Constraint, ParseError> {
+        self.skip_ws();
+        let quantifier = if self.eat("∀") {
+            Quantifier::ForAll
+        } else if self.eat("∃") {
+            Quantifier::Exists
+        } else if self.eat("∄") {
+            Quantifier::NotExists
+        } else {
+            return Err(self.err("expected quantifier"));
+        };
+        self.expect(":")?;
+        // Order relations start with a parenthesized reach conjunction.
+        self.skip_ws();
+        if self.rest().starts_with('(') {
+            return self.order(quantifier);
+        }
+        let value = self.value()?;
+        self.expect("↪")?;
+        let use_ = self.use_()?;
+        let cond = if self.eat("under") {
+            self.formula()?
+        } else {
+            Formula::True
+        };
+        Ok(Constraint {
+            quantifier,
+            relation: Relation::Reach { value, use_, cond },
+        })
+    }
+
+    /// `(v ↪ first) ∧ (v ↪ second) ∧ (first ≺ second)`
+    fn order(&mut self, quantifier: Quantifier) -> Result<Constraint, ParseError> {
+        self.expect("(")?;
+        let value = self.value()?;
+        self.expect("↪")?;
+        let first = self.use_()?;
+        self.expect(")")?;
+        self.expect("∧")?;
+        self.expect("(")?;
+        let value2 = self.value()?;
+        if value2 != value {
+            return Err(self.err("order relation values differ"));
+        }
+        self.expect("↪")?;
+        let second = self.use_()?;
+        self.expect(")")?;
+        self.expect("∧")?;
+        self.expect("(")?;
+        let _f = self.use_()?;
+        self.expect("≺")?;
+        let _s = self.use_()?;
+        self.expect(")")?;
+        Ok(Constraint {
+            quantifier,
+            relation: Relation::Order {
+                value,
+                first,
+                second,
+            },
+        })
+    }
+
+    fn value(&mut self) -> Result<SpecValue, ParseError> {
+        self.skip_ws();
+        if self.rest().starts_with('@') {
+            self.pos += 1;
+            return Ok(SpecValue::Global { name: self.ident()? });
+        }
+        if self
+            .rest()
+            .chars()
+            .next()
+            .map(|c| c == '-' || c.is_ascii_digit())
+            .unwrap_or(false)
+        {
+            return Ok(SpecValue::Literal(self.integer()?));
+        }
+        if self.eat("arg_") {
+            let k = self.integer()? as usize;
+            self.expect("^")?;
+            let owner = self.ident()?;
+            // `arg_K^i[.field]*` is an interface arg; `arg_K^api` in value
+            // position cannot occur (API args are uses).
+            if owner != "i" {
+                return Err(self.err("value-position args must belong to the interface (`^i`)"));
+            }
+            let mut fields = Vec::new();
+            while self.eat(".") {
+                fields.push(self.ident()?);
+            }
+            return Ok(SpecValue::ArgI {
+                index: k.saturating_sub(1),
+                fields,
+            });
+        }
+        if self.eat("ret^") {
+            let api = self.ident()?;
+            if api == "i" {
+                return Err(self.err("`ret^i` is a use, not a value"));
+            }
+            return Ok(SpecValue::RetF { api });
+        }
+        Err(self.err("expected value (arg_K^i, ret^api, @global, literal)"))
+    }
+
+    fn use_(&mut self) -> Result<SpecUse, ParseError> {
+        self.skip_ws();
+        if self.eat("deref") {
+            return Ok(SpecUse::Deref);
+        }
+        if self.eat("div") {
+            return Ok(SpecUse::Div);
+        }
+        if self.eat("index") {
+            return Ok(SpecUse::IndexUse);
+        }
+        if self.eat("ret^i") {
+            return Ok(SpecUse::RetI);
+        }
+        if self.rest().starts_with('@') {
+            self.pos += 1;
+            let name = self.ident()?;
+            self.expect("=")?;
+            return Ok(SpecUse::GlobalStore { name });
+        }
+        if self.eat("arg_") {
+            let k = self.integer()? as usize;
+            self.expect("^")?;
+            let api = self.ident()?;
+            return Ok(SpecUse::ArgF {
+                api,
+                index: k.saturating_sub(1),
+            });
+        }
+        Err(self.err("expected use (deref, div, index, ret^i, arg_K^api, @g =)"))
+    }
+
+    // ---------------------------------------------------------- conditions
+
+    fn formula(&mut self) -> Result<Formula<SpecValue>, ParseError> {
+        self.or_formula()
+    }
+
+    fn or_formula(&mut self) -> Result<Formula<SpecValue>, ParseError> {
+        let mut acc = self.and_formula()?;
+        while self.eat("||") {
+            acc = acc.or(self.and_formula()?);
+        }
+        Ok(acc)
+    }
+
+    fn and_formula(&mut self) -> Result<Formula<SpecValue>, ParseError> {
+        let mut acc = self.atom_formula()?;
+        while self.eat("&&") {
+            acc = acc.and(self.atom_formula()?);
+        }
+        Ok(acc)
+    }
+
+    fn atom_formula(&mut self) -> Result<Formula<SpecValue>, ParseError> {
+        self.skip_ws();
+        if self.eat("true") {
+            return Ok(Formula::True);
+        }
+        if self.eat("false") {
+            return Ok(Formula::False);
+        }
+        if self.eat("!(") {
+            let inner = self.formula()?;
+            self.expect(")")?;
+            return Ok(inner.negate());
+        }
+        if self.eat("(") {
+            let inner = self.formula()?;
+            self.expect(")")?;
+            return Ok(inner);
+        }
+        let lhs = self.term()?;
+        let op = self.cmp_op()?;
+        let rhs = self.term()?;
+        Ok(Formula::atom(lhs, op, rhs))
+    }
+
+    fn term(&mut self) -> Result<Term<SpecValue>, ParseError> {
+        self.skip_ws();
+        if self
+            .rest()
+            .chars()
+            .next()
+            .map(|c| c == '-' || c.is_ascii_digit())
+            .unwrap_or(false)
+        {
+            return Ok(Term::Const(self.integer()?));
+        }
+        Ok(Term::Var(self.value()?))
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        self.skip_ws();
+        // Longest first.
+        for (tok, op) in [
+            ("==", CmpOp::Eq),
+            ("!=", CmpOp::Ne),
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ] {
+            if self.eat(tok) {
+                return Ok(op);
+            }
+        }
+        Err(self.err("expected comparison operator"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec41() -> Specification {
+        Specification {
+            interface: Some("vb2_ops::buf_prepare".into()),
+            constraints: vec![Constraint {
+                quantifier: Quantifier::Exists,
+                relation: Relation::Reach {
+                    value: SpecValue::Literal(-12),
+                    use_: SpecUse::RetI,
+                    cond: Formula::cmp(SpecValue::ret_of("dma_alloc_coherent"), CmpOp::Eq, 0),
+                },
+            }],
+            origin_patch: "cx23885-fix".into(),
+            provenance: Provenance::AddedPath,
+        }
+    }
+
+    #[test]
+    fn roundtrips_spec41() {
+        let s = spec41();
+        let line = to_line(&s);
+        let back = parse_line(&line).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn roundtrips_cond_changed_spec() {
+        let s = Specification {
+            interface: Some("i2c_algorithm::smbus_xfer".into()),
+            constraints: vec![Constraint {
+                quantifier: Quantifier::NotExists,
+                relation: Relation::Reach {
+                    value: SpecValue::arg_field(1, "block"),
+                    use_: SpecUse::Deref,
+                    cond: Formula::cmp(SpecValue::arg_field(1, "len"), CmpOp::Gt, 32),
+                },
+            }],
+            origin_patch: "fig4".into(),
+            provenance: Provenance::CondChanged,
+        };
+        assert_eq!(parse_line(&to_line(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn roundtrips_order_spec() {
+        let s = Specification {
+            interface: Some("platform_driver::remove".into()),
+            constraints: vec![Constraint {
+                quantifier: Quantifier::NotExists,
+                relation: Relation::Order {
+                    value: SpecValue::arg_field(0, "dev"),
+                    first: SpecUse::ArgF {
+                        api: "put_device".into(),
+                        index: 0,
+                    },
+                    second: SpecUse::Deref,
+                },
+            }],
+            origin_patch: "fig5".into(),
+            provenance: Provenance::OrderChanged,
+        };
+        assert_eq!(parse_line(&to_line(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn roundtrips_interface_free_spec_with_disjunction() {
+        let cond = Formula::cmp(SpecValue::ret_of("kmalloc"), CmpOp::Eq, 0)
+            .or(Formula::cmp(SpecValue::arg(2), CmpOp::Lt, 0))
+            .and(Formula::cmp(SpecValue::Global { name: "state".into() }, CmpOp::Ne, 3));
+        let s = Specification {
+            interface: None,
+            constraints: vec![Constraint {
+                quantifier: Quantifier::NotExists,
+                relation: Relation::Reach {
+                    value: SpecValue::ret_of("kmalloc"),
+                    use_: SpecUse::Deref,
+                    cond,
+                },
+            }],
+            origin_patch: "p0".into(),
+            provenance: Provenance::RemovedPath,
+        };
+        assert_eq!(parse_line(&to_line(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn roundtrips_global_store_and_div_uses() {
+        for use_ in [
+            SpecUse::GlobalStore { name: "shared".into() },
+            SpecUse::Div,
+            SpecUse::IndexUse,
+            SpecUse::ArgF { api: "ida_free".into(), index: 1 },
+        ] {
+            let s = Specification {
+                interface: Some("ops::cb".into()),
+                constraints: vec![Constraint {
+                    quantifier: Quantifier::ForAll,
+                    relation: Relation::Reach {
+                        value: SpecValue::arg(0),
+                        use_,
+                        cond: Formula::True,
+                    },
+                }],
+                origin_patch: "p".into(),
+                provenance: Provenance::AddedPath,
+            };
+            assert_eq!(parse_line(&to_line(&s)).unwrap(), s, "{}", to_line(&s));
+        }
+    }
+
+    #[test]
+    fn parse_lines_skips_comments_and_blanks() {
+        let text = format!("# dataset v1\n\n{}\n  \n{}\n", to_line(&spec41()), to_line(&spec41()));
+        let specs = parse_lines(&text).unwrap();
+        assert_eq!(specs.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_line("not a spec").is_err());
+        assert!(parse_line("spec[x] <P+> { ∃: }").is_err());
+        let e = parse_line("spec[x] <??> { ∃: 0 ↪ ret^i } (from p)").unwrap_err();
+        assert!(e.message.contains("provenance"));
+    }
+
+    #[test]
+    fn negated_formula_roundtrip() {
+        let cond = Formula::cmp(SpecValue::ret_of("f"), CmpOp::Eq, 0).negate();
+        let s = Specification {
+            interface: None,
+            constraints: vec![Constraint {
+                quantifier: Quantifier::Exists,
+                relation: Relation::Reach {
+                    value: SpecValue::ret_of("f"),
+                    use_: SpecUse::Deref,
+                    cond,
+                },
+            }],
+            origin_patch: "p".into(),
+            provenance: Provenance::AddedPath,
+        };
+        assert_eq!(parse_line(&to_line(&s)).unwrap(), s);
+    }
+}

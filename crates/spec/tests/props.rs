@@ -1,0 +1,158 @@
+//! Property-based round-trip tests for the specification text format.
+
+use proptest::prelude::*;
+use seal_solver::{CmpOp, Formula, Term};
+use seal_spec::parse::{parse_line, to_line};
+use seal_spec::{Constraint, Provenance, Quantifier, Relation, Specification, SpecUse, SpecValue};
+
+fn api_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("kmalloc".to_string()),
+        Just("dma_alloc_coherent".to_string()),
+        Just("put_device".to_string()),
+        Just("of_node_put".to_string()),
+        Just("usb_read_cmd".to_string()),
+    ]
+}
+
+fn field_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("len".to_string()),
+        Just("block".to_string()),
+        Just("dev".to_string()),
+        Just("pixclock".to_string()),
+    ]
+}
+
+fn value() -> impl Strategy<Value = SpecValue> {
+    prop_oneof![
+        (0usize..4, prop::collection::vec(field_name(), 0..3))
+            .prop_map(|(index, fields)| SpecValue::ArgI { index, fields }),
+        api_name().prop_map(|api| SpecValue::RetF { api }),
+        Just(SpecValue::Global {
+            name: "telem_ida".to_string()
+        }),
+        (-4096i64..4096).prop_map(SpecValue::Literal),
+    ]
+}
+
+fn use_() -> impl Strategy<Value = SpecUse> {
+    prop_oneof![
+        (api_name(), 0usize..4).prop_map(|(api, index)| SpecUse::ArgF { api, index }),
+        Just(SpecUse::RetI),
+        Just(SpecUse::GlobalStore {
+            name: "shared_state".to_string()
+        }),
+        Just(SpecUse::Deref),
+        Just(SpecUse::Div),
+        Just(SpecUse::IndexUse),
+    ]
+}
+
+fn cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn term() -> impl Strategy<Value = Term<SpecValue>> {
+    prop_oneof![
+        value().prop_map(Term::Var),
+        (-100i64..100).prop_map(Term::Const),
+    ]
+}
+
+fn cond() -> impl Strategy<Value = Formula<SpecValue>> {
+    let atom = (term(), cmp(), term()).prop_map(|(l, op, r)| Formula::atom(l, op, r));
+    let leaf = prop_oneof![Just(Formula::True), atom];
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|f| f.negate()),
+        ]
+    })
+}
+
+fn quantifier() -> impl Strategy<Value = Quantifier> {
+    prop_oneof![
+        Just(Quantifier::ForAll),
+        Just(Quantifier::Exists),
+        Just(Quantifier::NotExists),
+    ]
+}
+
+fn provenance() -> impl Strategy<Value = Provenance> {
+    prop_oneof![
+        Just(Provenance::RemovedPath),
+        Just(Provenance::AddedPath),
+        Just(Provenance::CondChanged),
+        Just(Provenance::OrderChanged),
+    ]
+}
+
+fn constraint() -> impl Strategy<Value = Constraint> {
+    let reach = (quantifier(), value(), use_(), cond()).prop_map(|(q, v, u, c)| Constraint {
+        quantifier: q,
+        relation: Relation::Reach {
+            value: v,
+            use_: u,
+            cond: c,
+        },
+    });
+    let order = (quantifier(), value(), use_(), use_()).prop_map(|(q, v, f, s)| Constraint {
+        quantifier: q,
+        relation: Relation::Order {
+            value: v,
+            first: f,
+            second: s,
+        },
+    });
+    prop_oneof![3 => reach, 1 => order]
+}
+
+fn spec() -> impl Strategy<Value = Specification> {
+    (
+        prop_oneof![
+            Just(None),
+            Just(Some("vb2_ops::buf_prepare".to_string())),
+            Just(Some("platform_driver::remove".to_string())),
+        ],
+        prop::collection::vec(constraint(), 1..3),
+        provenance(),
+    )
+        .prop_map(|(interface, constraints, provenance)| Specification {
+            interface,
+            constraints,
+            origin_patch: "prop-patch-0042".to_string(),
+            provenance,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse_line ∘ to_line` is the identity on canonical specifications
+    /// (serialization canonicalizes literal-valued condition variables to
+    /// constants; see `seal_spec::parse::canonicalize`).
+    #[test]
+    fn serialization_round_trips(s in spec()) {
+        let canon = seal_spec::parse::canonicalize(&s);
+        let line = to_line(&s);
+        let back = parse_line(&line)
+            .unwrap_or_else(|e| panic!("cannot reparse `{line}`: {e}"));
+        prop_assert_eq!(back, canon, "line was: {}", line);
+    }
+
+    /// Parsing is total (never panics) on arbitrary printable input.
+    #[test]
+    fn parser_total_on_ascii(bytes in prop::collection::vec(32u8..127, 0..120)) {
+        let line = String::from_utf8(bytes).unwrap();
+        let _ = parse_line(&line);
+    }
+}

@@ -1,0 +1,56 @@
+//! Baseline face-off: run SEAL against APHP-lite (patch-based 4-tuples)
+//! and CRIX-lite (deviation-based cross-checking) on one corpus — the
+//! §8.3 comparison at example scale.
+//!
+//! Run with: `cargo run --release --example baseline_faceoff`
+
+use seal::baselines::{aphp, crix};
+use seal::core::Seal;
+use seal::corpus::{generate, CorpusConfig};
+
+fn main() {
+    let corpus = generate(&CorpusConfig {
+        seed: 31,
+        drivers_per_template: 16,
+        bug_rate: 0.25,
+        patches_per_template: 2,
+        refactor_patches: 2,
+    });
+    let target = corpus.target_module();
+    let is_bug = |f: &str| corpus.bug_for(f).is_some();
+
+    // SEAL.
+    let seal = Seal::default();
+    let mut specs = Vec::new();
+    for p in &corpus.patches {
+        specs.extend(seal.infer(p).expect("compiles"));
+    }
+    let seal_reports = seal.detect(&target, &specs);
+    let seal_tp = seal_reports.iter().filter(|r| is_bug(&r.function)).count();
+
+    // APHP-lite: 4-tuple mining from the same patches.
+    let mut tuples = Vec::new();
+    for p in &corpus.patches {
+        tuples.extend(aphp::infer(p));
+    }
+    let aphp_reports = aphp::detect(&target, &tuples);
+    let aphp_tp = aphp_reports.iter().filter(|r| is_bug(&r.function)).count();
+
+    // CRIX-lite: majority cross-checking, no patches needed.
+    let crix_reports = crix::detect(&target);
+    let crix_tp = crix_reports.iter().filter(|r| is_bug(&r.function)).count();
+
+    println!("tool       reports  hits-on-seeded-bugs");
+    println!("SEAL       {:>7}  {seal_tp:>6}", seal_reports.len());
+    println!("APHP-lite  {:>7}  {aphp_tp:>6}", aphp_reports.len());
+    println!("CRIX-lite  {:>7}  {crix_tp:>6}", crix_reports.len());
+
+    println!("\nAPHP mined {} post-handling tuples, e.g.:", tuples.len());
+    for t in tuples.iter().take(3) {
+        println!("  <{}, {}> from {}", t.target_api, t.post_op, t.origin);
+    }
+    println!("\nCRIX sample report:");
+    if let Some(r) = crix_reports.first() {
+        println!("  {}: {}", r.function, r.detail);
+    }
+}

@@ -1,0 +1,125 @@
+//! Patch study: the three specification shapes of §4.2, reproduced from
+//! the paper's Figs. 3–5 — a new value-flow path (Spec 4.1), a changed
+//! path condition (Spec 4.2), and a flipped use-site order (Spec 4.3).
+//!
+//! For each patch this example prints the Alg. 1 classification of changed
+//! paths (`P−`, `P+`, `PΨ`, `PΩ` sizes) and the extracted specifications.
+//!
+//! Run with: `cargo run --example patch_study`
+
+use seal::core::diff::{diff_patch, DiffConfig};
+use seal::core::{Patch, Seal};
+
+fn study(title: &str, patch: &Patch) {
+    println!("=== {title} ===");
+    let compiled = patch.compile().expect("compiles");
+    let changed = diff_patch(&compiled, &DiffConfig::default());
+    println!(
+        "changed paths: P-={} P+={} PΨ={} PΩ-candidates={}",
+        changed.removed.len(),
+        changed.added.len(),
+        changed.cond_changed.len(),
+        changed.unchanged_pairs.len()
+    );
+    let specs = Seal::default().infer(patch).expect("compiles");
+    for s in &specs {
+        println!("  {s}");
+    }
+    println!();
+}
+
+fn main() {
+    // Fig. 3 — incorrect return value: the fix introduces a new path from
+    // the error literal to the interface return (Spec 4.1).
+    let fig3_shared = "
+struct riscmem { int *cpu; };
+void *dma_alloc_coherent(unsigned long size);
+struct vb2_ops { int (*buf_prepare)(struct riscmem *risc); };
+int cx23885_vbibuffer(struct riscmem *risc) {
+    risc->cpu = (int *)dma_alloc_coherent(64);
+    if (risc->cpu == NULL) return -12;
+    return 0;
+}
+";
+    study(
+        "Fig. 3 / Spec 4.1 — incorrect return value (P+)",
+        &Patch::new(
+            "fig3",
+            format!(
+                "{fig3_shared}int buffer_prepare(struct riscmem *risc) {{ cx23885_vbibuffer(risc); return 0; }}\n\
+                 struct vb2_ops qops = {{ .buf_prepare = buffer_prepare, }};"
+            ),
+            format!(
+                "{fig3_shared}int buffer_prepare(struct riscmem *risc) {{ return cx23885_vbibuffer(risc); }}\n\
+                 struct vb2_ops qops = {{ .buf_prepare = buffer_prepare, }};"
+            ),
+        ),
+    );
+
+    // Fig. 4 — missing check on a parameter: the path stays, its condition
+    // gains a bounds guard (Spec 4.2).
+    let fig4_shared = "
+struct smbus_data { int len; char block[34]; };
+struct i2c_algorithm { int (*smbus_xfer)(int size, struct smbus_data *data); };
+";
+    let unchecked = "
+int xfer_emulated(int size, struct smbus_data *data) {
+    char sink;
+    int i;
+    if (size == 1) {
+        for (i = 1; i <= data->len; i++) { sink = data->block[i]; }
+    }
+    return (int)sink;
+}
+struct i2c_algorithm alg = { .smbus_xfer = xfer_emulated, };";
+    let checked = "
+int xfer_emulated(int size, struct smbus_data *data) {
+    char sink;
+    int i;
+    if (size == 1) {
+        if (data->len <= 32) {
+            for (i = 1; i <= data->len; i++) { sink = data->block[i]; }
+        }
+    }
+    return (int)sink;
+}
+struct i2c_algorithm alg = { .smbus_xfer = xfer_emulated, };";
+    study(
+        "Fig. 4 / Spec 4.2 — missing parameter check (PΨ)",
+        &Patch::new(
+            "fig4",
+            format!("{fig4_shared}{unchecked}"),
+            format!("{fig4_shared}{checked}"),
+        ),
+    );
+
+    // Fig. 5 — incorrect usage order: no path or condition changes, only
+    // the Ω order of two use sites flips (Spec 4.3).
+    let fig5_shared = "
+struct device { int devt; };
+struct platform_device { struct device dev; };
+struct platform_driver { int (*remove)(struct platform_device *pdev); };
+void put_device(struct device *dev);
+void release_resources(struct device *dev);
+";
+    study(
+        "Fig. 5 / Spec 4.3 — incorrect usage order (PΩ)",
+        &Patch::new(
+            "fig5",
+            format!(
+                "{fig5_shared}int telem_remove(struct platform_device *pdev) {{\n\
+                 put_device(&pdev->dev);\n\
+                 release_resources(&pdev->dev);\n\
+                 return 0;\n\
+                 }}\nstruct platform_driver d = {{ .remove = telem_remove, }};"
+            ),
+            format!(
+                "{fig5_shared}int telem_remove(struct platform_device *pdev) {{\n\
+                 release_resources(&pdev->dev);\n\
+                 put_device(&pdev->dev);\n\
+                 return 0;\n\
+                 }}\nstruct platform_driver d = {{ .remove = telem_remove, }};"
+            ),
+        ),
+    );
+}

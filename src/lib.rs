@@ -1,0 +1,16 @@
+//! SEAL — diverse specification inference for Linux-style interfaces from
+//! security patches (EuroSys '25 reproduction).
+//!
+//! This facade crate re-exports the workspace's public API. See the README
+//! for the architecture overview and `DESIGN.md` for the substrate
+//! inventory and experiment index.
+
+pub use seal_baselines as baselines;
+pub use seal_core as core;
+pub use seal_corpus as corpus;
+pub use seal_exec as exec;
+pub use seal_ir as ir;
+pub use seal_kir as kir;
+pub use seal_pdg as pdg;
+pub use seal_solver as solver;
+pub use seal_spec as spec;

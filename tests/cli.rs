@@ -1,0 +1,183 @@
+//! End-to-end tests of the `seal` CLI binary (infer → merge → detect),
+//! exercising the maintainer workflow of §9 through the real executable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn seal_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_seal")
+}
+
+fn write(dir: &std::path::Path, name: &str, content: &str) -> PathBuf {
+    let p = dir.join(name);
+    std::fs::write(&p, content).unwrap();
+    p
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seal-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const SHARED: &str = "
+struct riscmem { int *cpu; };
+void *dma_alloc_coherent(unsigned long size);
+struct vb2_ops { int (*buf_prepare)(struct riscmem *risc); };
+int vbi(struct riscmem *risc) {
+    risc->cpu = (int *)dma_alloc_coherent(64);
+    if (risc->cpu == NULL) return -12;
+    return 0;
+}
+";
+
+#[test]
+fn infer_merge_detect_pipeline() {
+    let dir = temp_dir("pipeline");
+    let pre = write(
+        &dir,
+        "pre.c",
+        &format!(
+            "{SHARED}int buffer_prepare(struct riscmem *r) {{ vbi(r); return 0; }}\n\
+             struct vb2_ops q = {{ .buf_prepare = buffer_prepare, }};"
+        ),
+    );
+    let post = write(
+        &dir,
+        "post.c",
+        &format!(
+            "{SHARED}int buffer_prepare(struct riscmem *r) {{ return vbi(r); }}\n\
+             struct vb2_ops q = {{ .buf_prepare = buffer_prepare, }};"
+        ),
+    );
+    let target = write(
+        &dir,
+        "kernel.c",
+        &format!(
+            "{SHARED}int tw68_buf_prepare(struct riscmem *r) {{ vbi(r); return 0; }}\n\
+             struct vb2_ops tw = {{ .buf_prepare = tw68_buf_prepare, }};"
+        ),
+    );
+    let specs1 = dir.join("s1.txt");
+    let specs2 = dir.join("s2.txt");
+    let merged = dir.join("merged.txt");
+
+    // infer twice under different ids.
+    for (id, out) in [("fix-a", &specs1), ("fix-b", &specs2)] {
+        let st = Command::new(seal_bin())
+            .args(["infer", "--pre"])
+            .arg(&pre)
+            .arg("--post")
+            .arg(&post)
+            .args(["--id", id, "--out"])
+            .arg(out)
+            .status()
+            .unwrap();
+        assert!(st.success());
+        assert!(std::fs::read_to_string(out).unwrap().contains("spec["));
+    }
+
+    // merge the two datasets: origins combine, count stays the same.
+    let st = Command::new(seal_bin())
+        .arg("merge")
+        .arg("--specs")
+        .arg(format!("{},{}", specs1.display(), specs2.display()))
+        .arg("--out")
+        .arg(&merged)
+        .status()
+        .unwrap();
+    assert!(st.success());
+    let merged_text = std::fs::read_to_string(&merged).unwrap();
+    assert!(merged_text.contains("fix-a+fix-b"));
+
+    // detect with the merged dataset: the buggy sibling is flagged.
+    let out = Command::new(seal_bin())
+        .arg("detect")
+        .arg("--target")
+        .arg(&target)
+        .arg("--specs")
+        .arg(&merged)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("tw68_buf_prepare"),
+        "detect output: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hunt_runs_both_stages() {
+    let dir = temp_dir("hunt");
+    let pre = write(
+        &dir,
+        "pre.c",
+        &format!(
+            "{SHARED}int bp(struct riscmem *r) {{ vbi(r); return 0; }}\n\
+             struct vb2_ops q = {{ .buf_prepare = bp, }};"
+        ),
+    );
+    let post = write(
+        &dir,
+        "post.c",
+        &format!(
+            "{SHARED}int bp(struct riscmem *r) {{ return vbi(r); }}\n\
+             struct vb2_ops q = {{ .buf_prepare = bp, }};"
+        ),
+    );
+    let target = write(
+        &dir,
+        "kernel.c",
+        &format!(
+            "{SHARED}int ok_prepare(struct riscmem *r) {{ return vbi(r); }}\n\
+             struct vb2_ops okq = {{ .buf_prepare = ok_prepare, }};"
+        ),
+    );
+    let out = Command::new(seal_bin())
+        .arg("hunt")
+        .arg("--pre")
+        .arg(&pre)
+        .arg("--post")
+        .arg(&post)
+        .arg("--target")
+        .arg(&target)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no violations found"), "got: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    // Unknown command.
+    let out = Command::new(seal_bin()).arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // Missing file.
+    let out = Command::new(seal_bin())
+        .args(["detect", "--target", "/nonexistent.c", "--specs", "/nonexistent.txt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // Uncompilable patch.
+    let dir = temp_dir("bad");
+    let junk = write(&dir, "junk.c", "int f( { ;;; }");
+    let ok = write(&dir, "ok.c", "int f(void) { return 0; }");
+    let out = Command::new(seal_bin())
+        .arg("infer")
+        .arg("--pre")
+        .arg(&junk)
+        .arg("--post")
+        .arg(&ok)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("does not compile"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,59 @@
+//! Scale stress test (ignored by default; run with `cargo test --release
+//! --test scale -- --ignored`): a corpus several times the evaluation
+//! size must keep the precision band, full recall, and bounded runtime.
+
+use seal::core::Seal;
+use seal::corpus::{generate, ledger, CorpusConfig};
+use std::time::Instant;
+
+#[test]
+#[ignore = "multi-second stress run; use --release"]
+fn large_corpus_keeps_precision_band() {
+    let config = CorpusConfig {
+        seed: 77,
+        drivers_per_template: 200,
+        bug_rate: 0.18,
+        patches_per_template: 10,
+        refactor_patches: 40,
+    };
+    let t0 = Instant::now();
+    let corpus = generate(&config);
+    let target = corpus.target_module();
+    println!(
+        "kernel: {} functions, {} patches, {} seeded bugs (gen {:?})",
+        target.functions.len(),
+        corpus.patches.len(),
+        corpus.ground_truth.len(),
+        t0.elapsed()
+    );
+
+    let seal = Seal::default();
+    let t1 = Instant::now();
+    let mut specs = Vec::new();
+    for p in &corpus.patches {
+        specs.extend(seal.infer(p).expect("compiles"));
+    }
+    println!("infer: {:?} ({} specs)", t1.elapsed(), specs.len());
+
+    let t2 = Instant::now();
+    let reports = seal.detect(&target, &specs);
+    println!("detect: {:?} ({} reports)", t2.elapsed(), reports.len());
+
+    let score = ledger::score(&reports, &corpus.ground_truth);
+    println!(
+        "precision {:.3}, recall {:.3}",
+        score.precision(),
+        score.recall()
+    );
+    assert!(score.recall() >= 0.95, "recall {:.3}", score.recall());
+    assert!(
+        (0.55..=0.90).contains(&score.precision()),
+        "precision {:.3} outside the expected band",
+        score.precision()
+    );
+    assert!(
+        t2.elapsed().as_secs() < 120,
+        "detection took {:?}",
+        t2.elapsed()
+    );
+}

@@ -1,0 +1,81 @@
+//! Integration: the maintainer workflow of §9 — specifications inferred
+//! from patches survive a serialize/parse round trip through a dataset
+//! file and detect identically afterwards.
+
+use seal::core::Seal;
+use seal::corpus::{generate, CorpusConfig};
+use seal::spec::parse::{parse_lines, to_line};
+
+#[test]
+fn dataset_round_trip_preserves_detection() {
+    let corpus = generate(&CorpusConfig {
+        seed: 99,
+        drivers_per_template: 8,
+        bug_rate: 0.3,
+        patches_per_template: 1,
+        refactor_patches: 0,
+    });
+    let target = corpus.target_module();
+    let seal = Seal::default();
+
+    let mut specs = Vec::new();
+    for p in &corpus.patches {
+        specs.extend(seal.infer(p).unwrap());
+    }
+    assert!(!specs.is_empty());
+
+    // Serialize to a dataset, parse it back.
+    let dataset: String = specs
+        .iter()
+        .map(to_line)
+        .collect::<Vec<_>>()
+        .join("\n");
+    let reloaded = parse_lines(&dataset).expect("dataset reparses");
+    assert_eq!(reloaded.len(), specs.len());
+
+    // Detection through the round-tripped dataset gives the same findings.
+    let direct = seal.detect(&target, &specs);
+    let via_dataset = seal.detect(&target, &reloaded);
+    let key = |rs: &[seal::core::BugReport]| {
+        let mut v: Vec<String> = rs
+            .iter()
+            .map(|r| format!("{}:{}", r.function, r.bug_type.label()))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    assert_eq!(key(&direct), key(&via_dataset));
+}
+
+#[test]
+fn incremental_dataset_growth() {
+    // §9: "once new patches are merged, proactively run SEAL to expand the
+    // dataset" — inferring patch-by-patch and unioning must find at least
+    // whatever any single patch finds.
+    let corpus = generate(&CorpusConfig {
+        seed: 5,
+        drivers_per_template: 6,
+        bug_rate: 0.4,
+        patches_per_template: 1,
+        refactor_patches: 0,
+    });
+    let target = corpus.target_module();
+    let seal = Seal::default();
+
+    let mut dataset = Vec::new();
+    let mut cumulative: Vec<usize> = Vec::new();
+    for p in &corpus.patches {
+        dataset.extend(seal.infer(p).unwrap());
+        let reports = seal.detect(&target, &dataset);
+        let mut fns: Vec<&str> = reports.iter().map(|r| r.function.as_str()).collect();
+        fns.sort();
+        fns.dedup();
+        cumulative.push(fns.len());
+    }
+    // Monotone non-decreasing coverage as the dataset grows.
+    for w in cumulative.windows(2) {
+        assert!(w[1] >= w[0], "coverage shrank: {cumulative:?}");
+    }
+    assert!(*cumulative.last().unwrap() > 0);
+}
