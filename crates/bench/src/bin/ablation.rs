@@ -4,7 +4,10 @@
 //!   and condition-consistency checks shows how much precision the
 //!   quasi-path-sensitive design buys;
 //! * **PDG summary reuse** (§6.2.3): disabling the per-scope PDG cache
-//!   shows the cost of re-deriving summaries.
+//!   shows the cost of re-deriving summaries;
+//! * **path-result reuse**: disabling the per-scope feasible-path memo
+//!   makes every (spec, region) pair redo its path search and feasibility
+//!   pass, which is the seed-equivalent detection configuration.
 
 use seal_bench::{eval_config, print_table};
 use seal_core::{detect_bugs_with_stats, DetectConfig, Seal};
@@ -38,6 +41,20 @@ fn main() {
                 ..DetectConfig::default()
             },
         ),
+        (
+            "no path-result reuse",
+            DetectConfig {
+                reuse_path_cache: false,
+                ..DetectConfig::default()
+            },
+        ),
+        (
+            "no spec dedup",
+            DetectConfig {
+                dedup_specs: false,
+                ..DetectConfig::default()
+            },
+        ),
     ] {
         let t0 = Instant::now();
         let (reports, stats) = detect_bugs_with_stats(&target, &specs, &cfg);
@@ -62,6 +79,7 @@ fn main() {
         "\nExpected shape: dropping path sensitivity floods false positives\n\
          (guarded siblings are no longer distinguishable from unguarded ones);\n\
          dropping summary reuse multiplies PDG construction time while leaving\n\
-         results identical."
+         results identical; dropping path-result reuse multiplies path-search\n\
+         time the same way (both caches are pure time/space trades)."
     );
 }

@@ -1,0 +1,237 @@
+//! Hand-rolled pipeline benchmark (replaces the former criterion bench).
+//!
+//! Times the pipeline phases — specification inference, PDG construction,
+//! path search, and total detection — over warmup + measured iterations at
+//! several worker counts, verifies that specs, reports, and scores are
+//! byte-identical across worker counts, and writes `BENCH_pipeline.json`.
+//!
+//! Two reference points are reported per worker count:
+//!
+//! * `speedup_vs_1worker` — thread scaling alone (bounded by the CPUs of
+//!   the machine, recorded in `cpus`);
+//! * `speedup_vs_baseline` — against the *seed-equivalent* configuration:
+//!   one worker and per-spec path search with no path-result reuse
+//!   (`reuse_path_cache: false`), i.e. the pipeline as it stood before
+//!   this optimization pass.
+//!
+//! Iteration counts come from `SEAL_BENCH_WARMUP` / `SEAL_BENCH_ITERS`
+//! (defaults 1 and 3).
+
+use seal_bench::{eval_config, run_pipeline_with_jobs, PipelineResult};
+use seal_core::{detect_bugs_with_stats_jobs, DetectConfig, Seal};
+use seal_spec::parse::to_line;
+use seal_spec::Specification;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Millisecond samples for one pipeline configuration.
+#[derive(Default)]
+struct Samples {
+    total: Vec<f64>,
+    infer: Vec<f64>,
+    pdg: Vec<f64>,
+    search: Vec<f64>,
+    detect: Vec<f64>,
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    s[s.len() / 2]
+}
+
+fn p90(xs: &[f64]) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((s.len() as f64) * 0.9).ceil() as usize;
+    s[idx.saturating_sub(1).min(s.len() - 1)]
+}
+
+/// Canonical rendering of everything the pipeline outputs; equal strings
+/// mean a byte-identical run.
+fn fingerprint(r: &PipelineResult) -> String {
+    let mut out = String::new();
+    for s in &r.specs {
+        out.push_str(&to_line(s));
+        out.push('\n');
+    }
+    for (id, n) in &r.per_patch_specs {
+        let _ = writeln!(out, "{id}\t{n}");
+    }
+    for rep in &r.reports {
+        let _ = writeln!(out, "{rep}");
+    }
+    let _ = writeln!(out, "{:?}", r.score);
+    let _ = writeln!(out, "regions={} skipped={}", r.detect_stats.regions, r.detect_stats.skipped);
+    out
+}
+
+fn measure(jobs: usize, warmup: usize, iters: usize) -> (Samples, String) {
+    let config = eval_config();
+    for _ in 0..warmup {
+        let _ = run_pipeline_with_jobs(&config, jobs);
+    }
+    let mut s = Samples::default();
+    let mut fp = String::new();
+    for i in 0..iters {
+        let t0 = Instant::now();
+        let r = run_pipeline_with_jobs(&config, jobs);
+        s.total.push(t0.elapsed().as_secs_f64() * 1e3);
+        s.infer.push(r.infer_time.as_secs_f64() * 1e3);
+        s.pdg.push(r.detect_stats.pdg_time.as_secs_f64() * 1e3);
+        s.search.push(r.detect_stats.search_time.as_secs_f64() * 1e3);
+        s.detect.push(r.detect_time.as_secs_f64() * 1e3);
+        if i == 0 {
+            fp = fingerprint(&r);
+        }
+    }
+    (s, fp)
+}
+
+/// The seed-equivalent baseline: sequential inference and detection with
+/// path-result memoization and spec-identity memoization disabled (one
+/// path search + feasibility pass per (spec, region) pair, every duplicate
+/// spec re-checked — as before this optimization pass).
+fn measure_baseline(warmup: usize, iters: usize) -> Samples {
+    let config = eval_config();
+    let corpus = seal_corpus::generate(&config);
+    let target = corpus.target_module();
+    let seal = Seal::default();
+    let detect_cfg = DetectConfig {
+        reuse_path_cache: false,
+        dedup_specs: false,
+        ..seal.detect.clone()
+    };
+    let run = || {
+        let t0 = Instant::now();
+        let mut specs: Vec<Specification> = Vec::new();
+        for patch in &corpus.patches {
+            specs.extend(seal.infer(patch).expect("corpus patches compile"));
+        }
+        let infer_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let (_reports, stats) = detect_bugs_with_stats_jobs(&target, &specs, &detect_cfg, 1);
+        let detect_ms = t1.elapsed().as_secs_f64() * 1e3;
+        (infer_ms, detect_ms, stats)
+    };
+    for _ in 0..warmup {
+        let _ = run();
+    }
+    let mut s = Samples::default();
+    for _ in 0..iters {
+        let (infer_ms, detect_ms, stats) = run();
+        s.total.push(infer_ms + detect_ms);
+        s.infer.push(infer_ms);
+        s.pdg.push(stats.pdg_time.as_secs_f64() * 1e3);
+        s.search.push(stats.search_time.as_secs_f64() * 1e3);
+        s.detect.push(detect_ms);
+    }
+    s
+}
+
+/// Minimal JSON emitter (numbers rounded to 0.01 ms).
+fn num(x: f64) -> String {
+    format!("{:.2}", x)
+}
+
+fn phase_json(s: &Samples) -> String {
+    format!(
+        "{{\"end_to_end_ms\":{{\"median\":{},\"p90\":{}}},\
+         \"infer_ms\":{{\"median\":{},\"p90\":{}}},\
+         \"pdg_ms\":{{\"median\":{},\"p90\":{}}},\
+         \"search_ms\":{{\"median\":{},\"p90\":{}}},\
+         \"detect_ms\":{{\"median\":{},\"p90\":{}}}}}",
+        num(median(&s.total)),
+        num(p90(&s.total)),
+        num(median(&s.infer)),
+        num(p90(&s.infer)),
+        num(median(&s.pdg)),
+        num(p90(&s.pdg)),
+        num(median(&s.search)),
+        num(p90(&s.search)),
+        num(median(&s.detect)),
+        num(p90(&s.detect)),
+    )
+}
+
+fn main() {
+    let warmup = env_usize("SEAL_BENCH_WARMUP", 1);
+    let iters = env_usize("SEAL_BENCH_ITERS", 3).max(1);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let worker_counts = [1usize, 2, 4];
+
+    eprintln!("bench_pipeline: warmup={warmup} iters={iters} cpus={cpus}");
+
+    eprintln!("measuring seed-equivalent baseline (1 worker, no path-result reuse)");
+    let baseline = measure_baseline(warmup, iters);
+    let baseline_med = median(&baseline.total);
+
+    let mut results: Vec<(usize, Samples)> = Vec::new();
+    let mut fingerprints: Vec<String> = Vec::new();
+    for &jobs in &worker_counts {
+        eprintln!("measuring {jobs} worker(s)");
+        let (s, fp) = measure(jobs, warmup, iters);
+        results.push((jobs, s));
+        fingerprints.push(fp);
+    }
+
+    let identical = fingerprints.iter().all(|f| f == &fingerprints[0]);
+    assert!(
+        identical,
+        "pipeline output differs across worker counts — determinism contract broken"
+    );
+
+    let one_worker_med = median(&results[0].1.total);
+    let mut workers_json = Vec::new();
+    for (jobs, s) in &results {
+        let med = median(&s.total);
+        workers_json.push(format!(
+            "{{\"jobs\":{jobs},\"phases\":{},\"speedup_vs_1worker\":{},\"speedup_vs_baseline\":{}}}",
+            phase_json(s),
+            format_args!("{:.3}", one_worker_med / med),
+            format_args!("{:.3}", baseline_med / med),
+        ));
+    }
+
+    let cfg = eval_config();
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline\",\n  \"cpus\": {cpus},\n  \"warmup_iters\": {warmup},\n  \
+         \"measured_iters\": {iters},\n  \
+         \"config\": {{\"seed\": {}, \"drivers_per_template\": {}, \"bug_rate\": {}, \
+         \"patches_per_template\": {}, \"refactor_patches\": {}}},\n  \
+         \"baseline_seed_equivalent\": {},\n  \
+         \"workers\": [\n    {}\n  ],\n  \
+         \"identical_output_across_workers\": {identical}\n}}\n",
+        cfg.seed,
+        cfg.drivers_per_template,
+        cfg.bug_rate,
+        cfg.patches_per_template,
+        cfg.refactor_patches,
+        phase_json(&baseline),
+        workers_json.join(",\n    "),
+    );
+
+    std::fs::write("BENCH_pipeline.json", &json).expect("cannot write BENCH_pipeline.json");
+    println!("{json}");
+
+    for (jobs, s) in &results {
+        let med = median(&s.total);
+        println!(
+            "workers={jobs}: median {:.1} ms  (vs 1 worker {:.2}x, vs seed baseline {:.2}x)",
+            med,
+            one_worker_med / med,
+            baseline_med / med
+        );
+    }
+    println!("baseline (seed-equivalent): median {:.1} ms", baseline_med);
+    println!("output identical across worker counts: {identical}");
+}

@@ -4,11 +4,14 @@
 use seal_bench::{eval_config, print_table, run_pipeline};
 
 fn main() {
+    let jobs = seal_runtime::worker_count();
     let r = run_pipeline(&eval_config());
     let n_patches = r.corpus.patches.len().max(1);
     let per_patch = r.infer_time / n_patches as u32;
 
-    println!("RQ4: efficiency of SEAL (§8.4)\n");
+    println!(
+        "RQ4: efficiency of SEAL (§8.4) — {jobs} worker(s) (set SEAL_JOBS to change)\n"
+    );
     print_table(
         &["Phase", "Measured", "Paper"],
         &[

@@ -43,25 +43,40 @@ pub struct PipelineResult {
     pub detect_stats: DetectStats,
 }
 
-/// Runs the full SEAL pipeline on a corpus configuration.
+/// Runs the full SEAL pipeline on a corpus configuration, with the worker
+/// count taken from `SEAL_JOBS` (default: available parallelism).
 pub fn run_pipeline(config: &CorpusConfig) -> PipelineResult {
+    run_pipeline_with_jobs(config, seal_runtime::worker_count())
+}
+
+/// Runs the full SEAL pipeline with an explicit worker count.
+///
+/// Each patch compiles and diffs independently on the work-stealing pool;
+/// per-patch results come back in patch-index order, so the merged spec
+/// list — and everything downstream — is byte-identical to a sequential
+/// run for any `jobs`.
+pub fn run_pipeline_with_jobs(config: &CorpusConfig, jobs: usize) -> PipelineResult {
     let corpus = generate(config);
     let target = corpus.target_module();
     let seal = Seal::default();
 
     let t0 = Instant::now();
+    let per_patch: Vec<(String, Vec<Specification>)> =
+        seal_runtime::par_map_jobs(jobs, &corpus.patches, |patch| {
+            let s = seal.infer(patch).expect("corpus patches compile");
+            (patch.id.clone(), s)
+        });
     let mut specs = Vec::new();
     let mut per_patch_specs = Vec::new();
-    for patch in &corpus.patches {
-        let s = seal.infer(patch).expect("corpus patches compile");
-        per_patch_specs.push((patch.id.clone(), s.len()));
+    for (id, s) in per_patch {
+        per_patch_specs.push((id, s.len()));
         specs.extend(s);
     }
     let infer_time = t0.elapsed();
 
     let t1 = Instant::now();
     let (reports, detect_stats) =
-        seal_core::detect_bugs_with_stats(&target, &specs, &seal.detect);
+        seal_core::detect_bugs_with_stats_jobs(&target, &specs, &seal.detect, jobs);
     let detect_time = t1.elapsed();
 
     let score = score(&reports, &corpus.ground_truth);

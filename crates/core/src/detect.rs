@@ -34,6 +34,19 @@ pub struct DetectConfig {
     /// Evaluate path feasibility and condition consistency with the solver
     /// (§6.4's path sensitivity). Disable for the ablation baseline.
     pub path_sensitive: bool,
+    /// Memoize feasible forward paths per source node within a scope, so
+    /// every spec checked against the same region reuses one path search
+    /// and one feasibility pass. Disable for the sequential-equivalent
+    /// ablation baseline.
+    pub reuse_path_cache: bool,
+    /// Check one representative per group of specifications that agree on
+    /// `(interface, constraints)`. Detection depends on a spec only
+    /// through those two fields, and [`dedup_reports`] already keeps just
+    /// the first occurrence per constraint key, so duplicates mined from
+    /// different historical patches cannot contribute surviving reports —
+    /// skipping them changes the work done, not the output. Disable for
+    /// the sequential-equivalent ablation baseline.
+    pub dedup_specs: bool,
 }
 
 impl Default for DetectConfig {
@@ -43,6 +56,8 @@ impl Default for DetectConfig {
             max_regions: 512,
             reuse_pdg_cache: true,
             path_sensitive: true,
+            reuse_path_cache: true,
+            dedup_specs: true,
         }
     }
 }
@@ -70,38 +85,125 @@ pub fn detect_bugs(
     detect_bugs_with_stats(module, specs, cfg).0
 }
 
-/// [`detect_bugs`] with phase statistics.
+/// [`detect_bugs`] with phase statistics, on `SEAL_JOBS` workers.
 pub fn detect_bugs_with_stats(
     module: &Module,
     specs: &[Specification],
     cfg: &DetectConfig,
 ) -> (Vec<BugReport>, DetectStats) {
+    detect_bugs_with_stats_jobs(module, specs, cfg, seal_runtime::worker_count())
+}
+
+/// One shard's worth of work: every `(spec, region)` pair whose region has
+/// the same scope, tagged with `(spec index, region rank)` for the merge.
+struct Shard {
+    scope: BTreeSet<FuncId>,
+    items: Vec<(usize, usize, FuncId)>,
+}
+
+/// [`detect_bugs`] with phase statistics and an explicit worker count.
+///
+/// Reports, their order, and every `DetectStats` counter are independent of
+/// `jobs` (phase *durations* are summed across workers and naturally vary).
+pub fn detect_bugs_with_stats_jobs(
+    module: &Module,
+    specs: &[Specification],
+    cfg: &DetectConfig,
+    jobs: usize,
+) -> (Vec<BugReport>, DetectStats) {
     let cg = CallGraph::build(module);
-    let mut pdg_cache: HashMap<BTreeSet<FuncId>, Pdg<'_>> = HashMap::new();
-    let mut out = Vec::new();
+
+    // Spec-identity memoization: detection sees a spec only through its
+    // interface and constraints, so groups that agree on both are checked
+    // once, through the group's *earliest* member — exactly the one whose
+    // reports would survive `dedup_reports` in a full sequential run.
+    let spec_indices: Vec<usize> = if cfg.dedup_specs {
+        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+        (0..specs.len())
+            .filter(|&si| {
+                let s = &specs[si];
+                seen.insert(format!("{:?}|{:?}", s.interface, s.constraints))
+            })
+            .collect()
+    } else {
+        (0..specs.len()).collect()
+    };
+
+    // Group work items by region scope so each shard builds one PDG and
+    // keeps the §6.2.3 summary reuse local to a worker. `BTreeMap` keeps
+    // the shard order deterministic.
+    let mut shards: std::collections::BTreeMap<BTreeSet<FuncId>, Vec<(usize, usize, FuncId)>> =
+        std::collections::BTreeMap::new();
     let mut stats = DetectStats::default();
-    for spec in specs {
-        for region in regions_for_with_cg(module, &cg, spec)
+    for &si in &spec_indices {
+        let spec = &specs[si];
+        for (ri, region) in regions_for_with_cg(module, &cg, spec)
             .into_iter()
             .take(cfg.max_regions)
+            .enumerate()
         {
             stats.regions += 1;
             let scope = region_scope(&cg, region);
-            if !cfg.reuse_pdg_cache {
-                pdg_cache.remove(&scope);
-            }
+            shards.entry(scope).or_default().push((si, ri, region));
+        }
+    }
+    let shards: Vec<Shard> = shards
+        .into_iter()
+        .map(|(scope, items)| Shard { scope, items })
+        .collect();
+
+    struct ShardOut {
+        results: Vec<(usize, usize, Option<BugReport>)>,
+        pdg_time: std::time::Duration,
+        search_time: std::time::Duration,
+    }
+    let shard_outs: Vec<ShardOut> = seal_runtime::par_map_jobs(jobs, &shards, |shard| {
+        let mut o = ShardOut {
+            results: Vec::with_capacity(shard.items.len()),
+            pdg_time: std::time::Duration::ZERO,
+            search_time: std::time::Duration::ZERO,
+        };
+        if cfg.reuse_pdg_cache {
             let t0 = std::time::Instant::now();
-            let pdg = pdg_cache
-                .entry(scope.clone())
-                .or_insert_with(|| Pdg::build(module, &cg, &scope));
-            stats.pdg_time += t0.elapsed();
-            let t1 = std::time::Instant::now();
-            let report = check_region(module, pdg, spec, region, cfg);
-            stats.search_time += t1.elapsed();
-            match report {
-                Some(report) => out.push(report),
-                None => stats.skipped += 1,
+            let pdg = Pdg::build(module, &cg, &shard.scope);
+            o.pdg_time += t0.elapsed();
+            let mut paths = PathCache::new(&pdg, cfg);
+            for &(si, ri, region) in &shard.items {
+                let t1 = std::time::Instant::now();
+                let r = check_region(module, &pdg, &mut paths, &specs[si], region, cfg);
+                o.search_time += t1.elapsed();
+                o.results.push((si, ri, r));
             }
+        } else {
+            // Ablation: rebuild the PDG (and path cache) per region, the
+            // no-summary-reuse baseline of §8.4.
+            for &(si, ri, region) in &shard.items {
+                let t0 = std::time::Instant::now();
+                let pdg = Pdg::build(module, &cg, &shard.scope);
+                o.pdg_time += t0.elapsed();
+                let mut paths = PathCache::new(&pdg, cfg);
+                let t1 = std::time::Instant::now();
+                let r = check_region(module, &pdg, &mut paths, &specs[si], region, cfg);
+                o.search_time += t1.elapsed();
+                o.results.push((si, ri, r));
+            }
+        }
+        o
+    });
+
+    // Deterministic merge: restore the sequential (spec, region) order.
+    let mut tagged: Vec<(usize, usize, Option<BugReport>)> = Vec::with_capacity(stats.regions);
+    for so in shard_outs {
+        stats.pdg_time += so.pdg_time;
+        stats.search_time += so.search_time;
+        tagged.extend(so.results);
+    }
+    tagged.sort_by_key(|&(si, ri, _)| (si, ri));
+    let mut out = Vec::new();
+    for (_, _, report) in tagged {
+        match report {
+            Some(report) => out.push(report),
+            None => stats.skipped += 1,
         }
     }
     dedup_reports(&mut out);
@@ -166,15 +268,65 @@ fn region_scope(cg: &CallGraph, region: FuncId) -> BTreeSet<FuncId> {
     cg.reachable_from(&[region])
 }
 
+/// Per-scope path provider: one condition context plus a memo of the
+/// *feasible* forward paths from each source node.
+///
+/// `forward_paths` depends only on the PDG, the start node, and the slice
+/// budgets, and the per-path feasibility test `is_sat(Ψ(p))` is intrinsic
+/// to the path — neither varies with the specification — so caching the
+/// filtered path set per source is behavior-preserving while eliminating
+/// the dominant repeated work when many specs target one region (§8.4's
+/// "path searching" phase).
+struct PathCache<'p, 'm> {
+    pdg: &'p Pdg<'m>,
+    cctx: CondCtx<'p, 'm>,
+    memo: HashMap<NodeId, std::rc::Rc<Vec<ValueFlowPath>>>,
+    reuse: bool,
+    path_sensitive: bool,
+    slice: SliceConfig,
+}
+
+impl<'p, 'm> PathCache<'p, 'm> {
+    fn new(pdg: &'p Pdg<'m>, cfg: &DetectConfig) -> Self {
+        PathCache {
+            pdg,
+            cctx: CondCtx::new(pdg),
+            memo: HashMap::new(),
+            reuse: cfg.reuse_path_cache,
+            path_sensitive: cfg.path_sensitive,
+            slice: cfg.slice,
+        }
+    }
+
+    /// Feasible forward paths from `s` (all paths when path sensitivity is
+    /// off), memoized when path-result reuse is enabled.
+    fn paths_from(&mut self, s: NodeId) -> std::rc::Rc<Vec<ValueFlowPath>> {
+        if self.reuse {
+            if let Some(cached) = self.memo.get(&s) {
+                return cached.clone();
+            }
+        }
+        let mut paths = forward_paths(self.pdg, &mut self.cctx, s, self.slice);
+        if self.path_sensitive {
+            paths.retain(|p| seal_solver::is_sat(&p.cond).possibly_sat());
+        }
+        let rc = std::rc::Rc::new(paths);
+        if self.reuse {
+            self.memo.insert(s, rc.clone());
+        }
+        rc
+    }
+}
+
 /// Evaluates one specification in one region.
 fn check_region(
     module: &Module,
     pdg: &Pdg<'_>,
+    paths: &mut PathCache<'_, '_>,
     spec: &Specification,
     region: FuncId,
     cfg: &DetectConfig,
 ) -> Option<BugReport> {
-    let mut cctx = CondCtx::new(pdg);
     let constraint = spec.constraints.first()?;
     let body = module.body(region);
 
@@ -198,21 +350,18 @@ fn check_region(
             let mut matching: Vec<ValueFlowPath> = Vec::new();
             let mut applicable = matches!(cond, Formula::True);
             for &s in &sources {
-                for p in forward_paths(pdg, &mut cctx, s, cfg.slice) {
-                    if cfg.path_sensitive && !seal_solver::is_sat(&p.cond).possibly_sat() {
-                        continue; // infeasible path
-                    }
+                for p in paths.paths_from(s).iter() {
                     if !applicable
-                        && (!cfg.path_sensitive || cond_consistent(pdg, &p, cond, false))
+                        && (!cfg.path_sensitive || cond_consistent(pdg, p, cond, false))
                     {
                         applicable = true;
                     }
-                    if !path_matches(pdg, &p, value, use_, &body.name) {
+                    if !path_matches(pdg, p, value, use_, &body.name) {
                         continue;
                     }
                     let strict = !matches!(q, Quantifier::NotExists);
-                    if !cfg.path_sensitive || cond_consistent(pdg, &p, cond, strict) {
-                        matching.push(p);
+                    if !cfg.path_sensitive || cond_consistent(pdg, p, cond, strict) {
+                        matching.push(p.clone());
                     }
                 }
             }
@@ -262,18 +411,15 @@ fn check_region(
             let mut first_hits: Vec<(NodeId, ValueFlowPath)> = Vec::new();
             let mut second_hits: Vec<(NodeId, ValueFlowPath)> = Vec::new();
             for &s in &sources {
-                for p in forward_paths(pdg, &mut cctx, s, cfg.slice) {
-                    let Some((u, _)) = roles::sink_use(pdg, &p) else {
+                for p in paths.paths_from(s).iter() {
+                    let Some((u, _)) = roles::sink_use(pdg, p) else {
                         continue;
                     };
-                    if cfg.path_sensitive && !seal_solver::is_sat(&p.cond).possibly_sat() {
-                        continue;
-                    }
                     if use_matches(&u, first) {
                         first_hits.push((p.sink(), p.clone()));
                     }
                     if use_matches(&u, second) {
-                        second_hits.push((p.sink(), p));
+                        second_hits.push((p.sink(), p.clone()));
                     }
                 }
             }

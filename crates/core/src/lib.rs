@@ -38,7 +38,9 @@ pub mod patch;
 pub mod report;
 pub mod roles;
 
-pub use detect::{detect_bugs, detect_bugs_with_stats, DetectConfig, DetectStats};
+pub use detect::{
+    detect_bugs, detect_bugs_with_stats, detect_bugs_with_stats_jobs, DetectConfig, DetectStats,
+};
 pub use diff::{ChangedPaths, DiffConfig};
 pub use patch::{CompiledPatch, Patch};
 pub use report::{BugReport, BugType};

@@ -4,12 +4,11 @@
 //! latent for more than 10 years. Ages are drawn from a three-band mixture
 //! calibrated to those two moments.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use seal_runtime::rng::Rng;
 
 /// Draws a latent age in whole years.
-pub fn sample_latent_years(rng: &mut SmallRng) -> u32 {
-    let r: f64 = rng.gen();
+pub fn sample_latent_years(rng: &mut Rng) -> u32 {
+    let r = rng.gen_f64();
     if r < 0.50 {
         // Young bugs: 1–6 years.
         rng.gen_range(1..=6)
@@ -36,11 +35,10 @@ pub fn band(years: u32) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn moments_match_paper_shape() {
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let n = 20_000;
         let samples: Vec<u32> = (0..n).map(|_| sample_latent_years(&mut rng)).collect();
         let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;

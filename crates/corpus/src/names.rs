@@ -1,7 +1,6 @@
 //! Linux-flavoured naming pools for subsystems and drivers.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use seal_runtime::rng::Rng;
 
 /// Subsystem paths in the style of Table 1's "SubSystem (Location)" column.
 pub const SUBSYSTEMS: &[&str] = &[
@@ -51,14 +50,14 @@ pub struct DriverNamePool {
 impl DriverNamePool {
     /// Creates a pool (the rng argument keeps construction uniform with
     /// use sites).
-    pub fn new(_rng: &mut SmallRng) -> Self {
+    pub fn new(_rng: &mut Rng) -> Self {
         DriverNamePool {
             used: std::collections::HashSet::new(),
         }
     }
 
     /// Draws a fresh unique driver name.
-    pub fn next_name(&mut self, rng: &mut SmallRng) -> String {
+    pub fn next_name(&mut self, rng: &mut Rng) -> String {
         loop {
             let p = PREFIXES[rng.gen_range(0..PREFIXES.len())];
             let s = SUFFIXES[rng.gen_range(0..SUFFIXES.len())];
@@ -75,18 +74,17 @@ impl DriverNamePool {
 }
 
 /// Assigns a subsystem to a driver (stable per call, random draw).
-pub fn subsystem_for(_driver: &str, rng: &mut SmallRng) -> String {
+pub fn subsystem_for(_driver: &str, rng: &mut Rng) -> String {
     SUBSYSTEMS[rng.gen_range(0..SUBSYSTEMS.len())].to_string()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn names_are_unique() {
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let mut pool = DriverNamePool::new(&mut rng);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..500 {
@@ -96,7 +94,7 @@ mod tests {
 
     #[test]
     fn names_are_identifiers() {
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let mut pool = DriverNamePool::new(&mut rng);
         for _ in 0..100 {
             let n = pool.next_name(&mut rng);

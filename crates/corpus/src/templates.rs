@@ -23,8 +23,7 @@
 //! discussion); their violations are the engineered false positives that
 //! pull report precision toward the paper's 71.9%.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use seal_runtime::rng::Rng;
 use seal_core::BugType;
 
 /// A bug-seeding / patch-producing template.
@@ -40,10 +39,10 @@ pub trait Template {
     /// Interface/API/struct declarations for all variants.
     fn header(&self) -> String;
     /// One driver implementation (+ ops binding) for the target kernel.
-    fn driver(&self, driver: &str, variant: usize, buggy: bool, rng: &mut SmallRng) -> String;
+    fn driver(&self, driver: &str, variant: usize, buggy: bool, rng: &mut Rng) -> String;
     /// A patch fixing a historical driver: `(pre, post)` bodies (the
     /// header is prepended by the generator).
-    fn patch(&self, origin: &str, variant: usize, rng: &mut SmallRng) -> (String, String) {
+    fn patch(&self, origin: &str, variant: usize, rng: &mut Rng) -> (String, String) {
         let (mut r1, mut r2) = paired_rngs(rng);
         (
             self.driver(origin, variant, true, &mut r1),
@@ -126,8 +125,8 @@ impl Template for ErrorCodeNpd {
          struct vb2_ops { int (*buf_prepare)(struct riscmem *risc); };\n"
             .into()
     }
-    fn driver(&self, d: &str, _v: usize, buggy: bool, rng: &mut SmallRng) -> String {
-        let size = [32u32, 64, 128, 256][rng.gen_range(0..4)];
+    fn driver(&self, d: &str, _v: usize, buggy: bool, rng: &mut Rng) -> String {
+        let size = [32u32, 64, 128, 256][rng.gen_range(0..4usize)];
         let call = if buggy {
             format!("{d}_vbi(risc);\n    return 0;")
         } else {
@@ -181,7 +180,7 @@ impl Template for BoundsCheckOob {
         }
         out
     }
-    fn driver(&self, d: &str, v: usize, buggy: bool, rng: &mut SmallRng) -> String {
+    fn driver(&self, d: &str, v: usize, buggy: bool, rng: &mut Rng) -> String {
         let s = sfx(self.variants(), v);
         let sel = rng.gen_range(1..4);
         // The block access sits in a driver-local read helper, so the
@@ -248,7 +247,7 @@ impl Template for PutBeforeUseUaf {
         }
         out
     }
-    fn driver(&self, d: &str, v: usize, buggy: bool, _rng: &mut SmallRng) -> String {
+    fn driver(&self, d: &str, v: usize, buggy: bool, _rng: &mut Rng) -> String {
         let s = sfx(self.variants(), v);
         let body = if buggy {
             "put_device(&pdev->dev);\n    release_minor(&pdev->dev);"
@@ -305,9 +304,9 @@ impl Template for NullCheckNpd {
         }
         out
     }
-    fn driver(&self, d: &str, v: usize, buggy: bool, rng: &mut SmallRng) -> String {
+    fn driver(&self, d: &str, v: usize, buggy: bool, rng: &mut Rng) -> String {
         let s = sfx(self.variants(), v);
-        let size = [16u32, 24, 48][rng.gen_range(0..3)];
+        let size = [16u32, 24, 48][rng.gen_range(0..3usize)];
         let check = if buggy {
             ""
         } else {
@@ -356,8 +355,8 @@ impl Template for ErrorPathLeak {
          struct snd_soc_ops { int (*dai_probe)(int id); };\n"
             .into()
     }
-    fn driver(&self, d: &str, _v: usize, buggy: bool, rng: &mut SmallRng) -> String {
-        let size = [64u32, 96, 192][rng.gen_range(0..3)];
+    fn driver(&self, d: &str, _v: usize, buggy: bool, rng: &mut Rng) -> String {
+        let size = [64u32, 96, 192][rng.gen_range(0..3usize)];
         let free_on_start_fail = if buggy { "" } else { "dsp_free(buf);\n        " };
         format!(
             "void *{d}_dsp_open(void) {{\n\
@@ -416,7 +415,7 @@ impl Template for SwallowedErrorCode {
         }
         out
     }
-    fn driver(&self, d: &str, v: usize, buggy: bool, _rng: &mut SmallRng) -> String {
+    fn driver(&self, d: &str, v: usize, buggy: bool, _rng: &mut Rng) -> String {
         let s = sfx(self.variants(), v);
         let on_err = if buggy { "return 0;" } else { "return ret;" };
         // Parsing goes through a driver-local wrapper, so the error-code
@@ -473,9 +472,9 @@ impl Template for DivByZero {
         }
         out
     }
-    fn driver(&self, d: &str, v: usize, buggy: bool, rng: &mut SmallRng) -> String {
+    fn driver(&self, d: &str, v: usize, buggy: bool, rng: &mut Rng) -> String {
         let s = sfx(self.variants(), v);
-        let base = [1000000u32, 2000000, 4000000][rng.gen_range(0..3)];
+        let base = [1000000u32, 2000000, 4000000][rng.gen_range(0..3usize)];
         let check = if buggy {
             ""
         } else {
@@ -518,7 +517,7 @@ impl Template for UninitOnFailure {
          struct dvb_usb_ops { int (*read_mac)(struct usb_dev *d, char *mac); };\n"
             .into()
     }
-    fn driver(&self, d: &str, _v: usize, buggy: bool, _rng: &mut SmallRng) -> String {
+    fn driver(&self, d: &str, _v: usize, buggy: bool, _rng: &mut Rng) -> String {
         let propagate = if buggy {
             ""
         } else {
@@ -563,7 +562,7 @@ impl Template for AdhocModeFp {
          struct sensor_ops { int (*sensor_init)(struct sensor *s); };\n"
             .into()
     }
-    fn driver(&self, d: &str, _v: usize, _buggy: bool, rng: &mut SmallRng) -> String {
+    fn driver(&self, d: &str, _v: usize, _buggy: bool, rng: &mut Rng) -> String {
         // Every driver is CORRECT for its own hardware; the spec inferred
         // from the origin's `mode == 3` guard is simply not universal.
         // Strict drivers reject mode >= 2 (the spec's mode==3 region is
@@ -584,7 +583,7 @@ impl Template for AdhocModeFp {
              struct sensor_ops {d}_sensor_ops = {{ .sensor_init = {d}_sensor_init, }};\n"
         )
     }
-    fn patch(&self, o: &str, _v: usize, _rng: &mut SmallRng) -> (String, String) {
+    fn patch(&self, o: &str, _v: usize, _rng: &mut Rng) -> (String, String) {
         // The origin hardware genuinely cannot handle mode 3; the patch is
         // right for it but over-specific as a rule.
         let pre = format!(
@@ -640,7 +639,7 @@ impl Template for AdhocThresholdFp {
          struct mux_ops { int (*mux_select)(struct mux *m, int chan); };\n"
             .into()
     }
-    fn driver(&self, d: &str, _v: usize, _buggy: bool, rng: &mut SmallRng) -> String {
+    fn driver(&self, d: &str, _v: usize, _buggy: bool, rng: &mut Rng) -> String {
         // Strict drivers expose 100 channels; large ones legitimately
         // expose 500 (the inferred `chan > 100` rule misfires on them).
         let strict = rng.gen_bool(0.72);
@@ -654,7 +653,7 @@ impl Template for AdhocThresholdFp {
              struct mux_ops {d}_mux_ops = {{ .mux_select = {d}_mux_select, }};\n"
         )
     }
-    fn patch(&self, o: &str, _v: usize, _rng: &mut SmallRng) -> (String, String) {
+    fn patch(&self, o: &str, _v: usize, _rng: &mut Rng) -> (String, String) {
         let pre = format!(
             "int {o}_mux_select(struct mux *m, int chan) {{\n\
              \x20   m->table[chan] = 1;\n\
@@ -722,7 +721,7 @@ impl Template for GotoCleanupLeak {
         }
         out
     }
-    fn driver(&self, d: &str, v: usize, buggy: bool, _rng: &mut SmallRng) -> String {
+    fn driver(&self, d: &str, v: usize, buggy: bool, _rng: &mut Rng) -> String {
         let s = sfx(self.variants(), v);
         let on_err = if buggy {
             "return ret;"
@@ -782,9 +781,9 @@ impl Template for SignednessOob {
         }
         out
     }
-    fn driver(&self, d: &str, v: usize, buggy: bool, rng: &mut SmallRng) -> String {
+    fn driver(&self, d: &str, v: usize, buggy: bool, rng: &mut Rng) -> String {
         let s = sfx(self.variants(), v);
-        let mtu = [1500u32, 2048, 9000][rng.gen_range(0..3)];
+        let mtu = [1500u32, 2048, 9000][rng.gen_range(0..3usize)];
         let sign_check = if buggy {
             ""
         } else {
@@ -811,22 +810,17 @@ impl Template for SignednessOob {
 /// Draws one seed and returns two identical rng streams so the pre and
 /// post patch variants see the same constants (the patch must differ only
 /// in the fix).
-fn paired_rngs(rng: &mut SmallRng) -> (SmallRng, SmallRng) {
-    use rand::SeedableRng;
-    let seed: u64 = rng.gen();
-    (
-        SmallRng::seed_from_u64(seed),
-        SmallRng::seed_from_u64(seed),
-    )
+fn paired_rngs(rng: &mut Rng) -> (Rng, Rng) {
+    let seed = rng.gen_u64();
+    (Rng::seed_from_u64(seed), Rng::seed_from_u64(seed))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(99)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(99)
     }
 
     #[test]

@@ -1,8 +1,12 @@
-//! Property-based tests for the corpus generator: any seed must produce a
-//! compilable kernel, compilable patches, and a consistent ledger.
+//! Seeded-loop property tests for the corpus generator: any seed must
+//! produce a compilable kernel, compilable patches, and a consistent
+//! ledger. (Ported from proptest to the in-tree PRNG so the suite runs
+//! fully offline.)
 
-use proptest::prelude::*;
 use seal_corpus::{generate, CorpusConfig};
+use seal_runtime::rng::Rng;
+
+const CASES: u64 = 12;
 
 fn small_config(seed: u64, rate: f64) -> CorpusConfig {
     CorpusConfig {
@@ -14,56 +18,88 @@ fn small_config(seed: u64, rate: f64) -> CorpusConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// The target kernel compiles and lowers for any seed and bug rate.
-    #[test]
-    fn kernel_compiles_for_any_seed(seed in any::<u64>(), rate in 0.0f64..1.0) {
+/// The target kernel compiles and lowers for any seed and bug rate.
+#[test]
+fn kernel_compiles_for_any_seed() {
+    let mut rng = Rng::seed_from_u64(0xC0_0001);
+    for _ in 0..CASES {
+        let seed = rng.gen_u64();
+        let rate = rng.gen_f64();
         let corpus = generate(&small_config(seed, rate));
         let module = corpus.target_module(); // panics on miscompile
-        prop_assert!(module.functions.len() > 10);
+        assert!(module.functions.len() > 10, "seed {seed} rate {rate}");
     }
+}
 
-    /// Every generated patch compiles in both versions and actually
-    /// changes at least one function.
-    #[test]
-    fn patches_compile_and_differ(seed in any::<u64>()) {
+/// Every generated patch compiles in both versions and actually changes at
+/// least one function.
+#[test]
+fn patches_compile_and_differ() {
+    let mut rng = Rng::seed_from_u64(0xC0_0002);
+    for _ in 0..CASES {
+        let seed = rng.gen_u64();
         let corpus = generate(&small_config(seed, 0.3));
         for p in &corpus.patches {
-            let compiled = p.compile()
+            let compiled = p
+                .compile()
                 .unwrap_or_else(|e| panic!("patch {} does not compile: {e}", p.id));
-            prop_assert!(
-                !compiled.changed.is_empty(),
-                "patch {} changes nothing",
-                p.id
-            );
+            assert!(!compiled.changed.is_empty(), "patch {} changes nothing", p.id);
         }
     }
+}
 
-    /// Ledger entries reference functions that exist, exactly once each.
-    #[test]
-    fn ledger_is_consistent(seed in any::<u64>()) {
+/// Ledger entries reference functions that exist, exactly once each.
+#[test]
+fn ledger_is_consistent() {
+    let mut rng = Rng::seed_from_u64(0xC0_0003);
+    for _ in 0..CASES {
+        let seed = rng.gen_u64();
         let corpus = generate(&small_config(seed, 0.5));
         let module = corpus.target_module();
         let mut seen = std::collections::BTreeSet::new();
         for b in &corpus.ground_truth {
-            prop_assert!(module.function(&b.function).is_some(), "{} missing", b.function);
-            prop_assert!(seen.insert(b.function.clone()), "{} duplicated", b.function);
-            prop_assert!(b.latent_years >= 1 && b.latent_years <= 17);
+            assert!(module.function(&b.function).is_some(), "{} missing", b.function);
+            assert!(seen.insert(b.function.clone()), "{} duplicated", b.function);
+            assert!(b.latent_years >= 1 && b.latent_years <= 17);
         }
     }
+}
 
-    /// Generation is a pure function of the configuration.
-    #[test]
-    fn generation_is_deterministic(seed in any::<u64>()) {
+/// Generation is a pure function of the configuration.
+#[test]
+fn generation_is_deterministic() {
+    let mut rng = Rng::seed_from_u64(0xC0_0004);
+    for _ in 0..CASES {
+        let seed = rng.gen_u64();
         let a = generate(&small_config(seed, 0.4));
         let b = generate(&small_config(seed, 0.4));
-        prop_assert_eq!(a.target_source, b.target_source);
-        prop_assert_eq!(a.patches.len(), b.patches.len());
+        assert_eq!(a.target_source, b.target_source);
+        assert_eq!(a.patches.len(), b.patches.len());
         for (x, y) in a.patches.iter().zip(&b.patches) {
-            prop_assert_eq!(&x.pre, &y.pre);
-            prop_assert_eq!(&x.post, &y.post);
+            assert_eq!(x.pre, y.pre);
+            assert_eq!(x.post, y.post);
         }
     }
+}
+
+/// Snapshot: corpus generation for the evaluation seed is stable across
+/// PRNG refactors. The counts pin the ledger and patch-set shape for
+/// `CorpusConfig { seed: 0x5EA1, .. }` at the eval scale; a change here
+/// means every recorded experiment number silently shifted.
+#[test]
+fn eval_seed_ledger_snapshot() {
+    let c = generate(&CorpusConfig {
+        seed: 0x5EA1,
+        drivers_per_template: 60,
+        bug_rate: 0.18,
+        patches_per_template: 6,
+        refactor_patches: 20,
+    });
+    let counts = (
+        c.ground_truth.len(),
+        c.patches.len(),
+        c.refactor_patch_ids.len(),
+        c.ambiguous_patch_ids.len(),
+    );
+    assert_eq!(counts, (61, 110, 20, 24));
 }

@@ -1,8 +1,9 @@
 //! Differential testing: the whole frontend → lowering → interpreter
-//! pipeline against a direct expression-evaluation oracle.
+//! pipeline against a direct expression-evaluation oracle, driven by the
+//! in-tree seeded PRNG so the suite runs fully offline.
 
-use proptest::prelude::*;
 use seal_exec::{FaultPlan, Interp, Outcome, Value};
+use seal_runtime::rng::Rng;
 
 /// An arithmetic expression AST with its own evaluator (the oracle).
 #[derive(Debug, Clone)]
@@ -74,33 +75,68 @@ impl E {
     }
 }
 
-fn expr(depth: u32) -> BoxedStrategy<E> {
-    let leaf = prop_oneof![(-20i64..20).prop_map(E::Lit), Just(E::X), Just(E::Y)];
-    if depth == 0 {
-        return leaf.boxed();
+/// Random expression with the same leaf/operator mix the proptest
+/// strategy used (leaves weighted 4, add/sub 2 each, the rest 1 each).
+fn gen_expr(rng: &mut Rng, depth: u32) -> E {
+    fn leaf(rng: &mut Rng) -> E {
+        match rng.gen_range(0..3usize) {
+            0 => E::Lit(rng.gen_range(-20i64..20)),
+            1 => E::X,
+            _ => E::Y,
+        }
     }
-    let sub = expr(depth - 1);
-    prop_oneof![
-        4 => leaf,
-        2 => (sub.clone(), sub.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-        2 => (sub.clone(), sub.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-        1 => (sub.clone(), sub.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-        1 => (sub.clone(), sub.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
-        1 => (sub.clone(), sub.clone()).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
-        1 => (sub.clone(), sub.clone()).prop_map(|(a, b)| E::Eq(Box::new(a), Box::new(b))),
-        1 => (sub.clone(), sub.clone(), sub.clone())
-            .prop_map(|(c, t, e)| E::Ternary(Box::new(c), Box::new(t), Box::new(e))),
-    ]
-    .boxed()
+    if depth == 0 {
+        return leaf(rng);
+    }
+    let mut bin = |rng: &mut Rng| {
+        (
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        )
+    };
+    match rng.gen_range(0..13usize) {
+        0..=3 => leaf(rng),
+        4 | 5 => {
+            let (a, b) = bin(rng);
+            E::Add(a, b)
+        }
+        6 | 7 => {
+            let (a, b) = bin(rng);
+            E::Sub(a, b)
+        }
+        8 => {
+            let (a, b) = bin(rng);
+            E::Mul(a, b)
+        }
+        9 => {
+            let (a, b) = bin(rng);
+            E::Div(a, b)
+        }
+        10 => {
+            let (a, b) = bin(rng);
+            E::Lt(a, b)
+        }
+        11 => {
+            let (a, b) = bin(rng);
+            E::Eq(a, b)
+        }
+        _ => E::Ternary(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Compile → lower → interpret must agree with the oracle on every
-    /// expression and input, including the division-by-zero cases.
-    #[test]
-    fn interpreter_matches_oracle(e in expr(4), x in -10i64..10, y in -10i64..10) {
+/// Compile → lower → interpret must agree with the oracle on every
+/// expression and input, including the division-by-zero cases.
+#[test]
+fn interpreter_matches_oracle() {
+    let mut rng = Rng::seed_from_u64(0xE0_0001);
+    for _ in 0..128 {
+        let e = gen_expr(&mut rng, 4);
+        let x = rng.gen_range(-10i64..10);
+        let y = rng.gen_range(-10i64..10);
         let src = format!("int f(int x, int y) {{ return {}; }}", e.render());
         let tu = seal_kir::compile(&src, "gen.c")
             .unwrap_or_else(|err| panic!("compile failed for {src}: {err}"));
@@ -110,29 +146,31 @@ proptest! {
         match e.eval(x, y) {
             Some(expected) => {
                 // The IR truncates booleans like C ints; values agree.
-                prop_assert_eq!(result, Ok(Value::Int(expected)), "src: {}", src);
+                assert_eq!(result, Ok(Value::Int(expected)), "src: {src}");
             }
             None => {
-                prop_assert!(
+                assert!(
                     matches!(result, Err(Outcome::DivByZero { .. })),
-                    "src: {} expected DbZ, got {:?}",
-                    src,
-                    result
+                    "src: {src} expected DbZ, got {result:?}"
                 );
             }
         }
     }
+}
 
-    /// Interpreting arbitrary generated expressions never panics and never
-    /// exceeds the fuel budget on straight-line code.
-    #[test]
-    fn interpreter_total_on_expressions(e in expr(5)) {
+/// Interpreting arbitrary generated expressions never panics and never
+/// exceeds the fuel budget on straight-line code.
+#[test]
+fn interpreter_total_on_expressions() {
+    let mut rng = Rng::seed_from_u64(0xE0_0002);
+    for _ in 0..128 {
+        let e = gen_expr(&mut rng, 5);
         let src = format!("int f(int x, int y) {{ return {}; }}", e.render());
         if let Ok(tu) = seal_kir::compile(&src, "gen.c") {
             let module = seal_ir::lower(&tu);
             let mut interp = Interp::new(&module, FaultPlan::none());
             let r = interp.call("f", &[Value::Int(1), Value::Int(2)]);
-            prop_assert!(!matches!(r, Err(Outcome::OutOfFuel)));
+            assert!(!matches!(r, Err(Outcome::OutOfFuel)));
         }
     }
 }

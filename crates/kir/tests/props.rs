@@ -1,107 +1,129 @@
-//! Property-based tests for the KIR frontend: generated programs compile,
+//! Seeded property tests for the KIR frontend: generated programs compile,
 //! and pretty-printing is a fixpoint (print ∘ parse ∘ print = print).
+//! Driven by the in-tree PRNG so the suite runs fully offline.
 
-use proptest::prelude::*;
 use seal_kir::pretty::print_unit;
+use seal_runtime::rng::Rng;
 
-/// Identifier pool (avoids keywords and collisions by construction).
-fn ident() -> impl Strategy<Value = String> {
-    (0u32..12).prop_map(|i| format!("v{i}"))
-}
+const CASES: usize = 64;
 
-/// Integer literal in a small range.
-fn lit() -> impl Strategy<Value = String> {
-    (-64i64..64).prop_map(|v| {
-        if v < 0 {
-            format!("({v})")
-        } else {
-            v.to_string()
-        }
-    })
+/// Integer literal in a small range, parenthesized when negative.
+fn lit(rng: &mut Rng) -> String {
+    let v = rng.gen_range(-64i64..64);
+    if v < 0 {
+        format!("({v})")
+    } else {
+        v.to_string()
+    }
 }
 
 /// Expressions over declared scalars `a`, `b`, `c` and pointer `p`.
-fn expr(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        lit(),
-        Just("a".to_string()),
-        Just("b".to_string()),
-        Just("c".to_string()),
-        Just("*p".to_string()),
-        Just("s->len".to_string()),
-    ];
-    if depth == 0 {
-        return leaf.boxed();
+fn expr(rng: &mut Rng, depth: u32) -> String {
+    fn leaf(rng: &mut Rng) -> String {
+        match rng.gen_range(0..6usize) {
+            0 => lit(rng),
+            1 => "a".into(),
+            2 => "b".into(),
+            3 => "c".into(),
+            4 => "*p".into(),
+            _ => "s->len".into(),
+        }
     }
-    let sub = expr(depth - 1);
-    prop_oneof![
-        leaf,
-        (sub.clone(), prop_oneof![Just("+"), Just("-"), Just("*")], sub.clone())
-            .prop_map(|(l, op, r)| format!("({l} {op} {r})")),
-        (sub.clone(), prop_oneof![Just("=="), Just("<"), Just(">=")], sub.clone())
-            .prop_map(|(l, op, r)| format!("({l} {op} {r})")),
-        sub.clone().prop_map(|e| format!("(-{e})")),
-        sub.prop_map(|e| format!("(!{e})")),
-    ]
-    .boxed()
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.gen_range(0..5usize) {
+        0 => leaf(rng),
+        1 => {
+            let op = ["+", "-", "*"][rng.gen_range(0..3usize)];
+            format!("({} {op} {})", expr(rng, depth - 1), expr(rng, depth - 1))
+        }
+        2 => {
+            let op = ["==", "<", ">="][rng.gen_range(0..3usize)];
+            format!("({} {op} {})", expr(rng, depth - 1), expr(rng, depth - 1))
+        }
+        3 => format!("(-{})", expr(rng, depth - 1)),
+        _ => format!("(!{})", expr(rng, depth - 1)),
+    }
 }
 
-/// Statements (assignments, conditionals, loops, returns of int).
-fn stmt(depth: u32) -> BoxedStrategy<String> {
-    let assign = (
-        prop_oneof![Just("a"), Just("b"), Just("c")],
-        expr(2),
-    )
-        .prop_map(|(l, e)| format!("{l} = {e};"));
-    let decl = (ident(), expr(1)).prop_map(|(n, e)| format!("int x{n} = {e};"));
-    let ret = expr(2).prop_map(|e| format!("return {e};"));
-    let base = prop_oneof![assign, decl, ret];
-    if depth == 0 {
-        return base.boxed();
+/// Statements (assignments, declarations, conditionals, loops, returns).
+fn stmt(rng: &mut Rng, depth: u32) -> String {
+    fn base(rng: &mut Rng) -> String {
+        match rng.gen_range(0..3usize) {
+            0 => {
+                let l = ["a", "b", "c"][rng.gen_range(0..3usize)];
+                format!("{l} = {};", expr(rng, 2))
+            }
+            1 => format!("int xv{} = {};", rng.gen_range(0..12u32), expr(rng, 1)),
+            _ => format!("return {};", expr(rng, 2)),
+        }
     }
-    let body = prop::collection::vec(stmt(depth - 1), 1..3)
-        .prop_map(|ss| ss.join("\n        "));
-    prop_oneof![
-        base,
-        (expr(1), body.clone()).prop_map(|(c, b)| format!("if ({c}) {{ {b} }}")),
-        (expr(1), body.clone(), body.clone())
-            .prop_map(|(c, t, e)| format!("if ({c}) {{ {t} }} else {{ {e} }}")),
-        (expr(1), body.clone()).prop_map(|(c, b)| format!("while ({c}) {{ break; {b} }}")),
-        body.prop_map(|b| format!("for (c = 0; c < 4; c++) {{ {b} }}")),
-    ]
-    .boxed()
+    if depth == 0 {
+        return base(rng);
+    }
+    let body = |rng: &mut Rng, depth: u32| {
+        let n = rng.gen_range(1..3usize);
+        (0..n)
+            .map(|_| stmt(rng, depth - 1))
+            .collect::<Vec<_>>()
+            .join("\n        ")
+    };
+    match rng.gen_range(0..5usize) {
+        0 => base(rng),
+        1 => format!("if ({}) {{ {} }}", expr(rng, 1), body(rng, depth)),
+        2 => format!(
+            "if ({}) {{ {} }} else {{ {} }}",
+            expr(rng, 1),
+            body(rng, depth),
+            body(rng, depth)
+        ),
+        3 => format!("while ({}) {{ break; {} }}", expr(rng, 1), body(rng, depth)),
+        _ => format!("for (c = 0; c < 4; c++) {{ {} }}", body(rng, depth)),
+    }
 }
 
 /// A full translation unit with a struct, an API decl, and one function.
-fn program() -> impl Strategy<Value = String> {
-    prop::collection::vec(stmt(2), 1..5).prop_map(|stmts| {
-        format!(
-            "struct sdata {{ int len; int cap; }};\n\
-             int helper_api(int x);\n\
-             int generated(int a, int b, int *p, struct sdata *s) {{\n\
-                 int c = 0;\n\
-                 {}\n\
-                 return a + b + c;\n\
-             }}",
-            stmts.join("\n    ")
-        )
-    })
+fn program(rng: &mut Rng) -> String {
+    let n = rng.gen_range(1..5usize);
+    let stmts: Vec<String> = (0..n).map(|_| stmt(rng, 2)).collect();
+    format!(
+        "struct sdata {{ int len; int cap; }};\n\
+         int helper_api(int x);\n\
+         int generated(int a, int b, int *p, struct sdata *s) {{\n\
+             int c = 0;\n\
+             {}\n\
+             return a + b + c;\n\
+         }}",
+        stmts.join("\n    ")
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn ascii_fuzz(rng: &mut Rng, max_len: usize) -> String {
+    let n = rng.gen_range(0..max_len);
+    (0..n)
+        .map(|_| rng.gen_range(32u8..127) as char)
+        .collect()
+}
 
-    /// Every generated program compiles (parser + type checker accept the
-    /// grammar they claim to support).
-    #[test]
-    fn generated_programs_compile(src in program()) {
+/// Every generated program compiles (parser + type checker accept the
+/// grammar they claim to support).
+#[test]
+fn generated_programs_compile() {
+    let mut rng = Rng::seed_from_u64(0x1C_0001);
+    for _ in 0..CASES {
+        let src = program(&mut rng);
         let result = seal_kir::compile(&src, "gen.c");
-        prop_assert!(result.is_ok(), "failed on:\n{src}\n{:?}", result.err());
+        assert!(result.is_ok(), "failed on:\n{src}\n{:?}", result.err());
     }
+}
 
-    /// Pretty-printing reaches a fixpoint after one round trip.
-    #[test]
-    fn pretty_print_is_fixpoint(src in program()) {
+/// Pretty-printing reaches a fixpoint after one round trip.
+#[test]
+fn pretty_print_is_fixpoint() {
+    let mut rng = Rng::seed_from_u64(0x1C_0002);
+    for _ in 0..CASES {
+        let src = program(&mut rng);
         let tu1 = seal_kir::compile(&src, "gen.c").unwrap();
         let printed1 = print_unit(&tu1);
         // The printer omits struct definitions (kept in the registry), so
@@ -110,34 +132,44 @@ proptest! {
         let tu2 = seal_kir::compile(&src2, "gen2.c")
             .unwrap_or_else(|e| panic!("reprint does not compile:\n{src2}\n{e}"));
         let printed2 = print_unit(&tu2);
-        prop_assert_eq!(printed1, printed2, "printing not a fixpoint for:\n{}", src);
+        assert_eq!(printed1, printed2, "printing not a fixpoint for:\n{src}");
     }
+}
 
-    /// Lowering generated programs never panics and produces a single
-    /// function with the declared params.
-    #[test]
-    fn lowering_never_panics(src in program()) {
+/// Lowering generated programs never panics and produces a single function
+/// with the declared params.
+#[test]
+fn lowering_never_panics() {
+    let mut rng = Rng::seed_from_u64(0x1C_0003);
+    for _ in 0..CASES {
+        let src = program(&mut rng);
         let tu = seal_kir::compile(&src, "gen.c").unwrap();
         let module = seal_ir::lower(&tu);
         let f = module.function("generated").expect("function survives lowering");
-        prop_assert_eq!(f.param_count, 4);
+        assert_eq!(f.param_count, 4);
         // Every block ends in a real terminator.
         for b in &f.blocks {
-            prop_assert!(!matches!(b.terminator, seal_ir::Terminator::Unreachable));
+            assert!(!matches!(b.terminator, seal_ir::Terminator::Unreachable));
         }
     }
+}
 
-    /// The lexer never panics on arbitrary ASCII input (errors are Ok).
-    #[test]
-    fn lexer_total_on_ascii(bytes in prop::collection::vec(32u8..127, 0..200)) {
-        let src = String::from_utf8(bytes).unwrap();
+/// The lexer never panics on arbitrary ASCII input (errors are Ok).
+#[test]
+fn lexer_total_on_ascii() {
+    let mut rng = Rng::seed_from_u64(0x1C_0004);
+    for _ in 0..CASES {
+        let src = ascii_fuzz(&mut rng, 200);
         let _ = seal_kir::lexer::lex(&src, "fuzz.c");
     }
+}
 
-    /// The full frontend never panics on arbitrary ASCII input.
-    #[test]
-    fn frontend_total_on_ascii(bytes in prop::collection::vec(32u8..127, 0..200)) {
-        let src = String::from_utf8(bytes).unwrap();
+/// The full frontend never panics on arbitrary ASCII input.
+#[test]
+fn frontend_total_on_ascii() {
+    let mut rng = Rng::seed_from_u64(0x1C_0005);
+    for _ in 0..CASES {
+        let src = ascii_fuzz(&mut rng, 200);
         let _ = seal_kir::compile(&src, "fuzz.c");
     }
 }

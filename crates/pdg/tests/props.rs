@@ -1,112 +1,134 @@
-//! Property-based tests for the PDG substrate: alias-relation algebra,
-//! control-fact sanity on generated CFGs, and slicing invariants.
+//! Seeded property tests for the PDG substrate: alias-relation algebra,
+//! control-fact sanity on generated CFGs, and slicing invariants. Driven
+//! by the in-tree PRNG so the suite runs fully offline.
 
-use proptest::prelude::*;
 use seal_ir::callgraph::CallGraph;
 use seal_ir::ids::FuncId;
 use seal_pdg::cell::{Cell, CellRoot, PathElem};
 use seal_pdg::cond::CondCtx;
 use seal_pdg::graph::Pdg;
 use seal_pdg::slice::{backward_paths, forward_paths, is_source, SliceConfig};
+use seal_runtime::rng::Rng;
 use std::collections::BTreeSet;
 
-fn root() -> impl Strategy<Value = CellRoot> {
-    prop_oneof![
-        (0u32..3, 0usize..3).prop_map(|(f, i)| CellRoot::ParamObj(FuncId(f), i)),
-        Just(CellRoot::Global("g".to_string())),
-        Just(CellRoot::Str),
-    ]
-}
-
-fn elem() -> impl Strategy<Value = PathElem> {
-    prop_oneof![
-        (0u64..4).prop_map(|o| PathElem::Field(o * 8)),
-        Just(PathElem::Index),
-        Just(PathElem::Deref),
-    ]
-}
-
-fn cell() -> impl Strategy<Value = Cell> {
-    (root(), prop::collection::vec(elem(), 0..6)).prop_map(|(r, path)| {
-        let mut c = Cell::root(r);
-        for e in path {
-            c = c.extend(e);
-        }
-        c
-    })
-}
-
-proptest! {
-    /// May-alias is reflexive and symmetric.
-    #[test]
-    fn may_alias_reflexive_symmetric(a in cell(), b in cell()) {
-        prop_assert!(a.may_alias(&a));
-        prop_assert_eq!(a.may_alias(&b), b.may_alias(&a));
+fn gen_root(rng: &mut Rng) -> CellRoot {
+    match rng.gen_range(0..3usize) {
+        0 => CellRoot::ParamObj(FuncId(rng.gen_range(0..3u32)), rng.gen_range(0..3usize)),
+        1 => CellRoot::Global("g".to_string()),
+        _ => CellRoot::Str,
     }
+}
 
-    /// Must-alias implies may-alias.
-    #[test]
-    fn must_implies_may(a in cell(), b in cell()) {
+fn gen_elem(rng: &mut Rng) -> PathElem {
+    match rng.gen_range(0..3usize) {
+        0 => PathElem::Field(rng.gen_range(0..4u64) * 8),
+        1 => PathElem::Index,
+        _ => PathElem::Deref,
+    }
+}
+
+fn gen_cell(rng: &mut Rng) -> Cell {
+    let mut c = Cell::root(gen_root(rng));
+    let n = rng.gen_range(0..6usize);
+    for _ in 0..n {
+        c = c.extend(gen_elem(rng));
+    }
+    c
+}
+
+/// May-alias is reflexive and symmetric.
+#[test]
+fn may_alias_reflexive_symmetric() {
+    let mut rng = Rng::seed_from_u64(0xD0_0001);
+    for _ in 0..256 {
+        let a = gen_cell(&mut rng);
+        let b = gen_cell(&mut rng);
+        assert!(a.may_alias(&a));
+        assert_eq!(a.may_alias(&b), b.may_alias(&a));
+    }
+}
+
+/// Must-alias implies may-alias.
+#[test]
+fn must_implies_may() {
+    let mut rng = Rng::seed_from_u64(0xD0_0002);
+    for _ in 0..256 {
+        let a = gen_cell(&mut rng);
+        let b = gen_cell(&mut rng);
         if a.must_alias(&b) {
-            prop_assert!(a.may_alias(&b));
+            assert!(a.may_alias(&b));
         }
     }
+}
 
-    /// Extending two cells by the same element preserves non-aliasing
-    /// (field-sensitivity is stable under projection).
-    #[test]
-    fn extension_preserves_disjointness(a in cell(), b in cell(), e in elem()) {
+/// Extending two cells by the same element preserves non-aliasing
+/// (field-sensitivity is stable under projection).
+#[test]
+fn extension_preserves_disjointness() {
+    let mut rng = Rng::seed_from_u64(0xD0_0003);
+    for _ in 0..256 {
+        let a = gen_cell(&mut rng);
+        let b = gen_cell(&mut rng);
+        let e = gen_elem(&mut rng);
         if !a.may_alias(&b) && !a.summary && !b.summary {
             let (ea, eb) = (a.extend(e), b.extend(e));
-            prop_assert!(!ea.may_alias(&eb), "{a} vs {b} alias after .{e:?}");
+            assert!(!ea.may_alias(&eb), "{a} vs {b} alias after extension");
         }
     }
+}
 
-    /// Different fields of the same base never alias.
-    #[test]
-    fn sibling_fields_disjoint(a in cell(), o1 in 0u64..4, o2 in 0u64..4) {
-        prop_assume!(o1 != o2 && !a.summary);
+/// Different fields of the same base never alias.
+#[test]
+fn sibling_fields_disjoint() {
+    let mut rng = Rng::seed_from_u64(0xD0_0004);
+    for _ in 0..256 {
+        let a = gen_cell(&mut rng);
+        let o1 = rng.gen_range(0..4u64);
+        let o2 = rng.gen_range(0..4u64);
+        if o1 == o2 || a.summary {
+            continue;
+        }
         let f1 = a.extend(PathElem::Field(o1 * 8));
         let f2 = a.extend(PathElem::Field(o2 * 8));
-        prop_assert!(!f1.may_alias(&f2));
+        assert!(!f1.may_alias(&f2));
     }
 }
 
 /// Generated branchy programs for whole-pipeline invariants.
-fn branchy_program() -> impl Strategy<Value = String> {
-    (
-        prop::collection::vec((0i64..64, 0u8..3), 1..5),
-        prop::collection::vec(any::<bool>(), 1..5),
+fn branchy_program(rng: &mut Rng) -> String {
+    let n_conds = rng.gen_range(1..5usize);
+    let n_derefs = rng.gen_range(1..5usize);
+    let derefs: Vec<bool> = (0..n_derefs).map(|_| rng.gen_bool(0.5)).collect();
+    let mut body = String::from("int acc = 0;\n");
+    for i in 0..n_conds {
+        let c = rng.gen_range(0..64i64);
+        let guard = match rng.gen_range(0..3u8) {
+            0 => format!("x > {c}"),
+            1 => format!("x == {c}"),
+            _ => format!("x != {c}"),
+        };
+        let stmt = if derefs[i % derefs.len()] {
+            "acc = acc + *p;".to_string()
+        } else {
+            format!("acc = acc + {i};")
+        };
+        body.push_str(&format!("if ({guard}) {{ {stmt} }}\n"));
+    }
+    format!(
+        "int helper_api(int v);\n\
+         int gen(int x, int *p) {{\n{body}\nreturn acc;\n}}"
     )
-        .prop_map(|(conds, derefs)| {
-            let mut body = String::from("int acc = 0;\n");
-            for (i, ((c, kind), deref)) in conds.iter().zip(derefs.iter().cycle()).enumerate() {
-                let guard = match kind {
-                    0 => format!("x > {c}"),
-                    1 => format!("x == {c}"),
-                    _ => format!("x != {c}"),
-                };
-                let stmt = if *deref {
-                    "acc = acc + *p;".to_string()
-                } else {
-                    format!("acc = acc + {i};")
-                };
-                body.push_str(&format!("if ({guard}) {{ {stmt} }}\n"));
-            }
-            format!(
-                "int helper_api(int v);\n\
-                 int gen(int x, int *p) {{\n{body}\nreturn acc;\n}}"
-            )
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const PIPELINE_CASES: usize = 48;
 
-    /// Every enumerated forward path starts at its query node, stays
-    /// acyclic, and ends either at a sink or a dead end.
-    #[test]
-    fn forward_paths_are_simple(src in branchy_program()) {
+/// Every enumerated forward path starts at its query node, stays acyclic,
+/// and ends either at a sink or a dead end.
+#[test]
+fn forward_paths_are_simple() {
+    let mut rng = Rng::seed_from_u64(0xD0_0005);
+    for _ in 0..PIPELINE_CASES {
+        let src = branchy_program(&mut rng);
         let module = seal_ir::lower(&seal_kir::compile(&src, "g.c").unwrap());
         let cg = CallGraph::build(&module);
         let scope: BTreeSet<FuncId> =
@@ -118,20 +140,24 @@ proptest! {
                 continue;
             }
             for p in forward_paths(&pdg, &mut cctx, n, SliceConfig::default()) {
-                prop_assert_eq!(p.source(), n);
+                assert_eq!(p.source(), n);
                 let set: BTreeSet<_> = p.nodes.iter().collect();
-                prop_assert_eq!(set.len(), p.nodes.len(), "cycle in path");
+                assert_eq!(set.len(), p.nodes.len(), "cycle in path");
                 // Consecutive nodes are data-connected.
                 for w in p.nodes.windows(2) {
-                    prop_assert!(pdg.data_succs(w[0]).contains(&w[1]));
+                    assert!(pdg.data_succs(w[0]).contains(&w[1]));
                 }
             }
         }
     }
+}
 
-    /// Backward paths are forward paths reversed: each hop is a data edge.
-    #[test]
-    fn backward_paths_follow_edges(src in branchy_program()) {
+/// Backward paths are forward paths reversed: each hop is a data edge.
+#[test]
+fn backward_paths_follow_edges() {
+    let mut rng = Rng::seed_from_u64(0xD0_0006);
+    for _ in 0..PIPELINE_CASES {
+        let src = branchy_program(&mut rng);
         let module = seal_ir::lower(&seal_kir::compile(&src, "g.c").unwrap());
         let cg = CallGraph::build(&module);
         let scope: BTreeSet<FuncId> =
@@ -144,19 +170,22 @@ proptest! {
                 continue;
             }
             for p in backward_paths(&pdg, &mut cctx, n, SliceConfig::default()) {
-                prop_assert_eq!(p.sink(), n);
+                assert_eq!(p.sink(), n);
                 for w in p.nodes.windows(2) {
-                    prop_assert!(pdg.data_succs(w[0]).contains(&w[1]));
+                    assert!(pdg.data_succs(w[0]).contains(&w[1]));
                 }
             }
         }
     }
+}
 
-    /// Path conditions of enumerated paths never mention nodes outside the
-    /// PDG, and Ω stamps order consecutive same-function instruction nodes
-    /// consistently with block order.
-    #[test]
-    fn omega_is_consistent(src in branchy_program()) {
+/// Ω stamps order consecutive same-function instruction nodes consistently
+/// with block order.
+#[test]
+fn omega_is_consistent() {
+    let mut rng = Rng::seed_from_u64(0xD0_0007);
+    for _ in 0..PIPELINE_CASES {
+        let src = branchy_program(&mut rng);
         let module = seal_ir::lower(&seal_kir::compile(&src, "g.c").unwrap());
         let cg = CallGraph::build(&module);
         let scope: BTreeSet<FuncId> =
@@ -175,7 +204,7 @@ proptest! {
                 let n = pdg.node(&seal_pdg::graph::NodeKind::Inst(loc)).unwrap();
                 let om = pdg.omega(n).unwrap();
                 if let Some(prev) = last {
-                    prop_assert!(prev < om);
+                    assert!(prev < om);
                 }
                 last = Some(om);
             }

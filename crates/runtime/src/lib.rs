@@ -1,0 +1,24 @@
+//! `seal-runtime` — the execution substrate shared by every SEAL stage.
+//!
+//! Two pieces, both dependency-free on purpose (the workspace must build
+//! and verify fully offline):
+//!
+//! * [`pool`] — a hand-rolled work-stealing thread pool on `std::thread`
+//!   (scoped workers, per-worker deques fed from a shared injector,
+//!   channel-based result collection) exposing [`par_map`] /
+//!   [`par_map_indexed`]. Results always come back in input order, so a
+//!   caller that merges them sequentially is byte-identical to a
+//!   sequential run regardless of the worker count.
+//! * [`rng`] — a SplitMix64-seeded xoshiro256** PRNG behind the same
+//!   `seed → stream` API the corpus generator previously got from the
+//!   external `rand` crate.
+//!
+//! The worker count is taken from the `SEAL_JOBS` environment variable
+//! (default: [`std::thread::available_parallelism`]).
+
+pub mod pool;
+pub mod rng;
+
+pub use pool::{
+    par_map, par_map_indexed, par_map_indexed_jobs, par_map_jobs, worker_count,
+};

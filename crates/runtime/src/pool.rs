@@ -1,0 +1,253 @@
+//! Work-stealing parallel map on `std::thread` scoped workers.
+//!
+//! Tasks are indices into the caller's slice. All of them start in a
+//! shared *injector* queue; each worker drains batches from the injector
+//! into its own deque, pops its deque LIFO, and — once both are empty —
+//! steals FIFO from a sibling's deque. Results travel back over an mpsc
+//! channel tagged with their input index and are written into an
+//! index-addressed output vector, so `par_map` is order-preserving by
+//! construction.
+//!
+//! Shutdown is non-blocking: a worker exits once no task can be found
+//! anywhere *and* every task has been claimed for execution. Claiming is
+//! counted at pop time, so a task that panics still counts as claimed and
+//! the remaining workers drain the rest and exit; the panic itself is
+//! re-raised by `std::thread::scope` when the workers are joined — no
+//! hang, panic propagated.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Mutex, MutexGuard};
+
+/// Number of workers to use: `SEAL_JOBS` when set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub fn worker_count() -> usize {
+    match std::env::var("SEAL_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Locks a queue, surviving poisoning (a panic never happens while the
+/// lock is held, so the protected deque is always consistent).
+fn lock(q: &Mutex<VecDeque<usize>>) -> MutexGuard<'_, VecDeque<usize>> {
+    q.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Task-fetching state shared by the workers of one `par_map` call.
+struct Queues {
+    injector: Mutex<VecDeque<usize>>,
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    /// Tasks popped for execution (not merely moved between queues).
+    claimed: AtomicUsize,
+    total: usize,
+}
+
+impl Queues {
+    /// Claims the next task for worker `me`, or returns `None` when every
+    /// task in the call has been claimed. Never blocks indefinitely.
+    fn next_task(&self, me: usize) -> Option<usize> {
+        loop {
+            // 1. Own deque, LIFO (freshest batch is cache-warm).
+            if let Some(i) = lock(&self.deques[me]).pop_back() {
+                self.claimed.fetch_add(1, Ordering::SeqCst);
+                return Some(i);
+            }
+            // 2. Refill from the shared injector, one batch at a time so
+            //    late tasks stay available to idle workers.
+            {
+                let mut inj = lock(&self.injector);
+                if !inj.is_empty() {
+                    let batch = (inj.len() / (self.deques.len() * 2)).clamp(1, 32);
+                    let mut own = lock(&self.deques[me]);
+                    for _ in 0..batch {
+                        match inj.pop_front() {
+                            Some(i) => own.push_back(i),
+                            None => break,
+                        }
+                    }
+                    continue;
+                }
+            }
+            // 3. Steal FIFO from a sibling (oldest task: largest expected
+            //    remaining work, and no contention with its LIFO end).
+            for (v, deque) in self.deques.iter().enumerate() {
+                if v == me {
+                    continue;
+                }
+                if let Some(i) = lock(deque).pop_front() {
+                    self.claimed.fetch_add(1, Ordering::SeqCst);
+                    return Some(i);
+                }
+            }
+            // 4. Nothing anywhere: done, or a loser of a race — retry.
+            if self.claimed.load(Ordering::SeqCst) >= self.total {
+                return None;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Parallel map preserving input order, with an explicit worker count.
+/// `jobs <= 1` (or fewer than two items) runs inline on the caller's
+/// thread — the deterministic reference path.
+pub fn par_map_indexed_jobs<T, U, F>(jobs: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let total = items.len();
+    if jobs <= 1 || total <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = jobs.min(total);
+    let queues = Queues {
+        injector: Mutex::new((0..total).collect()),
+        deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        claimed: AtomicUsize::new(0),
+        total,
+    };
+    let (tx, rx) = mpsc::channel::<(usize, U)>();
+    let mut out: Vec<Option<U>> = Vec::with_capacity(total);
+    out.resize_with(total, || None);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let queues = &queues;
+            let f = &f;
+            scope.spawn(move || {
+                while let Some(i) = queues.next_task(w) {
+                    let v = f(i, &items[i]);
+                    if tx.send((i, v)).is_err() {
+                        return; // collector gone; nothing left to report to
+                    }
+                }
+            });
+        }
+        drop(tx);
+        // Collect until every worker has dropped its sender. If a task
+        // panicked its result is simply missing; the scope re-raises the
+        // panic right after this loop.
+        while let Ok((i, v)) = rx.recv() {
+            out[i] = Some(v);
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("scope completed without panic, so every task ran"))
+        .collect()
+}
+
+/// [`par_map_indexed_jobs`] without the index argument.
+pub fn par_map_jobs<T, U, F>(jobs: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed_jobs(jobs, items, |_, t| f(t))
+}
+
+/// Parallel map with the worker count from `SEAL_JOBS`.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_jobs(worker_count(), items, f)
+}
+
+/// [`par_map`] passing each item's index alongside the item.
+pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_indexed_jobs(worker_count(), items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let items: Vec<u64> = (0..257).collect();
+        for jobs in [1, 2, 4, 7] {
+            let got = par_map_jobs(jobs, &items, |&x| x * x + 1);
+            let want: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+            assert_eq!(got, want, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn uneven_task_durations_still_ordered() {
+        // Early tasks sleep longest; stealing must not reorder results.
+        let items: Vec<u64> = (0..24).collect();
+        let got = par_map_indexed_jobs(4, &items, |i, &x| {
+            std::thread::sleep(std::time::Duration::from_micros(
+                (items.len() - i) as u64 * 50,
+            ));
+            (i, x + 100)
+        });
+        for (i, &(gi, gv)) in got.iter().enumerate() {
+            assert_eq!((gi, gv), (i, i as u64 + 100));
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..300).map(|_| AtomicUsize::new(0)).collect();
+        let idx: Vec<usize> = (0..300).collect();
+        par_map_jobs(6, &idx, |&i| counters[i].fetch_add(1, Ordering::SeqCst));
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> = vec![];
+        assert!(par_map_jobs(4, &empty, |&x| x).is_empty());
+        assert_eq!(par_map_jobs(4, &[41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn panicking_task_propagates_without_hang() {
+        let items: Vec<usize> = (0..64).collect();
+        let ran = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map_jobs(4, &items, |&i| {
+                if i == 13 {
+                    panic!("boom in task 13");
+                }
+                ran.fetch_add(1, Ordering::SeqCst);
+                i
+            })
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // The pool drained the remaining tasks instead of hanging.
+        assert_eq!(ran.load(Ordering::SeqCst), items.len() - 1);
+    }
+
+    #[test]
+    fn jobs_env_var_controls_worker_count() {
+        std::env::set_var("SEAL_JOBS", "3");
+        assert_eq!(worker_count(), 3);
+        std::env::set_var("SEAL_JOBS", "not-a-number");
+        assert!(worker_count() >= 1);
+        std::env::remove_var("SEAL_JOBS");
+        assert!(worker_count() >= 1);
+    }
+}

@@ -1,10 +1,13 @@
-//! Property-based tests for the path-condition solver: soundness of
+//! Seeded property tests for the path-condition solver: soundness of
 //! `is_sat` against brute-force evaluation, and semantic invariance of the
-//! normal-form transformations.
+//! normal-form transformations. Driven by the in-tree PRNG so the suite
+//! runs fully offline.
 
-use proptest::prelude::*;
+use seal_runtime::rng::Rng;
 use seal_solver::{implies, is_sat, CmpOp, Formula, Term, Verdict};
 use std::collections::HashMap;
+
+const CASES: usize = 200;
 
 /// Number of variables in generated formulas.
 const VARS: u8 = 3;
@@ -12,38 +15,47 @@ const VARS: u8 = 3;
 /// constants used by atoms plus sentinels outside them.
 const DOMAIN: [i64; 6] = [-2, -1, 0, 1, 2, 7];
 
-fn term_strategy() -> impl Strategy<Value = Term<u8>> {
-    prop_oneof![
-        (0..VARS).prop_map(Term::Var),
-        prop_oneof![Just(-2i64), Just(-1), Just(0), Just(1), Just(2)].prop_map(Term::Const),
-    ]
+fn gen_term(rng: &mut Rng) -> Term<u8> {
+    if rng.gen_bool(0.5) {
+        Term::Var(rng.gen_range(0..VARS))
+    } else {
+        Term::Const([-2i64, -1, 0, 1, 2][rng.gen_range(0..5usize)])
+    }
 }
 
-fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
+fn gen_cmp(rng: &mut Rng) -> CmpOp {
+    [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ][rng.gen_range(0..6usize)]
 }
 
-fn formula_strategy() -> impl Strategy<Value = Formula<u8>> {
-    let leaf = prop_oneof![
-        Just(Formula::True),
-        Just(Formula::False),
-        (term_strategy(), cmp_strategy(), term_strategy())
-            .prop_map(|(l, op, r)| Formula::atom(l, op, r)),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::And),
-            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::Or),
-            inner.prop_map(|f| f.negate()),
-        ]
-    })
+fn gen_formula(rng: &mut Rng, depth: u32) -> Formula<u8> {
+    if depth == 0 || rng.gen_bool(0.35) {
+        return match rng.gen_range(0..4usize) {
+            0 => Formula::True,
+            1 => Formula::False,
+            _ => {
+                let (l, op, r) = (gen_term(rng), gen_cmp(rng), gen_term(rng));
+                Formula::atom(l, op, r)
+            }
+        };
+    }
+    match rng.gen_range(0..3usize) {
+        0 => {
+            let n = rng.gen_range(1..3usize);
+            Formula::And((0..n).map(|_| gen_formula(rng, depth - 1)).collect())
+        }
+        1 => {
+            let n = rng.gen_range(1..3usize);
+            Formula::Or((0..n).map(|_| gen_formula(rng, depth - 1)).collect())
+        }
+        _ => gen_formula(rng, depth - 1).negate(),
+    }
 }
 
 /// Ground-truth evaluation under an assignment.
@@ -79,90 +91,131 @@ fn assignments() -> Vec<HashMap<u8, i64>> {
     out
 }
 
-proptest! {
-    /// If the solver says Unsat, no probe assignment may satisfy the
-    /// formula (the solver must never prune a feasible path).
-    #[test]
-    fn unsat_verdicts_are_sound(f in formula_strategy()) {
+/// If the solver says Unsat, no probe assignment may satisfy the formula
+/// (the solver must never prune a feasible path).
+#[test]
+fn unsat_verdicts_are_sound() {
+    let mut rng = Rng::seed_from_u64(0x50_0001);
+    let envs = assignments();
+    for _ in 0..CASES {
+        let f = gen_formula(&mut rng, 3);
         if is_sat(&f) == Verdict::Unsat {
-            for env in assignments() {
-                prop_assert!(!eval(&f, &env), "Unsat but satisfied by {env:?}: {f}");
+            for env in &envs {
+                assert!(!eval(&f, env), "Unsat but satisfied by {env:?}: {f}");
             }
         }
     }
+}
 
-    /// If some probe assignment satisfies the formula, the solver must
-    /// report Sat (completeness over the probe domain).
-    #[test]
-    fn probe_sat_implies_solver_sat(f in formula_strategy()) {
-        let witnessed = assignments().iter().any(|env| eval(&f, env));
-        if witnessed {
-            prop_assert!(is_sat(&f).possibly_sat(), "probe-satisfiable but solver Unsat: {f}");
+/// If some probe assignment satisfies the formula, the solver must report
+/// Sat (completeness over the probe domain).
+#[test]
+fn probe_sat_implies_solver_sat() {
+    let mut rng = Rng::seed_from_u64(0x50_0002);
+    let envs = assignments();
+    for _ in 0..CASES {
+        let f = gen_formula(&mut rng, 3);
+        if envs.iter().any(|env| eval(&f, env)) {
+            assert!(
+                is_sat(&f).possibly_sat(),
+                "probe-satisfiable but solver Unsat: {f}"
+            );
         }
     }
+}
 
-    /// NNF preserves evaluation everywhere.
-    #[test]
-    fn nnf_preserves_semantics(f in formula_strategy()) {
+/// NNF preserves evaluation everywhere.
+#[test]
+fn nnf_preserves_semantics() {
+    let mut rng = Rng::seed_from_u64(0x50_0003);
+    let envs = assignments();
+    for _ in 0..CASES {
+        let f = gen_formula(&mut rng, 3);
         let nnf = f.clone().nnf();
-        for env in assignments() {
-            prop_assert_eq!(eval(&f, &env), eval(&nnf, &env), "{} vs {}", f, nnf);
+        for env in &envs {
+            assert_eq!(eval(&f, env), eval(&nnf, env), "{f} vs {nnf}");
         }
     }
+}
 
-    /// Negation flips evaluation everywhere.
-    #[test]
-    fn negate_flips_semantics(f in formula_strategy()) {
+/// Negation flips evaluation everywhere.
+#[test]
+fn negate_flips_semantics() {
+    let mut rng = Rng::seed_from_u64(0x50_0004);
+    let envs = assignments();
+    for _ in 0..CASES {
+        let f = gen_formula(&mut rng, 3);
         let neg = f.clone().negate();
-        for env in assignments() {
-            prop_assert_eq!(eval(&f, &env), !eval(&neg, &env));
+        for env in &envs {
+            assert_eq!(eval(&f, env), !eval(&neg, env));
         }
     }
+}
 
-    /// `implies(a, b)` is sound: every probe model of `a` models `b`.
-    #[test]
-    fn implication_is_sound(a in formula_strategy(), b in formula_strategy()) {
+/// `implies(a, b)` is sound: every probe model of `a` models `b`.
+#[test]
+fn implication_is_sound() {
+    let mut rng = Rng::seed_from_u64(0x50_0005);
+    let envs = assignments();
+    for _ in 0..CASES {
+        let a = gen_formula(&mut rng, 3);
+        let b = gen_formula(&mut rng, 3);
         if implies(&a, &b) {
-            for env in assignments() {
-                if eval(&a, &env) {
-                    prop_assert!(eval(&b, &env), "implies({a}, {b}) but {env:?} separates them");
+            for env in &envs {
+                if eval(&a, env) {
+                    assert!(eval(&b, env), "implies({a}, {b}) but {env:?} separates them");
                 }
             }
         }
     }
+}
 
-    /// `and`/`or` smart constructors match boolean semantics.
-    #[test]
-    fn connective_constructors_are_semantic(a in formula_strategy(), b in formula_strategy()) {
+/// `and`/`or` smart constructors match boolean semantics.
+#[test]
+fn connective_constructors_are_semantic() {
+    let mut rng = Rng::seed_from_u64(0x50_0006);
+    let envs = assignments();
+    for _ in 0..CASES {
+        let a = gen_formula(&mut rng, 3);
+        let b = gen_formula(&mut rng, 3);
         let conj = a.clone().and(b.clone());
         let disj = a.clone().or(b.clone());
-        for env in assignments() {
-            prop_assert_eq!(eval(&conj, &env), eval(&a, &env) && eval(&b, &env));
-            prop_assert_eq!(eval(&disj, &env), eval(&a, &env) || eval(&b, &env));
+        for env in &envs {
+            assert_eq!(eval(&conj, env), eval(&a, env) && eval(&b, env));
+            assert_eq!(eval(&disj, env), eval(&a, env) || eval(&b, env));
         }
     }
+}
 
-    /// `filter_vars` with an always-true predicate is the identity up to
-    /// evaluation; filtering everything yields a formula implied by the
-    /// original on its models (over-approximation).
-    #[test]
-    fn filter_vars_overapproximates(f in formula_strategy()) {
+/// `filter_vars` with an always-true predicate is the identity up to
+/// evaluation; filtering everything yields a formula implied by the
+/// original on its models (over-approximation).
+#[test]
+fn filter_vars_overapproximates() {
+    let mut rng = Rng::seed_from_u64(0x50_0007);
+    let envs = assignments();
+    for _ in 0..CASES {
+        let f = gen_formula(&mut rng, 3);
         let kept = f.clone().filter_vars(&|_| true);
-        for env in assignments() {
-            prop_assert_eq!(eval(&f, &env), eval(&kept, &env));
+        for env in &envs {
+            assert_eq!(eval(&f, env), eval(&kept, env));
         }
         // Dropping all atoms must never turn a satisfiable formula
         // unsatisfiable (sound for conjunctive use).
         let dropped = f.clone().filter_vars(&|_| false);
         if is_sat(&f) == Verdict::Sat {
-            prop_assert!(is_sat(&dropped).possibly_sat());
+            assert!(is_sat(&dropped).possibly_sat());
         }
     }
+}
 
-    /// Mapping variables through a bijection preserves satisfiability.
-    #[test]
-    fn var_renaming_preserves_sat(f in formula_strategy()) {
+/// Mapping variables through a bijection preserves satisfiability.
+#[test]
+fn var_renaming_preserves_sat() {
+    let mut rng = Rng::seed_from_u64(0x50_0008);
+    for _ in 0..CASES {
+        let f = gen_formula(&mut rng, 3);
         let renamed: Formula<u8> = f.clone().map(&mut |v| v + 100);
-        prop_assert_eq!(is_sat(&f), is_sat(&renamed));
+        assert_eq!(is_sat(&f), is_sat(&renamed));
     }
 }

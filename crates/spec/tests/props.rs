@@ -1,158 +1,169 @@
-//! Property-based round-trip tests for the specification text format.
+//! Seeded round-trip tests for the specification text format, driven by
+//! the in-tree PRNG so the suite runs fully offline.
 
-use proptest::prelude::*;
+use seal_runtime::rng::Rng;
 use seal_solver::{CmpOp, Formula, Term};
 use seal_spec::parse::{parse_line, to_line};
 use seal_spec::{Constraint, Provenance, Quantifier, Relation, Specification, SpecUse, SpecValue};
 
-fn api_name() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("kmalloc".to_string()),
-        Just("dma_alloc_coherent".to_string()),
-        Just("put_device".to_string()),
-        Just("of_node_put".to_string()),
-        Just("usb_read_cmd".to_string()),
-    ]
+const CASES: usize = 256;
+
+fn api_name(rng: &mut Rng) -> String {
+    [
+        "kmalloc",
+        "dma_alloc_coherent",
+        "put_device",
+        "of_node_put",
+        "usb_read_cmd",
+    ][rng.gen_range(0..5usize)]
+        .to_string()
 }
 
-fn field_name() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("len".to_string()),
-        Just("block".to_string()),
-        Just("dev".to_string()),
-        Just("pixclock".to_string()),
-    ]
+fn field_name(rng: &mut Rng) -> String {
+    ["len", "block", "dev", "pixclock"][rng.gen_range(0..4usize)].to_string()
 }
 
-fn value() -> impl Strategy<Value = SpecValue> {
-    prop_oneof![
-        (0usize..4, prop::collection::vec(field_name(), 0..3))
-            .prop_map(|(index, fields)| SpecValue::ArgI { index, fields }),
-        api_name().prop_map(|api| SpecValue::RetF { api }),
-        Just(SpecValue::Global {
-            name: "telem_ida".to_string()
-        }),
-        (-4096i64..4096).prop_map(SpecValue::Literal),
-    ]
-}
-
-fn use_() -> impl Strategy<Value = SpecUse> {
-    prop_oneof![
-        (api_name(), 0usize..4).prop_map(|(api, index)| SpecUse::ArgF { api, index }),
-        Just(SpecUse::RetI),
-        Just(SpecUse::GlobalStore {
-            name: "shared_state".to_string()
-        }),
-        Just(SpecUse::Deref),
-        Just(SpecUse::Div),
-        Just(SpecUse::IndexUse),
-    ]
-}
-
-fn cmp() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
-}
-
-fn term() -> impl Strategy<Value = Term<SpecValue>> {
-    prop_oneof![
-        value().prop_map(Term::Var),
-        (-100i64..100).prop_map(Term::Const),
-    ]
-}
-
-fn cond() -> impl Strategy<Value = Formula<SpecValue>> {
-    let atom = (term(), cmp(), term()).prop_map(|(l, op, r)| Formula::atom(l, op, r));
-    let leaf = prop_oneof![Just(Formula::True), atom];
-    leaf.prop_recursive(2, 12, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            inner.prop_map(|f| f.negate()),
-        ]
-    })
-}
-
-fn quantifier() -> impl Strategy<Value = Quantifier> {
-    prop_oneof![
-        Just(Quantifier::ForAll),
-        Just(Quantifier::Exists),
-        Just(Quantifier::NotExists),
-    ]
-}
-
-fn provenance() -> impl Strategy<Value = Provenance> {
-    prop_oneof![
-        Just(Provenance::RemovedPath),
-        Just(Provenance::AddedPath),
-        Just(Provenance::CondChanged),
-        Just(Provenance::OrderChanged),
-    ]
-}
-
-fn constraint() -> impl Strategy<Value = Constraint> {
-    let reach = (quantifier(), value(), use_(), cond()).prop_map(|(q, v, u, c)| Constraint {
-        quantifier: q,
-        relation: Relation::Reach {
-            value: v,
-            use_: u,
-            cond: c,
+fn value(rng: &mut Rng) -> SpecValue {
+    match rng.gen_range(0..4usize) {
+        0 => SpecValue::ArgI {
+            index: rng.gen_range(0..4usize),
+            fields: {
+                let n = rng.gen_range(0..3usize);
+                (0..n).map(|_| field_name(rng)).collect()
+            },
         },
-    });
-    let order = (quantifier(), value(), use_(), use_()).prop_map(|(q, v, f, s)| Constraint {
-        quantifier: q,
-        relation: Relation::Order {
-            value: v,
-            first: f,
-            second: s,
+        1 => SpecValue::RetF { api: api_name(rng) },
+        2 => SpecValue::Global {
+            name: "telem_ida".to_string(),
         },
-    });
-    prop_oneof![3 => reach, 1 => order]
+        _ => SpecValue::Literal(rng.gen_range(-4096i64..4096)),
+    }
 }
 
-fn spec() -> impl Strategy<Value = Specification> {
-    (
-        prop_oneof![
-            Just(None),
-            Just(Some("vb2_ops::buf_prepare".to_string())),
-            Just(Some("platform_driver::remove".to_string())),
-        ],
-        prop::collection::vec(constraint(), 1..3),
-        provenance(),
-    )
-        .prop_map(|(interface, constraints, provenance)| Specification {
-            interface,
-            constraints,
-            origin_patch: "prop-patch-0042".to_string(),
-            provenance,
-        })
+fn use_(rng: &mut Rng) -> SpecUse {
+    match rng.gen_range(0..6usize) {
+        0 => SpecUse::ArgF {
+            api: api_name(rng),
+            index: rng.gen_range(0..4usize),
+        },
+        1 => SpecUse::RetI,
+        2 => SpecUse::GlobalStore {
+            name: "shared_state".to_string(),
+        },
+        3 => SpecUse::Deref,
+        4 => SpecUse::Div,
+        _ => SpecUse::IndexUse,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn cmp(rng: &mut Rng) -> CmpOp {
+    [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ][rng.gen_range(0..6usize)]
+}
 
-    /// `parse_line ∘ to_line` is the identity on canonical specifications
-    /// (serialization canonicalizes literal-valued condition variables to
-    /// constants; see `seal_spec::parse::canonicalize`).
-    #[test]
-    fn serialization_round_trips(s in spec()) {
+fn term(rng: &mut Rng) -> Term<SpecValue> {
+    if rng.gen_bool(0.5) {
+        Term::Var(value(rng))
+    } else {
+        Term::Const(rng.gen_range(-100i64..100))
+    }
+}
+
+fn cond(rng: &mut Rng, depth: u32) -> Formula<SpecValue> {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return if rng.gen_bool(0.3) {
+            Formula::True
+        } else {
+            let (l, op, r) = (term(rng), cmp(rng), term(rng));
+            Formula::atom(l, op, r)
+        };
+    }
+    match rng.gen_range(0..3usize) {
+        0 => cond(rng, depth - 1).and(cond(rng, depth - 1)),
+        1 => cond(rng, depth - 1).or(cond(rng, depth - 1)),
+        _ => cond(rng, depth - 1).negate(),
+    }
+}
+
+fn quantifier(rng: &mut Rng) -> Quantifier {
+    [Quantifier::ForAll, Quantifier::Exists, Quantifier::NotExists][rng.gen_range(0..3usize)]
+}
+
+fn provenance(rng: &mut Rng) -> Provenance {
+    [
+        Provenance::RemovedPath,
+        Provenance::AddedPath,
+        Provenance::CondChanged,
+        Provenance::OrderChanged,
+    ][rng.gen_range(0..4usize)]
+}
+
+fn constraint(rng: &mut Rng) -> Constraint {
+    if rng.gen_range(0..4usize) < 3 {
+        Constraint {
+            quantifier: quantifier(rng),
+            relation: Relation::Reach {
+                value: value(rng),
+                use_: use_(rng),
+                cond: cond(rng, 2),
+            },
+        }
+    } else {
+        Constraint {
+            quantifier: quantifier(rng),
+            relation: Relation::Order {
+                value: value(rng),
+                first: use_(rng),
+                second: use_(rng),
+            },
+        }
+    }
+}
+
+fn spec(rng: &mut Rng) -> Specification {
+    let interface = match rng.gen_range(0..3usize) {
+        0 => None,
+        1 => Some("vb2_ops::buf_prepare".to_string()),
+        _ => Some("platform_driver::remove".to_string()),
+    };
+    let n = rng.gen_range(1..3usize);
+    Specification {
+        interface,
+        constraints: (0..n).map(|_| constraint(rng)).collect(),
+        origin_patch: "prop-patch-0042".to_string(),
+        provenance: provenance(rng),
+    }
+}
+
+/// `parse_line ∘ to_line` is the identity on canonical specifications
+/// (serialization canonicalizes literal-valued condition variables to
+/// constants; see `seal_spec::parse::canonicalize`).
+#[test]
+fn serialization_round_trips() {
+    let mut rng = Rng::seed_from_u64(0x5_0001);
+    for _ in 0..CASES {
+        let s = spec(&mut rng);
         let canon = seal_spec::parse::canonicalize(&s);
         let line = to_line(&s);
-        let back = parse_line(&line)
-            .unwrap_or_else(|e| panic!("cannot reparse `{line}`: {e}"));
-        prop_assert_eq!(back, canon, "line was: {}", line);
+        let back =
+            parse_line(&line).unwrap_or_else(|e| panic!("cannot reparse `{line}`: {e}"));
+        assert_eq!(back, canon, "line was: {line}");
     }
+}
 
-    /// Parsing is total (never panics) on arbitrary printable input.
-    #[test]
-    fn parser_total_on_ascii(bytes in prop::collection::vec(32u8..127, 0..120)) {
-        let line = String::from_utf8(bytes).unwrap();
+/// Parsing is total (never panics) on arbitrary printable input.
+#[test]
+fn parser_total_on_ascii() {
+    let mut rng = Rng::seed_from_u64(0x5_0002);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0..120usize);
+        let line: String = (0..n).map(|_| rng.gen_range(32u8..127) as char).collect();
         let _ = parse_line(&line);
     }
 }

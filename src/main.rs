@@ -49,11 +49,15 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage:\n  \
-     seal infer  --pre <file> --post <file> [--id <patch-id>] [--out <specs-file>]\n  \
-     seal detect --target <file> --specs <specs-file>\n  \
-     seal hunt   --pre <file> --post <file> --target <file>\n  \
+     seal infer  --pre <file,...> --post <file,...> [--id <patch-id>] [--out <specs-file>]\n  \
+     seal detect --target <file,...> --specs <specs-file>\n  \
+     seal hunt   --pre <file,...> --post <file,...> --target <file,...>\n  \
      seal merge  --specs <file,file,...> --out <specs-file>\n  \
-     seal gen-corpus --dir <dir> [--seed <n>] [--drivers <n>]"
+     seal gen-corpus --dir <dir> [--seed <n>] [--drivers <n>]\n\
+     \n\
+     --pre/--post accept comma-separated lists of equal length; the pairs\n\
+     are inferred in parallel (worker count: SEAL_JOBS, default: available\n\
+     parallelism) and the specs are merged in argument order."
         .to_string()
 }
 
@@ -79,16 +83,60 @@ fn read(opts: &HashMap<String, String>, key: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn list(opts: &HashMap<String, String>, key: &str) -> Result<Vec<String>, String> {
+    let raw = opts
+        .get(key)
+        .ok_or_else(|| format!("missing --{key}\n{}", usage()))?;
+    Ok(raw.split(',').map(str::to_string).collect())
+}
+
 fn infer_specs(opts: &HashMap<String, String>) -> Result<Vec<Specification>, String> {
-    let pre = read(opts, "pre")?;
-    let post = read(opts, "post")?;
+    // `--pre`/`--post` accept comma-separated lists of equal length; each
+    // (pre, post) pair is one patch.
+    let pre_paths = list(opts, "pre")?;
+    let post_paths = list(opts, "post")?;
+    if pre_paths.len() != post_paths.len() {
+        return Err(format!(
+            "--pre lists {} file(s) but --post lists {}",
+            pre_paths.len(),
+            post_paths.len()
+        ));
+    }
     let id = opts
         .get("id")
         .cloned()
         .unwrap_or_else(|| "patch".to_string());
+    let mut patches = Vec::new();
+    for (i, (pre_path, post_path)) in pre_paths.iter().zip(&post_paths).enumerate() {
+        let pre = read_file(pre_path)?;
+        let post = read_file(post_path)?;
+        let patch_id = if pre_paths.len() == 1 {
+            id.clone()
+        } else {
+            format!("{id}-{}", i + 1)
+        };
+        patches.push(Patch::new(patch_id, pre, post));
+    }
+
+    // Each patch compiles and diffs independently; run them on the
+    // work-stealing pool and merge results in patch-index order so the
+    // spec output is byte-identical to a sequential run.
     let seal = Seal::default();
-    seal.infer(&Patch::new(id, pre, post))
-        .map_err(|e| format!("patch does not compile:\n{e}"))
+    let per_patch: Vec<Result<Vec<Specification>, String>> =
+        seal_runtime::par_map(&patches, |patch| {
+            seal.infer(patch).map_err(|e| {
+                format!("patch `{}` does not compile:\n{e}", patch.id)
+            })
+        });
+    let mut specs = Vec::new();
+    for result in per_patch {
+        specs.extend(result?);
+    }
+    Ok(specs)
 }
 
 fn infer(opts: &HashMap<String, String>) -> Result<(), String> {

@@ -5,9 +5,8 @@
 //! driver are generated, the corresponding fault is injected, and the
 //! runtime outcome must separate them.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use seal::corpus::templates::all_templates;
+use seal_runtime::rng::Rng;
 use seal::exec::{FaultPlan, Interp, Outcome, Value};
 
 fn module_for(template_name: &str, buggy: bool) -> seal_ir::Module {
@@ -15,7 +14,7 @@ fn module_for(template_name: &str, buggy: bool) -> seal_ir::Module {
         .into_iter()
         .find(|t| t.name() == template_name)
         .unwrap_or_else(|| panic!("no template {template_name}"));
-    let mut rng = SmallRng::seed_from_u64(11);
+    let mut rng = Rng::seed_from_u64(11);
     let src = format!("{}\n{}", t.header(), t.driver("probe", 0, buggy, &mut rng));
     seal_ir::lower(&seal_kir::compile(&src, "t.c").unwrap())
 }
