@@ -38,7 +38,8 @@ pub fn infer(patch: &Patch) -> Vec<PostHandlingSpec> {
     };
     let mut specs = Vec::new();
     for fname in &compiled.changed {
-        let (Some(pre_f), Some(post_f)) = (compiled.pre.function(fname), compiled.post.function(fname))
+        let (Some(pre_f), Some(post_f)) =
+            (compiled.pre.function(fname), compiled.post.function(fname))
         else {
             continue;
         };
@@ -90,7 +91,9 @@ pub fn detect(module: &Module, specs: &[PostHandlingSpec]) -> Vec<BaselineReport
     let mut seen = BTreeSet::new();
     for spec in specs {
         for (f, _) in module.callers_of_api(&spec.target_api) {
-            if !calls_on_all_paths(f, &spec.post_op) && seen.insert((f.name.clone(), spec.post_op.clone())) {
+            if !calls_on_all_paths(f, &spec.post_op)
+                && seen.insert((f.name.clone(), spec.post_op.clone()))
+            {
                 out.push(BaselineReport {
                     tool: Tool::Aphp,
                     function: f.name.clone(),
@@ -110,9 +113,10 @@ pub fn detect(module: &Module, specs: &[PostHandlingSpec]) -> Vec<BaselineReport
 fn calls_on_all_paths(f: &seal_ir::FuncBody, api: &str) -> bool {
     // DFS over blocks, treating blocks that call `api` as absorbing.
     let calls_api = |b: BlockId| {
-        f.block(b).insts.iter().any(|i| {
-            matches!(i, Inst::Call { callee: Callee::Direct(n), .. } if n == api)
-        })
+        f.block(b)
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Call { callee: Callee::Direct(n), .. } if n == api))
     };
     let mut stack = vec![f.entry()];
     let mut seen = BTreeSet::new();

@@ -69,7 +69,21 @@ fn fingerprint(r: &PipelineResult) -> String {
         let _ = writeln!(out, "{rep}");
     }
     let _ = writeln!(out, "{:?}", r.score);
-    let _ = writeln!(out, "regions={} skipped={}", r.detect_stats.regions, r.detect_stats.skipped);
+    let _ = writeln!(
+        out,
+        "regions={} skipped={}",
+        r.detect_stats.regions, r.detect_stats.skipped
+    );
+    // Search-phase counters are part of the determinism contract too:
+    // pruning and memoization must behave identically for any job count.
+    let _ = writeln!(
+        out,
+        "solver_queries={} solver_cache_hits={} subtrees_pruned={} sources_skipped_unreachable={}",
+        r.detect_stats.solver_queries,
+        r.detect_stats.solver_cache_hits,
+        r.detect_stats.subtrees_pruned,
+        r.detect_stats.sources_skipped_unreachable,
+    );
     out
 }
 
@@ -86,7 +100,8 @@ fn measure(jobs: usize, warmup: usize, iters: usize) -> (Samples, String) {
         s.total.push(t0.elapsed().as_secs_f64() * 1e3);
         s.infer.push(r.infer_time.as_secs_f64() * 1e3);
         s.pdg.push(r.detect_stats.pdg_time.as_secs_f64() * 1e3);
-        s.search.push(r.detect_stats.search_time.as_secs_f64() * 1e3);
+        s.search
+            .push(r.detect_stats.search_time.as_secs_f64() * 1e3);
         s.detect.push(r.detect_time.as_secs_f64() * 1e3);
         if i == 0 {
             fp = fingerprint(&r);
@@ -107,7 +122,7 @@ fn measure_baseline(warmup: usize, iters: usize) -> Samples {
     let detect_cfg = DetectConfig {
         reuse_path_cache: false,
         dedup_specs: false,
-        ..seal.detect.clone()
+        ..seal.detect
     };
     let run = || {
         let t0 = Instant::now();
@@ -194,8 +209,12 @@ fn main() {
     let mut workers_json = Vec::new();
     for (jobs, s) in &results {
         let med = median(&s.total);
+        // More workers than CPUs measures scheduling overhead, not
+        // parallel speedup; annotate so readers discount those rows.
+        let oversubscribed = *jobs > cpus;
         workers_json.push(format!(
-            "{{\"jobs\":{jobs},\"phases\":{},\"speedup_vs_1worker\":{},\"speedup_vs_baseline\":{}}}",
+            "{{\"jobs\":{jobs},\"oversubscribed\":{oversubscribed},\"phases\":{},\
+             \"speedup_vs_1worker\":{},\"speedup_vs_baseline\":{}}}",
             phase_json(s),
             format_args!("{:.3}", one_worker_med / med),
             format_args!("{:.3}", baseline_med / med),
@@ -203,11 +222,15 @@ fn main() {
     }
 
     let cfg = eval_config();
+    let opt = DetectConfig::default();
     let json = format!(
         "{{\n  \"bench\": \"pipeline\",\n  \"cpus\": {cpus},\n  \"warmup_iters\": {warmup},\n  \
          \"measured_iters\": {iters},\n  \
          \"config\": {{\"seed\": {}, \"drivers_per_template\": {}, \"bug_rate\": {}, \
-         \"patches_per_template\": {}, \"refactor_patches\": {}}},\n  \
+         \"patches_per_template\": {}, \"refactor_patches\": {}, \
+         \"optimizations\": {{\"reuse_pdg_cache\": {}, \"path_sensitive\": {}, \
+         \"reuse_path_cache\": {}, \"dedup_specs\": {}, \"prune_unreachable\": {}, \
+         \"prune_unsat_prefixes\": {}, \"solver_memo\": {}, \"intern_signatures\": {}}}}},\n  \
          \"baseline_seed_equivalent\": {},\n  \
          \"workers\": [\n    {}\n  ],\n  \
          \"identical_output_across_workers\": {identical}\n}}\n",
@@ -216,6 +239,14 @@ fn main() {
         cfg.bug_rate,
         cfg.patches_per_template,
         cfg.refactor_patches,
+        opt.reuse_pdg_cache,
+        opt.path_sensitive,
+        opt.reuse_path_cache,
+        opt.dedup_specs,
+        opt.prune_unreachable,
+        opt.prune_unsat_prefixes,
+        opt.solver_memo,
+        seal_core::DiffConfig::default().intern_signatures,
         phase_json(&baseline),
         workers_json.join(",\n    "),
     );

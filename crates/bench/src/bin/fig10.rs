@@ -39,8 +39,11 @@ fn main() {
         .collect();
     let aphp_found: BTreeSet<String> = aphp_reports.iter().map(|x| x.function.clone()).collect();
     let crix_found: BTreeSet<String> = crix_reports.iter().map(|x| x.function.clone()).collect();
-    let (seal_types, aphp_types, crix_types) =
-        (types_of(&seal_found), types_of(&aphp_found), types_of(&crix_found));
+    let (seal_types, aphp_types, crix_types) = (
+        types_of(&seal_found),
+        types_of(&aphp_found),
+        types_of(&crix_found),
+    );
 
     println!("Fig. 10: bug types supported by SEAL and existing efforts\n");
     let all = [

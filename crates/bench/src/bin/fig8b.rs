@@ -11,21 +11,19 @@ fn main() {
     // constraints (origin-independent identity).
     let mut per_spec: BTreeMap<String, usize> = BTreeMap::new();
     for report in &r.reports {
-        let key = format!(
-            "{:?}|{:?}",
-            report.spec.interface, report.spec.constraints
-        );
+        let key = format!("{:?}|{:?}", report.spec.interface, report.spec.constraints);
         *per_spec.entry(key).or_default() += 1;
     }
     let counts: Vec<usize> = per_spec.values().copied().collect();
     let total = counts.len().max(1);
 
     println!("Fig. 8(b): #violations per specification (0 excluded)\n");
-    let buckets: [(&str, Box<dyn Fn(usize) -> bool>); 4] = [
-        ("1", Box::new(|n| n == 1)),
-        ("2", Box::new(|n| n == 2)),
-        ("3-5", Box::new(|n| (3..=5).contains(&n))),
-        (">5", Box::new(|n| n > 5)),
+    type Bucket = (&'static str, fn(usize) -> bool);
+    let buckets: [Bucket; 4] = [
+        ("1", |n| n == 1),
+        ("2", |n| n == 2),
+        ("3-5", |n| (3..=5).contains(&n)),
+        (">5", |n| n > 5),
     ];
     let mut rows = Vec::new();
     for (label, pred) in &buckets {

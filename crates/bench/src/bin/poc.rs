@@ -87,8 +87,7 @@ fn main() {
             // error-code template it surfaces in the *caller*, so the
             // impl returning success (0) under failure is the trigger.
             BugType::Npd => {
-                matches!(result, Err(Outcome::NullDeref { .. }))
-                    || result == Ok(Value::Int(0))
+                matches!(result, Err(Outcome::NullDeref { .. })) || result == Ok(Value::Int(0))
             }
             // Leak: normal return but live API allocations remain.
             BugType::MemLeak => result.is_ok() && !interp.leaked_objects().is_empty(),
@@ -113,7 +112,10 @@ fn main() {
     }
 
     println!("Dynamic PoC confirmation (§8.1, mechanized)\n");
-    print_table(&["Buggy function", "Class", "Concrete outcome", "Verdict"], &rows);
+    print_table(
+        &["Buggy function", "Class", "Concrete outcome", "Verdict"],
+        &rows,
+    );
     println!("\nconfirmation rate by class:");
     let mut total_c = 0;
     let mut total_a = 0;

@@ -34,11 +34,7 @@ fn main() {
     );
 
     // Zero-relation patches.
-    let zero = r
-        .per_patch_specs
-        .iter()
-        .filter(|(_, n)| *n == 0)
-        .count();
+    let zero = r.per_patch_specs.iter().filter(|(_, n)| *n == 0).count();
     println!(
         "\nzero-relation patches: {zero} of {} (paper: 1,529 of 12,571)",
         r.per_patch_specs.len()
@@ -71,7 +67,11 @@ fn main() {
     let fp_from_incorrect = r
         .reports
         .iter()
-        .filter(|rep| r.corpus.ambiguous_patch_ids.contains(&rep.spec.origin_patch))
+        .filter(|rep| {
+            r.corpus
+                .ambiguous_patch_ids
+                .contains(&rep.spec.origin_patch)
+        })
         .count();
     println!(
         "reports from incorrect specifications: {fp_from_incorrect} of {} (paper: 53 of 232)",

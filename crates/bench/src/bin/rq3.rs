@@ -49,8 +49,18 @@ fn main() {
                 &r.score,
                 "232 / 167 (71.9%)",
             ),
-            row("APHP-lite", aphp_reports.len(), &aphp_score, "28,479 / 60 (0.2%)"),
-            row("CRIX-lite", crix_reports.len(), &crix_score, "3,105 / 44 (1.4%)"),
+            row(
+                "APHP-lite",
+                aphp_reports.len(),
+                &aphp_score,
+                "28,479 / 60 (0.2%)",
+            ),
+            row(
+                "CRIX-lite",
+                crix_reports.len(),
+                &crix_score,
+                "3,105 / 44 (1.4%)",
+            ),
         ],
     );
 

@@ -23,7 +23,10 @@ fn main() {
             simulated_status(func).to_string(),
         ]);
     }
-    print_table(&["SubSystem (Location)", "Buggy function", "Type", "Status"], &rows);
+    print_table(
+        &["SubSystem (Location)", "Buggy function", "Type", "Status"],
+        &rows,
+    );
     println!(
         "\n{} true bugs total ({} shown); statuses simulate the paper's 56 A / 39 C / 72 S ledger.",
         r.score.true_positives.len(),

@@ -39,7 +39,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["Bug types", "Prop (measured)", "Prop (paper)", "Causes", "CWE ID"],
+        &[
+            "Bug types",
+            "Prop (measured)",
+            "Prop (paper)",
+            "Causes",
+            "CWE ID",
+        ],
         &rows,
     );
     println!(

@@ -107,15 +107,13 @@ pub fn provenance_counts(specs: &[Specification]) -> [(Provenance, usize); 4] {
 /// paper's 167 found / 95 confirmed / 56 fixed-by-our-patches ledger
 /// (Table 1's S/C/A column). Deterministic per function name.
 pub fn simulated_status(function: &str) -> &'static str {
-    let h: u64 = function
-        .bytes()
-        .fold(0xcbf29ce484222325u64, |acc, b| {
-            (acc ^ b as u64).wrapping_mul(0x100000001b3)
-        });
+    let h: u64 = function.bytes().fold(0xcbf29ce484222325u64, |acc, b| {
+        (acc ^ b as u64).wrapping_mul(0x100000001b3)
+    });
     match h % 167 {
-        0..=55 => "A",   // 56 applied
-        56..=94 => "C",  // 39 confirmed-only
-        _ => "S",        // 72 submitted
+        0..=55 => "A",  // 56 applied
+        56..=94 => "C", // 39 confirmed-only
+        _ => "S",       // 72 submitted
     }
 }
 

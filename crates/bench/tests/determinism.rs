@@ -32,6 +32,13 @@ fn render(r: &PipelineResult) -> String {
         "regions={} skipped={}\n",
         r.detect_stats.regions, r.detect_stats.skipped
     ));
+    out.push_str(&format!(
+        "solver_queries={} solver_cache_hits={} subtrees_pruned={} sources_skipped_unreachable={}\n",
+        r.detect_stats.solver_queries,
+        r.detect_stats.solver_cache_hits,
+        r.detect_stats.subtrees_pruned,
+        r.detect_stats.sources_skipped_unreachable
+    ));
     out
 }
 
@@ -40,8 +47,14 @@ fn one_vs_four_workers_byte_identical() {
     let cfg = config();
     let seq = run_pipeline_with_jobs(&cfg, 1);
     let par = run_pipeline_with_jobs(&cfg, 4);
-    assert!(!seq.specs.is_empty(), "config too small to exercise inference");
-    assert!(!seq.reports.is_empty(), "config too small to exercise detection");
+    assert!(
+        !seq.specs.is_empty(),
+        "config too small to exercise inference"
+    );
+    assert!(
+        !seq.reports.is_empty(),
+        "config too small to exercise detection"
+    );
     assert_eq!(render(&seq), render(&par));
 }
 
@@ -70,12 +83,11 @@ fn path_cache_ablation_changes_time_not_output() {
     let cached = detect_bugs_with_stats_jobs(&target, &specs, &seal.detect, 2);
     let uncached_cfg = DetectConfig {
         reuse_path_cache: false,
-        ..seal.detect.clone()
+        ..seal.detect
     };
     let uncached = detect_bugs_with_stats_jobs(&target, &specs, &uncached_cfg, 2);
-    let show = |rs: &[seal_core::BugReport]| {
-        rs.iter().map(|r| format!("{r}\n")).collect::<String>()
-    };
+    let show =
+        |rs: &[seal_core::BugReport]| rs.iter().map(|r| format!("{r}\n")).collect::<String>();
     assert_eq!(show(&cached.0), show(&uncached.0));
     assert_eq!(cached.1.regions, uncached.1.regions);
     assert_eq!(cached.1.skipped, uncached.1.skipped);
@@ -84,7 +96,7 @@ fn path_cache_ablation_changes_time_not_output() {
     // must leave the surviving report list byte-identical.
     let nodedup_cfg = DetectConfig {
         dedup_specs: false,
-        ..seal.detect.clone()
+        ..seal.detect
     };
     let nodedup = detect_bugs_with_stats_jobs(&target, &specs, &nodedup_cfg, 2);
     assert_eq!(show(&cached.0), show(&nodedup.0));

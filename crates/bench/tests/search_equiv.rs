@@ -1,0 +1,196 @@
+//! Output-identity of the search-phase optimizations (PR 3), on randomly
+//! generated corpora:
+//!
+//! * the pruned + interned pipeline yields byte-identical reports to the
+//!   naive configuration, for every individual toggle and all together;
+//! * at the slice level, the pruned enumeration produces *exactly* the
+//!   naive feasible path set (full mode) and preserves every
+//!   match-capable path (cone mode);
+//! * signature interning does not change inferred specifications.
+
+use seal_core::{detect_bugs_with_stats_jobs, DetectConfig, DiffConfig, Seal};
+use seal_corpus::CorpusConfig;
+use seal_ir::callgraph::CallGraph;
+use seal_ir::ids::FuncId;
+use seal_pdg::cond::CondCtx;
+use seal_pdg::graph::{NodeId, Pdg};
+use seal_pdg::slice::{
+    forward_paths, forward_paths_pruned, is_source, SinkReach, SliceConfig, SliceStats,
+    ValueFlowPath,
+};
+use seal_solver::IncrementalTheory;
+use seal_spec::parse::to_line;
+use seal_spec::Specification;
+use std::collections::BTreeSet;
+
+fn small(seed: u64) -> CorpusConfig {
+    CorpusConfig {
+        seed,
+        drivers_per_template: 4,
+        bug_rate: 0.3,
+        patches_per_template: 2,
+        refactor_patches: 2,
+    }
+}
+
+/// The seed-equivalent search configuration: every PR 3 optimization off.
+fn naive_cfg() -> DetectConfig {
+    DetectConfig {
+        prune_unreachable: false,
+        prune_unsat_prefixes: false,
+        solver_memo: false,
+        ..DetectConfig::default()
+    }
+}
+
+fn infer_all(corpus: &seal_corpus::Corpus, seal: &Seal) -> Vec<Specification> {
+    let mut specs = Vec::new();
+    for p in &corpus.patches {
+        specs.extend(seal.infer(p).expect("corpus patches compile"));
+    }
+    specs
+}
+
+#[test]
+fn reports_identical_across_every_optimization_toggle() {
+    for seed in [0xA11CEu64, 0xB0B, 0xCAFE] {
+        let corpus = seal_corpus::generate(&small(seed));
+        let target = corpus.target_module();
+        let specs = infer_all(&corpus, &Seal::default());
+        let render = |cfg: &DetectConfig| {
+            let (reports, _) = detect_bugs_with_stats_jobs(&target, &specs, cfg, 1);
+            reports.iter().map(|r| format!("{r}\n")).collect::<String>()
+        };
+        let all_on = render(&DetectConfig::default());
+        assert_eq!(
+            all_on,
+            render(&naive_cfg()),
+            "all-off vs all-on differ (seed {seed:#x})"
+        );
+        let singles = [
+            DetectConfig {
+                prune_unreachable: false,
+                ..DetectConfig::default()
+            },
+            DetectConfig {
+                prune_unsat_prefixes: false,
+                ..DetectConfig::default()
+            },
+            DetectConfig {
+                solver_memo: false,
+                ..DetectConfig::default()
+            },
+        ];
+        for (i, cfg) in singles.iter().enumerate() {
+            assert_eq!(all_on, render(cfg), "toggle {i} differs (seed {seed:#x})");
+        }
+    }
+}
+
+#[test]
+fn interned_signatures_do_not_change_inference() {
+    for seed in [0xA11CEu64, 0xB0B] {
+        let corpus = seal_corpus::generate(&small(seed));
+        let interned = Seal::default();
+        let naive = Seal {
+            diff: DiffConfig {
+                intern_signatures: false,
+                ..DiffConfig::default()
+            },
+            ..Seal::default()
+        };
+        for p in &corpus.patches {
+            let a: Vec<String> = interned.infer(p).unwrap().iter().map(to_line).collect();
+            let b: Vec<String> = naive.infer(p).unwrap().iter().map(to_line).collect();
+            assert_eq!(a, b, "patch {} (seed {seed:#x})", p.id);
+        }
+    }
+}
+
+#[test]
+fn pruned_enumeration_equals_naive_on_random_modules() {
+    // Large budget so the identity claim is not confounded by `max_paths`
+    // truncation (sources that still hit it are skipped explicitly).
+    let cfg = SliceConfig {
+        max_depth: 48,
+        max_paths: 4096,
+    };
+    let feasible = |mut ps: Vec<ValueFlowPath>| {
+        ps.retain(|p| seal_solver::is_sat(&p.cond).possibly_sat());
+        ps
+    };
+    for seed in [1u64, 2, 3] {
+        let corpus = seal_corpus::generate(&small(seed));
+        let target = corpus.target_module();
+        let cg = CallGraph::build(&target);
+        let scope: BTreeSet<FuncId> = (0..target.functions.len() as u32).map(FuncId).collect();
+        let pdg = Pdg::build(&target, &cg, &scope);
+
+        // The cheap per-edge sink test agrees with full classification.
+        for u in 0..pdg.len() as NodeId {
+            for &v in pdg.data_succs(u) {
+                assert_eq!(
+                    pdg.is_sink_edge(u, v),
+                    pdg.use_kind(u, v).is_sink(),
+                    "edge {u}->{v} (seed {seed})"
+                );
+            }
+        }
+
+        let reach = SinkReach::build(&pdg);
+        let mut theory = IncrementalTheory::new();
+        let mut stats = SliceStats::default();
+        let mut checked = 0usize;
+        for n in (0..pdg.len() as NodeId).filter(|&n| is_source(&pdg, n)) {
+            let mut cctx = CondCtx::new(&pdg);
+            let naive_raw = forward_paths(&pdg, &mut cctx, n, cfg);
+            if naive_raw.len() >= cfg.max_paths {
+                continue; // budget-bound: identity only holds below it
+            }
+            let naive = feasible(naive_raw);
+            let mut cctx = CondCtx::new(&pdg);
+            let pruned = feasible(forward_paths_pruned(
+                &pdg,
+                &mut cctx,
+                n,
+                cfg,
+                Some(&reach),
+                false,
+                Some(&mut theory),
+                &mut stats,
+            ));
+            assert_eq!(naive, pruned, "full-mode source {n} (seed {seed})");
+
+            let mut cctx = CondCtx::new(&pdg);
+            let cone = feasible(forward_paths_pruned(
+                &pdg,
+                &mut cctx,
+                n,
+                cfg,
+                Some(&reach),
+                true,
+                Some(&mut theory),
+                &mut stats,
+            ));
+            // Cone mode keeps exactly the classified-sink paths...
+            let naive_sinks: Vec<&ValueFlowPath> =
+                naive.iter().filter(|p| p.sink_kind.is_some()).collect();
+            let cone_sinks: Vec<&ValueFlowPath> =
+                cone.iter().filter(|p| p.sink_kind.is_some()).collect();
+            assert_eq!(
+                naive_sinks, cone_sinks,
+                "cone sinks, source {n} (seed {seed})"
+            );
+            // ...and is an (ordered) subset of the naive enumeration.
+            let mut it = naive.iter();
+            for p in &cone {
+                assert!(
+                    it.any(|q| q == p),
+                    "cone path not in naive order, source {n} (seed {seed})"
+                );
+            }
+            checked += 1;
+        }
+        assert!(checked > 0, "no sources exercised (seed {seed})");
+    }
+}

@@ -14,11 +14,13 @@ use crate::roles;
 use seal_ir::callgraph::CallGraph;
 use seal_ir::ids::FuncId;
 use seal_ir::module::{InterfaceId, Module};
-use seal_pdg::cond::CondCtx;
+use seal_pdg::cond::{CondCtx, CondVar};
 use seal_pdg::graph::{NodeId, Pdg};
-use seal_pdg::slice::{forward_paths, SliceConfig, ValueFlowPath};
-use seal_solver::Formula;
-use seal_spec::{Quantifier, Relation, Specification, SpecUse, SpecValue};
+use seal_pdg::slice::{
+    forward_paths, forward_paths_pruned, SinkReach, SliceConfig, SliceStats, ValueFlowPath,
+};
+use seal_solver::{Formula, IncrementalTheory, SolverCache, Verdict};
+use seal_spec::{Quantifier, Relation, SpecUse, SpecValue, Specification};
 use std::collections::{BTreeSet, HashMap};
 
 /// Budgets and ablation switches for detection.
@@ -47,6 +49,22 @@ pub struct DetectConfig {
     /// skipping them changes the work done, not the output. Disable for
     /// the sequential-equivalent ablation baseline.
     pub dedup_specs: bool,
+    /// Reverse sink-reachability pre-pass: restrict forward search to the
+    /// sink cone for consumers that only examine match-capable paths, and
+    /// skip sources whose cone is empty. Output-identical (the excluded
+    /// paths can never match a specification use); disable for ablation.
+    pub prune_unreachable: bool,
+    /// Thread an incremental interval/equality theory through the DFS and
+    /// abandon any subtree whose prefix condition goes UNSAT, instead of
+    /// enumerating all paths and filtering afterwards. Only active
+    /// together with `path_sensitive` (without the feasibility filter the
+    /// naive enumeration keeps UNSAT paths). Disable for ablation.
+    pub prune_unsat_prefixes: bool,
+    /// Hash-cons conditions into an interner and memoize solver verdicts
+    /// on interned ids (including the Ψ abstraction of path conditions).
+    /// Output-identical (the solver is deterministic); disable for
+    /// ablation.
+    pub solver_memo: bool,
 }
 
 impl Default for DetectConfig {
@@ -58,6 +76,9 @@ impl Default for DetectConfig {
             path_sensitive: true,
             reuse_path_cache: true,
             dedup_specs: true,
+            prune_unreachable: true,
+            prune_unsat_prefixes: true,
+            solver_memo: true,
         }
     }
 }
@@ -74,14 +95,19 @@ pub struct DetectStats {
     pub regions: usize,
     /// Regions skipped by the instantiation check (§6.4.1).
     pub skipped: usize,
+    /// Satisfiability queries issued by the search phase (counted whether
+    /// or not the memo answers them).
+    pub solver_queries: u64,
+    /// Queries answered from the interned-formula verdict memo.
+    pub solver_cache_hits: u64,
+    /// DFS subtrees abandoned on an UNSAT prefix condition.
+    pub subtrees_pruned: u64,
+    /// Spec sources skipped because their sink cone is empty.
+    pub sources_skipped_unreachable: u64,
 }
 
 /// Checks all specifications against a module and reports violations.
-pub fn detect_bugs(
-    module: &Module,
-    specs: &[Specification],
-    cfg: &DetectConfig,
-) -> Vec<BugReport> {
+pub fn detect_bugs(module: &Module, specs: &[Specification], cfg: &DetectConfig) -> Vec<BugReport> {
     detect_bugs_with_stats(module, specs, cfg).0
 }
 
@@ -156,12 +182,14 @@ pub fn detect_bugs_with_stats_jobs(
         results: Vec<(usize, usize, Option<BugReport>)>,
         pdg_time: std::time::Duration,
         search_time: std::time::Duration,
+        counters: SearchCounters,
     }
     let shard_outs: Vec<ShardOut> = seal_runtime::par_map_jobs(jobs, &shards, |shard| {
         let mut o = ShardOut {
             results: Vec::with_capacity(shard.items.len()),
             pdg_time: std::time::Duration::ZERO,
             search_time: std::time::Duration::ZERO,
+            counters: SearchCounters::default(),
         };
         if cfg.reuse_pdg_cache {
             let t0 = std::time::Instant::now();
@@ -174,6 +202,7 @@ pub fn detect_bugs_with_stats_jobs(
                 o.search_time += t1.elapsed();
                 o.results.push((si, ri, r));
             }
+            o.counters.add(paths.counters);
         } else {
             // Ablation: rebuild the PDG (and path cache) per region, the
             // no-summary-reuse baseline of §8.4.
@@ -186,16 +215,24 @@ pub fn detect_bugs_with_stats_jobs(
                 let r = check_region(module, &pdg, &mut paths, &specs[si], region, cfg);
                 o.search_time += t1.elapsed();
                 o.results.push((si, ri, r));
+                o.counters.add(paths.counters);
             }
         }
         o
     });
 
     // Deterministic merge: restore the sequential (spec, region) order.
+    // Counters sum commutatively over shards whose composition is fixed by
+    // the `BTreeMap` grouping above, so every `DetectStats` count (like
+    // the reports) is independent of `jobs`.
     let mut tagged: Vec<(usize, usize, Option<BugReport>)> = Vec::with_capacity(stats.regions);
     for so in shard_outs {
         stats.pdg_time += so.pdg_time;
         stats.search_time += so.search_time;
+        stats.solver_queries += so.counters.solver_queries;
+        stats.solver_cache_hits += so.counters.solver_cache_hits;
+        stats.subtrees_pruned += so.counters.subtrees_pruned;
+        stats.sources_skipped_unreachable += so.counters.sources_skipped_unreachable;
         tagged.extend(so.results);
     }
     tagged.sort_by_key(|&(si, ri, _)| (si, ri));
@@ -221,11 +258,7 @@ pub fn regions_for(module: &Module, spec: &Specification) -> Vec<FuncId> {
 }
 
 /// [`regions_for`] with a prebuilt call graph.
-pub fn regions_for_with_cg(
-    module: &Module,
-    cg: &CallGraph,
-    spec: &Specification,
-) -> Vec<FuncId> {
+pub fn regions_for_with_cg(module: &Module, cg: &CallGraph, spec: &Specification) -> Vec<FuncId> {
     match &spec.interface {
         Some(iface) => {
             let Some((s, f)) = iface.split_once("::") else {
@@ -268,6 +301,24 @@ fn region_scope(cg: &CallGraph, region: FuncId) -> BTreeSet<FuncId> {
     cg.reachable_from(&[region])
 }
 
+/// Search-phase counters for one shard (summed into [`DetectStats`]).
+#[derive(Debug, Default, Clone, Copy)]
+struct SearchCounters {
+    solver_queries: u64,
+    solver_cache_hits: u64,
+    subtrees_pruned: u64,
+    sources_skipped_unreachable: u64,
+}
+
+impl SearchCounters {
+    fn add(&mut self, o: SearchCounters) {
+        self.solver_queries += o.solver_queries;
+        self.solver_cache_hits += o.solver_cache_hits;
+        self.subtrees_pruned += o.subtrees_pruned;
+        self.sources_skipped_unreachable += o.sources_skipped_unreachable;
+    }
+}
+
 /// Per-scope path provider: one condition context plus a memo of the
 /// *feasible* forward paths from each source node.
 ///
@@ -277,42 +328,280 @@ fn region_scope(cg: &CallGraph, region: FuncId) -> BTreeSet<FuncId> {
 /// filtered path set per source is behavior-preserving while eliminating
 /// the dominant repeated work when many specs target one region (§8.4's
 /// "path searching" phase).
+///
+/// PR 3 adds the search-phase optimizations, all config-gated:
+/// * a per-scope [`SinkReach`] cone (`prune_unreachable`) with separate
+///   memos for cone-restricted and full enumerations,
+/// * one reusable [`IncrementalTheory`] threaded through the DFS
+///   (`prune_unsat_prefixes`, only with `path_sensitive`),
+/// * hash-consed solver caches for path feasibility (`Formula<CondVar>`)
+///   and spec-condition consistency (`Formula<SpecValue>`), plus a memo of
+///   the Ψ abstraction keyed on the interned path condition
+///   (`solver_memo`).
 struct PathCache<'p, 'm> {
     pdg: &'p Pdg<'m>,
     cctx: CondCtx<'p, 'm>,
-    memo: HashMap<NodeId, std::rc::Rc<Vec<ValueFlowPath>>>,
+    memo_full: HashMap<NodeId, std::rc::Rc<Vec<ValueFlowPath>>>,
+    memo_cone: HashMap<NodeId, std::rc::Rc<Vec<ValueFlowPath>>>,
     reuse: bool,
     path_sensitive: bool,
     slice: SliceConfig,
+    reach: Option<SinkReach>,
+    theory: Option<IncrementalTheory<CondVar>>,
+    cond_solver: Option<SolverCache<CondVar>>,
+    spec_solver: Option<SolverCache<SpecValue>>,
+    psi_memo: HashMap<PathKey, Formula<SpecValue>>,
+    consistency_memo: HashMap<(PathKey, seal_solver::FormulaId, bool), bool>,
+    roles_memo: HashMap<PathKey, PathRoles>,
+    instantiate_memo: HashMap<(FuncId, SpecValue), std::rc::Rc<Vec<NodeId>>>,
+    counters: SearchCounters,
 }
+
+/// A path's classification into the spec domain — its source value and
+/// sink use — both pure functions of the path, recomputed for every
+/// (specification, region) pair without the memo.
+type PathRoles = (Option<SpecValue>, Option<(SpecUse, Option<String>)>);
+
+/// Identity of one enumerated path within a [`PathCache`]: source node,
+/// index in that source's enumeration, and whether the enumeration was
+/// cone-restricted. Enumeration is deterministic, so the key pins down
+/// the path's content without hashing its (large) condition formula —
+/// which is what makes the Ψ and consistency memo lookups O(1).
+type PathKey = (NodeId, u32, bool);
 
 impl<'p, 'm> PathCache<'p, 'm> {
     fn new(pdg: &'p Pdg<'m>, cfg: &DetectConfig) -> Self {
         PathCache {
             pdg,
             cctx: CondCtx::new(pdg),
-            memo: HashMap::new(),
+            memo_full: HashMap::new(),
+            memo_cone: HashMap::new(),
             reuse: cfg.reuse_path_cache,
             path_sensitive: cfg.path_sensitive,
             slice: cfg.slice,
+            reach: cfg.prune_unreachable.then(|| SinkReach::build(pdg)),
+            theory: (cfg.path_sensitive && cfg.prune_unsat_prefixes).then(IncrementalTheory::new),
+            cond_solver: cfg.solver_memo.then(SolverCache::new),
+            spec_solver: cfg.solver_memo.then(SolverCache::new),
+            psi_memo: HashMap::new(),
+            consistency_memo: HashMap::new(),
+            roles_memo: HashMap::new(),
+            instantiate_memo: HashMap::new(),
+            counters: SearchCounters::default(),
         }
+    }
+
+    /// Whether `s` has an empty sink cone (no path from it can ever match
+    /// a specification use). Always `false` without the pre-pass.
+    fn source_unreachable(&self, s: NodeId) -> bool {
+        self.reach.as_ref().is_some_and(|r| !r.reaches_sink(s))
+    }
+
+    /// Satisfiability of an IR-level path condition, counted and memoized.
+    fn sat_cond(&mut self, f: &Formula<CondVar>) -> Verdict {
+        self.counters.solver_queries += 1;
+        match self.cond_solver.as_mut() {
+            Some(c) => {
+                let h0 = c.hits;
+                let v = c.is_sat(f);
+                self.counters.solver_cache_hits += c.hits - h0;
+                v
+            }
+            None => seal_solver::is_sat(f),
+        }
+    }
+
+    /// Satisfiability of a spec-level condition, counted and memoized.
+    fn sat_spec(&mut self, f: &Formula<SpecValue>) -> Verdict {
+        self.counters.solver_queries += 1;
+        match self.spec_solver.as_mut() {
+            Some(c) => {
+                let h0 = c.hits;
+                let v = c.is_sat(f);
+                self.counters.solver_cache_hits += c.hits - h0;
+                v
+            }
+            None => seal_solver::is_sat(f),
+        }
+    }
+
+    /// Ψ abstraction of a path condition (§6.4.2), memoized per path when
+    /// `solver_memo` is on. `abstract_cond` is pure in the formula and the
+    /// enumeration behind `key` is deterministic, so the path key is a
+    /// safe stand-in for the condition itself.
+    fn abstract_cond_of(&mut self, key: PathKey, p: &ValueFlowPath) -> Formula<SpecValue> {
+        if self.spec_solver.is_none() {
+            return roles::abstract_cond(self.pdg, &p.cond);
+        }
+        if let Some(f) = self.psi_memo.get(&key) {
+            return f.clone();
+        }
+        let f = roles::abstract_cond(self.pdg, &p.cond);
+        self.psi_memo.insert(key, f.clone());
+        f
+    }
+
+    /// Condition consistency (§6.4.2), directional by quantifier:
+    ///
+    /// * `∄` specs forbid the flow *under* `c`; a path counts when its own
+    ///   condition does not preclude `c` — joint satisfiability. (A
+    ///   guarded sibling whose `Ψ` contradicts `c` is safe; an unguarded
+    ///   one is not.)
+    /// * `∃`/`∀` specs require the flow to cover situation `c`; besides
+    ///   joint satisfiability, the relaxed containment check asks that the
+    ///   critical interaction data of `c` occur along `Ψ(p)` at all.
+    fn cond_consistent(
+        &mut self,
+        key: PathKey,
+        cid: Option<seal_solver::FormulaId>,
+        p: &ValueFlowPath,
+        cond: &Formula<SpecValue>,
+        strict: bool,
+    ) -> bool {
+        if matches!(cond, Formula::True) {
+            return true;
+        }
+        // Deduped specs re-check the same (path, condition) pair across
+        // many regions; the verdict is pure in both, so memoize it on the
+        // path key plus the interned spec condition (`cid`, hoisted out of
+        // the path loop by the caller).
+        if let Some(cid) = cid {
+            let mk = (key, cid, strict);
+            if let Some(&v) = self.consistency_memo.get(&mk) {
+                self.counters.solver_queries += 1;
+                self.counters.solver_cache_hits += 1;
+                return v;
+            }
+            let v = self.cond_consistent_uncached(key, p, cond, strict);
+            self.consistency_memo.insert(mk, v);
+            return v;
+        }
+        self.cond_consistent_uncached(key, p, cond, strict)
+    }
+
+    fn cond_consistent_uncached(
+        &mut self,
+        key: PathKey,
+        p: &ValueFlowPath,
+        cond: &Formula<SpecValue>,
+        strict: bool,
+    ) -> bool {
+        let psi = self.abstract_cond_of(key, p);
+        let joint = cond.clone().and(psi.clone());
+        if !self.sat_spec(&joint).possibly_sat() {
+            return false;
+        }
+        if !strict {
+            return true;
+        }
+        let cond_vars = cond.vars();
+        let psi_vars = psi.vars();
+        if psi_vars.is_empty() {
+            return true;
+        }
+        cond_vars.iter().any(|v| psi_vars.contains(v)) || matches!(psi, Formula::True)
+    }
+
+    /// Spec-domain roles of a path (source value + sink use), memoized per
+    /// path under path-result reuse: classification walks the path and
+    /// allocates, and every (specification, region) pair re-asks it.
+    fn roles_of(&mut self, key: PathKey, p: &ValueFlowPath) -> PathRoles {
+        if !self.reuse {
+            return (
+                roles::source_value(self.pdg, p),
+                roles::sink_use(self.pdg, p),
+            );
+        }
+        let pdg = self.pdg;
+        self.roles_memo
+            .entry(key)
+            .or_insert_with(|| (roles::source_value(pdg, p), roles::sink_use(pdg, p)))
+            .clone()
+    }
+
+    /// Source-node instantiation of a spec value in a region (𝔸⁻¹),
+    /// memoized under path-result reuse: the scan over the region's nodes
+    /// is pure in `(region, value)`, and specs sharing a value pattern
+    /// re-ask it for every region in the shard.
+    fn instantiate(&mut self, region: FuncId, value: &SpecValue) -> std::rc::Rc<Vec<NodeId>> {
+        if !self.reuse {
+            return std::rc::Rc::new(roles::instantiate_value(self.pdg, region, value));
+        }
+        let pdg = self.pdg;
+        self.instantiate_memo
+            .entry((region, value.clone()))
+            .or_insert_with(|| std::rc::Rc::new(roles::instantiate_value(pdg, region, value)))
+            .clone()
+    }
+
+    /// Interns a spec-level condition for use as a consistency-memo key
+    /// (`None` without `solver_memo`). Hoisted out of the per-path loop:
+    /// interning traverses the formula, the id never changes.
+    fn intern_spec_cond(&mut self, cond: &Formula<SpecValue>) -> Option<seal_solver::FormulaId> {
+        self.spec_solver.as_mut().map(|s| s.intern(cond))
+    }
+
+    /// Whether a path realizes `value ↪ use_` (see [`roles_match`]).
+    fn path_matches(
+        &mut self,
+        key: PathKey,
+        p: &ValueFlowPath,
+        value: &SpecValue,
+        use_: &SpecUse,
+        region_name: &str,
+    ) -> bool {
+        let roles = self.roles_of(key, p);
+        roles_match(&roles, value, use_, region_name)
     }
 
     /// Feasible forward paths from `s` (all paths when path sensitivity is
     /// off), memoized when path-result reuse is enabled.
-    fn paths_from(&mut self, s: NodeId) -> std::rc::Rc<Vec<ValueFlowPath>> {
+    ///
+    /// `cone` restricts enumeration to match-capable paths (classified
+    /// sinks and interface-return path ends) via the [`SinkReach`]
+    /// pre-pass; callers may request it only when they consume nothing
+    /// else. Cone and full results are memoized separately.
+    fn paths_from(&mut self, s: NodeId, cone: bool) -> std::rc::Rc<Vec<ValueFlowPath>> {
+        let cone = cone && self.reach.is_some();
+        let memo = if cone {
+            &self.memo_cone
+        } else {
+            &self.memo_full
+        };
         if self.reuse {
-            if let Some(cached) = self.memo.get(&s) {
+            if let Some(cached) = memo.get(&s) {
                 return cached.clone();
             }
         }
-        let mut paths = forward_paths(self.pdg, &mut self.cctx, s, self.slice);
+        let mut paths = if self.reach.is_none() && self.theory.is_none() {
+            // All search prunings off: the reference enumeration.
+            forward_paths(self.pdg, &mut self.cctx, s, self.slice)
+        } else {
+            let mut sstats = SliceStats::default();
+            let out = forward_paths_pruned(
+                self.pdg,
+                &mut self.cctx,
+                s,
+                self.slice,
+                self.reach.as_ref(),
+                cone,
+                self.theory.as_mut(),
+                &mut sstats,
+            );
+            self.counters.subtrees_pruned += sstats.subtrees_pruned;
+            out
+        };
         if self.path_sensitive {
-            paths.retain(|p| seal_solver::is_sat(&p.cond).possibly_sat());
+            paths.retain(|p| self.sat_cond(&p.cond).possibly_sat());
         }
         let rc = std::rc::Rc::new(paths);
         if self.reuse {
-            self.memo.insert(s, rc.clone());
+            let memo = if cone {
+                &mut self.memo_cone
+            } else {
+                &mut self.memo_full
+            };
+            memo.insert(s, rc.clone());
         }
         rc
     }
@@ -332,36 +621,59 @@ fn check_region(
 
     match (&constraint.quantifier, &constraint.relation) {
         (q, Relation::Reach { value, use_, cond }) => {
-            let sources = roles::instantiate_value(pdg, region, value);
+            let sources = paths.instantiate(region, value);
             if sources.is_empty() {
                 return None;
             }
             // Condition variables must also instantiate in this region.
             for v in cond.vars() {
-                if roles::instantiate_value(pdg, region, &v).is_empty() {
+                if paths.instantiate(region, &v).is_empty() {
                     return None;
                 }
             }
             if !use_instantiable(pdg, region, use_) {
                 return None;
             }
+            let cid = paths.intern_spec_cond(cond);
             // Gather matching realizable paths; track whether the spec's
             // condition region is reachable from the sources at all.
+            //
+            // The applicability probe is the one consumer of paths that
+            // never classify a sink (`∃`/`∀` with a non-trivial `c` tests
+            // every path's condition); everything else only ever examines
+            // match-capable paths, so the sink cone applies and sources
+            // with an empty cone can be skipped outright.
+            let strict = !matches!(q, Quantifier::NotExists);
+            let needs_applicable = strict && !matches!(cond, Formula::True);
+            let cone = !needs_applicable;
             let mut matching: Vec<ValueFlowPath> = Vec::new();
-            let mut applicable = matches!(cond, Formula::True);
-            for &s in &sources {
-                for p in paths.paths_from(s).iter() {
+            let mut applicable = !needs_applicable;
+            'sources: for &s in sources.iter() {
+                if cone && paths.source_unreachable(s) {
+                    paths.counters.sources_skipped_unreachable += 1;
+                    continue;
+                }
+                let ps = paths.paths_from(s, cone);
+                for (i, p) in ps.iter().enumerate() {
+                    let key = (s, i as u32, cone);
                     if !applicable
-                        && (!cfg.path_sensitive || cond_consistent(pdg, p, cond, false))
+                        && (!cfg.path_sensitive || paths.cond_consistent(key, cid, p, cond, false))
                     {
                         applicable = true;
+                        if !matching.is_empty() {
+                            break 'sources;
+                        }
                     }
-                    if !path_matches(pdg, p, value, use_, &body.name) {
+                    if !paths.path_matches(key, p, value, use_, &body.name) {
                         continue;
                     }
-                    let strict = !matches!(q, Quantifier::NotExists);
-                    if !cfg.path_sensitive || cond_consistent(pdg, p, cond, strict) {
+                    if !cfg.path_sensitive || paths.cond_consistent(key, cid, p, cond, strict) {
                         matching.push(p.clone());
+                        // `∄` reports the first witness; `∃`/`∀` only ask
+                        // whether a matching path exists once applicable.
+                        if !strict || applicable {
+                            break 'sources;
+                        }
                     }
                 }
             }
@@ -403,16 +715,29 @@ fn check_region(
                 }
             }
         }
-        (Quantifier::NotExists, Relation::Order { value, first, second }) => {
-            let sources = roles::instantiate_value(pdg, region, value);
+        (
+            Quantifier::NotExists,
+            Relation::Order {
+                value,
+                first,
+                second,
+            },
+        ) => {
+            let sources = paths.instantiate(region, value);
             if sources.is_empty() {
                 return None;
             }
             let mut first_hits: Vec<(NodeId, ValueFlowPath)> = Vec::new();
             let mut second_hits: Vec<(NodeId, ValueFlowPath)> = Vec::new();
-            for &s in &sources {
-                for p in paths.paths_from(s).iter() {
-                    let Some((u, _)) = roles::sink_use(pdg, p) else {
+            for &s in sources.iter() {
+                // Order checks consume classified sinks only: cone mode.
+                if paths.source_unreachable(s) {
+                    paths.counters.sources_skipped_unreachable += 1;
+                    continue;
+                }
+                let ps = paths.paths_from(s, true);
+                for (i, p) in ps.iter().enumerate() {
+                    let Some((u, _)) = paths.roles_of((s, i as u32, true), p).1 else {
                         continue;
                     };
                     if use_matches(&u, first) {
@@ -468,7 +793,10 @@ fn use_instantiable(pdg: &Pdg<'_>, region: FuncId, u: &SpecUse) -> bool {
             if loc.is_terminator() {
                 if matches!(u, SpecUse::RetI)
                     && f == region
-                    && matches!(body.block(loc.block).terminator, Terminator::Return(Some(_)))
+                    && matches!(
+                        body.block(loc.block).terminator,
+                        Terminator::Return(Some(_))
+                    )
                 {
                     return true;
                 }
@@ -478,9 +806,13 @@ fn use_instantiable(pdg: &Pdg<'_>, region: FuncId, u: &SpecUse) -> bool {
                 continue;
             };
             let hit = match (u, inst) {
-                (SpecUse::ArgF { api, .. }, Inst::Call { callee: Callee::Direct(n), .. }) => {
-                    n == api
-                }
+                (
+                    SpecUse::ArgF { api, .. },
+                    Inst::Call {
+                        callee: Callee::Direct(n),
+                        ..
+                    },
+                ) => n == api,
                 (SpecUse::Deref, Inst::Load { place, .. })
                 | (SpecUse::Deref, Inst::Store { place, .. }) => place.is_indirect(),
                 (SpecUse::Div, Inst::Assign { rv, .. }) => matches!(
@@ -511,26 +843,20 @@ fn use_instantiable(pdg: &Pdg<'_>, region: FuncId, u: &SpecUse) -> bool {
 /// Whether a concrete path instantiates the abstract `(value, use)` pair.
 /// `RetI` sinks only count when the returning function is the region
 /// itself (an interface has a single return; §4.2).
-fn path_matches(
-    pdg: &Pdg<'_>,
-    p: &ValueFlowPath,
-    value: &SpecValue,
-    use_: &SpecUse,
-    region_name: &str,
-) -> bool {
-    let Some(v) = roles::source_value(pdg, p) else {
+fn roles_match(roles: &PathRoles, value: &SpecValue, use_: &SpecUse, region_name: &str) -> bool {
+    let Some(v) = &roles.0 else {
         return false;
     };
-    if !value_matches(&v, value) {
+    if !value_matches(v, value) {
         return false;
     }
-    let Some((u, ret_func)) = roles::sink_use(pdg, p) else {
+    let Some((u, ret_func)) = &roles.1 else {
         return false;
     };
     if matches!(use_, SpecUse::RetI) && ret_func.as_deref() != Some(region_name) {
         return false;
     }
-    use_matches(&u, use_)
+    use_matches(u, use_)
 }
 
 fn value_matches(concrete: &SpecValue, spec: &SpecValue) -> bool {
@@ -548,39 +874,6 @@ fn value_matches(concrete: &SpecValue, spec: &SpecValue) -> bool {
 
 fn use_matches(concrete: &SpecUse, spec: &SpecUse) -> bool {
     concrete == spec
-}
-
-/// Condition consistency (§6.4.2), directional by quantifier:
-///
-/// * `∄` specs forbid the flow *under* `c`; a path counts when its own
-///   condition does not preclude `c` — joint satisfiability. (A guarded
-///   sibling whose `Ψ` contradicts `c` is safe; an unguarded one is not.)
-/// * `∃`/`∀` specs require the flow to cover situation `c`; besides joint
-///   satisfiability, the relaxed containment check asks that the critical
-///   interaction data of `c` occur along `Ψ(p)` at all.
-fn cond_consistent(
-    pdg: &Pdg<'_>,
-    p: &ValueFlowPath,
-    cond: &Formula<SpecValue>,
-    strict: bool,
-) -> bool {
-    if matches!(cond, Formula::True) {
-        return true;
-    }
-    let psi = roles::abstract_cond(pdg, &p.cond);
-    let joint = cond.clone().and(psi.clone());
-    if !seal_solver::is_sat(&joint).possibly_sat() {
-        return false;
-    }
-    if !strict {
-        return true;
-    }
-    let cond_vars = cond.vars();
-    let psi_vars = psi.vars();
-    if psi_vars.is_empty() {
-        return true;
-    }
-    cond_vars.iter().any(|v| psi_vars.contains(v)) || matches!(psi, Formula::True)
 }
 
 fn witness_lines(pdg: &Pdg<'_>, p: &ValueFlowPath) -> Vec<u32> {
@@ -677,9 +970,7 @@ struct vb2_ops good_qops = {{ .buf_prepare = good_buf_prepare, }};"
         );
         let target = seal_ir::lower(&seal_kir::compile(&target_src, "target.c").unwrap());
         let seal = Seal::default();
-        let reports = seal
-            .run(&Patch::new("fig3", pre, post), &target)
-            .unwrap();
+        let reports = seal.run(&Patch::new("fig3", pre, post), &target).unwrap();
         assert!(
             reports.iter().any(|r| r.function == "tw68_buf_prepare"),
             "reports: {:#?}",
@@ -730,9 +1021,7 @@ struct i2c_algorithm { int (*smbus_xfer)(int size, struct smbus_data *data); };
         );
         let target = seal_ir::lower(&seal_kir::compile(&target_src, "target.c").unwrap());
         let seal = Seal::default();
-        let reports = seal
-            .run(&Patch::new("fig4", pre, post), &target)
-            .unwrap();
+        let reports = seal.run(&Patch::new("fig4", pre, post), &target).unwrap();
         assert!(
             reports.iter().any(|r| r.function == "xgene_xfer"),
             "reports: {:#?}",
@@ -781,9 +1070,7 @@ void release_resources(struct device *dev);
         );
         let target = seal_ir::lower(&seal_kir::compile(&target_src, "target.c").unwrap());
         let seal = Seal::default();
-        let reports = seal
-            .run(&Patch::new("fig5", pre, post), &target)
-            .unwrap();
+        let reports = seal.run(&Patch::new("fig5", pre, post), &target).unwrap();
         assert!(
             reports.iter().any(|r| r.function == "viacam_remove"),
             "reports: {:#?}",
@@ -825,6 +1112,10 @@ struct vb2_ops { int (*buf_prepare)(struct riscmem *risc); };
         let target = seal_ir::lower(&seal_kir::compile(&target_src, "t2.c").unwrap());
         let seal = Seal::default();
         let reports = seal.run(&Patch::new("p", pre, post), &target).unwrap();
-        assert!(reports.is_empty(), "{:#?}", reports.iter().map(|r| r.to_string()).collect::<Vec<_>>());
+        assert!(
+            reports.is_empty(),
+            "{:#?}",
+            reports.iter().map(|r| r.to_string()).collect::<Vec<_>>()
+        );
     }
 }

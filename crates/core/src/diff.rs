@@ -17,8 +17,9 @@ use seal_ir::ids::FuncId;
 use seal_ir::module::Module;
 use seal_pdg::cond::CondCtx;
 use seal_pdg::graph::{NodeId, Pdg};
-use seal_pdg::slice::{forward_paths, is_source, SliceConfig};
-use seal_solver::Formula;
+use seal_pdg::slice::{forward_paths, is_source, SigInterner, SliceConfig};
+use seal_runtime::Symbol;
+use seal_solver::{Formula, SolverCache};
 use seal_spec::{SpecUse, SpecValue};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -27,12 +28,19 @@ use std::collections::{BTreeMap, BTreeSet};
 pub struct DiffConfig {
     /// Path-enumeration budgets.
     pub slice: SliceConfig,
+    /// Build path signatures from per-node interned symbols (each node
+    /// rendered once per PDG) instead of re-rendering every node for every
+    /// path. The resulting [`Symbol`] is the interned form of exactly the
+    /// naive string, so grouping and matching are byte-identical; disable
+    /// for ablation.
+    pub intern_signatures: bool,
 }
 
 impl Default for DiffConfig {
     fn default() -> Self {
         DiffConfig {
             slice: SliceConfig::default(),
+            intern_signatures: true,
         }
     }
 }
@@ -41,8 +49,10 @@ impl Default for DiffConfig {
 /// everything Alg. 2 needs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AbstractPath {
-    /// Structural signature used for cross-version matching.
-    pub sig: String,
+    /// Structural signature used for cross-version matching (interned;
+    /// symbol order is content order, so grouping by `Symbol` iterates
+    /// exactly like grouping by the rendered string).
+    pub sig: Symbol,
     /// Abstracted source (`V`).
     pub value: SpecValue,
     /// Abstracted sink (`U`).
@@ -92,31 +102,33 @@ pub fn diff_patch(patch: &CompiledPatch, cfg: &DiffConfig) -> ChangedPaths {
     let pre_paths = collect_paths(&patch.pre, &patch.changed, cfg);
     let post_paths = collect_paths(&patch.post, &patch.changed, cfg);
 
-    let mut pre_by_sig: BTreeMap<String, Vec<AbstractPath>> = BTreeMap::new();
+    let mut pre_by_sig: BTreeMap<Symbol, Vec<AbstractPath>> = BTreeMap::new();
     for p in pre_paths {
-        let group = pre_by_sig.entry(p.sig.clone()).or_default();
+        let group = pre_by_sig.entry(p.sig).or_default();
         if !group.iter().any(|q| q.cond == p.cond) {
             group.push(p);
         }
     }
-    let mut post_by_sig: BTreeMap<String, Vec<AbstractPath>> = BTreeMap::new();
+    let mut post_by_sig: BTreeMap<Symbol, Vec<AbstractPath>> = BTreeMap::new();
     for p in post_paths {
-        let group = post_by_sig.entry(p.sig.clone()).or_default();
+        let group = post_by_sig.entry(p.sig).or_default();
         if !group.iter().any(|q| q.cond == p.cond) {
             group.push(p);
         }
     }
 
+    // Condition equivalence is quadratic within a group and the same
+    // conditions recur across groups; memoize `implies` on interned ids.
+    let mut solver: SolverCache<SpecValue> = SolverCache::new();
     let mut out = ChangedPaths::default();
     for (sig, pre_group) in &pre_by_sig {
-        let mut post_group: Vec<AbstractPath> =
-            post_by_sig.get(sig).cloned().unwrap_or_default();
+        let mut post_group: Vec<AbstractPath> = post_by_sig.get(sig).cloned().unwrap_or_default();
         let mut unmatched_pre: Vec<AbstractPath> = Vec::new();
         // Pass 1: equivalent-condition pairs (unchanged / PΩ candidates).
         for pre in pre_group {
             if let Some(i) = post_group
                 .iter()
-                .position(|post| seal_solver::equivalent(&pre.cond, &post.cond))
+                .position(|post| solver.equivalent(&pre.cond, &post.cond))
             {
                 let post = post_group.remove(i);
                 out.unchanged_pairs.push((pre.clone(), post));
@@ -159,26 +171,25 @@ pub fn collect_paths(
     let pdg = Pdg::build(module, &cg, &scope);
     let mut cctx = CondCtx::new(&pdg);
 
-    let changed_ids: BTreeSet<FuncId> = changed
-        .iter()
-        .filter_map(|n| module.func_id(n))
-        .collect();
+    let changed_ids: BTreeSet<FuncId> = changed.iter().filter_map(|n| module.func_id(n)).collect();
 
     let mut out = Vec::new();
+    let mut sigs = cfg.intern_signatures.then(SigInterner::new);
     for n in 0..pdg.nodes.len() as NodeId {
         if !is_source(&pdg, n) {
             continue;
         }
         for path in forward_paths(&pdg, &mut cctx, n, cfg.slice) {
             // Only paths that touch a patched function are patch-related.
-            let touches = path
-                .nodes
-                .iter()
-                .any(|&x| pdg.func_of(x).map(|f| changed_ids.contains(&f)).unwrap_or(false));
+            let touches = path.nodes.iter().any(|&x| {
+                pdg.func_of(x)
+                    .map(|f| changed_ids.contains(&f))
+                    .unwrap_or(false)
+            });
             if !touches {
                 continue;
             }
-            if let Some(ap) = abstract_path(&pdg, &path) {
+            if let Some(ap) = abstract_path(&pdg, &path, &mut sigs) {
                 out.push(ap);
             }
         }
@@ -190,10 +201,7 @@ pub fn collect_paths(
 /// and all transitive callees (§7, "Demand-driven PDG Generation" — we stop
 /// at interface boundaries because indirect calls are not expanded here).
 fn patch_scope(module: &Module, cg: &CallGraph, changed: &BTreeSet<String>) -> BTreeSet<FuncId> {
-    let changed_ids: Vec<FuncId> = changed
-        .iter()
-        .filter_map(|n| module.func_id(n))
-        .collect();
+    let changed_ids: Vec<FuncId> = changed.iter().filter_map(|n| module.func_id(n)).collect();
     let mut roots: BTreeSet<FuncId> = changed_ids.iter().copied().collect();
     for &f in &changed_ids {
         roots.extend(cg.callers(f));
@@ -206,6 +214,7 @@ fn patch_scope(module: &Module, cg: &CallGraph, changed: &BTreeSet<String>) -> B
 fn abstract_path(
     pdg: &Pdg<'_>,
     path: &seal_pdg::slice::ValueFlowPath,
+    sigs: &mut Option<SigInterner>,
 ) -> Option<AbstractPath> {
     let value = roles::source_value(pdg, path)?;
     let (use_, ret_func) = roles::sink_use(pdg, path)?;
@@ -215,16 +224,16 @@ fn abstract_path(
     // decides; here we record the function name.
     let interface = roles::path_interface(pdg, path);
     let cond = roles::abstract_cond(pdg, &path.cond);
-    let sink_omega = pdg.omega(path.sink()).map(|o| {
-        (
-            pdg.module.body(o.func).name.clone(),
-            o.block,
-            o.idx,
-        )
-    });
+    let sink_omega = pdg
+        .omega(path.sink())
+        .map(|o| (pdg.module.body(o.func).name.clone(), o.block, o.idx));
     let lines = path.nodes.iter().map(|&n| pdg.line_of(n)).collect();
+    let sig = match sigs.as_mut() {
+        Some(si) => si.path_symbol(pdg, path),
+        None => Symbol::intern(&path.signature(pdg)),
+    };
     Some(AbstractPath {
-        sig: path.signature(pdg),
+        sig,
         value,
         use_,
         ret_func,
@@ -391,7 +400,7 @@ void ida_free(struct ida *ida, int id);
                 let pre_lt = (oa_pre.1, oa_pre.2) < (ob_pre.1, ob_pre.2);
                 let post_lt = (oa_post.1, oa_post.2) < (ob_post.1, ob_post.2);
                 if pre_lt != post_lt {
-                    out.push((pre_a.sig.clone(), pre_b.sig.clone()));
+                    out.push((pre_a.sig.to_string(), pre_b.sig.to_string()));
                 }
             }
         }
@@ -411,8 +420,7 @@ void ida_free(struct ida *ida, int id);
         let pre = format!(
             "{shared}\nint f(void) {{ void *p = kmalloc(8); kfree(p); kfree(p); return 0; }}"
         );
-        let post =
-            format!("{shared}\nint f(void) {{ void *p = kmalloc(8); kfree(p); return 0; }}");
+        let post = format!("{shared}\nint f(void) {{ void *p = kmalloc(8); kfree(p); return 0; }}");
         let changed = diff(&pre, &post);
         // Double-free fix: one kmalloc→kfree path disappears? Both kfree
         // calls have identical signatures, so the *path set* may collapse;

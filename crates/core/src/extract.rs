@@ -17,9 +17,7 @@
 use crate::diff::{AbstractPath, ChangedPaths};
 use crate::patch::CompiledPatch;
 use seal_solver::Formula;
-use seal_spec::{
-    Constraint, Provenance, Quantifier, Relation, Specification, SpecUse, SpecValue,
-};
+use seal_spec::{Constraint, Provenance, Quantifier, Relation, SpecUse, SpecValue, Specification};
 
 /// Runs Alg. 2 over the diff result.
 pub fn extract_specs(patch: &CompiledPatch, changed: &ChangedPaths) -> Vec<Specification> {
@@ -256,10 +254,7 @@ fn normalize_cond(f: Formula<SpecValue>) -> Formula<SpecValue> {
 
 /// Top-level conjuncts of a formula, for delta computation.
 fn conjuncts_of(f: &Formula<SpecValue>) -> std::collections::BTreeSet<Formula<SpecValue>> {
-    fn walk(
-        f: &Formula<SpecValue>,
-        out: &mut std::collections::BTreeSet<Formula<SpecValue>>,
-    ) {
+    fn walk(f: &Formula<SpecValue>, out: &mut std::collections::BTreeSet<Formula<SpecValue>>) {
         match f {
             Formula::True => {}
             Formula::And(xs) => {
@@ -293,11 +288,15 @@ fn make_spec(
     // otherwise use the path's interface context. Specs with no interface
     // elements stay interface-free and apply at API granularity (§5 remark).
     let interface = match (&constraint.relation, &p.ret_func) {
-        (Relation::Reach { use_: SpecUse::RetI, .. }, Some(f)) => {
-            crate::roles::interface_of_func(&patch.post, f)
-                .or_else(|| crate::roles::interface_of_func(&patch.pre, f))
-                .or_else(|| p.interface.clone())
-        }
+        (
+            Relation::Reach {
+                use_: SpecUse::RetI,
+                ..
+            },
+            Some(f),
+        ) => crate::roles::interface_of_func(&patch.post, f)
+            .or_else(|| crate::roles::interface_of_func(&patch.pre, f))
+            .or_else(|| p.interface.clone()),
         _ => p.interface.clone(),
     };
     let involves_iface_elems = matches!(constraint.relation.value(), SpecValue::ArgI { .. })
@@ -307,7 +306,11 @@ fn make_spec(
             .iter()
             .any(|u| matches!(u, SpecUse::RetI));
     Specification {
-        interface: if involves_iface_elems { interface } else { None },
+        interface: if involves_iface_elems {
+            interface
+        } else {
+            None
+        },
         constraints: vec![constraint],
         origin_patch: patch.id.clone(),
         provenance,
@@ -361,7 +364,11 @@ int vbibuffer(struct riscmem *risc) {
                         )
                 })
         });
-        assert!(hit.is_some(), "specs: {:#?}", specs.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        assert!(
+            hit.is_some(),
+            "specs: {:#?}",
+            specs.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -401,16 +408,19 @@ struct i2c_algorithm { int (*smbus_xfer)(int size, struct smbus_data *data); };
                     && matches!(&c.relation, Relation::Reach { cond, .. } if !matches!(cond, Formula::True))
             }) && s.provenance == Provenance::CondChanged
         });
-        assert!(hit.is_some(), "specs: {:#?}", specs.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        assert!(
+            hit.is_some(),
+            "specs: {:#?}",
+            specs.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+        );
         // The delta condition must mention the len field.
         let spec = hit.unwrap();
         let Relation::Reach { cond, .. } = &spec.constraints[0].relation else {
             panic!()
         };
-        assert!(cond
-            .vars()
-            .iter()
-            .any(|v| matches!(v, SpecValue::ArgI { fields, .. } if fields.contains(&"len".to_string()))));
+        assert!(cond.vars().iter().any(
+            |v| matches!(v, SpecValue::ArgI { fields, .. } if fields.contains(&"len".to_string()))
+        ));
     }
 
     #[test]
@@ -452,7 +462,11 @@ void release_resources(struct device *dev);
                         )
                 })
         });
-        assert!(hit.is_some(), "specs: {:#?}", specs.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        assert!(
+            hit.is_some(),
+            "specs: {:#?}",
+            specs.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -473,6 +487,8 @@ void release_resources(struct device *dev);
         let specs = infer(&pre, &post);
         assert!(!specs.is_empty());
         // Expect either a PΨ spec on the deref path or a P+ error-code spec.
-        assert!(specs.iter().any(|s| s.interface.as_deref() == Some("ops::prep")));
+        assert!(specs
+            .iter()
+            .any(|s| s.interface.as_deref() == Some("ops::prep")));
     }
 }

@@ -66,11 +66,7 @@ impl Seal {
     }
 
     /// Detects violations of `specs` inside `module` (stage ④).
-    pub fn detect(
-        &self,
-        module: &seal_ir::Module,
-        specs: &[Specification],
-    ) -> Vec<BugReport> {
+    pub fn detect(&self, module: &seal_ir::Module, specs: &[Specification]) -> Vec<BugReport> {
         detect::detect_bugs(module, specs, &self.detect)
     }
 

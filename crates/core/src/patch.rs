@@ -137,7 +137,11 @@ mod tests {
 
     #[test]
     fn compile_error_propagates() {
-        let p = Patch::new("p4", "int f(void) { return unknown_var; }", "int f(void) { return 0; }");
+        let p = Patch::new(
+            "p4",
+            "int f(void) { return unknown_var; }",
+            "int f(void) { return 0; }",
+        );
         assert!(p.compile().is_err());
     }
 }

@@ -1,8 +1,8 @@
 //! Bug reports (§7, "Bug Report"): the violated specification, the buggy
 //! region with line numbers, and a witness or absence explanation.
 
-use seal_spec::{Quantifier, Relation, Specification, SpecUse, SpecValue};
 use seal_solver::CmpOp;
+use seal_spec::{Quantifier, Relation, SpecUse, SpecValue, Specification};
 use std::fmt;
 
 /// Bug classes of Table 2.
@@ -158,17 +158,24 @@ implementation.
 "
             );
         } else {
-            let lines: Vec<String> =
-                self.witness_lines.iter().map(|l| l.to_string()).collect();
-            let _ = writeln!(out, "Buggy value-flow path via lines: {}
-", lines.join(" → "));
+            let lines: Vec<String> = self.witness_lines.iter().map(|l| l.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "Buggy value-flow path via lines: {}
+",
+                lines.join(" → ")
+            );
         }
-        let _ = writeln!(out, "Violated specification:
+        let _ = writeln!(
+            out,
+            "Violated specification:
 
 ```
 {}
 ```
-", self.spec);
+",
+            self.spec
+        );
         if let Some(patch) = original_patch {
             let _ = writeln!(
                 out,
@@ -323,7 +330,11 @@ mod tests {
             witness_lines: vec![],
             explanation: "required flow missing".into(),
         };
-        let patch = crate::Patch::new("cx-fix", "int f(void) { return 0; }", "int f(void) { return 1; }");
+        let patch = crate::Patch::new(
+            "cx-fix",
+            "int f(void) { return 0; }",
+            "int f(void) { return 1; }",
+        );
         let md = r.to_markdown(Some(&patch));
         assert!(md.contains("## [Wrong EC]"));
         assert!(md.contains("tw68_buf_prepare"));

@@ -90,12 +90,7 @@ fn classify_value_depth(pdg: &Pdg<'_>, node: NodeId, depth: usize) -> Option<Spe
                         .data_preds(node)
                         .iter()
                         .copied()
-                        .filter(|&p| {
-                            matches!(
-                                pdg.inst(p),
-                                Some(Inst::Store { .. })
-                            )
-                        })
+                        .filter(|&p| matches!(pdg.inst(p), Some(Inst::Store { .. })))
                         .collect();
                     if !store_preds.is_empty() {
                         let classified: Vec<Option<SpecValue>> = store_preds
@@ -238,10 +233,7 @@ pub fn sink_use(pdg: &Pdg<'_>, path: &ValueFlowPath) -> Option<(SpecUse, Option<
                     pdg.module.body(loc.func).block(loc.block).terminator,
                     seal_ir::tac::Terminator::Return(Some(_))
                 ) {
-                    return Some((
-                        SpecUse::RetI,
-                        Some(pdg.module.body(loc.func).name.clone()),
-                    ));
+                    return Some((SpecUse::RetI, Some(pdg.module.body(loc.func).name.clone())));
                 }
             }
             _ => {}
@@ -256,9 +248,7 @@ pub fn sink_use(pdg: &Pdg<'_>, path: &ValueFlowPath) -> Option<(SpecUse, Option<
             None,
         )),
         UseKind::FuncRet { func } => Some((SpecUse::RetI, Some(func.clone()))),
-        UseKind::GlobalStore { name } => {
-            Some((SpecUse::GlobalStore { name: name.clone() }, None))
-        }
+        UseKind::GlobalStore { name } => Some((SpecUse::GlobalStore { name: name.clone() }, None)),
         UseKind::Deref => Some((SpecUse::Deref, None)),
         UseKind::Div => Some((SpecUse::Div, None)),
         UseKind::IndexUse => Some((SpecUse::IndexUse, None)),
@@ -269,7 +259,10 @@ pub fn sink_use(pdg: &Pdg<'_>, path: &ValueFlowPath) -> Option<(SpecUse, Option<
 /// Abstracts a path condition into the spec domain, dropping atoms whose
 /// variables are not interaction data (§6.2.2: "only retain conditions over
 /// interaction data").
-pub fn abstract_cond(pdg: &Pdg<'_>, cond: &seal_solver::Formula<seal_pdg::cond::CondVar>) -> Formula<SpecValue> {
+pub fn abstract_cond(
+    pdg: &Pdg<'_>,
+    cond: &seal_solver::Formula<seal_pdg::cond::CondVar>,
+) -> Formula<SpecValue> {
     let vars = cond.vars();
     let mapped: std::collections::HashMap<seal_pdg::cond::CondVar, SpecValue> = vars
         .into_iter()
@@ -312,7 +305,11 @@ pub fn path_interface(pdg: &Pdg<'_>, path: &ValueFlowPath) -> Option<String> {
 /// literals — [`seal_pdg::slice::is_source`]): intermediate nodes such as
 /// loads or returns also classify into `V`, but starting a search there
 /// would skip the guards between the value's birth and that point.
-pub fn instantiate_value(pdg: &Pdg<'_>, region: seal_ir::ids::FuncId, v: &SpecValue) -> Vec<NodeId> {
+pub fn instantiate_value(
+    pdg: &Pdg<'_>,
+    region: seal_ir::ids::FuncId,
+    v: &SpecValue,
+) -> Vec<NodeId> {
     let mut out = Vec::new();
     for n in 0..pdg.nodes.len() as NodeId {
         if !seal_pdg::slice::is_source(pdg, n) {
@@ -387,10 +384,7 @@ mod tests {
             .find(|&l| matches!(f.inst_at(l), Some(Inst::Call { .. })))
             .unwrap();
         let n = pdg.node(&NodeKind::Inst(call)).unwrap();
-        assert_eq!(
-            classify_value(&pdg, n),
-            Some(SpecValue::ret_of("kmalloc"))
-        );
+        assert_eq!(classify_value(&pdg, n), Some(SpecValue::ret_of("kmalloc")));
     }
 
     #[test]
@@ -490,9 +484,7 @@ mod tests {
         let abstracted = abstract_cond(&pdg, &cond);
         // g() is a defined-function-free API here... g is an API (no body),
         // so both atoms survive; check that kmalloc's atom maps to RetF.
-        assert!(abstracted
-            .vars()
-            .contains(&SpecValue::ret_of("kmalloc")));
+        assert!(abstracted.vars().contains(&SpecValue::ret_of("kmalloc")));
     }
 
     #[test]

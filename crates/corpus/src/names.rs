@@ -29,17 +29,17 @@ pub const SUBSYSTEMS: &[&str] = &[
 
 /// Vendor-ish and chip-ish fragments combined into driver names.
 const PREFIXES: &[&str] = &[
-    "rtl", "gl", "dw", "ce", "tga", "nv", "au", "ks", "tw", "xgene", "stm", "meson", "mv",
-    "weim", "tegra", "rt", "asc", "spm", "rtw", "opera", "su", "gfs", "hi", "via", "netup",
-    "ahci", "mtk", "lpc", "amd", "go", "dwc", "fw", "tcf", "prp", "shmem", "wiz", "telem",
-    "cx", "em", "az", "imx", "qcom", "sun", "rk", "bcm", "omap", "exynos", "mxs", "zynq",
+    "rtl", "gl", "dw", "ce", "tga", "nv", "au", "ks", "tw", "xgene", "stm", "meson", "mv", "weim",
+    "tegra", "rt", "asc", "spm", "rtw", "opera", "su", "gfs", "hi", "via", "netup", "ahci", "mtk",
+    "lpc", "amd", "go", "dwc", "fw", "tcf", "prp", "shmem", "wiz", "telem", "cx", "em", "az",
+    "imx", "qcom", "sun", "rk", "bcm", "omap", "exynos", "mxs", "zynq",
 ];
 
 const SUFFIXES: &[&str] = &[
-    "28xxu", "861", "2102", "6230", "fb", "idia", "1200", "wlan", "68", "slimpro", "32adc",
-    "sm", "xor", "89", "5665", "init", "mc", "1135", "3000", "846", "cam", "unidvb", "platform",
-    "iommu", "18xx", "8131", "7007", "3imx", "net", "gate", "7180", "210x", "411x", "5640",
-    "9887", "3308", "2835", "4430", "5422", "28xx", "7000",
+    "28xxu", "861", "2102", "6230", "fb", "idia", "1200", "wlan", "68", "slimpro", "32adc", "sm",
+    "xor", "89", "5665", "init", "mc", "1135", "3000", "846", "cam", "unidvb", "platform", "iommu",
+    "18xx", "8131", "7007", "3imx", "net", "gate", "7180", "210x", "411x", "5640", "9887", "3308",
+    "2835", "4430", "5422", "28xx", "7000",
 ];
 
 /// Generates unique driver names.

@@ -23,8 +23,8 @@
 //! discussion); their violations are the engineered false positives that
 //! pull report precision toward the paper's 71.9%.
 
-use seal_runtime::rng::Rng;
 use seal_core::BugType;
+use seal_runtime::rng::Rng;
 
 /// A bug-seeding / patch-producing template.
 pub trait Template {
@@ -357,7 +357,11 @@ impl Template for ErrorPathLeak {
     }
     fn driver(&self, d: &str, _v: usize, buggy: bool, rng: &mut Rng) -> String {
         let size = [64u32, 96, 192][rng.gen_range(0..3usize)];
-        let free_on_start_fail = if buggy { "" } else { "dsp_free(buf);\n        " };
+        let free_on_start_fail = if buggy {
+            ""
+        } else {
+            "dsp_free(buf);\n        "
+        };
         format!(
             "void *{d}_dsp_open(void) {{\n\
              \x20   void *b = dsp_alloc({size});\n\
@@ -828,8 +832,7 @@ mod tests {
         for t in all_templates() {
             for v in 0..t.variants() {
                 for buggy in [false, true] {
-                    let src =
-                        format!("{}\n{}", t.header(), t.driver("samp", v, buggy, &mut rng()));
+                    let src = format!("{}\n{}", t.header(), t.driver("samp", v, buggy, &mut rng()));
                     assert!(
                         seal_kir::compile(&src, "t.c").is_ok(),
                         "template {} v{v} ({}buggy) does not compile:\n{src}",

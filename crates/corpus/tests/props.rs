@@ -43,7 +43,11 @@ fn patches_compile_and_differ() {
             let compiled = p
                 .compile()
                 .unwrap_or_else(|e| panic!("patch {} does not compile: {e}", p.id));
-            assert!(!compiled.changed.is_empty(), "patch {} changes nothing", p.id);
+            assert!(
+                !compiled.changed.is_empty(),
+                "patch {} changes nothing",
+                p.id
+            );
         }
     }
 }
@@ -58,7 +62,11 @@ fn ledger_is_consistent() {
         let module = corpus.target_module();
         let mut seen = std::collections::BTreeSet::new();
         for b in &corpus.ground_truth {
-            assert!(module.function(&b.function).is_some(), "{} missing", b.function);
+            assert!(
+                module.function(&b.function).is_some(),
+                "{} missing",
+                b.function
+            );
             assert!(seen.insert(b.function.clone()), "{} duplicated", b.function);
             assert!(b.latent_years >= 1 && b.latent_years <= 17);
         }

@@ -154,9 +154,15 @@ mod tests {
     fn allocator_fails_on_planned_occurrence() {
         let mut m = CorpusApis::new(FaultPlan::fail_call("kmalloc", 1));
         let mut h = Heap::new();
-        assert!(matches!(m.call("kmalloc", &[Value::Int(8)], &mut h), Value::Ptr(..)));
+        assert!(matches!(
+            m.call("kmalloc", &[Value::Int(8)], &mut h),
+            Value::Ptr(..)
+        ));
         assert_eq!(m.call("kmalloc", &[Value::Int(8)], &mut h), Value::Null);
-        assert!(matches!(m.call("kmalloc", &[Value::Int(8)], &mut h), Value::Ptr(..)));
+        assert!(matches!(
+            m.call("kmalloc", &[Value::Int(8)], &mut h),
+            Value::Ptr(..)
+        ));
     }
 
     #[test]

@@ -136,11 +136,7 @@ impl<'m, A: ApiModel> Interp<'m, A> {
             }
         }
 
-        let mut frame = Frame {
-            body,
-            regs,
-            cells,
-        };
+        let mut frame = Frame { body, regs, cells };
         let mut block = body.entry();
         loop {
             let bb = frame.body.block(block);
@@ -278,12 +274,7 @@ impl<'m, A: ApiModel> Interp<'m, A> {
         Ok(())
     }
 
-    fn eval_rvalue(
-        &mut self,
-        frame: &Frame<'_>,
-        rv: &Rvalue,
-        line: u32,
-    ) -> Result<Value, Outcome> {
+    fn eval_rvalue(&mut self, frame: &Frame<'_>, rv: &Rvalue, line: u32) -> Result<Value, Outcome> {
         match rv {
             Rvalue::Use(op) => self.read_operand(frame, op),
             Rvalue::Unary(op, a) => {
@@ -405,17 +396,12 @@ impl<'m, A: ApiModel> Interp<'m, A> {
                     // The base's *value* is followed.
                     Some(Projection::Deref) | Some(Projection::Index { .. }) => {
                         let v = self.read_operand(frame, &Operand::Local(*l))?;
-                        let consumed_deref =
-                            matches!(projections.first(), Some(Projection::Deref));
+                        let consumed_deref = matches!(projections.first(), Some(Projection::Deref));
                         let (o, base_off) = match v {
                             Value::Ptr(o, f) => (o, f),
                             Value::Null => return Err(Outcome::NullDeref { line }),
                             Value::Uninit => return Err(Outcome::UninitRead { line }),
-                            other => {
-                                return Err(Outcome::Unsupported(format!(
-                                    "deref of {other}"
-                                )))
-                            }
+                            other => return Err(Outcome::Unsupported(format!("deref of {other}"))),
                         };
                         if consumed_deref {
                             projections = &projections[1..];
@@ -444,9 +430,7 @@ impl<'m, A: ApiModel> Interp<'m, A> {
                         }
                         Value::Null => return Err(Outcome::NullDeref { line }),
                         Value::Uninit => return Err(Outcome::UninitRead { line }),
-                        other => {
-                            return Err(Outcome::Unsupported(format!("deref of {other}")))
-                        }
+                        other => return Err(Outcome::Unsupported(format!("deref of {other}"))),
                     }
                 }
                 Projection::Index { index, elem } => {

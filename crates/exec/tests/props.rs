@@ -88,7 +88,7 @@ fn gen_expr(rng: &mut Rng, depth: u32) -> E {
     if depth == 0 {
         return leaf(rng);
     }
-    let mut bin = |rng: &mut Rng| {
+    let bin = |rng: &mut Rng| {
         (
             Box::new(gen_expr(rng, depth - 1)),
             Box::new(gen_expr(rng, depth - 1)),

@@ -137,7 +137,10 @@ impl FuncBody {
                     block: BlockId(bi as u32),
                     idx: i,
                 })
-                .chain(std::iter::once(InstLoc::terminator(fid, BlockId(bi as u32))))
+                .chain(std::iter::once(InstLoc::terminator(
+                    fid,
+                    BlockId(bi as u32),
+                )))
         })
     }
 

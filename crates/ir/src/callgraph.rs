@@ -222,11 +222,16 @@ mod tests {
 
     #[test]
     fn api_call_target() {
-        let (_, cg) = graph("void *kmalloc(unsigned long n);\nvoid *f(void) { return kmalloc(4); }");
+        let (_, cg) =
+            graph("void *kmalloc(unsigned long n);\nvoid *f(void) { return kmalloc(4); }");
         let api_sites: Vec<_> = cg
             .sites
             .iter()
-            .filter(|s| s.targets.iter().any(|t| matches!(t, CallTarget::Api(n) if n == "kmalloc")))
+            .filter(|s| {
+                s.targets
+                    .iter()
+                    .any(|t| matches!(t, CallTarget::Api(n) if n == "kmalloc"))
+            })
             .collect();
         assert_eq!(api_sites.len(), 1);
     }

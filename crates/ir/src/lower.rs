@@ -108,7 +108,9 @@ pub fn lower(tu: &TranslationUnit) -> Module {
         }
     }
     module.bindings.extend(store_bindings);
-    module.bindings.sort_by(|a, b| (&a.interface, &a.func).cmp(&(&b.interface, &b.func)));
+    module
+        .bindings
+        .sort_by(|a, b| (&a.interface, &a.func).cmp(&(&b.interface, &b.func)));
     module.bindings.dedup();
 
     module
@@ -515,11 +517,7 @@ impl<'a> FunctionLowerer<'a> {
                 self.loops.push(LoopCtx {
                     // `continue` inside switch targets the enclosing loop;
                     // reuse it if present, otherwise fall back to exit.
-                    continue_bb: self
-                        .loops
-                        .last()
-                        .map(|l| l.continue_bb)
-                        .unwrap_or(exit),
+                    continue_bb: self.loops.last().map(|l| l.continue_bb).unwrap_or(exit),
                     break_bb: exit,
                 });
                 for (i, (case, bb)) in cases.iter().zip(&case_blocks).enumerate() {
@@ -753,9 +751,7 @@ impl<'a> FunctionLowerer<'a> {
                 // re-read the lvalue so later uses depend on the store.
                 self.lower_expr(lhs)
             }
-            ExprKind::Call { .. } => self
-                .lower_call(e, None)
-                .unwrap_or(Operand::Const(0)),
+            ExprKind::Call { .. } => self.lower_call(e, None).unwrap_or(Operand::Const(0)),
         }
     }
 
@@ -1177,16 +1173,17 @@ mod tests {
         let err_block = f
             .blocks
             .iter()
-            .find(|b| {
-                matches!(b.terminator, Terminator::Return(Some(Operand::Const(-22))))
-            })
+            .find(|b| matches!(b.terminator, Terminator::Return(Some(Operand::Const(-22)))))
             .expect("error block exists");
         assert!(err_block
             .insts
             .iter()
             .any(|i| matches!(i, Inst::Call { .. })));
         // Some branch leads (transitively) to it.
-        assert!(f.blocks.iter().any(|b| matches!(b.terminator, Terminator::Branch { .. })));
+        assert!(f
+            .blocks
+            .iter()
+            .any(|b| matches!(b.terminator, Terminator::Branch { .. })));
     }
 
     #[test]
@@ -1196,9 +1193,11 @@ mod tests {
         );
         let f = m.function("f").unwrap();
         // A back edge exists: some block jumps to an earlier block.
-        let has_back_edge = f.blocks.iter().enumerate().any(|(i, b)| {
-            b.terminator.successors().iter().any(|s| s.index() <= i)
-        });
+        let has_back_edge = f
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| b.terminator.successors().iter().any(|s| s.index() <= i));
         assert!(has_back_edge, "{}", f.dump());
     }
 

@@ -94,20 +94,32 @@ pub struct Module {
     pub interfaces: Vec<InterfaceDef>,
     /// Interface-to-implementation bindings.
     pub bindings: Vec<Binding>,
+    /// Lazily built name → id index for function lookups. The module is
+    /// immutable once lowering returns; the index is built on the first
+    /// lookup (name-based lookups are on the detection hot path, where a
+    /// linear scan over `functions` shows up in profiles).
+    pub(crate) name_index: std::sync::OnceLock<std::collections::HashMap<String, FuncId>>,
 }
 
 impl Module {
+    fn name_index(&self) -> &std::collections::HashMap<String, FuncId> {
+        self.name_index.get_or_init(|| {
+            self.functions
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (f.name.clone(), FuncId(i as u32)))
+                .collect()
+        })
+    }
+
     /// Looks up a function body by name.
     pub fn function(&self, name: &str) -> Option<&FuncBody> {
-        self.functions.iter().find(|f| f.name == name)
+        self.func_id(name).map(|id| &self.functions[id.index()])
     }
 
     /// Looks up a function id by name.
     pub fn func_id(&self, name: &str) -> Option<FuncId> {
-        self.functions
-            .iter()
-            .position(|f| f.name == name)
-            .map(|i| FuncId(i as u32))
+        self.name_index().get(name).copied()
     }
 
     /// The body for an id.

@@ -292,7 +292,10 @@ pub struct Block {
 impl Block {
     /// An empty block at a span.
     pub fn empty(span: Span) -> Self {
-        Block { stmts: vec![], span }
+        Block {
+            stmts: vec![],
+            span,
+        }
     }
 }
 

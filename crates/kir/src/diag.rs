@@ -103,7 +103,9 @@ mod tests {
 
     #[test]
     fn empty_error_has_empty_message() {
-        let e = KirError { diagnostics: vec![] };
+        let e = KirError {
+            diagnostics: vec![],
+        };
         assert_eq!(e.first_message(), "");
     }
 }

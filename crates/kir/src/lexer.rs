@@ -206,7 +206,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn eat_int_suffix(&mut self) {
-        while matches!(self.peek(), Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')) {
+        while matches!(
+            self.peek(),
+            Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')
+        ) {
             self.bump();
         }
     }
@@ -257,7 +260,7 @@ impl<'a> Lexer<'a> {
 
     fn ident_or_keyword(&mut self) -> TokenKind {
         let word = self.raw_word();
-        if let Some(kw) = Keyword::from_str(&word) {
+        if let Some(kw) = Keyword::lookup(&word) {
             TokenKind::Keyword(kw)
         } else if let Some(&v) = self.defines.get(&word) {
             TokenKind::Int(v)
@@ -394,7 +397,9 @@ mod tests {
     fn defines_substitute() {
         let ks = kinds("#define ENOMEM 12\nreturn -ENOMEM;");
         assert!(ks.contains(&TokenKind::Int(12)));
-        assert!(!ks.iter().any(|k| matches!(k, TokenKind::Ident(s) if s == "ENOMEM")));
+        assert!(!ks
+            .iter()
+            .any(|k| matches!(k, TokenKind::Ident(s) if s == "ENOMEM")));
     }
 
     #[test]

@@ -41,7 +41,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -309,9 +311,7 @@ impl Parser {
                 let neg = self.eat_punct(Punct::Minus);
                 match self.bump() {
                     TokenKind::Int(v) => next = if neg { -v } else { v },
-                    other => {
-                        return Err(self.err(format!("expected enum value, found {other}")))
-                    }
+                    other => return Err(self.err(format!("expected enum value, found {other}"))),
                 }
             }
             tu.consts.insert(vname.clone(), next);
@@ -573,9 +573,7 @@ impl Parser {
                 match self.bump() {
                     TokenKind::Int(v) => labels.push(if neg { -v } else { v }),
                     TokenKind::CharLit(v) => labels.push(v),
-                    other => {
-                        return Err(self.err(format!("expected case label, found {other}")))
-                    }
+                    other => return Err(self.err(format!("expected case label, found {other}"))),
                 }
                 self.expect_punct(Punct::Colon)?;
             } else if self.eat_kw(Keyword::Default) {
@@ -586,7 +584,10 @@ impl Parser {
             }
         }
         if labels.is_empty() && !is_default {
-            return Err(self.err(format!("expected `case` or `default`, found {}", self.peek())));
+            return Err(self.err(format!(
+                "expected `case` or `default`, found {}",
+                self.peek()
+            )));
         }
         let mut stmts = Vec::new();
         loop {
@@ -987,7 +988,8 @@ mod tests {
 
     #[test]
     fn parses_for_loop_with_incdec() {
-        let tu = parse_src("void f(int n, int *a) { int i; for (i = 0; i < n; i++) { a[i] = 0; } }");
+        let tu =
+            parse_src("void f(int n, int *a) { int i; for (i = 0; i < n; i++) { a[i] = 0; } }");
         let f = tu.function("f").unwrap();
         let StmtKind::For { ref step, .. } = f.body.stmts[1].kind else {
             panic!("expected for");
@@ -1064,14 +1066,10 @@ mod tests {
 
     #[test]
     fn parses_global_function_pointer_array_struct() {
-        let tu = parse_src(
-            "struct ops { void (*cb)(int x); };\nstatic struct ops table;\nint data[8];",
-        );
+        let tu =
+            parse_src("struct ops { void (*cb)(int x); };\nstatic struct ops table;\nint data[8];");
         assert_eq!(tu.globals.len(), 2);
-        assert!(matches!(
-            tu.global("data").unwrap().ty,
-            Type::Array(_, 8)
-        ));
+        assert!(matches!(tu.global("data").unwrap().ty, Type::Array(_, 8)));
     }
 
     #[test]

@@ -404,8 +404,15 @@ mod tests {
         let tu = compile(src, "t.c").unwrap();
         let printed = print_unit(&tu);
         // Struct defs aren't replayed by print_unit; prepend originals.
-        let again = compile(&format!("{src_structs}\n{printed}", src_structs = structs_of(src)), "t2.c");
-        assert!(again.is_ok(), "re-parse failed:\n{printed}\n{:?}", again.err());
+        let again = compile(
+            &format!("{src_structs}\n{printed}", src_structs = structs_of(src)),
+            "t2.c",
+        );
+        assert!(
+            again.is_ok(),
+            "re-parse failed:\n{printed}\n{:?}",
+            again.err()
+        );
     }
 
     /// Extracts struct/union/enum definition lines from the source so

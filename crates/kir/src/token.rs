@@ -38,7 +38,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Looks up a keyword from its source spelling.
-    pub fn from_str(s: &str) -> Option<Keyword> {
+    pub fn lookup(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {
             "int" => Int,
@@ -260,9 +260,9 @@ mod tests {
             Keyword::Switch,
             Keyword::Null,
         ] {
-            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+            assert_eq!(Keyword::lookup(kw.as_str()), Some(kw));
         }
-        assert_eq!(Keyword::from_str("nope"), None);
+        assert_eq!(Keyword::lookup("nope"), None);
     }
 
     #[test]

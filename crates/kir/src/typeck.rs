@@ -211,7 +211,10 @@ impl Checker {
                 self.check_expr(tu, scrutinee);
                 if !scrutinee.ty.is_integral() && scrutinee.ty != Type::Error {
                     self.error(
-                        format!("switch scrutinee must be integral, found `{}`", scrutinee.ty),
+                        format!(
+                            "switch scrutinee must be integral, found `{}`",
+                            scrutinee.ty
+                        ),
                         span,
                     );
                 }
@@ -226,26 +229,24 @@ impl Checker {
                 }
             }
             StmtKind::Label(_) => {}
-            StmtKind::Return(value) => {
-                match (value, &self.current_ret.clone()) {
-                    (Some(v), ret) => {
-                        self.check_expr(tu, v);
-                        if *ret == Type::Void {
-                            self.error("returning a value from a void function", span);
-                        } else if !ret.assignable_from(&v.ty) {
-                            self.error(
-                                format!("cannot return `{}` from function returning `{ret}`", v.ty),
-                                span,
-                            );
-                        }
-                    }
-                    (None, ret) => {
-                        if *ret != Type::Void {
-                            self.error("missing return value", span);
-                        }
+            StmtKind::Return(value) => match (value, &self.current_ret.clone()) {
+                (Some(v), ret) => {
+                    self.check_expr(tu, v);
+                    if *ret == Type::Void {
+                        self.error("returning a value from a void function", span);
+                    } else if !ret.assignable_from(&v.ty) {
+                        self.error(
+                            format!("cannot return `{}` from function returning `{ret}`", v.ty),
+                            span,
+                        );
                     }
                 }
-            }
+                (None, ret) => {
+                    if *ret != Type::Void {
+                        self.error("missing return value", span);
+                    }
+                }
+            },
             StmtKind::Block(b) => self.check_block(tu, b),
         }
     }
@@ -347,10 +348,7 @@ impl Checker {
                     Some(sname) => match tu.structs.get(&sname).and_then(|d| d.field(field)) {
                         Some(f) => f.ty.clone(),
                         None => {
-                            self.error(
-                                format!("struct `{sname}` has no field `{field}`"),
-                                span,
-                            );
+                            self.error(format!("struct `{sname}` has no field `{field}`"), span);
                             Type::Error
                         }
                     },
@@ -361,7 +359,10 @@ impl Checker {
                 self.check_expr(tu, base);
                 self.check_expr(tu, index);
                 if !index.ty.is_integral() && index.ty != Type::Error {
-                    self.error(format!("index must be integral, found `{}`", index.ty), span);
+                    self.error(
+                        format!("index must be integral, found `{}`", index.ty),
+                        span,
+                    );
                 }
                 match base.ty.pointee() {
                     Some(p) => p.clone(),
@@ -498,7 +499,10 @@ impl Checker {
             Type::Func(sig) => Some((**sig).clone()),
             Type::Error => None,
             other => {
-                self.error(format!("called value has non-function type `{other}`"), span);
+                self.error(
+                    format!("called value has non-function type `{other}`"),
+                    span,
+                );
                 None
             }
         }
@@ -662,11 +666,7 @@ mod tests {
 
     #[test]
     fn rejects_call_arity_mismatch() {
-        let err = compile(
-            "int g(int a, int b);\nint f(void) { return g(1); }",
-            "t.c",
-        )
-        .unwrap_err();
+        let err = compile("int g(int a, int b);\nint f(void) { return g(1); }", "t.c").unwrap_err();
         assert!(err.first_message().contains("expects 2 arguments"));
     }
 

@@ -238,7 +238,12 @@ impl StructRegistry {
 
     /// Computes the layout of a struct from `(name, type)` field pairs and
     /// registers it.
-    pub fn define(&mut self, name: &str, fields: Vec<(String, Type)>, is_union: bool) -> &StructDef {
+    pub fn define(
+        &mut self,
+        name: &str,
+        fields: Vec<(String, Type)>,
+        is_union: bool,
+    ) -> &StructDef {
         let mut laid = Vec::with_capacity(fields.len());
         let mut offset = 0u64;
         let mut max_align = 1u64;

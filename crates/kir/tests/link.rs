@@ -49,7 +49,9 @@ fn duplicate_function_definition_is_a_link_error() {
     let a = "int f(void) { return 1; }";
     let b = "int f(void) { return 2; }";
     let err = compile_many(&[("a.c", a), ("b.c", b)]).unwrap_err();
-    assert!(err.first_message().contains("duplicate definition of function"));
+    assert!(err
+        .first_message()
+        .contains("duplicate definition of function"));
 }
 
 #[test]
@@ -65,7 +67,9 @@ fn duplicate_global_is_a_link_error() {
     let a = "int shared_counter;";
     let b = "int shared_counter;";
     let err = compile_many(&[("a.c", a), ("b.c", b)]).unwrap_err();
-    assert!(err.first_message().contains("duplicate definition of global"));
+    assert!(err
+        .first_message()
+        .contains("duplicate definition of global"));
 }
 
 #[test]

@@ -101,9 +101,7 @@ fn program(rng: &mut Rng) -> String {
 
 fn ascii_fuzz(rng: &mut Rng, max_len: usize) -> String {
     let n = rng.gen_range(0..max_len);
-    (0..n)
-        .map(|_| rng.gen_range(32u8..127) as char)
-        .collect()
+    (0..n).map(|_| rng.gen_range(32u8..127) as char).collect()
 }
 
 /// Every generated program compiles (parser + type checker accept the
@@ -145,7 +143,9 @@ fn lowering_never_panics() {
         let src = program(&mut rng);
         let tu = seal_kir::compile(&src, "gen.c").unwrap();
         let module = seal_ir::lower(&tu);
-        let f = module.function("generated").expect("function survives lowering");
+        let f = module
+            .function("generated")
+            .expect("function survives lowering");
         assert_eq!(f.param_count, 4);
         // Every block ends in a real terminator.
         for b in &f.blocks {

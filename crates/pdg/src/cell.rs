@@ -120,9 +120,7 @@ impl Cell {
     /// Must-alias (used for store kills): exact equality, no summaries, and
     /// no index elements (different indices may differ at runtime).
     pub fn must_alias(&self, other: &Cell) -> bool {
-        self == other
-            && !self.summary
-            && !self.path.iter().any(|e| matches!(e, PathElem::Index))
+        self == other && !self.summary && !self.path.iter().any(|e| matches!(e, PathElem::Index))
     }
 }
 

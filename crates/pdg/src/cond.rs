@@ -10,10 +10,10 @@
 
 use crate::domtree::BranchEdge;
 use crate::graph::{NodeId, NodeKind, Pdg};
+use seal_ir::ids::LocalId;
 use seal_ir::tac::{Inst, Operand, Rvalue, Terminator};
 use seal_kir::ast::{BinOp, UnOp};
 use seal_solver::{CmpOp, Formula, Term};
-use seal_ir::ids::LocalId;
 use std::collections::{HashMap, HashSet};
 
 /// A symbolic variable of a path condition.
@@ -108,9 +108,7 @@ impl<'p, 'm> CondCtx<'p, 'm> {
             return Formula::True;
         };
         match (term, edge) {
-            (Terminator::Branch { cond, .. }, BranchEdge::True) => {
-                self.truthy(b, cond.clone())
-            }
+            (Terminator::Branch { cond, .. }, BranchEdge::True) => self.truthy(b, cond.clone()),
             (Terminator::Branch { cond, .. }, BranchEdge::False) => {
                 self.truthy(b, cond.clone()).negate()
             }
@@ -210,8 +208,8 @@ impl<'p, 'm> CondCtx<'p, 'm> {
             Rvalue::Unary(..) => Sym::T(Term::Var(CondVar::Node(at))),
             Rvalue::Binary(op, a, b) => {
                 if let Some(cmp) = cmp_of(op) {
-                    let ta = self.to_term(at, a, depth);
-                    let tb = self.to_term(at, b, depth);
+                    let ta = self.operand_term(at, a, depth);
+                    let tb = self.operand_term(at, b, depth);
                     return Sym::F(Formula::atom(ta, cmp, tb));
                 }
                 match op {
@@ -238,7 +236,7 @@ impl<'p, 'm> CondCtx<'p, 'm> {
         }
     }
 
-    fn to_term(&mut self, at: NodeId, op: Operand, depth: usize) -> Term<CondVar> {
+    fn operand_term(&mut self, at: NodeId, op: Operand, depth: usize) -> Term<CondVar> {
         match self.symbolize(at, op, depth) {
             Sym::T(t) => t,
             Sym::F(_) => Term::Var(CondVar::Node(at)),
@@ -301,9 +299,8 @@ mod tests {
 
     #[test]
     fn then_branch_condition_is_comparison() {
-        let (m, cg) = pdg_for(
-            "int g(void);\nint f(int x) { int r = 0; if (x > 3) { r = g(); } return r; }",
-        );
+        let (m, cg) =
+            pdg_for("int g(void);\nint f(int x) { int r = 0; if (x > 3) { r = g(); } return r; }");
         let pdg = Pdg::build(&m, &cg, &full(&m));
         let call = find_node(&pdg, &m, "f", |i| matches!(i, Inst::Call { .. }));
         let mut cx = CondCtx::new(&pdg);
@@ -315,7 +312,10 @@ mod tests {
         assert_eq!(a.op, CmpOp::Gt);
         assert!(matches!(a.rhs, Term::Const(3)));
         let Term::Var(v) = &a.lhs else { panic!() };
-        assert!(matches!(pdg.kind(v.node().unwrap()), NodeKind::Param { .. }));
+        assert!(matches!(
+            pdg.kind(v.node().unwrap()),
+            NodeKind::Param { .. }
+        ));
     }
 
     #[test]

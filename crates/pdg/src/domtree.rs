@@ -50,8 +50,7 @@ impl ControlFacts {
                     vec![]
                 } else {
                     let t = &body.blocks[b].terminator;
-                    let mut s: Vec<usize> =
-                        t.successors().iter().map(|x| x.index()).collect();
+                    let mut s: Vec<usize> = t.successors().iter().map(|x| x.index()).collect();
                     if s.is_empty() {
                         s.push(exit);
                     }
@@ -266,7 +265,10 @@ mod tests {
 
     #[test]
     fn if_then_is_control_dependent() {
-        let (m, cf) = facts("int f(int x) { int r = 0; if (x > 0) { r = 1; } return r; }", "f");
+        let (m, cf) = facts(
+            "int f(int x) { int r = 0; if (x > 0) { r = 1; } return r; }",
+            "f",
+        );
         let f = m.function("f").unwrap();
         // The then-block holds the `r = 1` store/assign.
         let then_block = f
@@ -274,9 +276,15 @@ mod tests {
             .iter()
             .enumerate()
             .find(|(_, b)| {
-                b.insts
-                    .iter()
-                    .any(|i| matches!(i, seal_ir::Inst::Assign { rv: seal_ir::Rvalue::Use(seal_ir::Operand::Const(1)), .. }))
+                b.insts.iter().any(|i| {
+                    matches!(
+                        i,
+                        seal_ir::Inst::Assign {
+                            rv: seal_ir::Rvalue::Use(seal_ir::Operand::Const(1)),
+                            ..
+                        }
+                    )
+                })
             })
             .map(|(i, _)| i)
             .unwrap();
@@ -286,7 +294,10 @@ mod tests {
 
     #[test]
     fn join_block_is_not_dependent() {
-        let (m, cf) = facts("int f(int x) { int r = 0; if (x > 0) { r = 1; } return r; }", "f");
+        let (m, cf) = facts(
+            "int f(int x) { int r = 0; if (x > 0) { r = 1; } return r; }",
+            "f",
+        );
         let f = m.function("f").unwrap();
         // The block with the return is the join — post-dominates the branch.
         let ret_block = f
@@ -312,7 +323,13 @@ mod tests {
             .enumerate()
             .find(|(_, b)| {
                 b.insts.iter().any(|i| {
-                    matches!(i, seal_ir::Inst::Assign { rv: seal_ir::Rvalue::Use(seal_ir::Operand::Const(2)), .. })
+                    matches!(
+                        i,
+                        seal_ir::Inst::Assign {
+                            rv: seal_ir::Rvalue::Use(seal_ir::Operand::Const(2)),
+                            ..
+                        }
+                    )
                 })
             })
             .map(|(i, _)| i)
@@ -333,7 +350,13 @@ mod tests {
             .enumerate()
             .find(|(_, b)| {
                 b.insts.iter().any(|i| {
-                    matches!(i, seal_ir::Inst::Assign { rv: seal_ir::Rvalue::Binary(seal_kir::ast::BinOp::Add, ..), .. })
+                    matches!(
+                        i,
+                        seal_ir::Inst::Assign {
+                            rv: seal_ir::Rvalue::Binary(seal_kir::ast::BinOp::Add, ..),
+                            ..
+                        }
+                    )
                 })
             })
             .map(|(i, _)| i)
@@ -354,7 +377,13 @@ mod tests {
             .enumerate()
             .find(|(_, b)| {
                 b.insts.iter().any(|i| {
-                    matches!(i, seal_ir::Inst::Assign { rv: seal_ir::Rvalue::Use(seal_ir::Operand::Const(1)), .. })
+                    matches!(
+                        i,
+                        seal_ir::Inst::Assign {
+                            rv: seal_ir::Rvalue::Use(seal_ir::Operand::Const(1)),
+                            ..
+                        }
+                    )
                 })
             })
             .map(|(i, _)| i)
@@ -400,7 +429,13 @@ mod tests {
             .enumerate()
             .find(|(_, b)| {
                 b.insts.iter().any(|i| {
-                    matches!(i, seal_ir::Inst::Assign { rv: seal_ir::Rvalue::Binary(seal_kir::ast::BinOp::Sub, ..), .. })
+                    matches!(
+                        i,
+                        seal_ir::Inst::Assign {
+                            rv: seal_ir::Rvalue::Binary(seal_kir::ast::BinOp::Sub, ..),
+                            ..
+                        }
+                    )
                 })
             })
             .map(|(i, _)| i)
@@ -429,7 +464,11 @@ mod tests {
             .blocks
             .iter()
             .enumerate()
-            .find(|(_, b)| b.insts.iter().any(|i| matches!(i, seal_ir::Inst::Call { .. })))
+            .find(|(_, b)| {
+                b.insts
+                    .iter()
+                    .any(|i| matches!(i, seal_ir::Inst::Call { .. }))
+            })
             .map(|(i, _)| i)
             .unwrap();
         assert_eq!(cf.deps[err_block].len(), 1);
@@ -449,7 +488,13 @@ mod tests {
             .enumerate()
             .find(|(_, b)| {
                 b.insts.iter().any(|i| {
-                    matches!(i, seal_ir::Inst::Assign { rv: seal_ir::Rvalue::Use(seal_ir::Operand::Const(1)), .. })
+                    matches!(
+                        i,
+                        seal_ir::Inst::Assign {
+                            rv: seal_ir::Rvalue::Use(seal_ir::Operand::Const(1)),
+                            ..
+                        }
+                    )
                 })
             })
             .map(|(i, _)| i)

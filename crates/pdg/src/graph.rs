@@ -241,9 +241,7 @@ impl<'m> Pdg<'m> {
     /// The instruction behind a node, when it is an instruction node.
     pub fn inst(&self, n: NodeId) -> Option<&Inst> {
         match self.kind(n) {
-            NodeKind::Inst(loc) if !loc.is_terminator() => {
-                self.module.body(loc.func).inst_at(*loc)
-            }
+            NodeKind::Inst(loc) if !loc.is_terminator() => self.module.body(loc.func).inst_at(*loc),
             _ => None,
         }
     }
@@ -301,9 +299,7 @@ impl<'m> Pdg<'m> {
                     _ => None,
                 };
                 if let (Some(api), Some(l)) = (api, defined_local) {
-                    if let Some(index) =
-                        args.iter().position(|a| a.as_local() == Some(l))
-                    {
+                    if let Some(index) = args.iter().position(|a| a.as_local() == Some(l)) {
                         return UseKind::ApiArg { api, index };
                     }
                 }
@@ -355,6 +351,68 @@ impl<'m> Pdg<'m> {
                 UseKind::Intermediate
             }
             Inst::AddrOf { .. } => UseKind::Intermediate,
+        }
+    }
+
+    /// Allocation-free mirror of `use_kind(..).is_sink()`: whether the
+    /// `def_node → use_node` edge classifies as a `U`-domain use, without
+    /// cloning any API/function/global name. The path-search hot loop calls
+    /// this per edge and only renders the full [`UseKind`] for edges that
+    /// actually sink (see `slice`'s enumeration and the sink-reachability
+    /// pre-pass).
+    pub fn is_sink_edge(&self, def_node: NodeId, use_node: NodeId) -> bool {
+        let defined_local = self.defined_local(def_node);
+        if let Some(t) = self.terminator(use_node) {
+            // `Return` edges are `FuncRet` sinks; branches and switches are
+            // `CondUse`, everything else `Intermediate` — both non-sinks.
+            return matches!(t, Terminator::Return(_));
+        }
+        let Some(inst) = self.inst(use_node) else {
+            return false; // Param/Ret pseudo-nodes forward values.
+        };
+        match inst {
+            Inst::Call { callee, args, .. } => {
+                let is_api = matches!(callee, Callee::Direct(name) if self.module.is_api(name));
+                match (is_api, defined_local) {
+                    (true, Some(l)) => args.iter().any(|a| a.as_local() == Some(l)),
+                    _ => false,
+                }
+            }
+            Inst::Store { place, value } => {
+                if let Some(l) = defined_local {
+                    if self.place_uses_local_as_base(place, l) {
+                        return true; // Deref
+                    }
+                    if value.as_local() == Some(l) {
+                        // GlobalStore sinks; local stores are Intermediate.
+                        return matches!(&place.base, PlaceBase::Global(_))
+                            && place.projections.is_empty();
+                    }
+                    return place.projections.iter().any(
+                        |p| matches!(p, Projection::Index { index, .. } if index.as_local() == Some(l)),
+                    ); // IndexUse
+                }
+                false
+            }
+            Inst::Load { place, .. } => {
+                if let Some(l) = defined_local {
+                    if self.place_uses_local_as_base(place, l) {
+                        return true; // Deref
+                    }
+                    return place.projections.iter().any(
+                        |p| matches!(p, Projection::Index { index, .. } if index.as_local() == Some(l)),
+                    ); // IndexUse
+                }
+                false
+            }
+            Inst::Assign { rv, .. } => {
+                matches!(
+                    (rv, defined_local),
+                    (Rvalue::Binary(seal_kir::ast::BinOp::Div | seal_kir::ast::BinOp::Rem, _, rhs), Some(l))
+                        if rhs.as_local() == Some(l)
+                ) // Div
+            }
+            Inst::AddrOf { .. } => false,
         }
     }
 
@@ -493,8 +551,8 @@ impl<'m> Pdg<'m> {
         }
 
         // Walk blocks, recording uses and updating defs.
-        for b in 0..nblocks {
-            let mut defs = in_sets[b].clone();
+        for (b, in_set) in in_sets.iter().enumerate() {
+            let mut defs = in_set.clone();
             let block = &body.blocks[b];
             for (i, inst) in block.insts.iter().enumerate() {
                 let loc = InstLoc {
@@ -649,8 +707,8 @@ impl<'m> Pdg<'m> {
         }
 
         // Second pass: wire loads to reaching stores.
-        for b in 0..nblocks {
-            let mut mem = in_sets[b].clone();
+        for (b, in_set) in in_sets.iter().enumerate() {
+            let mut mem = in_set.clone();
             for (i, inst) in body.blocks[b].insts.iter().enumerate() {
                 let loc = InstLoc {
                     func: body.id,
@@ -745,9 +803,7 @@ impl<'m> Pdg<'m> {
                     .cloned()
                     .collect()
             } else {
-                body.inst_at(loc)
-                    .map(|i| i.uses())
-                    .unwrap_or_default()
+                body.inst_at(loc).map(|i| i.uses()).unwrap_or_default()
             };
             for op in ops {
                 if let Operand::Global(g) = op {
@@ -868,13 +924,20 @@ pub fn describe_node(pdg: &Pdg<'_>, n: NodeId) -> String {
             let body = pdg.module.body(loc.func);
             let line = body.span_at(*loc).line;
             if loc.is_terminator() {
-                format!("{}:{} {}", body.name, line, body.block(loc.block).terminator)
+                format!(
+                    "{}:{} {}",
+                    body.name,
+                    line,
+                    body.block(loc.block).terminator
+                )
             } else {
                 format!(
                     "{}:{} {}",
                     body.name,
                     line,
-                    body.inst_at(*loc).map(|i| i.to_string()).unwrap_or_default()
+                    body.inst_at(*loc)
+                        .map(|i| i.to_string())
+                        .unwrap_or_default()
                 )
             }
         }
@@ -1010,9 +1073,7 @@ mod tests {
 
     #[test]
     fn use_kind_deref_and_div() {
-        let (m, cg) = build_all(
-            "int f(int *p, int d) { return *p / d; }",
-        );
+        let (m, cg) = build_all("int f(int *p, int d) { return *p / d; }");
         let pdg = Pdg::build(&m, &cg, &full_scope(&m));
         let f = m.func_id("f").unwrap();
         let p = pdg.node(&NodeKind::Param { func: f, index: 0 }).unwrap();

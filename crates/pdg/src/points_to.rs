@@ -73,10 +73,7 @@ impl PointsTo {
                         }
                         projections = &projections[1..];
                     }
-                    _ => bases.push(Cell::root(CellRoot::Local(
-                        cell_func_of(place, l),
-                        *l,
-                    ))),
+                    _ => bases.push(Cell::root(CellRoot::Local(cell_func_of(place, l), *l))),
                 }
             }
         }
@@ -153,7 +150,10 @@ impl PointsTo {
 
 /// Whether a type can hold a pointer value worth tracking.
 fn is_pointerish(ty: &Type) -> bool {
-    matches!(ty, Type::Ptr(_) | Type::Array(..) | Type::Struct(_) | Type::Error)
+    matches!(
+        ty,
+        Type::Ptr(_) | Type::Array(..) | Type::Struct(_) | Type::Error
+    )
 }
 
 /// The function owning a place's base local. Places only ever refer to

@@ -10,7 +10,8 @@
 use crate::cond::{CondCtx, CondVar};
 use crate::graph::{NodeId, NodeKind, Pdg, UseKind};
 use seal_ir::tac::{Inst, Operand, Rvalue, Terminator};
-use seal_solver::Formula;
+use seal_runtime::Symbol;
+use seal_solver::{Formula, IncrementalTheory};
 use std::collections::BTreeSet;
 
 /// Budgets for path enumeration.
@@ -298,9 +299,7 @@ fn finish_path_nodes(
         let c = cctx.node_cond(n);
         collect_conjuncts(c, &mut conjuncts);
     }
-    let cond = conjuncts
-        .into_iter()
-        .fold(Formula::True, Formula::and);
+    let cond = conjuncts.into_iter().fold(Formula::True, Formula::and);
     ValueFlowPath {
         nodes,
         cond,
@@ -403,6 +402,409 @@ pub fn node_signature(pdg: &Pdg<'_>, n: NodeId) -> String {
             };
             format!("{fname}#{sig}")
         }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Search-phase optimizations (PR 3): reverse sink-reachability, incremental
+// UNSAT-prefix pruning, and interned signatures. Each is independently
+// toggleable by the caller (see `DetectConfig` in `seal-core`); the naive
+// entry points above stay untouched as the reference semantics.
+
+/// Counters for one pruned enumeration (summed into `DetectStats`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SliceStats {
+    /// DFS subtrees abandoned because the prefix condition went UNSAT.
+    pub subtrees_pruned: u64,
+}
+
+/// Reverse-reachability pre-pass: a bitset over [`NodeId`] of nodes that
+/// can still take part in a *match-capable* path.
+///
+/// The seed set is every node that can end such a path: origins of sink
+/// edges ([`Pdg::is_sink_edge`]), `Ret` aggregation nodes, and
+/// `return <value>` terminators — the last two because a path that *stops*
+/// there classifies as an interface return (`RetI`) even though its final
+/// hop is not a sink edge. `reaches_sink` is the backward closure of the
+/// seeds over data edges: outside it, a DFS can only record dead-end paths
+/// that no specification use can ever match.
+#[derive(Debug)]
+pub struct SinkReach {
+    can_sink: Vec<u64>,
+    reach: Vec<u64>,
+}
+
+fn bit_get(bits: &[u64], i: usize) -> bool {
+    bits[i >> 6] & (1u64 << (i & 63)) != 0
+}
+
+fn bit_set(bits: &mut [u64], i: usize) -> bool {
+    let word = &mut bits[i >> 6];
+    let mask = 1u64 << (i & 63);
+    let fresh = *word & mask == 0;
+    *word |= mask;
+    fresh
+}
+
+impl SinkReach {
+    /// Computes the pre-pass for one PDG: `O(V + E)` with one cheap edge
+    /// classification per data edge.
+    pub fn build(pdg: &Pdg<'_>) -> SinkReach {
+        let n = pdg.len();
+        let words = n.div_ceil(64).max(1);
+        let mut can_sink = vec![0u64; words];
+        let mut reach = vec![0u64; words];
+        let mut worklist: Vec<NodeId> = Vec::new();
+        let seed = |reach: &mut Vec<u64>, worklist: &mut Vec<NodeId>, u: NodeId| {
+            if bit_set(reach, u as usize) {
+                worklist.push(u);
+            }
+        };
+        for u in 0..n as NodeId {
+            if pdg.data_succs(u).iter().any(|&v| pdg.is_sink_edge(u, v)) {
+                bit_set(&mut can_sink, u as usize);
+                seed(&mut reach, &mut worklist, u);
+            }
+            // Path-end classification (`roles::sink_use`'s fallback): a
+            // path stopping at a `Ret` node or a value-returning terminator
+            // is an interface-return use.
+            let path_end = match pdg.kind(u) {
+                NodeKind::Ret { .. } => true,
+                NodeKind::Inst(loc) if loc.is_terminator() => matches!(
+                    pdg.module.body(loc.func).block(loc.block).terminator,
+                    Terminator::Return(Some(_))
+                ),
+                _ => false,
+            };
+            if path_end {
+                seed(&mut reach, &mut worklist, u);
+            }
+        }
+        while let Some(u) = worklist.pop() {
+            for &p in pdg.data_preds(u) {
+                if bit_set(&mut reach, p as usize) {
+                    worklist.push(p);
+                }
+            }
+        }
+        SinkReach { can_sink, reach }
+    }
+
+    /// Whether some match-capable path end is reachable from `n`.
+    pub fn reaches_sink(&self, n: NodeId) -> bool {
+        bit_get(&self.reach, n as usize)
+    }
+
+    /// Whether `n` originates at least one sink edge (gates per-edge
+    /// classification in the DFS hot loop).
+    pub fn has_sink_succ(&self, n: NodeId) -> bool {
+        bit_get(&self.can_sink, n as usize)
+    }
+}
+
+/// Asserts the not-yet-seen conjuncts of `n`'s execution condition into
+/// the theory, recording them in `seen`. Returns the conjuncts added here
+/// (for undo) and whether the state is still consistent.
+fn assert_node_conjuncts(
+    cctx: &mut CondCtx<'_, '_>,
+    theory: &mut IncrementalTheory<CondVar>,
+    seen: &mut BTreeSet<Formula<CondVar>>,
+    n: NodeId,
+) -> (Vec<Formula<CondVar>>, bool) {
+    let mut fresh = BTreeSet::new();
+    collect_conjuncts(cctx.node_cond(n), &mut fresh);
+    let mut added = Vec::new();
+    let mut ok = true;
+    for c in fresh {
+        if seen.contains(&c) {
+            continue;
+        }
+        ok = theory.assert_formula(&c);
+        seen.insert(c.clone());
+        added.push(c);
+        if !ok {
+            break;
+        }
+    }
+    (added, ok)
+}
+
+struct PruneCtx<'a> {
+    reach: Option<&'a SinkReach>,
+    /// Restrict descent to the sink cone (only with `reach`): correct when
+    /// the caller consumes match-capable paths only, because out-of-cone
+    /// subtrees produce nothing but unclassifiable dead ends.
+    cone: bool,
+    theory: Option<&'a mut IncrementalTheory<CondVar>>,
+    seen: BTreeSet<Formula<CondVar>>,
+    stats: &'a mut SliceStats,
+}
+
+impl PruneCtx<'_> {
+    fn undo(&mut self, mark: Option<seal_solver::Mark>, added: Vec<Formula<CondVar>>) {
+        if let (Some(t), Some(m)) = (self.theory.as_deref_mut(), mark) {
+            t.undo_to(m);
+        }
+        for c in added {
+            self.seen.remove(&c);
+        }
+    }
+}
+
+/// [`forward_paths`] with the PR 3 prunings applied; with `reach = None`,
+/// `cone = false`, and `theory = None` it enumerates exactly like the
+/// naive DFS.
+///
+/// Identity contract (relied on by `DetectConfig`'s ablation toggles and
+/// asserted by the cross-config tests): after the caller's `is_sat`
+/// feasibility filter, the result equals the naive filtered enumeration —
+/// exactly with `cone = false`, and restricted to match-capable paths
+/// (classified sinks and `Ret`/`return`-terminated path ends, which is all
+/// path matching ever consumes) with `cone = true` — whenever `max_paths`
+/// does not truncate the enumeration.
+#[allow(clippy::too_many_arguments)]
+pub fn forward_paths_pruned(
+    pdg: &Pdg<'_>,
+    cctx: &mut CondCtx<'_, '_>,
+    start: NodeId,
+    cfg: SliceConfig,
+    reach: Option<&SinkReach>,
+    cone: bool,
+    mut theory: Option<&mut IncrementalTheory<CondVar>>,
+    stats: &mut SliceStats,
+) -> Vec<ValueFlowPath> {
+    let mut out = Vec::new();
+    let outer_mark = theory.as_ref().map(|t| t.mark());
+    let mut seen = BTreeSet::new();
+    let mut ok = true;
+    if let Some(t) = theory.as_deref_mut() {
+        let (_, o) = assert_node_conjuncts(cctx, t, &mut seen, start);
+        ok = o;
+    }
+    if ok {
+        let mut stack = vec![start];
+        let mut ctx = PruneCtx {
+            reach,
+            cone: cone && reach.is_some(),
+            theory: theory.as_deref_mut(),
+            seen,
+            stats,
+        };
+        dfs_forward_pruned(pdg, cctx, &mut stack, &mut out, cfg, &mut ctx);
+    } else {
+        // The source's own execution condition is UNSAT: every enumerated
+        // path would fail the caller's feasibility filter.
+        stats.subtrees_pruned += 1;
+    }
+    if let (Some(t), Some(m)) = (theory, outer_mark) {
+        t.undo_to(m);
+    }
+    out
+}
+
+fn dfs_forward_pruned(
+    pdg: &Pdg<'_>,
+    cctx: &mut CondCtx<'_, '_>,
+    stack: &mut Vec<NodeId>,
+    out: &mut Vec<ValueFlowPath>,
+    cfg: SliceConfig,
+    ctx: &mut PruneCtx<'_>,
+) {
+    if out.len() >= cfg.max_paths {
+        return;
+    }
+    let cur = *stack.last().expect("stack never empty");
+    if stack.len() >= cfg.max_depth {
+        out.push(finish_path(pdg, cctx, stack, None));
+        return;
+    }
+    let succs: Vec<NodeId> = pdg.data_succs(cur).to_vec();
+    let mut extended = false;
+    let cur_can_sink = ctx.reach.is_none_or(|r| r.has_sink_succ(cur));
+    for next in succs {
+        if stack.contains(&next) {
+            continue; // cycle
+        }
+        // Conjoin `next`'s execution condition incrementally; an UNSAT
+        // prefix dooms the sink path through `next` and every extension —
+        // all of which the final feasibility filter would drop.
+        let mut mark = None;
+        let mut added = Vec::new();
+        if let Some(theory) = ctx.theory.as_deref_mut() {
+            let m = theory.mark();
+            mark = Some(m);
+            let (a, consistent) = assert_node_conjuncts(cctx, theory, &mut ctx.seen, next);
+            added = a;
+            if !consistent {
+                ctx.stats.subtrees_pruned += 1;
+                ctx.undo(mark, added);
+                extended = true;
+                continue;
+            }
+        }
+        if cur_can_sink && pdg.is_sink_edge(cur, next) {
+            let kind = pdg.use_kind(cur, next);
+            let mut nodes = stack.clone();
+            nodes.push(next);
+            out.push(finish_path_nodes(pdg, cctx, nodes, Some(kind)));
+            if out.len() >= cfg.max_paths {
+                // Abort the whole enumeration; `forward_paths_pruned`
+                // rewinds the theory to the entry mark.
+                return;
+            }
+        }
+        if ctx.cone && !ctx.reach.expect("cone implies reach").reaches_sink(next) {
+            // Out of the sink cone: the subtree can only record dead ends
+            // no specification use matches. (Sink edges into `next` were
+            // recorded above, exactly as the naive DFS does.)
+            ctx.undo(mark, added);
+            extended = true;
+            continue;
+        }
+        stack.push(next);
+        dfs_forward_pruned(pdg, cctx, stack, out, cfg, ctx);
+        stack.pop();
+        extended = true;
+        ctx.undo(mark, added);
+    }
+    if !extended {
+        out.push(finish_path(pdg, cctx, stack, None));
+    }
+}
+
+/// [`backward_paths`] with incremental UNSAT-prefix pruning. The sink cone
+/// does not apply backwards — every recorded backward path is a source
+/// half that `paths_through` may consume — so only the theory prunes.
+/// Same identity contract as [`forward_paths_pruned`].
+pub fn backward_paths_pruned(
+    pdg: &Pdg<'_>,
+    cctx: &mut CondCtx<'_, '_>,
+    end: NodeId,
+    cfg: SliceConfig,
+    mut theory: Option<&mut IncrementalTheory<CondVar>>,
+    stats: &mut SliceStats,
+) -> Vec<ValueFlowPath> {
+    let mut out = Vec::new();
+    let outer_mark = theory.as_ref().map(|t| t.mark());
+    let mut seen = BTreeSet::new();
+    let mut ok = true;
+    if let Some(t) = theory.as_deref_mut() {
+        let (_, o) = assert_node_conjuncts(cctx, t, &mut seen, end);
+        ok = o;
+    }
+    if ok {
+        let mut stack = vec![end];
+        let mut ctx = PruneCtx {
+            reach: None,
+            cone: false,
+            theory: theory.as_deref_mut(),
+            seen,
+            stats,
+        };
+        dfs_backward_pruned(pdg, cctx, &mut stack, &mut out, cfg, &mut ctx);
+    } else {
+        stats.subtrees_pruned += 1;
+    }
+    if let (Some(t), Some(m)) = (theory, outer_mark) {
+        t.undo_to(m);
+    }
+    out
+}
+
+fn dfs_backward_pruned(
+    pdg: &Pdg<'_>,
+    cctx: &mut CondCtx<'_, '_>,
+    stack: &mut Vec<NodeId>,
+    out: &mut Vec<ValueFlowPath>,
+    cfg: SliceConfig,
+    ctx: &mut PruneCtx<'_>,
+) {
+    if out.len() >= cfg.max_paths {
+        return;
+    }
+    let cur = *stack.last().expect("stack never empty");
+    if is_source(pdg, cur) || stack.len() >= cfg.max_depth {
+        let nodes: Vec<NodeId> = stack.iter().rev().copied().collect();
+        out.push(finish_path_nodes(pdg, cctx, nodes, None));
+        return;
+    }
+    let preds: Vec<NodeId> = pdg.data_preds(cur).to_vec();
+    if preds.is_empty() {
+        let nodes: Vec<NodeId> = stack.iter().rev().copied().collect();
+        out.push(finish_path_nodes(pdg, cctx, nodes, None));
+        return;
+    }
+    for prev in preds {
+        if stack.contains(&prev) {
+            continue;
+        }
+        let mut mark = None;
+        let mut added = Vec::new();
+        if let Some(theory) = ctx.theory.as_deref_mut() {
+            let m = theory.mark();
+            mark = Some(m);
+            let (a, consistent) = assert_node_conjuncts(cctx, theory, &mut ctx.seen, prev);
+            added = a;
+            if !consistent {
+                ctx.stats.subtrees_pruned += 1;
+                ctx.undo(mark, added);
+                continue;
+            }
+        }
+        stack.push(prev);
+        dfs_backward_pruned(pdg, cctx, stack, out, cfg, ctx);
+        stack.pop();
+        ctx.undo(mark, added);
+        if out.len() >= cfg.max_paths {
+            return;
+        }
+    }
+}
+
+/// Per-PDG memo of interned node/path signatures.
+///
+/// The naive [`ValueFlowPath::signature`] re-renders every node's string
+/// for every path; paths from one source share most nodes, so the memo
+/// renders each node once and joins cached `&'static str`s. The resulting
+/// [`Symbol`] is the interned form of exactly the naive string, so symbol
+/// order (content order, see `seal-runtime`) reproduces string order and
+/// downstream grouping is byte-identical.
+#[derive(Debug, Default)]
+pub struct SigInterner {
+    memo: Vec<Option<Symbol>>,
+}
+
+impl SigInterner {
+    /// A fresh, empty memo (node ids index into it lazily).
+    pub fn new() -> Self {
+        SigInterner::default()
+    }
+
+    /// Interned [`node_signature`], rendered at most once per node.
+    pub fn node_symbol(&mut self, pdg: &Pdg<'_>, n: NodeId) -> Symbol {
+        let i = n as usize;
+        if i >= self.memo.len() {
+            self.memo.resize(i + 1, None);
+        }
+        if let Some(s) = self.memo[i] {
+            return s;
+        }
+        let s = Symbol::intern(&node_signature(pdg, n));
+        self.memo[i] = Some(s);
+        s
+    }
+
+    /// Interned [`ValueFlowPath::signature`] built from memoized node
+    /// symbols.
+    pub fn path_symbol(&mut self, pdg: &Pdg<'_>, path: &ValueFlowPath) -> Symbol {
+        let mut joined = String::new();
+        for (i, &n) in path.nodes.iter().enumerate() {
+            if i > 0 {
+                joined.push_str(" -> ");
+            }
+            joined.push_str(self.node_symbol(pdg, n).as_str());
+        }
+        Symbol::intern(&joined)
     }
 }
 
@@ -534,9 +936,7 @@ struct vb2_ops qops = { .buf_prepare = buffer_prepare, };
             .unwrap();
         let n = pdg.node(&NodeKind::Inst(call_loc)).unwrap();
         let paths = backward_paths(&pdg, &mut cctx, n, SliceConfig::default());
-        assert!(paths
-            .iter()
-            .any(|p| is_source(&pdg, p.source())));
+        assert!(paths.iter().any(|p| is_source(&pdg, p.source())));
     }
 
     #[test]
@@ -623,9 +1023,7 @@ struct vb2_ops qops = { .buf_prepare = buffer_prepare, };
             })
             .unwrap();
         let paths = forward_paths(&pdg, &mut cctx, px, SliceConfig::default());
-        assert!(paths
-            .iter()
-            .any(|p| p.sink_kind == Some(UseKind::Deref)));
+        assert!(paths.iter().any(|p| p.sink_kind == Some(UseKind::Deref)));
     }
 
     #[test]
@@ -643,5 +1041,218 @@ struct vb2_ops qops = { .buf_prepare = buffer_prepare, };
         assert!(paths.iter().any(
             |p| matches!(&p.sink_kind, Some(UseKind::GlobalStore { name }) if name == "shared")
         ));
+    }
+
+    /// A program whose nested branch condition contradicts the outer one,
+    /// so the theory prunes at least one subtree.
+    const CONTRA_SRC: &str = "\
+int shared;
+int g(int v);
+int f(int x) {
+    int a = x;
+    if (x > 10) {
+        if (x < 5) { a = a + 1; }
+        a = a + 2;
+    } else {
+        shared = a;
+    }
+    return a;
+}
+";
+
+    fn feasible(pdg: &Pdg<'_>, mut paths: Vec<ValueFlowPath>) -> Vec<ValueFlowPath> {
+        let _ = pdg;
+        paths.retain(|p| seal_solver::is_sat(&p.cond).possibly_sat());
+        paths
+    }
+
+    fn source_nodes(pdg: &Pdg<'_>) -> Vec<NodeId> {
+        (0..pdg.len() as NodeId)
+            .filter(|&n| is_source(pdg, n))
+            .collect()
+    }
+
+    #[test]
+    fn sink_edge_mirrors_use_kind() {
+        for src in [FIG3_POST, CONTRA_SRC] {
+            let (m, cg) = setup(src);
+            let pdg = Pdg::build(&m, &cg, &full(&m));
+            for u in 0..pdg.len() as NodeId {
+                for &v in pdg.data_succs(u) {
+                    assert_eq!(
+                        pdg.is_sink_edge(u, v),
+                        pdg.use_kind(u, v).is_sink(),
+                        "edge {u} -> {v} in {src:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_full_mode_matches_naive_filtered() {
+        for src in [FIG3_POST, CONTRA_SRC] {
+            let (m, cg) = setup(src);
+            let pdg = Pdg::build(&m, &cg, &full(&m));
+            let reach = SinkReach::build(&pdg);
+            let cfg = SliceConfig::default();
+            let mut theory = IncrementalTheory::new();
+            let mut stats = SliceStats::default();
+            for n in source_nodes(&pdg) {
+                let mut cctx = CondCtx::new(&pdg);
+                let naive = feasible(&pdg, forward_paths(&pdg, &mut cctx, n, cfg));
+                let mut cctx = CondCtx::new(&pdg);
+                let pruned = feasible(
+                    &pdg,
+                    forward_paths_pruned(
+                        &pdg,
+                        &mut cctx,
+                        n,
+                        cfg,
+                        Some(&reach),
+                        false,
+                        Some(&mut theory),
+                        &mut stats,
+                    ),
+                );
+                assert_eq!(naive, pruned, "source {n} in {src:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn theory_actually_prunes_contradictory_subtrees() {
+        let (m, cg) = setup(CONTRA_SRC);
+        let pdg = Pdg::build(&m, &cg, &full(&m));
+        let mut stats = SliceStats::default();
+        let mut theory = IncrementalTheory::new();
+        for n in source_nodes(&pdg) {
+            let mut cctx = CondCtx::new(&pdg);
+            forward_paths_pruned(
+                &pdg,
+                &mut cctx,
+                n,
+                SliceConfig::default(),
+                None,
+                false,
+                Some(&mut theory),
+                &mut stats,
+            );
+        }
+        assert!(stats.subtrees_pruned > 0, "stats: {stats:?}");
+        assert!(theory.is_consistent(), "theory fully rewound between calls");
+    }
+
+    #[test]
+    fn cone_mode_keeps_all_match_capable_paths() {
+        for src in [FIG3_POST, CONTRA_SRC] {
+            let (m, cg) = setup(src);
+            let pdg = Pdg::build(&m, &cg, &full(&m));
+            let reach = SinkReach::build(&pdg);
+            let cfg = SliceConfig::default();
+            for n in source_nodes(&pdg) {
+                let mut cctx = CondCtx::new(&pdg);
+                let naive = feasible(&pdg, forward_paths(&pdg, &mut cctx, n, cfg));
+                let mut cctx = CondCtx::new(&pdg);
+                let mut stats = SliceStats::default();
+                let mut theory = IncrementalTheory::new();
+                let cone = feasible(
+                    &pdg,
+                    forward_paths_pruned(
+                        &pdg,
+                        &mut cctx,
+                        n,
+                        cfg,
+                        Some(&reach),
+                        true,
+                        Some(&mut theory),
+                        &mut stats,
+                    ),
+                );
+                // Every cone path is a naive path (in the same order)...
+                let mut it = naive.iter();
+                for p in &cone {
+                    assert!(
+                        it.any(|q| q == p),
+                        "cone path not a naive path (or out of order) for source {n}"
+                    );
+                }
+                // ...and every classified-sink naive path survives.
+                let naive_sinks: Vec<_> = naive.iter().filter(|p| p.sink_kind.is_some()).collect();
+                let cone_sinks: Vec<_> = cone.iter().filter(|p| p.sink_kind.is_some()).collect();
+                assert_eq!(naive_sinks, cone_sinks, "source {n} in {src:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_sources_have_empty_sink_cone() {
+        // `x` flows only into a local add that goes nowhere matchable in
+        // an isolated function with no interface return use... hard to get
+        // naturally; instead just check consistency: a source outside the
+        // cone yields no classified-sink naive paths.
+        for src in [FIG3_POST, CONTRA_SRC] {
+            let (m, cg) = setup(src);
+            let pdg = Pdg::build(&m, &cg, &full(&m));
+            let reach = SinkReach::build(&pdg);
+            for n in source_nodes(&pdg) {
+                if reach.reaches_sink(n) {
+                    continue;
+                }
+                let mut cctx = CondCtx::new(&pdg);
+                let naive = forward_paths(&pdg, &mut cctx, n, SliceConfig::default());
+                assert!(
+                    naive.iter().all(|p| p.sink_kind.is_none()),
+                    "source {n} outside cone but has a classified sink path"
+                );
+                assert!(
+                    !naive.iter().any(|p| {
+                        matches!(pdg.kind(p.sink()), NodeKind::Ret { .. })
+                            || matches!(
+                                pdg.kind(p.sink()),
+                                NodeKind::Inst(loc) if loc.is_terminator() && matches!(
+                                    pdg.module.body(loc.func).block(loc.block).terminator,
+                                    Terminator::Return(Some(_))
+                                )
+                            )
+                    }),
+                    "source {n} outside cone but a path ends at a return"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_pruned_matches_naive_filtered() {
+        let (m, cg) = setup(CONTRA_SRC);
+        let pdg = Pdg::build(&m, &cg, &full(&m));
+        let cfg = SliceConfig::default();
+        let mut theory = IncrementalTheory::new();
+        let mut stats = SliceStats::default();
+        for n in 0..pdg.len() as NodeId {
+            let mut cctx = CondCtx::new(&pdg);
+            let naive = feasible(&pdg, backward_paths(&pdg, &mut cctx, n, cfg));
+            let mut cctx = CondCtx::new(&pdg);
+            let pruned = feasible(
+                &pdg,
+                backward_paths_pruned(&pdg, &mut cctx, n, cfg, Some(&mut theory), &mut stats),
+            );
+            assert_eq!(naive, pruned, "end {n}");
+        }
+    }
+
+    #[test]
+    fn sig_interner_matches_naive_signature() {
+        let (m, cg) = setup(FIG3_POST);
+        let pdg = Pdg::build(&m, &cg, &full(&m));
+        let mut cctx = CondCtx::new(&pdg);
+        let mut interner = SigInterner::new();
+        for n in source_nodes(&pdg) {
+            for p in forward_paths(&pdg, &mut cctx, n, SliceConfig::default()) {
+                let sym = interner.path_symbol(&pdg, &p);
+                assert_eq!(sym.as_str(), p.signature(&pdg));
+                assert_eq!(sym, Symbol::intern(&p.signature(&pdg)));
+            }
+        }
     }
 }

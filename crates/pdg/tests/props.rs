@@ -131,8 +131,7 @@ fn forward_paths_are_simple() {
         let src = branchy_program(&mut rng);
         let module = seal_ir::lower(&seal_kir::compile(&src, "g.c").unwrap());
         let cg = CallGraph::build(&module);
-        let scope: BTreeSet<FuncId> =
-            (0..module.functions.len() as u32).map(FuncId).collect();
+        let scope: BTreeSet<FuncId> = (0..module.functions.len() as u32).map(FuncId).collect();
         let pdg = Pdg::build(&module, &cg, &scope);
         let mut cctx = CondCtx::new(&pdg);
         for n in 0..pdg.nodes.len() as u32 {
@@ -160,8 +159,7 @@ fn backward_paths_follow_edges() {
         let src = branchy_program(&mut rng);
         let module = seal_ir::lower(&seal_kir::compile(&src, "g.c").unwrap());
         let cg = CallGraph::build(&module);
-        let scope: BTreeSet<FuncId> =
-            (0..module.functions.len() as u32).map(FuncId).collect();
+        let scope: BTreeSet<FuncId> = (0..module.functions.len() as u32).map(FuncId).collect();
         let pdg = Pdg::build(&module, &cg, &scope);
         let mut cctx = CondCtx::new(&pdg);
         // Query from every return terminator.
@@ -188,8 +186,7 @@ fn omega_is_consistent() {
         let src = branchy_program(&mut rng);
         let module = seal_ir::lower(&seal_kir::compile(&src, "g.c").unwrap());
         let cg = CallGraph::build(&module);
-        let scope: BTreeSet<FuncId> =
-            (0..module.functions.len() as u32).map(FuncId).collect();
+        let scope: BTreeSet<FuncId> = (0..module.functions.len() as u32).map(FuncId).collect();
         let pdg = Pdg::build(&module, &cg, &scope);
         // Within one block, instruction order equals Ω order.
         let f = module.function("gen").unwrap();

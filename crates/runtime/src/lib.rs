@@ -1,6 +1,6 @@
 //! `seal-runtime` — the execution substrate shared by every SEAL stage.
 //!
-//! Two pieces, both dependency-free on purpose (the workspace must build
+//! Three pieces, all dependency-free on purpose (the workspace must build
 //! and verify fully offline):
 //!
 //! * [`pool`] — a hand-rolled work-stealing thread pool on `std::thread`
@@ -12,13 +12,15 @@
 //! * [`rng`] — a SplitMix64-seeded xoshiro256** PRNG behind the same
 //!   `seed → stream` API the corpus generator previously got from the
 //!   external `rand` crate.
+//! * [`symbol`] — a global string interner with `Copy` [`Symbol`]s ordered
+//!   by content, used for the structural path signatures of `seal-pdg`.
 //!
 //! The worker count is taken from the `SEAL_JOBS` environment variable
 //! (default: [`std::thread::available_parallelism`]).
 
 pub mod pool;
 pub mod rng;
+pub mod symbol;
 
-pub use pool::{
-    par_map, par_map_indexed, par_map_indexed_jobs, par_map_jobs, worker_count,
-};
+pub use pool::{par_map, par_map_indexed, par_map_indexed_jobs, par_map_jobs, worker_count};
+pub use symbol::Symbol;

@@ -1,0 +1,139 @@
+//! A global string interner with `Copy` symbols.
+//!
+//! Structural signatures (see `seal-pdg::slice`) are produced once per PDG
+//! node but compared and grouped many times per pipeline run. Interning
+//! them turns every later comparison into a pointer check while keeping
+//! ordering — and therefore every `BTreeMap` iteration order downstream —
+//! identical to ordering the underlying strings.
+//!
+//! The interner is process-global and append-only: each distinct string is
+//! leaked exactly once, so two [`Symbol`]s are equal iff they point at the
+//! same allocation. Interning order (and thus any internal id) never leaks
+//! into observable behavior; `Ord` compares the resolved strings, which is
+//! what keeps output byte-identical across worker counts and runs.
+
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. `Copy`, pointer-equal, and ordered by content.
+#[derive(Clone, Copy)]
+pub struct Symbol(&'static str);
+
+static INTERNER: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+
+impl Symbol {
+    /// Interns `s`, returning the canonical symbol for its content.
+    pub fn intern(s: &str) -> Symbol {
+        let mut set = INTERNER
+            .get_or_init(|| Mutex::new(HashSet::new()))
+            .lock()
+            .expect("symbol interner poisoned");
+        if let Some(&canon) = set.get(s) {
+            return Symbol(canon);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        set.insert(leaked);
+        Symbol(leaked)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Self) -> bool {
+        // One allocation per distinct string, so pointer identity decides;
+        // the content comparison only defends against symbols from a
+        // hypothetical second interner.
+        std::ptr::eq(self.0, other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Symbol {}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Content order, NOT interning order: grouping paths in a
+        // `BTreeMap<Symbol, _>` must iterate exactly like the former
+        // `BTreeMap<String, _>` regardless of which thread interned first.
+        self.0.cmp(other.0)
+    }
+}
+
+impl std::hash::Hash for Symbol {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Consistent with `Eq`: equal content implies equal pointer.
+        (self.0.as_ptr() as usize).hash(state);
+        self.0.len().hash(state);
+    }
+}
+
+impl std::ops::Deref for Symbol {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_canonicalizes() {
+        let a = Symbol::intern("f#use(x)");
+        let b = Symbol::intern("f#use(x)");
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        let c = Symbol::intern("f#use(y)");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn order_is_content_order() {
+        // Interned in reverse lexicographic order on purpose.
+        let z = Symbol::intern("zzz");
+        let a = Symbol::intern("aaa");
+        assert!(a < z);
+        let mut v = [z, a, Symbol::intern("mmm")];
+        v.sort();
+        let rendered: Vec<&str> = v.iter().map(|s| s.as_str()).collect();
+        assert_eq!(rendered, ["aaa", "mmm", "zzz"]);
+    }
+
+    #[test]
+    fn deref_and_display() {
+        let s = Symbol::intern("a -> b");
+        assert_eq!(s.split(" -> ").count(), 2);
+        assert_eq!(format!("{s}"), "a -> b");
+    }
+
+    #[test]
+    fn hash_agrees_with_eq() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(Symbol::intern("k"), 1);
+        assert_eq!(m.get(&Symbol::intern("k")), Some(&1));
+    }
+}

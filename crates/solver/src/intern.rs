@@ -1,0 +1,237 @@
+//! Hash-consing for formulas and a memoizing solver front end.
+//!
+//! The detection phase asks the same satisfiability questions over and
+//! over: every path from one source shares most of its condition with its
+//! siblings, every `cond_consistent` joint check re-conjoins the same
+//! specification condition with the same abstracted path condition, and
+//! `is_sat` re-runs NNF→DNF from scratch each time. Hash-consing maps each
+//! structurally distinct formula to one small [`FormulaId`], and
+//! [`SolverCache`] memoizes `is_sat`/`implies` verdicts on those ids, so
+//! each distinct question is decided exactly once per cache.
+//!
+//! Determinism: the cache only changes *when* a verdict is computed, never
+//! what it is — `is_sat`/`implies` are pure functions of the formula, so a
+//! hit returns the byte-identical verdict of the miss that populated it.
+
+use crate::formula::{Atom, Formula};
+use crate::sat::{self, Verdict};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Identity of a hash-consed formula: equal ids ⇔ structurally equal
+/// formulas (within one interner).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FormulaId(u32);
+
+/// One hash-consed formula node; children are ids, so structural sharing
+/// is exposed and equality is `O(1)` per node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Node<T> {
+    True,
+    False,
+    Atom(Atom<T>),
+    Not(FormulaId),
+    And(Vec<FormulaId>),
+    Or(Vec<FormulaId>),
+}
+
+/// Hash-consing interner for [`Formula`] trees.
+#[derive(Debug)]
+pub struct FormulaInterner<T> {
+    ids: HashMap<Node<T>, FormulaId>,
+    len: u32,
+}
+
+impl<T> Default for FormulaInterner<T> {
+    fn default() -> Self {
+        FormulaInterner {
+            ids: HashMap::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T: Clone + Eq + Hash> FormulaInterner<T> {
+    /// Interns a formula bottom-up; structurally equal inputs (and all of
+    /// their shared subformulas) map to the same id.
+    pub fn intern(&mut self, f: &Formula<T>) -> FormulaId {
+        let node = match f {
+            Formula::True => Node::True,
+            Formula::False => Node::False,
+            Formula::Atom(a) => Node::Atom(a.clone()),
+            Formula::Not(x) => Node::Not(self.intern(x)),
+            Formula::And(xs) => Node::And(xs.iter().map(|x| self.intern(x)).collect()),
+            Formula::Or(xs) => Node::Or(xs.iter().map(|x| self.intern(x)).collect()),
+        };
+        if let Some(&id) = self.ids.get(&node) {
+            return id;
+        }
+        let id = FormulaId(self.len);
+        self.len += 1;
+        self.ids.insert(node, id);
+        id
+    }
+
+    /// Number of distinct nodes interned so far.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A memoizing front end over [`sat::is_sat`]/[`sat::implies`], keyed on
+/// interned formula ids. `queries`/`hits` make the effect observable so
+/// speedups are attributable (the PR 3 `DetectStats` counters).
+#[derive(Debug)]
+pub struct SolverCache<T> {
+    interner: FormulaInterner<T>,
+    sat_memo: HashMap<FormulaId, Verdict>,
+    implies_memo: HashMap<(FormulaId, FormulaId), bool>,
+    /// Total `is_sat`/`implies` questions asked through this cache.
+    pub queries: u64,
+    /// Questions answered from the memo without running the solver.
+    pub hits: u64,
+}
+
+impl<T> Default for SolverCache<T> {
+    fn default() -> Self {
+        SolverCache {
+            interner: FormulaInterner::default(),
+            sat_memo: HashMap::new(),
+            implies_memo: HashMap::new(),
+            queries: 0,
+            hits: 0,
+        }
+    }
+}
+
+impl<T: Clone + Eq + Hash> SolverCache<T> {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a formula (exposed so callers can key their own per-formula
+    /// memos — e.g. the abstraction cache in detection — on the same ids).
+    pub fn intern(&mut self, f: &Formula<T>) -> FormulaId {
+        self.interner.intern(f)
+    }
+
+    /// Memoized [`sat::is_sat`].
+    pub fn is_sat(&mut self, f: &Formula<T>) -> Verdict {
+        let id = self.interner.intern(f);
+        self.queries += 1;
+        if let Some(&v) = self.sat_memo.get(&id) {
+            self.hits += 1;
+            return v;
+        }
+        let v = sat::is_sat(f);
+        self.sat_memo.insert(id, v);
+        v
+    }
+
+    /// Memoized [`sat::implies`]. Identical formulas short-circuit to
+    /// `true` without touching the solver (`a ⇒ a` for every `a`).
+    pub fn implies(&mut self, a: &Formula<T>, b: &Formula<T>) -> bool {
+        let ia = self.interner.intern(a);
+        let ib = self.interner.intern(b);
+        self.queries += 1;
+        if ia == ib {
+            self.hits += 1;
+            return true;
+        }
+        if let Some(&r) = self.implies_memo.get(&(ia, ib)) {
+            self.hits += 1;
+            return r;
+        }
+        let r = sat::implies(a, b);
+        self.implies_memo.insert((ia, ib), r);
+        r
+    }
+
+    /// Memoized [`sat::equivalent`] (mutual implication).
+    pub fn equivalent(&mut self, a: &Formula<T>, b: &Formula<T>) -> bool {
+        self.implies(a, b) && self.implies(b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::CmpOp;
+
+    type Fm = Formula<&'static str>;
+
+    #[test]
+    fn interning_canonicalizes_structural_equality() {
+        let mut it: FormulaInterner<&str> = FormulaInterner::default();
+        let a: Fm = Fm::cmp("x", CmpOp::Eq, 0).and(Fm::cmp("y", CmpOp::Gt, 3));
+        let b: Fm = Fm::cmp("x", CmpOp::Eq, 0).and(Fm::cmp("y", CmpOp::Gt, 3));
+        assert_eq!(it.intern(&a), it.intern(&b));
+        let c: Fm = Fm::cmp("x", CmpOp::Eq, 1).and(Fm::cmp("y", CmpOp::Gt, 3));
+        assert_ne!(it.intern(&a), it.intern(&c));
+        // Shared subformulas are shared nodes: re-interning `a` after `c`
+        // creates nothing new.
+        let before = it.len();
+        it.intern(&a);
+        assert_eq!(it.len(), before);
+    }
+
+    #[test]
+    fn sat_cache_hit_and_miss() {
+        let mut cache: SolverCache<&str> = SolverCache::new();
+        let f: Fm = Fm::cmp("x", CmpOp::Lt, 0).and(Fm::cmp("x", CmpOp::Gt, 10));
+        assert_eq!(cache.is_sat(&f), Verdict::Unsat);
+        assert_eq!((cache.queries, cache.hits), (1, 0));
+        // Structurally equal clone: a hit, same verdict.
+        assert_eq!(cache.is_sat(&f.clone()), Verdict::Unsat);
+        assert_eq!((cache.queries, cache.hits), (2, 1));
+        // A different formula misses again.
+        let g: Fm = Fm::cmp("x", CmpOp::Eq, 5);
+        assert_eq!(cache.is_sat(&g), Verdict::Sat);
+        assert_eq!((cache.queries, cache.hits), (3, 1));
+    }
+
+    #[test]
+    fn cached_verdicts_match_uncached() {
+        let mut cache: SolverCache<&str> = SolverCache::new();
+        let fs: Vec<Fm> = vec![
+            Fm::True,
+            Fm::False,
+            Fm::cmp("x", CmpOp::Eq, 0).and(Fm::cmp("x", CmpOp::Ne, 0)),
+            Fm::cmp("x", CmpOp::Lt, 0).or(Fm::cmp("x", CmpOp::Gt, 10)),
+        ];
+        for f in &fs {
+            let direct = sat::is_sat(f);
+            assert_eq!(cache.is_sat(f), direct);
+            assert_eq!(cache.is_sat(f), direct); // and again, from the memo
+        }
+    }
+
+    #[test]
+    fn implies_via_cache() {
+        let mut cache: SolverCache<&str> = SolverCache::new();
+        let a: Fm = Fm::cmp("x", CmpOp::Eq, 0);
+        let b: Fm = Fm::cmp("x", CmpOp::Le, 0);
+        assert!(cache.implies(&a, &b));
+        assert!(!cache.implies(&b, &a));
+        let q = cache.queries;
+        let h = cache.hits;
+        // Re-asking both directions hits the memo.
+        assert!(cache.implies(&a, &b));
+        assert!(!cache.implies(&b, &a));
+        assert_eq!(cache.queries, q + 2);
+        assert_eq!(cache.hits, h + 2);
+        // Identity is a hit without ever running the solver.
+        assert!(cache.implies(&a, &a));
+        assert_eq!(cache.hits, h + 3);
+        // Equivalence through the same memo.
+        let c: Fm = Fm::cmp("x", CmpOp::Le, 0).and(Fm::cmp("x", CmpOp::Ge, 0));
+        assert!(cache.equivalent(&a, &c));
+        assert!(!cache.equivalent(&a, &b));
+    }
+}

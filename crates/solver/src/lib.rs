@@ -13,7 +13,11 @@
 //! specification-level conditions (variables are Fig. 2 `V` elements).
 
 pub mod formula;
+pub mod intern;
 pub mod sat;
+pub mod theory;
 
 pub use formula::{Atom, CmpOp, Formula, Term};
+pub use intern::{FormulaId, FormulaInterner, SolverCache};
 pub use sat::{equivalent, implies, is_sat, Verdict};
+pub use theory::{IncrementalTheory, Mark};

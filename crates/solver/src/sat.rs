@@ -64,6 +64,10 @@ pub fn is_sat<T: Clone + Eq + Hash>(f: &Formula<T>) -> Verdict {
 
 /// `a ⇒ b`: is `a ∧ ¬b` unsatisfiable?
 pub fn implies<T: Clone + Eq + Hash>(a: &Formula<T>, b: &Formula<T>) -> bool {
+    if a == b {
+        // `a ⇒ a` holds for every formula; skip the NNF→DNF round trip.
+        return true;
+    }
     matches!(is_sat(&a.clone().and(b.clone().negate())), Verdict::Unsat)
 }
 
@@ -114,16 +118,17 @@ fn dnf<T: Clone>(f: &Formula<T>, budget: &mut usize) -> Option<Vec<Vec<Atom<T>>>
     }
 }
 
-/// Closed integer interval with disequality points.
+/// Closed integer interval with disequality points. Shared with the
+/// incremental theory state in [`crate::theory`].
 #[derive(Debug, Clone)]
-struct Range {
-    lo: i64,
-    hi: i64,
-    holes: Vec<i64>,
+pub(crate) struct Range {
+    pub(crate) lo: i64,
+    pub(crate) hi: i64,
+    pub(crate) holes: Vec<i64>,
 }
 
 impl Range {
-    fn full() -> Self {
+    pub(crate) fn full() -> Self {
         Range {
             lo: i64::MIN,
             hi: i64::MAX,
@@ -131,7 +136,7 @@ impl Range {
         }
     }
 
-    fn constrain(&mut self, op: CmpOp, c: i64) {
+    pub(crate) fn constrain(&mut self, op: CmpOp, c: i64) {
         match op {
             CmpOp::Eq => {
                 self.lo = self.lo.max(c);
@@ -160,7 +165,7 @@ impl Range {
         }
     }
 
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         if self.lo > self.hi {
             return true;
         }
@@ -184,7 +189,7 @@ impl Range {
         false
     }
 
-    fn intersect(&mut self, other: &Range) {
+    pub(crate) fn intersect(&mut self, other: &Range) {
         self.lo = self.lo.max(other.lo);
         self.hi = self.hi.min(other.hi);
         self.holes.extend(other.holes.iter().copied());
@@ -334,8 +339,7 @@ mod tests {
     #[test]
     fn null_check_pattern() {
         // ret == 0 && ret != 0 after negation — the canonical NPD guard.
-        let f: Fm = F::cmp("ret", CmpOp::Eq, 0)
-            .and(F::cmp("ret", CmpOp::Eq, 0).negate());
+        let f: Fm = F::cmp("ret", CmpOp::Eq, 0).and(F::cmp("ret", CmpOp::Eq, 0).negate());
         assert_eq!(is_sat(&f), Verdict::Unsat);
     }
 

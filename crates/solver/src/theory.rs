@@ -1,0 +1,307 @@
+//! An incremental interval/equality theory state for DFS pruning.
+//!
+//! Path enumeration conjoins branch conditions as it walks the PDG; once a
+//! prefix's conjunction is unsatisfiable, every extension is too (conjuncts
+//! only accumulate). [`IncrementalTheory`] lets the DFS assert each new
+//! conjunct *in place* — integer intervals per equivalence class, plus
+//! union-find over `x == y` atoms, the same machinery as the per-conjunct
+//! check in [`crate::sat`] — and undo to a mark when it backtracks, so the
+//! whole subtree under an UNSAT prefix is abandoned without materializing
+//! a single path.
+//!
+//! Soundness direction: [`IncrementalTheory::is_consistent`] returns
+//! `false` only when the asserted atoms are genuinely contradictory.
+//! Disjunctions and other non-atomic conjuncts are ignored (they constrain
+//! nothing here), and var-var ordering atoms are checked but not
+//! propagated — all of which can only *miss* pruning opportunities, never
+//! invent them. Callers keep the final `is_sat` filter on completed paths,
+//! so the emitted feasible set is exactly the naive enumerate-then-filter
+//! set whenever the path budget does not truncate enumeration.
+
+use crate::formula::{CmpOp, Formula, Term};
+use crate::sat::Range;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A rollback point: the trail length at [`IncrementalTheory::mark`] time.
+#[derive(Debug, Clone, Copy)]
+pub struct Mark(usize);
+
+#[derive(Debug)]
+enum Undo<T> {
+    /// A variable was first seen; drop it again.
+    NewVar(T),
+    /// `slots[i].parent` was overwritten by a union.
+    Parent { i: usize, old: usize },
+    /// `slots[i].range` was overwritten by a constraint or merge.
+    SetRange { i: usize, old: Range },
+    /// A contradiction was recorded.
+    Contra,
+}
+
+#[derive(Debug)]
+struct Slot {
+    parent: usize,
+    range: Range,
+}
+
+/// Incremental conjunction state over the comparison fragment.
+#[derive(Debug, Default)]
+pub struct IncrementalTheory<T: Eq + Hash> {
+    index: HashMap<T, usize>,
+    slots: Vec<Slot>,
+    trail: Vec<Undo<T>>,
+    /// Number of active contradictions (each undoes independently).
+    contra: usize,
+}
+
+impl<T: Clone + Eq + Hash> IncrementalTheory<T> {
+    /// A fresh, empty state (the conjunction `true`).
+    pub fn new() -> Self {
+        IncrementalTheory {
+            index: HashMap::new(),
+            slots: Vec::new(),
+            trail: Vec::new(),
+            contra: 0,
+        }
+    }
+
+    /// Current rollback point; pass to [`Self::undo_to`] when backtracking.
+    pub fn mark(&self) -> Mark {
+        Mark(self.trail.len())
+    }
+
+    /// Whether the asserted conjunction is still possibly satisfiable.
+    pub fn is_consistent(&self) -> bool {
+        self.contra == 0
+    }
+
+    /// Asserts one conjunct. Atoms (and negated atoms) constrain the
+    /// state; anything else — disjunctions, nested negations — is ignored,
+    /// which is sound for pruning (see module docs). Returns
+    /// [`Self::is_consistent`] afterwards.
+    pub fn assert_formula(&mut self, f: &Formula<T>) -> bool {
+        match f {
+            Formula::True => {}
+            Formula::False => self.record_contra(),
+            Formula::Atom(a) => self.assert_atom(&a.lhs, a.op, &a.rhs),
+            Formula::Not(inner) => {
+                if let Formula::Atom(a) = inner.as_ref() {
+                    self.assert_atom(&a.lhs, a.op.negate(), &a.rhs);
+                }
+            }
+            Formula::And(xs) => {
+                for x in xs {
+                    self.assert_formula(x);
+                }
+            }
+            Formula::Or(_) => {}
+        }
+        self.is_consistent()
+    }
+
+    /// Rolls the state back to `m`, restoring every slot, variable, and
+    /// contradiction recorded since.
+    pub fn undo_to(&mut self, m: Mark) {
+        while self.trail.len() > m.0 {
+            match self.trail.pop().expect("trail shrank below mark") {
+                Undo::NewVar(v) => {
+                    self.index.remove(&v);
+                    self.slots.pop();
+                }
+                Undo::Parent { i, old } => self.slots[i].parent = old,
+                Undo::SetRange { i, old } => self.slots[i].range = old,
+                Undo::Contra => self.contra -= 1,
+            }
+        }
+    }
+
+    fn record_contra(&mut self) {
+        self.contra += 1;
+        self.trail.push(Undo::Contra);
+    }
+
+    fn var_id(&mut self, v: &T) -> usize {
+        if let Some(&i) = self.index.get(v) {
+            return i;
+        }
+        let i = self.slots.len();
+        self.index.insert(v.clone(), i);
+        self.slots.push(Slot {
+            parent: i,
+            range: Range::full(),
+        });
+        self.trail.push(Undo::NewVar(v.clone()));
+        i
+    }
+
+    /// Representative without path compression (compression would need its
+    /// own trail entries; chains stay short at DFS depths).
+    fn find(&self, mut x: usize) -> usize {
+        while self.slots[x].parent != x {
+            x = self.slots[x].parent;
+        }
+        x
+    }
+
+    fn constrain(&mut self, root: usize, op: CmpOp, c: i64) {
+        self.trail.push(Undo::SetRange {
+            i: root,
+            old: self.slots[root].range.clone(),
+        });
+        self.slots[root].range.constrain(op, c);
+        if self.slots[root].range.is_empty() {
+            self.record_contra();
+        }
+    }
+
+    fn assert_atom(&mut self, lhs: &Term<T>, op: CmpOp, rhs: &Term<T>) {
+        match (lhs, rhs) {
+            (Term::Const(x), Term::Const(y)) => {
+                if !op.eval(*x, *y) {
+                    self.record_contra();
+                }
+            }
+            (Term::Var(v), Term::Const(c)) => {
+                let i = self.var_id(v);
+                let root = self.find(i);
+                self.constrain(root, op, *c);
+            }
+            (Term::Const(c), Term::Var(v)) => {
+                let i = self.var_id(v);
+                let root = self.find(i);
+                self.constrain(root, op.flip(), *c);
+            }
+            (Term::Var(x), Term::Var(y)) => {
+                let (ix, iy) = (self.var_id(x), self.var_id(y));
+                let (rx, ry) = (self.find(ix), self.find(iy));
+                match op {
+                    CmpOp::Eq if rx != ry => {
+                        self.trail.push(Undo::Parent {
+                            i: rx,
+                            old: self.slots[rx].parent,
+                        });
+                        self.slots[rx].parent = ry;
+                        self.trail.push(Undo::SetRange {
+                            i: ry,
+                            old: self.slots[ry].range.clone(),
+                        });
+                        let merged = self.slots[rx].range.clone();
+                        self.slots[ry].range.intersect(&merged);
+                        if self.slots[ry].range.is_empty() {
+                            self.record_contra();
+                        }
+                    }
+                    CmpOp::Ne | CmpOp::Lt | CmpOp::Gt if rx == ry => {
+                        self.record_contra();
+                    }
+                    CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge if rx != ry => {
+                        // Check (don't propagate) ordering against the
+                        // current intervals, mirroring `conjunct_sat`.
+                        let gx = &self.slots[rx].range;
+                        let gy = &self.slots[ry].range;
+                        let feasible = match op {
+                            CmpOp::Lt => gx.lo < gy.hi,
+                            CmpOp::Le => gx.lo <= gy.hi,
+                            CmpOp::Gt => gx.hi > gy.lo,
+                            CmpOp::Ge => gx.hi >= gy.lo,
+                            _ => true,
+                        };
+                        if !feasible {
+                            self.record_contra();
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Fm = Formula<&'static str>;
+
+    #[test]
+    fn interval_contradiction_detected_and_undone() {
+        let mut t: IncrementalTheory<&str> = IncrementalTheory::new();
+        assert!(t.assert_formula(&Fm::cmp("x", CmpOp::Lt, 0)));
+        let m = t.mark();
+        assert!(!t.assert_formula(&Fm::cmp("x", CmpOp::Gt, 10)));
+        t.undo_to(m);
+        assert!(t.is_consistent());
+        // The restored state still accepts consistent extensions.
+        assert!(t.assert_formula(&Fm::cmp("x", CmpOp::Gt, -10)));
+    }
+
+    #[test]
+    fn negated_atoms_constrain() {
+        let mut t: IncrementalTheory<&str> = IncrementalTheory::new();
+        assert!(t.assert_formula(&Fm::cmp("ret", CmpOp::Eq, 0)));
+        assert!(!t.assert_formula(&Fm::cmp("ret", CmpOp::Eq, 0).negate()));
+    }
+
+    #[test]
+    fn equality_merges_intervals() {
+        let mut t: IncrementalTheory<&str> = IncrementalTheory::new();
+        assert!(t.assert_formula(&Fm::cmp("x", CmpOp::Lt, 3)));
+        assert!(t.assert_formula(&Fm::cmp("y", CmpOp::Gt, 7)));
+        let m = t.mark();
+        assert!(!t.assert_formula(&Fm::atom(Term::Var("x"), CmpOp::Eq, Term::Var("y"))));
+        t.undo_to(m);
+        assert!(t.is_consistent());
+        // After undo, x and y are separate again.
+        assert!(t.assert_formula(&Fm::cmp("x", CmpOp::Lt, 2)));
+    }
+
+    #[test]
+    fn same_class_strict_order_contradicts() {
+        let mut t: IncrementalTheory<&str> = IncrementalTheory::new();
+        assert!(t.assert_formula(&Fm::atom(Term::Var("x"), CmpOp::Eq, Term::Var("y"))));
+        assert!(!t.assert_formula(&Fm::atom(Term::Var("x"), CmpOp::Lt, Term::Var("y"))));
+    }
+
+    #[test]
+    fn disjunctions_are_ignored_not_misjudged() {
+        let mut t: IncrementalTheory<&str> = IncrementalTheory::new();
+        assert!(t.assert_formula(&Fm::cmp("x", CmpOp::Eq, 20)));
+        // `x < 0 || x > 10` is consistent with x == 20 and must not flag.
+        assert!(t.assert_formula(&Fm::cmp("x", CmpOp::Lt, 0).or(Fm::cmp("x", CmpOp::Gt, 10))));
+        assert!(t.is_consistent());
+    }
+
+    #[test]
+    fn undo_restores_fresh_variables() {
+        let mut t: IncrementalTheory<&str> = IncrementalTheory::new();
+        let m = t.mark();
+        assert!(t.assert_formula(&Fm::cmp("v", CmpOp::Eq, 1)));
+        t.undo_to(m);
+        // `v` is gone; re-asserting a conflicting bound is fine.
+        assert!(t.assert_formula(&Fm::cmp("v", CmpOp::Eq, 2)));
+    }
+
+    /// Pruning agreement: prefix inconsistency implies `is_sat` == Unsat on
+    /// the accumulated conjunction.
+    #[test]
+    fn inconsistency_agrees_with_is_sat() {
+        let conjuncts: Vec<Fm> = vec![
+            Fm::cmp("a", CmpOp::Ge, 0),
+            Fm::cmp("a", CmpOp::Le, 1),
+            Fm::cmp("a", CmpOp::Ne, 0),
+            Fm::cmp("a", CmpOp::Ne, 1),
+        ];
+        let mut t: IncrementalTheory<&str> = IncrementalTheory::new();
+        let mut acc = Fm::True;
+        let mut inconsistent_at = None;
+        for (i, c) in conjuncts.iter().enumerate() {
+            acc = acc.and(c.clone());
+            if !t.assert_formula(c) && inconsistent_at.is_none() {
+                inconsistent_at = Some(i);
+            }
+        }
+        assert_eq!(inconsistent_at, Some(3));
+        assert_eq!(crate::sat::is_sat(&acc), crate::sat::Verdict::Unsat);
+    }
+}

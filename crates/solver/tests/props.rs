@@ -163,7 +163,10 @@ fn implication_is_sound() {
         if implies(&a, &b) {
             for env in &envs {
                 if eval(&a, env) {
-                    assert!(eval(&b, env), "implies({a}, {b}) but {env:?} separates them");
+                    assert!(
+                        eval(&b, env),
+                        "implies({a}, {b}) but {env:?} separates them"
+                    );
                 }
             }
         }

@@ -1,7 +1,7 @@
 //! Human-readable rendering of specifications, matching the paper's
 //! notation (`∀v: v ↪ u, where v = -ENOMEM, u = ret^buf_prepare, ...`).
 
-use crate::{Constraint, Quantifier, Relation, Specification, SpecUse, SpecValue};
+use crate::{Constraint, Quantifier, Relation, SpecUse, SpecValue, Specification};
 use std::fmt;
 
 impl fmt::Display for SpecValue {

@@ -104,8 +104,7 @@ fn try_merge(existing: &mut Specification, incoming: &Specification) -> bool {
         .split('+')
         .any(|o| o == incoming.origin_patch)
     {
-        existing.origin_patch =
-            format!("{}+{}", existing.origin_patch, incoming.origin_patch);
+        existing.origin_patch = format!("{}+{}", existing.origin_patch, incoming.origin_patch);
     }
     true
 }
@@ -154,8 +153,14 @@ mod tests {
             };
             *cond = c;
         };
-        set_cond(&mut a, Formula::cmp(SpecValue::ret_of("parse"), CmpOp::Lt, 0));
-        set_cond(&mut b, Formula::cmp(SpecValue::ret_of("parse"), CmpOp::Le, -1));
+        set_cond(
+            &mut a,
+            Formula::cmp(SpecValue::ret_of("parse"), CmpOp::Lt, 0),
+        );
+        set_cond(
+            &mut b,
+            Formula::cmp(SpecValue::ret_of("parse"), CmpOp::Le, -1),
+        );
         let merged = merge_specs(vec![a, b]);
         assert_eq!(merged.len(), 1);
     }

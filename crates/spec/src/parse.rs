@@ -11,7 +11,7 @@
 //! spec[*] <PΩ> { ∄: (arg_1^i ↪ arg_1^put_device) ∧ (arg_1^i ↪ deref) ∧ (arg_1^put_device ≺ deref) } (from fix-2)
 //! ```
 
-use crate::{Constraint, Provenance, Quantifier, Relation, Specification, SpecUse, SpecValue};
+use crate::{Constraint, Provenance, Quantifier, Relation, SpecUse, SpecValue, Specification};
 use seal_solver::{CmpOp, Formula, Term};
 
 /// Canonicalizes a specification for serialization: condition variables
@@ -63,7 +63,10 @@ pub fn to_line(spec: &Specification) -> String {
         .map(|c| c.to_string())
         .collect::<Vec<_>>()
         .join("; ");
-    format!("spec[{iface}] <{prov}> {{ {body} }} (from {})", spec.origin_patch)
+    format!(
+        "spec[{iface}] <{prov}> {{ {body} }} (from {})",
+        spec.origin_patch
+    )
 }
 
 /// Parses one line produced by [`to_line`].
@@ -306,7 +309,9 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         if self.rest().starts_with('@') {
             self.pos += 1;
-            return Ok(SpecValue::Global { name: self.ident()? });
+            return Ok(SpecValue::Global {
+                name: self.ident()?,
+            });
         }
         if self
             .rest()
@@ -527,7 +532,13 @@ mod tests {
     fn roundtrips_interface_free_spec_with_disjunction() {
         let cond = Formula::cmp(SpecValue::ret_of("kmalloc"), CmpOp::Eq, 0)
             .or(Formula::cmp(SpecValue::arg(2), CmpOp::Lt, 0))
-            .and(Formula::cmp(SpecValue::Global { name: "state".into() }, CmpOp::Ne, 3));
+            .and(Formula::cmp(
+                SpecValue::Global {
+                    name: "state".into(),
+                },
+                CmpOp::Ne,
+                3,
+            ));
         let s = Specification {
             interface: None,
             constraints: vec![Constraint {
@@ -547,10 +558,15 @@ mod tests {
     #[test]
     fn roundtrips_global_store_and_div_uses() {
         for use_ in [
-            SpecUse::GlobalStore { name: "shared".into() },
+            SpecUse::GlobalStore {
+                name: "shared".into(),
+            },
             SpecUse::Div,
             SpecUse::IndexUse,
-            SpecUse::ArgF { api: "ida_free".into(), index: 1 },
+            SpecUse::ArgF {
+                api: "ida_free".into(),
+                index: 1,
+            },
         ] {
             let s = Specification {
                 interface: Some("ops::cb".into()),
@@ -571,7 +587,11 @@ mod tests {
 
     #[test]
     fn parse_lines_skips_comments_and_blanks() {
-        let text = format!("# dataset v1\n\n{}\n  \n{}\n", to_line(&spec41()), to_line(&spec41()));
+        let text = format!(
+            "# dataset v1\n\n{}\n  \n{}\n",
+            to_line(&spec41()),
+            to_line(&spec41())
+        );
         let specs = parse_lines(&text).unwrap();
         assert_eq!(specs.len(), 2);
     }

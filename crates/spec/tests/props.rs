@@ -4,7 +4,7 @@
 use seal_runtime::rng::Rng;
 use seal_solver::{CmpOp, Formula, Term};
 use seal_spec::parse::{parse_line, to_line};
-use seal_spec::{Constraint, Provenance, Quantifier, Relation, Specification, SpecUse, SpecValue};
+use seal_spec::{Constraint, Provenance, Quantifier, Relation, SpecUse, SpecValue, Specification};
 
 const CASES: usize = 256;
 
@@ -16,7 +16,7 @@ fn api_name(rng: &mut Rng) -> String {
         "of_node_put",
         "usb_read_cmd",
     ][rng.gen_range(0..5usize)]
-        .to_string()
+    .to_string()
 }
 
 fn field_name(rng: &mut Rng) -> String {
@@ -92,7 +92,11 @@ fn cond(rng: &mut Rng, depth: u32) -> Formula<SpecValue> {
 }
 
 fn quantifier(rng: &mut Rng) -> Quantifier {
-    [Quantifier::ForAll, Quantifier::Exists, Quantifier::NotExists][rng.gen_range(0..3usize)]
+    [
+        Quantifier::ForAll,
+        Quantifier::Exists,
+        Quantifier::NotExists,
+    ][rng.gen_range(0..3usize)]
 }
 
 fn provenance(rng: &mut Rng) -> Provenance {
@@ -151,8 +155,7 @@ fn serialization_round_trips() {
         let s = spec(&mut rng);
         let canon = seal_spec::parse::canonicalize(&s);
         let line = to_line(&s);
-        let back =
-            parse_line(&line).unwrap_or_else(|e| panic!("cannot reparse `{line}`: {e}"));
+        let back = parse_line(&line).unwrap_or_else(|e| panic!("cannot reparse `{line}`: {e}"));
         assert_eq!(back, canon, "line was: {line}");
     }
 }

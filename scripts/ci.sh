@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
-# Tier-1 gate, fully offline: release build, workspace tests, and the
-# pipeline benchmark (which also asserts byte-identical output across
-# worker counts). Run from the repository root.
+# Tier-1 gate, fully offline: formatting, lints, release build, workspace
+# tests, and the pipeline benchmark (which also asserts byte-identical
+# output across worker counts). Run from the repository root.
 set -eu
 
+cargo fmt --check
+cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo run --release --offline -p seal-bench --bin bench_pipeline

@@ -49,16 +49,30 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage:\n  \
-     seal infer  --pre <file,...> --post <file,...> [--id <patch-id>] [--out <specs-file>]\n  \
-     seal detect --target <file,...> --specs <specs-file>\n  \
-     seal hunt   --pre <file,...> --post <file,...> --target <file,...>\n  \
+     seal infer  --pre <file,...> --post <file,...> [--id <patch-id>] [--out <specs-file>] [--jobs <n>]\n  \
+     seal detect --target <file,...> --specs <specs-file> [--jobs <n>]\n  \
+     seal hunt   --pre <file,...> --post <file,...> --target <file,...> [--jobs <n>]\n  \
      seal merge  --specs <file,file,...> --out <specs-file>\n  \
      seal gen-corpus --dir <dir> [--seed <n>] [--drivers <n>]\n\
      \n\
      --pre/--post accept comma-separated lists of equal length; the pairs\n\
-     are inferred in parallel (worker count: SEAL_JOBS, default: available\n\
-     parallelism) and the specs are merged in argument order."
+     are inferred in parallel and the specs are merged in argument order.\n\
+     --jobs overrides the worker count (otherwise SEAL_JOBS, default:\n\
+     available parallelism); results are identical for any worker count."
         .to_string()
+}
+
+/// Worker count for this invocation: `--jobs` wins over `SEAL_JOBS` (which
+/// [`seal_runtime::worker_count`] reads), which wins over the machine's
+/// available parallelism.
+fn jobs(opts: &HashMap<String, String>) -> Result<usize, String> {
+    match opts.get("jobs") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("--jobs must be a positive integer, got `{v}`")),
+        },
+        None => Ok(seal_runtime::worker_count()),
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -68,9 +82,7 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(key) = flag.strip_prefix("--") else {
             return Err(format!("expected a --flag, found `{flag}`"));
         };
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{key} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
         opts.insert(key.to_string(), value.clone());
     }
     Ok(opts)
@@ -127,10 +139,9 @@ fn infer_specs(opts: &HashMap<String, String>) -> Result<Vec<Specification>, Str
     // spec output is byte-identical to a sequential run.
     let seal = Seal::default();
     let per_patch: Vec<Result<Vec<Specification>, String>> =
-        seal_runtime::par_map(&patches, |patch| {
-            seal.infer(patch).map_err(|e| {
-                format!("patch `{}` does not compile:\n{e}", patch.id)
-            })
+        seal_runtime::par_map_jobs(jobs(opts)?, &patches, |patch| {
+            seal.infer(patch)
+                .map_err(|e| format!("patch `{}` does not compile:\n{e}", patch.id))
         });
     let mut specs = Vec::new();
     for result in per_patch {
@@ -170,8 +181,7 @@ fn merge(opts: &HashMap<String, String>) -> Result<(), String> {
         .ok_or_else(|| format!("missing --specs\n{}", usage()))?;
     let mut all = Vec::new();
     for path in paths.split(',') {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         all.extend(parse_lines(&text).map_err(|e| e.to_string())?);
     }
     let before = all.len();
@@ -185,7 +195,10 @@ fn merge(opts: &HashMap<String, String>) -> Result<(), String> {
         text.push('\n');
     }
     std::fs::write(out_path, text).map_err(|e| format!("cannot write {out_path}: {e}"))?;
-    eprintln!("merged {before} -> {} specification(s) into {out_path}", merged.len());
+    eprintln!(
+        "merged {before} -> {} specification(s) into {out_path}",
+        merged.len()
+    );
     Ok(())
 }
 
@@ -221,21 +234,27 @@ fn gen_corpus(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn detect(opts: &HashMap<String, String>) -> Result<(), String> {
+    let jobs = jobs(opts)?;
     let specs_text = read(opts, "specs")?;
     let specs = parse_lines(&specs_text).map_err(|e| e.to_string())?;
-    detect_with(opts, &specs)
+    detect_with(opts, &specs, jobs)
 }
 
 fn infer_and_detect(opts: &HashMap<String, String>) -> Result<(), String> {
+    let jobs = jobs(opts)?;
     let specs = infer_specs(opts)?;
     eprintln!("inferred {} specification(s)", specs.len());
     for s in &specs {
         eprintln!("  {s}");
     }
-    detect_with(opts, &specs)
+    detect_with(opts, &specs, jobs)
 }
 
-fn detect_with(opts: &HashMap<String, String>, specs: &[Specification]) -> Result<(), String> {
+fn detect_with(
+    opts: &HashMap<String, String>,
+    specs: &[Specification],
+    jobs: usize,
+) -> Result<(), String> {
     // `--target` accepts a comma-separated file list; the files are linked
     // into one module (the §7 linking step).
     let paths = opts
@@ -243,19 +262,19 @@ fn detect_with(opts: &HashMap<String, String>, specs: &[Specification]) -> Resul
         .ok_or_else(|| format!("missing --target\n{}", usage()))?;
     let mut sources = Vec::new();
     for path in paths.split(',') {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         sources.push((path.to_string(), text));
     }
     let borrowed: Vec<(&str, &str)> = sources
         .iter()
         .map(|(p, t)| (p.as_str(), t.as_str()))
         .collect();
-    let tu = seal_kir::compile_many(&borrowed)
-        .map_err(|e| format!("target does not compile:\n{e}"))?;
+    let tu =
+        seal_kir::compile_many(&borrowed).map_err(|e| format!("target does not compile:\n{e}"))?;
     let module = seal_ir::lower(&tu);
     let seal = Seal::default();
-    let reports = seal.detect(&module, specs);
+    let (reports, _) =
+        seal::core::detect::detect_bugs_with_stats_jobs(&module, specs, &seal.detect, jobs);
     if reports.is_empty() {
         println!("no violations found ({} specs checked)", specs.len());
     } else {

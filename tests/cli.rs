@@ -151,6 +151,74 @@ fn hunt_runs_both_stages() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `--jobs` overrides the worker count (and `SEAL_JOBS`), accepts only
+/// positive integers, and leaves the output byte-identical.
+#[test]
+fn jobs_flag_overrides_env_and_preserves_output() {
+    let dir = temp_dir("jobs");
+    let pre = write(
+        &dir,
+        "pre.c",
+        &format!(
+            "{SHARED}int bp(struct riscmem *r) {{ vbi(r); return 0; }}\n\
+             struct vb2_ops q = {{ .buf_prepare = bp, }};"
+        ),
+    );
+    let post = write(
+        &dir,
+        "post.c",
+        &format!(
+            "{SHARED}int bp(struct riscmem *r) {{ return vbi(r); }}\n\
+             struct vb2_ops q = {{ .buf_prepare = bp, }};"
+        ),
+    );
+    let target = write(
+        &dir,
+        "kernel.c",
+        &format!(
+            "{SHARED}int tw68_buf_prepare(struct riscmem *r) {{ vbi(r); return 0; }}\n\
+             struct vb2_ops tw = {{ .buf_prepare = tw68_buf_prepare, }};"
+        ),
+    );
+    let hunt = |jobs: &str| {
+        let out = Command::new(seal_bin())
+            .arg("hunt")
+            .arg("--pre")
+            .arg(&pre)
+            .arg("--post")
+            .arg(&post)
+            .arg("--target")
+            .arg(&target)
+            .args(["--jobs", jobs])
+            // `--jobs` must win even when the environment disagrees.
+            .env("SEAL_JOBS", "3")
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "--jobs {jobs} failed");
+        out.stdout
+    };
+    let one = hunt("1");
+    let four = hunt("4");
+    assert_eq!(one, four, "reports must not depend on the worker count");
+    assert!(String::from_utf8_lossy(&one).contains("tw68_buf_prepare"));
+
+    // Rejected values fail with a clear message.
+    for bad in ["0", "-2", "many"] {
+        let out = Command::new(seal_bin())
+            .args(["detect", "--jobs", bad, "--target"])
+            .arg(&target)
+            .args(["--specs", "/nonexistent.txt"])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "--jobs {bad} must be rejected");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--jobs"),
+            "stderr should mention --jobs"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn bad_input_fails_cleanly() {
     // Unknown command.
@@ -160,7 +228,13 @@ fn bad_input_fails_cleanly() {
 
     // Missing file.
     let out = Command::new(seal_bin())
-        .args(["detect", "--target", "/nonexistent.c", "--specs", "/nonexistent.txt"])
+        .args([
+            "detect",
+            "--target",
+            "/nonexistent.c",
+            "--specs",
+            "/nonexistent.txt",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

@@ -3,7 +3,7 @@
 
 use seal::core::detect::{detect_bugs, regions_for, DetectConfig};
 use seal::core::{Patch, Seal};
-use seal::spec::{Constraint, Provenance, Quantifier, Relation, Specification, SpecUse, SpecValue};
+use seal::spec::{Constraint, Provenance, Quantifier, Relation, SpecUse, SpecValue, Specification};
 use seal_solver::{CmpOp, Formula};
 
 fn module_of(src: &str) -> seal_ir::Module {
@@ -125,9 +125,8 @@ fn detection_is_deterministic() {
     let module = module_of(KMALLOC_USERS);
     let a = detect_bugs(&module, &[npd_spec()], &DetectConfig::default());
     let b = detect_bugs(&module, &[npd_spec()], &DetectConfig::default());
-    let render = |rs: &[seal::core::BugReport]| {
-        rs.iter().map(|r| r.to_string()).collect::<Vec<_>>()
-    };
+    let render =
+        |rs: &[seal::core::BugReport]| rs.iter().map(|r| r.to_string()).collect::<Vec<_>>();
     assert_eq!(render(&a), render(&b));
 }
 

@@ -6,8 +6,8 @@
 //! runtime outcome must separate them.
 
 use seal::corpus::templates::all_templates;
-use seal_runtime::rng::Rng;
 use seal::exec::{FaultPlan, Interp, Outcome, Value};
+use seal_runtime::rng::Rng;
 
 fn module_for(template_name: &str, buggy: bool) -> seal_ir::Module {
     let t = all_templates()
@@ -49,20 +49,32 @@ fn npd_check_bug_faults_concretely() {
     );
     let fixed = module_for("npd-check", false);
     let mut interp = Interp::new(&fixed, FaultPlan::fail_call("devm_kzalloc", 0));
-    assert_eq!(interp.call("probe_fw_probe", &[Value::Int(3)]), Ok(Value::Int(-12)));
+    assert_eq!(
+        interp.call("probe_fw_probe", &[Value::Int(3)]),
+        Ok(Value::Int(-12))
+    );
 }
 
 #[test]
 fn leak_bug_leaves_live_allocation() {
     let buggy = module_for("leak-errpath", true);
     let mut interp = Interp::new(&buggy, FaultPlan::fail_call("dsp_start", 0));
-    assert_eq!(interp.call("probe_dai_probe", &[Value::Int(1)]), Ok(Value::Int(-5)));
+    assert_eq!(
+        interp.call("probe_dai_probe", &[Value::Int(1)]),
+        Ok(Value::Int(-5))
+    );
     assert_eq!(interp.leaked_objects().len(), 1, "buffer leaked");
 
     let fixed = module_for("leak-errpath", false);
     let mut interp = Interp::new(&fixed, FaultPlan::fail_call("dsp_start", 0));
-    assert_eq!(interp.call("probe_dai_probe", &[Value::Int(1)]), Ok(Value::Int(-5)));
-    assert!(interp.leaked_objects().is_empty(), "fix frees on the error path");
+    assert_eq!(
+        interp.call("probe_dai_probe", &[Value::Int(1)]),
+        Ok(Value::Int(-5))
+    );
+    assert!(
+        interp.leaked_objects().is_empty(),
+        "fix frees on the error path"
+    );
 }
 
 #[test]
@@ -87,10 +99,16 @@ fn swallowed_error_code_confirmed() {
     let plan = || FaultPlan::fail_call("parse_rate", 0);
     let buggy = module_for("ec-swallow", true);
     let mut interp = Interp::new(&buggy, plan());
-    assert_eq!(interp.call("probe_set_rate", &[Value::Int(9)]), Ok(Value::Int(0)));
+    assert_eq!(
+        interp.call("probe_set_rate", &[Value::Int(9)]),
+        Ok(Value::Int(0))
+    );
     let fixed = module_for("ec-swallow", false);
     let mut interp = Interp::new(&fixed, plan());
-    assert_eq!(interp.call("probe_set_rate", &[Value::Int(9)]), Ok(Value::Int(-5)));
+    assert_eq!(
+        interp.call("probe_set_rate", &[Value::Int(9)]),
+        Ok(Value::Int(-5))
+    );
 }
 
 #[test]

@@ -51,8 +51,12 @@ fn spec_4_1_shape() {
                         )
                 })
         })
-        .unwrap_or_else(|| panic!("Spec 4.1 not inferred; got: {:#?}",
-            specs.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+        .unwrap_or_else(|| {
+            panic!(
+                "Spec 4.1 not inferred; got: {:#?}",
+                specs.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+            )
+        });
     // Paper rendering sanity: the printed form carries all elements.
     let text = hit.to_string();
     assert!(text.contains("-12 ↪ ret^i"));

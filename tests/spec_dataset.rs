@@ -25,11 +25,7 @@ fn dataset_round_trip_preserves_detection() {
     assert!(!specs.is_empty());
 
     // Serialize to a dataset, parse it back.
-    let dataset: String = specs
-        .iter()
-        .map(to_line)
-        .collect::<Vec<_>>()
-        .join("\n");
+    let dataset: String = specs.iter().map(to_line).collect::<Vec<_>>().join("\n");
     let reloaded = parse_lines(&dataset).expect("dataset reparses");
     assert_eq!(reloaded.len(), specs.len());
 
