@@ -1,0 +1,71 @@
+//! Fault-isolated batch inference.
+//!
+//! One bad patch in a corpus — malformed source, a lowering defect, even a
+//! panic from an analysis invariant — must cost exactly one result slot,
+//! never the batch. [`infer_batch`] runs [`Seal::infer`] for every patch on
+//! the work-stealing pool behind [`seal_runtime::par_map_isolated_jobs`],
+//! so each item gets a `Result` and survivors are byte-identical to running
+//! that item alone, at any worker count.
+
+use crate::error::{SealError, Stage};
+use crate::patch::Patch;
+use crate::Seal;
+use seal_runtime::par_map_isolated_jobs;
+use seal_spec::Specification;
+
+/// Infers specifications for every patch, isolating failures per item.
+///
+/// The result vector is index-aligned with `patches`. `Seal::infer` already
+/// contains panics stage-by-stage; the pool-level isolation here is the
+/// second fence, catching anything that still unwinds (and attributing it
+/// to [`Stage::Infer`]).
+pub fn infer_batch(
+    seal: &Seal,
+    patches: &[Patch],
+    jobs: usize,
+) -> Vec<Result<Vec<Specification>, SealError>> {
+    par_map_isolated_jobs(jobs, patches, |patch| seal.infer(patch))
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(r) => r,
+            Err(p) => Err(SealError::panic(Stage::Infer, p)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD_PRE: &str = "
+struct ops { int (*prep)(int *p); };
+int do_prep(int *p) { return *p; }
+struct ops t = { .prep = do_prep, };
+";
+    const GOOD_POST: &str = "
+struct ops { int (*prep)(int *p); };
+int do_prep(int *p) { if (p == NULL) return -22; return *p; }
+struct ops t = { .prep = do_prep, };
+";
+
+    #[test]
+    fn bad_items_fail_alone_and_survivors_match_solo_runs() {
+        let seal = Seal::default();
+        let patches = vec![
+            Patch::new("good-1", GOOD_PRE, GOOD_POST),
+            Patch::new("bad-1", "int f(void) { return nope; }", "int f(void) {}"),
+            Patch::new("good-2", GOOD_PRE, GOOD_POST),
+        ];
+        for jobs in [1, 4] {
+            let results = infer_batch(&seal, &patches, jobs);
+            assert_eq!(results.len(), 3);
+            for i in [0, 2] {
+                let solo = seal.infer(&patches[i]).unwrap();
+                assert_eq!(results[i].as_ref().unwrap(), &solo, "item {i}, jobs={jobs}");
+            }
+            let err = results[1].as_ref().unwrap_err();
+            assert_eq!(err.stage(), Stage::Frontend, "jobs={jobs}");
+            assert!(err.to_string().contains("does not compile"));
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! a demand-built PDG (cached per scope, the summary reuse of §6.2.3) and
 //! checked against the spec's condition, order, and quantifier.
 
+use crate::error::{DetectError, SealError};
 use crate::report::{classify_spec, BugReport};
 use crate::roles;
 use seal_ir::callgraph::CallGraph;
@@ -137,6 +138,35 @@ pub fn detect_bugs_with_stats_jobs(
     cfg: &DetectConfig,
     jobs: usize,
 ) -> (Vec<BugReport>, DetectStats) {
+    let (reports, stats, errors) = detect_inner(module, specs, cfg, jobs, false);
+    if let Some(e) = errors.into_iter().next() {
+        // Non-isolated contract: a failed shard is a caller bug, not data.
+        panic!("{e}");
+    }
+    (reports, stats)
+}
+
+/// Fault-isolated [`detect_bugs_with_stats_jobs`]: a shard that fails —
+/// invalid PDG scope or a contained panic mid-search — costs only its own
+/// `(spec, region)` items and comes back as a [`SealError`] instead of
+/// unwinding. Surviving reports are byte-identical to the non-isolated run
+/// whenever no shard fails, at any `jobs`.
+pub fn detect_bugs_isolated(
+    module: &Module,
+    specs: &[Specification],
+    cfg: &DetectConfig,
+    jobs: usize,
+) -> (Vec<BugReport>, DetectStats, Vec<SealError>) {
+    detect_inner(module, specs, cfg, jobs, true)
+}
+
+fn detect_inner(
+    module: &Module,
+    specs: &[Specification],
+    cfg: &DetectConfig,
+    jobs: usize,
+    isolate: bool,
+) -> (Vec<BugReport>, DetectStats, Vec<SealError>) {
     let cg = CallGraph::build(module);
 
     // Spec-identity memoization: detection sees a spec only through its
@@ -178,13 +208,7 @@ pub fn detect_bugs_with_stats_jobs(
         .map(|(scope, items)| Shard { scope, items })
         .collect();
 
-    struct ShardOut {
-        results: Vec<(usize, usize, Option<BugReport>)>,
-        pdg_time: std::time::Duration,
-        search_time: std::time::Duration,
-        counters: SearchCounters,
-    }
-    let shard_outs: Vec<ShardOut> = seal_runtime::par_map_jobs(jobs, &shards, |shard| {
+    let run_shard = |shard: &Shard| -> Result<ShardOut, SealError> {
         let mut o = ShardOut {
             results: Vec::with_capacity(shard.items.len()),
             pdg_time: std::time::Duration::ZERO,
@@ -193,7 +217,7 @@ pub fn detect_bugs_with_stats_jobs(
         };
         if cfg.reuse_pdg_cache {
             let t0 = std::time::Instant::now();
-            let pdg = Pdg::build(module, &cg, &shard.scope);
+            let pdg = Pdg::try_build(module, &cg, &shard.scope)?;
             o.pdg_time += t0.elapsed();
             let mut paths = PathCache::new(&pdg, cfg);
             for &(si, ri, region) in &shard.items {
@@ -208,7 +232,7 @@ pub fn detect_bugs_with_stats_jobs(
             // no-summary-reuse baseline of §8.4.
             for &(si, ri, region) in &shard.items {
                 let t0 = std::time::Instant::now();
-                let pdg = Pdg::build(module, &cg, &shard.scope);
+                let pdg = Pdg::try_build(module, &cg, &shard.scope)?;
                 o.pdg_time += t0.elapsed();
                 let mut paths = PathCache::new(&pdg, cfg);
                 let t1 = std::time::Instant::now();
@@ -218,22 +242,48 @@ pub fn detect_bugs_with_stats_jobs(
                 o.counters.add(paths.counters);
             }
         }
-        o
-    });
+        Ok(o)
+    };
+    let shard_outs: Vec<Result<ShardOut, SealError>> = if isolate {
+        // Second fence on top of the typed errors: a panic anywhere in the
+        // shard (PDG construction invariants, path search, the solver) is
+        // contained and attributed to the shard's scope.
+        seal_runtime::par_map_isolated_jobs(jobs, &shards, run_shard)
+            .into_iter()
+            .zip(&shards)
+            .map(|(slot, shard)| match slot {
+                Ok(r) => r,
+                Err(p) => Err(DetectError::ShardFailed {
+                    scope: scope_names(module, &shard.scope),
+                    message: p.message,
+                }
+                .into()),
+            })
+            .collect()
+    } else {
+        seal_runtime::par_map_jobs(jobs, &shards, run_shard)
+    };
 
     // Deterministic merge: restore the sequential (spec, region) order.
     // Counters sum commutatively over shards whose composition is fixed by
     // the `BTreeMap` grouping above, so every `DetectStats` count (like
-    // the reports) is independent of `jobs`.
+    // the reports) is independent of `jobs`. A failed shard contributes its
+    // error and nothing else — its items are simply absent.
     let mut tagged: Vec<(usize, usize, Option<BugReport>)> = Vec::with_capacity(stats.regions);
+    let mut errors: Vec<SealError> = Vec::new();
     for so in shard_outs {
-        stats.pdg_time += so.pdg_time;
-        stats.search_time += so.search_time;
-        stats.solver_queries += so.counters.solver_queries;
-        stats.solver_cache_hits += so.counters.solver_cache_hits;
-        stats.subtrees_pruned += so.counters.subtrees_pruned;
-        stats.sources_skipped_unreachable += so.counters.sources_skipped_unreachable;
-        tagged.extend(so.results);
+        match so {
+            Ok(so) => {
+                stats.pdg_time += so.pdg_time;
+                stats.search_time += so.search_time;
+                stats.solver_queries += so.counters.solver_queries;
+                stats.solver_cache_hits += so.counters.solver_cache_hits;
+                stats.subtrees_pruned += so.counters.subtrees_pruned;
+                stats.sources_skipped_unreachable += so.counters.sources_skipped_unreachable;
+                tagged.extend(so.results);
+            }
+            Err(e) => errors.push(e),
+        }
     }
     tagged.sort_by_key(|&(si, ri, _)| (si, ri));
     let mut out = Vec::new();
@@ -244,7 +294,32 @@ pub fn detect_bugs_with_stats_jobs(
         }
     }
     dedup_reports(&mut out);
-    (out, stats)
+    (out, stats, errors)
+}
+
+/// One shard's results plus its phase timings and counters.
+struct ShardOut {
+    results: Vec<(usize, usize, Option<BugReport>)>,
+    pdg_time: std::time::Duration,
+    search_time: std::time::Duration,
+    counters: SearchCounters,
+}
+
+/// Human-readable scope label for shard-level errors: function names where
+/// the id resolves, the raw id where it does not (an invalid scope is
+/// exactly the case these errors exist for).
+fn scope_names(module: &Module, scope: &BTreeSet<FuncId>) -> String {
+    scope
+        .iter()
+        .map(|&fid| {
+            if fid.index() < module.functions.len() {
+                module.body(fid).name.clone()
+            } else {
+                fid.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 /// Detection regions for a specification (§6.4.1): sibling implementations

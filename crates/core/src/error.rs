@@ -1,0 +1,186 @@
+//! Unified error taxonomy for the SEAL pipeline.
+//!
+//! Every failure a batch item can hit — frontend diagnostics, structural
+//! lowering defects, PDG scope mismatches, detection faults, or a contained
+//! panic from a stage that still holds a true invariant — is funnelled into
+//! one [`SealError`] tagged with the [`Stage`] it came from. The CLI's
+//! per-item failure summary and the fault-injection harness both key off
+//! this type; see DESIGN.md, "Fault tolerance".
+
+use seal_ir::LowerError;
+use seal_kir::KirError;
+use seal_pdg::PdgError;
+use seal_runtime::TaskPanic;
+
+/// The pipeline stage an error is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// KIR parsing/type-checking of a source version.
+    Frontend,
+    /// Lowering to the CFG IR (or its structural validation).
+    Lower,
+    /// Program-dependence-graph construction.
+    Pdg,
+    /// PDG differentiation (Alg. 1).
+    Diff,
+    /// Specification extraction (Alg. 2).
+    Extract,
+    /// Violation detection (stage ④).
+    Detect,
+    /// The whole-item inference wrapper (batch isolation boundary).
+    Infer,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Stage::Frontend => "frontend",
+            Stage::Lower => "lower",
+            Stage::Pdg => "pdg",
+            Stage::Diff => "diff",
+            Stage::Extract => "extract",
+            Stage::Detect => "detect",
+            Stage::Infer => "infer",
+        })
+    }
+}
+
+/// A typed failure of the detection stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectError {
+    /// One detection shard failed; its specs produced no reports.
+    ShardFailed {
+        /// Scope key of the shard (function set it analyzed).
+        scope: String,
+        /// What went wrong inside the shard.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DetectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectError::ShardFailed { scope, message } => {
+                write!(f, "detection shard over {scope} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectError {}
+
+/// Any failure the SEAL pipeline can attribute to a single batch item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SealError {
+    /// The frontend rejected a source version.
+    Compile(KirError),
+    /// Lowering produced (or received) a structurally invalid module.
+    Lower(LowerError),
+    /// PDG construction was handed an invalid scope.
+    Pdg(PdgError),
+    /// The detection stage failed for a shard of work.
+    Detect(DetectError),
+    /// A stage panicked; the panic was contained at the item boundary.
+    Panic {
+        /// Stage the panic unwound from.
+        stage: Stage,
+        /// Captured panic message (with source location when known).
+        message: String,
+    },
+}
+
+impl SealError {
+    /// Wraps a contained [`TaskPanic`] with the stage it unwound from.
+    pub fn panic(stage: Stage, p: TaskPanic) -> Self {
+        SealError::Panic {
+            stage,
+            message: p.message,
+        }
+    }
+
+    /// The stage this error is attributed to.
+    pub fn stage(&self) -> Stage {
+        match self {
+            SealError::Compile(_) => Stage::Frontend,
+            SealError::Lower(_) => Stage::Lower,
+            SealError::Pdg(_) => Stage::Pdg,
+            SealError::Detect(_) => Stage::Detect,
+            SealError::Panic { stage, .. } => *stage,
+        }
+    }
+}
+
+impl std::fmt::Display for SealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // The frontend wording is load-bearing: the CLI summary and
+            // callers grep for "does not compile".
+            SealError::Compile(e) => write!(f, "does not compile: {e}"),
+            SealError::Lower(e) => write!(f, "invalid lowered module: {e}"),
+            SealError::Pdg(e) => write!(f, "PDG construction failed: {e}"),
+            SealError::Detect(e) => write!(f, "{e}"),
+            SealError::Panic { stage, message } => {
+                write!(f, "panic in {stage} stage: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SealError {}
+
+impl From<KirError> for SealError {
+    fn from(e: KirError) -> Self {
+        SealError::Compile(e)
+    }
+}
+
+impl From<LowerError> for SealError {
+    fn from(e: LowerError) -> Self {
+        SealError::Lower(e)
+    }
+}
+
+impl From<PdgError> for SealError {
+    fn from(e: PdgError) -> Self {
+        SealError::Pdg(e)
+    }
+}
+
+impl From<DetectError> for SealError {
+    fn from(e: DetectError) -> Self {
+        SealError::Detect(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_and_messages_round_trip() {
+        let e = SealError::panic(
+            Stage::Diff,
+            TaskPanic {
+                message: "boom (at x.rs:1)".into(),
+            },
+        );
+        assert_eq!(e.stage(), Stage::Diff);
+        assert_eq!(e.to_string(), "panic in diff stage: boom (at x.rs:1)");
+
+        let e: SealError = DetectError::ShardFailed {
+            scope: "f,g".into(),
+            message: "oops".into(),
+        }
+        .into();
+        assert_eq!(e.stage(), Stage::Detect);
+        assert!(e.to_string().contains("f,g"));
+    }
+
+    #[test]
+    fn compile_errors_keep_the_does_not_compile_phrase() {
+        let err = seal_kir::compile("int f(void) { return nope; }", "t.c").unwrap_err();
+        let e: SealError = err.into();
+        assert_eq!(e.stage(), Stage::Frontend);
+        assert!(e.to_string().contains("does not compile"), "{e}");
+    }
+}

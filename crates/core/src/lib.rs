@@ -31,20 +31,26 @@
 //! assert!(!specs.is_empty());
 //! ```
 
+pub mod batch;
 pub mod detect;
 pub mod diff;
+pub mod error;
 pub mod extract;
 pub mod patch;
 pub mod report;
 pub mod roles;
 
+pub use batch::infer_batch;
 pub use detect::{
-    detect_bugs, detect_bugs_with_stats, detect_bugs_with_stats_jobs, DetectConfig, DetectStats,
+    detect_bugs, detect_bugs_isolated, detect_bugs_with_stats, detect_bugs_with_stats_jobs,
+    DetectConfig, DetectStats,
 };
 pub use diff::{ChangedPaths, DiffConfig};
+pub use error::{DetectError, SealError, Stage};
 pub use patch::{CompiledPatch, Patch};
 pub use report::{BugReport, BugType};
 
+use seal_runtime::catch_task_panic;
 use seal_spec::Specification;
 
 /// End-to-end SEAL driver with tunable budgets.
@@ -59,10 +65,17 @@ pub struct Seal {
 impl Seal {
     /// Infers interface specifications from one security patch
     /// (stages ①–③).
-    pub fn infer(&self, patch: &Patch) -> Result<Vec<Specification>, seal_kir::KirError> {
+    ///
+    /// Fault-isolated per stage: frontend/lowering failures come back as
+    /// their typed [`SealError`] variants, and a panic inside
+    /// differentiation or extraction is contained into
+    /// [`SealError::Panic`] tagged with the stage instead of unwinding.
+    pub fn infer(&self, patch: &Patch) -> Result<Vec<Specification>, SealError> {
         let compiled = patch.compile()?;
-        let changed = diff::diff_patch(&compiled, &self.diff);
-        Ok(extract::extract_specs(&compiled, &changed))
+        let changed = catch_task_panic(|| diff::diff_patch(&compiled, &self.diff))
+            .map_err(|p| SealError::panic(Stage::Diff, p))?;
+        catch_task_panic(|| extract::extract_specs(&compiled, &changed))
+            .map_err(|p| SealError::panic(Stage::Extract, p))
     }
 
     /// Detects violations of `specs` inside `module` (stage ④).
@@ -76,7 +89,7 @@ impl Seal {
         &self,
         patch: &Patch,
         target: &seal_ir::Module,
-    ) -> Result<Vec<BugReport>, seal_kir::KirError> {
+    ) -> Result<Vec<BugReport>, SealError> {
         let specs = self.infer(patch)?;
         Ok(self.detect(target, &specs))
     }

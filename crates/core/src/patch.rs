@@ -5,9 +5,10 @@
 //! separate [`Module`]s and compared structurally, which serves the same
 //! purpose without the renaming machinery.
 
+use crate::error::{SealError, Stage};
 use seal_ir::module::Module;
 use seal_kir::pretty;
-use seal_kir::KirError;
+use seal_runtime::catch_task_panic;
 use std::collections::BTreeSet;
 
 /// A security patch: two versions of one compilation unit. Patch
@@ -34,11 +35,21 @@ impl Patch {
     }
 
     /// Compiles both versions and computes the changed-function set.
-    pub fn compile(&self) -> Result<CompiledPatch, KirError> {
-        let pre_tu = seal_kir::compile(&self.pre, &format!("{}:pre", self.id))?;
-        let post_tu = seal_kir::compile(&self.post, &format!("{}:post", self.id))?;
-        let pre = seal_ir::lower(&pre_tu);
-        let post = seal_ir::lower(&post_tu);
+    ///
+    /// Each stage is fault-isolated: frontend diagnostics come back as
+    /// [`SealError::Compile`], structural lowering defects as
+    /// [`SealError::Lower`], and a panic inside either stage is contained
+    /// into [`SealError::Panic`] instead of unwinding into the caller's
+    /// batch.
+    pub fn compile(&self) -> Result<CompiledPatch, SealError> {
+        let pre_tu = contain(Stage::Frontend, || {
+            seal_kir::compile(&self.pre, &format!("{}:pre", self.id))
+        })??;
+        let post_tu = contain(Stage::Frontend, || {
+            seal_kir::compile(&self.post, &format!("{}:post", self.id))
+        })??;
+        let pre = contain(Stage::Lower, || seal_ir::lower_checked(&pre_tu))??;
+        let post = contain(Stage::Lower, || seal_ir::lower_checked(&post_tu))??;
         let changed = changed_functions(&pre_tu, &post_tu);
         Ok(CompiledPatch {
             id: self.id.clone(),
@@ -46,6 +57,19 @@ impl Patch {
             post,
             changed,
         })
+    }
+}
+
+/// Runs one pipeline stage with panic containment: the inner `Result`'s
+/// error converts into a typed [`SealError`], a panic becomes
+/// [`SealError::Panic`] for `stage`.
+pub(crate) fn contain<T, E: Into<SealError>>(
+    stage: Stage,
+    f: impl FnOnce() -> Result<T, E>,
+) -> Result<Result<T, SealError>, SealError> {
+    match catch_task_panic(f) {
+        Ok(r) => Ok(r.map_err(Into::into)),
+        Err(p) => Err(SealError::panic(stage, p)),
     }
 }
 

@@ -1,0 +1,193 @@
+//! Deterministic source mutator for fault-injection testing.
+//!
+//! Produces broken-in-realistic-ways variants of a C source file:
+//! truncations at arbitrary byte boundaries, spliced/duplicated/deleted
+//! line ranges, and local character corruption with C-ish junk tokens. The
+//! pipeline's fault-isolation contract (DESIGN.md, "Fault tolerance") is
+//! tested by feeding these to `seal infer` and asserting that every
+//! failure is a typed per-item error — no escaped panic, no lost
+//! survivors.
+//!
+//! Mutations are driven by the in-tree [`Rng`], so a seed fully determines
+//! the mutant set — a failing corpus is reproducible from its seed alone.
+
+use seal_runtime::rng::Rng;
+
+/// Junk fragments spliced in by [`MutOp::Corrupt`] — chosen to stress the
+/// frontend's recovery paths: unbalanced braces, stray punctuation, and
+/// identifiers that survive the lexer but not the type checker.
+const JUNK: &[&str] = &[
+    "{",
+    "}",
+    ";",
+    ")",
+    "(",
+    "*",
+    "->",
+    "__undefined_sym",
+    "0x",
+    "else",
+    "&&",
+    "/*",
+];
+
+/// One mutation step applied to a source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MutOp {
+    /// Cut the file at a random char boundary.
+    Truncate,
+    /// Move a random line range somewhere else.
+    Splice,
+    /// Overwrite a random span with a junk token.
+    Corrupt,
+    /// Delete a random line range.
+    DeleteLines,
+    /// Duplicate a random line range in place.
+    DuplicateLines,
+}
+
+const OPS: &[MutOp] = &[
+    MutOp::Truncate,
+    MutOp::Splice,
+    MutOp::Corrupt,
+    MutOp::DeleteLines,
+    MutOp::DuplicateLines,
+];
+
+/// Applies 1–3 random mutation steps to `src`. The result is usually — but
+/// deliberately not always — invalid C: some mutants still compile, which
+/// is exactly what the isolation tests need (survivors must keep working
+/// next to failures).
+pub fn mutate(src: &str, rng: &mut Rng) -> String {
+    let steps = rng.gen_range(1..=3usize);
+    let mut out = src.to_string();
+    for _ in 0..steps {
+        let op = OPS[rng.gen_range(0..OPS.len())];
+        out = apply(&out, op, rng);
+    }
+    out
+}
+
+/// `n` deterministic mutants of `src` from one seed.
+pub fn mutants(src: &str, n: usize, seed: u64) -> Vec<String> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| mutate(src, &mut rng)).collect()
+}
+
+fn apply(src: &str, op: MutOp, rng: &mut Rng) -> String {
+    match op {
+        MutOp::Truncate => {
+            if src.is_empty() {
+                return String::new();
+            }
+            let cut = floor_char_boundary(src, rng.gen_range(0..src.len()));
+            src[..cut].to_string()
+        }
+        MutOp::Corrupt => {
+            if src.is_empty() {
+                return JUNK[rng.gen_range(0..JUNK.len())].to_string();
+            }
+            let start = floor_char_boundary(src, rng.gen_range(0..src.len()));
+            let span = rng.gen_range(1..=8usize);
+            let end = floor_char_boundary(src, (start + span).min(src.len()));
+            let junk = JUNK[rng.gen_range(0..JUNK.len())];
+            format!("{}{}{}", &src[..start], junk, &src[end.max(start)..])
+        }
+        MutOp::Splice => {
+            let lines: Vec<&str> = src.lines().collect();
+            if lines.len() < 3 {
+                return src.to_string();
+            }
+            let (a, b) = line_range(&lines, rng);
+            let mut rest: Vec<&str> = Vec::with_capacity(lines.len());
+            rest.extend_from_slice(&lines[..a]);
+            rest.extend_from_slice(&lines[b..]);
+            let at = rng.gen_range(0..=rest.len());
+            let mut out: Vec<&str> = Vec::with_capacity(lines.len());
+            out.extend_from_slice(&rest[..at]);
+            out.extend_from_slice(&lines[a..b]);
+            out.extend_from_slice(&rest[at..]);
+            out.join("\n")
+        }
+        MutOp::DeleteLines => {
+            let lines: Vec<&str> = src.lines().collect();
+            if lines.len() < 2 {
+                return String::new();
+            }
+            let (a, b) = line_range(&lines, rng);
+            let mut out: Vec<&str> = Vec::with_capacity(lines.len());
+            out.extend_from_slice(&lines[..a]);
+            out.extend_from_slice(&lines[b..]);
+            out.join("\n")
+        }
+        MutOp::DuplicateLines => {
+            let lines: Vec<&str> = src.lines().collect();
+            if lines.is_empty() {
+                return src.to_string();
+            }
+            let (a, b) = line_range(&lines, rng);
+            let mut out: Vec<&str> = Vec::with_capacity(lines.len() + (b - a));
+            out.extend_from_slice(&lines[..b]);
+            out.extend_from_slice(&lines[a..b]);
+            out.extend_from_slice(&lines[b..]);
+            out.join("\n")
+        }
+    }
+}
+
+/// A random non-empty `[a, b)` range of at most 5 lines.
+fn line_range(lines: &[&str], rng: &mut Rng) -> (usize, usize) {
+    let a = rng.gen_range(0..lines.len());
+    let len = rng.gen_range(1..=5usize).min(lines.len() - a);
+    (a, a + len)
+}
+
+/// Largest char boundary `<= i` (stable alternative to the unstable
+/// `str::floor_char_boundary`).
+fn floor_char_boundary(s: &str, mut i: usize) -> usize {
+    i = i.min(s.len());
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "int f(int x) {\n  if (x > 0) {\n    return 1;\n  }\n  return 0;\n}\n";
+
+    #[test]
+    fn same_seed_same_mutants() {
+        assert_eq!(mutants(SRC, 20, 7), mutants(SRC, 20, 7));
+        assert_ne!(mutants(SRC, 20, 7), mutants(SRC, 20, 8));
+    }
+
+    #[test]
+    fn mutants_mostly_differ_from_the_original() {
+        let ms = mutants(SRC, 50, 42);
+        let changed = ms.iter().filter(|m| m.as_str() != SRC).count();
+        assert!(changed >= 45, "only {changed}/50 mutants changed");
+    }
+
+    #[test]
+    fn every_op_keeps_valid_utf8_and_terminates() {
+        // Multi-byte chars exercise the boundary clamping.
+        let src = "int f(void) { /* ünïcödé ☃ */ return 0; }\nint g(void) { return 1; }\n";
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..200 {
+            let m = mutate(src, &mut rng);
+            assert!(m.len() <= src.len() * 6 + 16);
+            let _ = m.chars().count(); // would panic on invalid UTF-8 slicing
+        }
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..20 {
+            let _ = mutate("", &mut rng);
+        }
+    }
+}

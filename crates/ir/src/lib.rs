@@ -27,6 +27,6 @@ pub mod tac;
 pub use body::{BasicBlock, FuncBody, LocalDecl};
 pub use callgraph::CallGraph;
 pub use ids::{BlockId, FuncId, LocalId};
-pub use lower::lower;
+pub use lower::{lower, lower_checked, validate_module, LowerError};
 pub use module::{ApiDecl, Binding, InterfaceDef, InterfaceId, Module};
 pub use tac::{Callee, Inst, Operand, Place, PlaceBase, Projection, Rvalue, Terminator};

@@ -22,13 +22,212 @@ use seal_kir::span::Span;
 use seal_kir::types::Type;
 use std::collections::HashMap;
 
+/// A structural defect in a lowered module.
+///
+/// Lowering of a type-checked unit is designed never to produce these, but
+/// the fault-isolation contract (DESIGN.md, "Fault tolerance") demands that
+/// consumers of foreign or mutated inputs get a typed error rather than an
+/// out-of-bounds panic deep inside the PDG or detection layers. The checks
+/// mirror exactly the indexing those layers perform unchecked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// A function body has no basic blocks (no entry).
+    EmptyFunction {
+        /// Offending function.
+        func: String,
+    },
+    /// A terminator targets a block outside the body.
+    BlockOutOfRange {
+        /// Offending function.
+        func: String,
+        /// The out-of-range target.
+        block: u32,
+        /// Number of blocks in the body.
+        blocks: usize,
+    },
+    /// An instruction references a local slot outside the body's table.
+    LocalOutOfRange {
+        /// Offending function.
+        func: String,
+        /// The out-of-range local.
+        local: u32,
+        /// Number of declared locals.
+        locals: usize,
+    },
+    /// A block's span table disagrees with its instruction count.
+    SpanCountMismatch {
+        /// Offending function.
+        func: String,
+        /// Offending block index.
+        block: u32,
+    },
+    /// `param_count` exceeds the local table.
+    ParamCountOutOfRange {
+        /// Offending function.
+        func: String,
+    },
+    /// A finished body still contains an `Unreachable` placeholder.
+    UnfinishedBlock {
+        /// Offending function.
+        func: String,
+        /// Offending block index.
+        block: u32,
+    },
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::EmptyFunction { func } => {
+                write!(f, "function `{func}` lowered to an empty body")
+            }
+            LowerError::BlockOutOfRange {
+                func,
+                block,
+                blocks,
+            } => write!(
+                f,
+                "function `{func}` jumps to block b{block} but has {blocks} block(s)"
+            ),
+            LowerError::LocalOutOfRange {
+                func,
+                local,
+                locals,
+            } => write!(
+                f,
+                "function `{func}` references local _{local} but declares {locals} local(s)"
+            ),
+            LowerError::SpanCountMismatch { func, block } => write!(
+                f,
+                "function `{func}` block b{block} has mismatched instruction/span tables"
+            ),
+            LowerError::ParamCountOutOfRange { func } => {
+                write!(f, "function `{func}` declares more params than locals")
+            }
+            LowerError::UnfinishedBlock { func, block } => write!(
+                f,
+                "function `{func}` block b{block} kept a construction placeholder terminator"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Validates the structural invariants downstream layers index on without
+/// bounds checks: block targets, local slots, span tables, and finished
+/// terminators. `Ok(())` means the module can be walked panic-free by
+/// `seal-pdg` and `seal-core`.
+pub fn validate_module(module: &Module) -> Result<(), LowerError> {
+    for body in &module.functions {
+        let func = || body.name.clone();
+        let nblocks = body.blocks.len();
+        let nlocals = body.locals.len();
+        if nblocks == 0 {
+            return Err(LowerError::EmptyFunction { func: func() });
+        }
+        if body.param_count > nlocals {
+            return Err(LowerError::ParamCountOutOfRange { func: func() });
+        }
+        let check_local = |l: &LocalId| -> Result<(), LowerError> {
+            if l.index() >= nlocals {
+                return Err(LowerError::LocalOutOfRange {
+                    func: func(),
+                    local: l.0,
+                    locals: nlocals,
+                });
+            }
+            Ok(())
+        };
+        let check_operand = |op: &Operand| -> Result<(), LowerError> {
+            match op.as_local() {
+                Some(l) => check_local(&l),
+                None => Ok(()),
+            }
+        };
+        let check_place = |place: &Place| -> Result<(), LowerError> {
+            if let PlaceBase::Local(l) = &place.base {
+                check_local(l)?;
+            }
+            for p in &place.projections {
+                if let Projection::Index { index, .. } = p {
+                    check_operand(index)?;
+                }
+            }
+            Ok(())
+        };
+        for (bi, block) in body.blocks.iter().enumerate() {
+            if block.insts.len() != block.spans.len() {
+                return Err(LowerError::SpanCountMismatch {
+                    func: func(),
+                    block: bi as u32,
+                });
+            }
+            for inst in &block.insts {
+                if let Some(d) = inst.def() {
+                    check_local(&d)?;
+                }
+                match inst {
+                    Inst::Assign { rv, .. } => {
+                        for op in rv.operands() {
+                            check_operand(op)?;
+                        }
+                    }
+                    Inst::Load { place, .. } | Inst::AddrOf { place, .. } => check_place(place)?,
+                    Inst::Store { place, value } => {
+                        check_place(place)?;
+                        check_operand(value)?;
+                    }
+                    Inst::Call { callee, args, .. } => {
+                        if let Callee::Indirect { ptr, .. } = callee {
+                            check_operand(ptr)?;
+                        }
+                        for a in args {
+                            check_operand(a)?;
+                        }
+                    }
+                }
+            }
+            if matches!(block.terminator, Terminator::Unreachable) {
+                return Err(LowerError::UnfinishedBlock {
+                    func: func(),
+                    block: bi as u32,
+                });
+            }
+            for succ in block.terminator.successors() {
+                if succ.index() >= nblocks {
+                    return Err(LowerError::BlockOutOfRange {
+                        func: func(),
+                        block: succ.0,
+                        blocks: nblocks,
+                    });
+                }
+            }
+            if let Some(op) = block.terminator.operand() {
+                check_operand(op)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`lower`] followed by [`validate_module`]: the fault-isolated entry the
+/// batch pipeline uses, guaranteeing downstream layers a structurally
+/// sound module or a typed [`LowerError`].
+pub fn lower_checked(tu: &TranslationUnit) -> Result<Module, LowerError> {
+    let module = lower(tu);
+    validate_module(&module)?;
+    Ok(module)
+}
+
 /// Lowers a type-checked translation unit into a module.
 ///
 /// # Panics
 ///
 /// Panics if the unit was not type checked (expression types unresolved in
 /// ways lowering cannot recover from are reported as `Type::Error` and
-/// tolerated, but malformed lvalues panic).
+/// tolerated, but malformed lvalues panic). Use [`lower_checked`] for the
+/// fault-isolated variant that validates the result instead.
 pub fn lower(tu: &TranslationUnit) -> Module {
     let mut module = Module {
         name: tu.file.clone(),
@@ -952,6 +1151,65 @@ mod tests {
 
     fn lower_src(src: &str) -> Module {
         lower(&compile(src, "t.c").unwrap())
+    }
+
+    #[test]
+    fn lowered_modules_validate_clean() {
+        let m = lower_src(
+            "int g(int x);\n\
+             int f(int x) { if (x > 0) { return g(x); } return 0; }\n\
+             int h(int *p, int n) { int s = 0; while (n > 0) { s = s + p[n]; n = n - 1; } return s; }",
+        );
+        validate_module(&m).unwrap();
+        assert!(lower_checked(&compile("int f(void) { return 1; }", "t.c").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_corrupted_modules() {
+        let base = lower_src("int f(int x) { if (x > 0) { return 1; } return 0; }");
+
+        let mut m = base.clone();
+        m.functions[0].blocks.clear();
+        assert!(matches!(
+            validate_module(&m),
+            Err(LowerError::EmptyFunction { .. })
+        ));
+
+        let mut m = base.clone();
+        let last = m.functions[0].blocks.len();
+        if let Terminator::Branch { then_bb, .. } = &mut m.functions[0].blocks[0].terminator {
+            *then_bb = BlockId(last as u32 + 7);
+        }
+        let err = validate_module(&m).unwrap_err();
+        assert!(matches!(err, LowerError::BlockOutOfRange { .. }), "{err}");
+
+        let mut m = base.clone();
+        let nlocals = m.functions[0].locals.len();
+        if let Some(Inst::Assign { dest, .. }) = m.functions[0].blocks[0].insts.first_mut() {
+            *dest = LocalId(nlocals as u32 + 3);
+        }
+        let err = validate_module(&m).unwrap_err();
+        assert!(matches!(err, LowerError::LocalOutOfRange { .. }), "{err}");
+
+        let mut m = base.clone();
+        m.functions[0].blocks[0].spans.pop();
+        assert!(matches!(
+            validate_module(&m),
+            Err(LowerError::SpanCountMismatch { .. })
+        ));
+
+        let mut m = base.clone();
+        m.functions[0].param_count = m.functions[0].locals.len() + 1;
+        assert!(matches!(
+            validate_module(&m),
+            Err(LowerError::ParamCountOutOfRange { .. })
+        ));
+
+        let mut m = base;
+        m.functions[0].blocks[0].terminator = Terminator::Unreachable;
+        let err = validate_module(&m).unwrap_err();
+        assert!(matches!(err, LowerError::UnfinishedBlock { .. }), "{err}");
+        assert!(err.to_string().contains('f'));
     }
 
     #[test]

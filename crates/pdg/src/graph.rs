@@ -140,7 +140,54 @@ pub struct Pdg<'m> {
     pub control: HashMap<FuncId, ControlFacts>,
 }
 
+/// A typed failure of PDG construction, for callers that feed it scopes
+/// derived from foreign inputs (the fault-isolated detection pipeline)
+/// rather than scopes they computed from the same module themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PdgError {
+    /// A scope id does not name a function of the module.
+    ScopeFunctionMissing {
+        /// The out-of-range id.
+        func: FuncId,
+        /// Number of functions in the module.
+        functions: usize,
+    },
+}
+
+impl std::fmt::Display for PdgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PdgError::ScopeFunctionMissing { func, functions } => write!(
+                f,
+                "PDG scope names {func} but the module has {functions} function(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PdgError {}
+
 impl<'m> Pdg<'m> {
+    /// [`Pdg::build`] with the scope validated first: every id must name a
+    /// function of `module`, otherwise a typed [`PdgError`] comes back
+    /// instead of an out-of-bounds panic mid-construction.
+    pub fn try_build(
+        module: &'m Module,
+        cg: &CallGraph,
+        scope: &BTreeSet<FuncId>,
+    ) -> Result<Self, PdgError> {
+        let functions = module.functions.len();
+        for &fid in scope {
+            if fid.index() >= functions {
+                return Err(PdgError::ScopeFunctionMissing {
+                    func: fid,
+                    functions,
+                });
+            }
+        }
+        Ok(Self::build(module, cg, scope))
+    }
+
     /// Builds the PDG for the given functions (and interprocedural edges
     /// among them).
     pub fn build(module: &'m Module, cg: &CallGraph, scope: &BTreeSet<FuncId>) -> Self {

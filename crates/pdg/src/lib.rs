@@ -25,5 +25,5 @@ pub mod points_to;
 pub mod slice;
 
 pub use cell::{Cell, CellRoot, PathElem};
-pub use graph::{NodeId, NodeKind, Pdg, UseKind};
+pub use graph::{NodeId, NodeKind, Pdg, PdgError, UseKind};
 pub use slice::{SliceConfig, ValueFlowPath};

@@ -364,7 +364,12 @@ pub fn node_signature(pdg: &Pdg<'_>, n: NodeId) -> String {
                     _ => format!("{fname}#goto"),
                 };
             }
-            let inst = body.inst_at(*loc).expect("non-terminator");
+            // A node whose location no longer resolves (possible only for
+            // graphs built over foreign inputs) degrades to an opaque
+            // signature instead of panicking mid-render.
+            let Some(inst) = body.inst_at(*loc) else {
+                return format!("{fname}#invalid-loc");
+            };
             let sig = match inst {
                 Inst::Assign { rv, .. } => match rv {
                     Rvalue::Use(a) => format!("use({})", render_op(loc.func, a)),

@@ -14,13 +14,22 @@
 //!   external `rand` crate.
 //! * [`symbol`] — a global string interner with `Copy` [`Symbol`]s ordered
 //!   by content, used for the structural path signatures of `seal-pdg`.
+//! * [`panic`] — scoped panic containment ([`catch_task_panic`]) backing
+//!   the fault-isolated [`par_map_isolated`]: one bad batch item becomes
+//!   an `Err(TaskPanic)` slot instead of aborting its 999 siblings, and
+//!   nothing leaks to stderr.
 //!
 //! The worker count is taken from the `SEAL_JOBS` environment variable
 //! (default: [`std::thread::available_parallelism`]).
 
+pub mod panic;
 pub mod pool;
 pub mod rng;
 pub mod symbol;
 
-pub use pool::{par_map, par_map_indexed, par_map_indexed_jobs, par_map_jobs, worker_count};
+pub use panic::{catch_task_panic, TaskPanic};
+pub use pool::{
+    par_map, par_map_indexed, par_map_indexed_jobs, par_map_isolated, par_map_isolated_jobs,
+    par_map_jobs, worker_count,
+};
 pub use symbol::Symbol;

@@ -175,6 +175,35 @@ where
     par_map_indexed_jobs(worker_count(), items, f)
 }
 
+/// Fault-isolated parallel map: each task runs inside
+/// [`crate::panic::catch_task_panic`], so one panicking item yields an
+/// `Err(TaskPanic)` slot instead of aborting the whole map. Ordering is
+/// index-preserving by construction, and because every task is
+/// independent, each slot's value is byte-identical for any `jobs` —
+/// including the inline `jobs <= 1` reference path.
+pub fn par_map_isolated_jobs<T, U, F>(
+    jobs: usize,
+    items: &[T],
+    f: F,
+) -> Vec<Result<U, crate::panic::TaskPanic>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed_jobs(jobs, items, |_, t| crate::panic::catch_task_panic(|| f(t)))
+}
+
+/// [`par_map_isolated_jobs`] with the worker count from `SEAL_JOBS`.
+pub fn par_map_isolated<T, U, F>(items: &[T], f: F) -> Vec<Result<U, crate::panic::TaskPanic>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_isolated_jobs(worker_count(), items, f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +268,45 @@ mod tests {
         assert!(result.is_err(), "panic must propagate to the caller");
         // The pool drained the remaining tasks instead of hanging.
         assert_eq!(ran.load(Ordering::SeqCst), items.len() - 1);
+    }
+
+    #[test]
+    fn isolated_map_survives_panicking_tasks() {
+        let items: Vec<usize> = (0..64).collect();
+        for jobs in [1, 4] {
+            let got = par_map_isolated_jobs(jobs, &items, |&i| {
+                if i % 13 == 5 {
+                    panic!("bad item {i}");
+                }
+                i * 2
+            });
+            assert_eq!(got.len(), items.len(), "jobs={jobs}");
+            for (i, r) in got.iter().enumerate() {
+                if i % 13 == 5 {
+                    let e = r.as_ref().unwrap_err();
+                    assert!(e.message.contains(&format!("bad item {i}")), "{e}");
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i * 2), "jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_map_is_jobs_invariant() {
+        let items: Vec<u64> = (0..97).collect();
+        let run = |jobs| {
+            par_map_isolated_jobs(jobs, &items, |&x| {
+                if x % 10 == 3 {
+                    panic!("drop {x}");
+                }
+                x * x
+            })
+        };
+        let a = run(1);
+        for jobs in [2, 4, 7] {
+            assert_eq!(a, run(jobs), "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -9,3 +9,37 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo run --release --offline -p seal-bench --bin bench_pipeline
+
+# Fault-injection smoke: mutate a real corpus patch and batch-infer the
+# mutants next to a good pair. The contract (DESIGN.md, "Fault tolerance"):
+# exit 0 (all fine) or 2 (some items failed) — never 1, never a panic
+# backtrace on stderr.
+SEAL=target/release/seal
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+"$SEAL" gen-corpus --dir "$SMOKE_DIR/corpus" --drivers 2 >/dev/null 2>&1
+FIRST_PRE=$(ls "$SMOKE_DIR"/corpus/patches/*.pre.c | head -n 1)
+FIRST_POST=${FIRST_PRE%.pre.c}.post.c
+"$SEAL" mutate --src "$FIRST_PRE" --out "$SMOKE_DIR/mutants" --n 3 --seed 7 2>/dev/null
+PRE_LIST=$FIRST_PRE
+POST_LIST=$FIRST_POST
+for m in "$SMOKE_DIR"/mutants/*.c; do
+    PRE_LIST=$PRE_LIST,$m
+    POST_LIST=$POST_LIST,$FIRST_POST
+done
+set +e
+"$SEAL" infer --pre "$PRE_LIST" --post "$POST_LIST" \
+    >"$SMOKE_DIR/smoke.out" 2>"$SMOKE_DIR/smoke.err"
+CODE=$?
+set -e
+if [ "$CODE" != 0 ] && [ "$CODE" != 2 ]; then
+    echo "fault-injection smoke: unexpected exit code $CODE" >&2
+    cat "$SMOKE_DIR/smoke.err" >&2
+    exit 1
+fi
+if grep -q "panicked at" "$SMOKE_DIR/smoke.err"; then
+    echo "fault-injection smoke: panic escaped to stderr" >&2
+    cat "$SMOKE_DIR/smoke.err" >&2
+    exit 1
+fi
+echo "fault-injection smoke: ok (exit $CODE)"

@@ -9,6 +9,11 @@
 //! seal detect --target kernel.c --specs specs.txt
 //! seal hunt   --pre old.c --post new.c --target kernel.c
 //! ```
+//!
+//! Batch items are fault-isolated (DESIGN.md, "Fault tolerance"): one bad
+//! patch never aborts its siblings. Failures are summarized per item on
+//! stderr and reflected in the exit code — `0` all items succeeded, `1`
+//! usage or fatal error, `2` completed but some items failed.
 
 use seal::core::{Patch, Seal};
 use seal_spec::merge::merge_specs;
@@ -17,10 +22,53 @@ use seal_spec::Specification;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+/// How a completed run went: every item succeeded, or some failed (their
+/// failures already summarized on stderr).
+enum Outcome {
+    Full,
+    Partial,
+}
+
+/// One failed batch item, for the stderr summary.
+struct ItemFailure {
+    /// Item identity: a patch id, a file path, or a shard scope.
+    id: String,
+    /// Pipeline stage the failure is attributed to.
+    stage: String,
+    /// Human-readable cause.
+    message: String,
+}
+
+impl ItemFailure {
+    fn of(id: &str, e: &seal::core::SealError) -> ItemFailure {
+        ItemFailure {
+            id: id.to_string(),
+            stage: e.stage().to_string(),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Prints the per-item failure summary (nothing when all items passed).
+fn report_failures(failures: &[ItemFailure]) {
+    if failures.is_empty() {
+        return;
+    }
+    eprintln!("seal: {} item(s) failed:", failures.len());
+    for f in failures {
+        let mut lines = f.message.lines();
+        eprintln!("  {} [{}] {}", f.id, f.stage, lines.next().unwrap_or(""));
+        for l in lines {
+            eprintln!("      {l}");
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(Outcome::Full) => ExitCode::SUCCESS,
+        Ok(Outcome::Partial) => ExitCode::from(2),
         Err(e) => {
             eprintln!("seal: {e}");
             ExitCode::FAILURE
@@ -28,7 +76,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<Outcome, String> {
     let Some(cmd) = args.first() else {
         return Err(usage());
     };
@@ -39,9 +87,10 @@ fn run(args: &[String]) -> Result<(), String> {
         "hunt" => infer_and_detect(&opts),
         "merge" => merge(&opts),
         "gen-corpus" => gen_corpus(&opts),
+        "mutate" => mutate(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
-            Ok(())
+            Ok(Outcome::Full)
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
@@ -53,12 +102,17 @@ fn usage() -> String {
      seal detect --target <file,...> --specs <specs-file> [--jobs <n>]\n  \
      seal hunt   --pre <file,...> --post <file,...> --target <file,...> [--jobs <n>]\n  \
      seal merge  --specs <file,file,...> --out <specs-file>\n  \
-     seal gen-corpus --dir <dir> [--seed <n>] [--drivers <n>]\n\
+     seal gen-corpus --dir <dir> [--seed <n>] [--drivers <n>]\n  \
+     seal mutate --src <file,...> --out <dir> [--n <k>] [--seed <n>]\n\
      \n\
      --pre/--post accept comma-separated lists of equal length; the pairs\n\
      are inferred in parallel and the specs are merged in argument order.\n\
      --jobs overrides the worker count (otherwise SEAL_JOBS, default:\n\
-     available parallelism); results are identical for any worker count."
+     available parallelism); results are identical for any worker count.\n\
+     \n\
+     Batch items are fault-isolated: a failing item is reported on stderr\n\
+     and the rest proceed. Exit codes: 0 all items succeeded, 1 usage or\n\
+     fatal error, 2 completed but some items failed."
         .to_string()
 }
 
@@ -83,7 +137,14 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("expected a --flag, found `{flag}`"));
         };
         let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
-        opts.insert(key.to_string(), value.clone());
+        // A flag where a value belongs means the value was forgotten
+        // (`--pre --post b.c` must not silently set pre to "--post").
+        if value.starts_with("--") {
+            return Err(format!("--{key} needs a value, found flag `{value}`"));
+        }
+        if opts.insert(key.to_string(), value.clone()).is_some() {
+            return Err(format!("--{key} given more than once"));
+        }
     }
     Ok(opts)
 }
@@ -103,12 +164,21 @@ fn list(opts: &HashMap<String, String>, key: &str) -> Result<Vec<String>, String
     let raw = opts
         .get(key)
         .ok_or_else(|| format!("missing --{key}\n{}", usage()))?;
-    Ok(raw.split(',').map(str::to_string).collect())
+    let items: Vec<String> = raw.split(',').map(str::to_string).collect();
+    if items.iter().any(|s| s.trim().is_empty()) {
+        return Err(format!(
+            "--{key} contains an empty entry (stray comma?): `{raw}`"
+        ));
+    }
+    Ok(items)
 }
 
-fn infer_specs(opts: &HashMap<String, String>) -> Result<Vec<Specification>, String> {
-    // `--pre`/`--post` accept comma-separated lists of equal length; each
-    // (pre, post) pair is one patch.
+/// Infers specifications for every `(pre, post)` pair, isolating failures
+/// per patch: survivors come back alongside the failure summary instead of
+/// the first bad patch aborting the batch.
+fn infer_specs(
+    opts: &HashMap<String, String>,
+) -> Result<(Vec<Specification>, Vec<ItemFailure>), String> {
     let pre_paths = list(opts, "pre")?;
     let post_paths = list(opts, "post")?;
     if pre_paths.len() != post_paths.len() {
@@ -123,35 +193,42 @@ fn infer_specs(opts: &HashMap<String, String>) -> Result<Vec<Specification>, Str
         .cloned()
         .unwrap_or_else(|| "patch".to_string());
     let mut patches = Vec::new();
+    let mut failures = Vec::new();
     for (i, (pre_path, post_path)) in pre_paths.iter().zip(&post_paths).enumerate() {
-        let pre = read_file(pre_path)?;
-        let post = read_file(post_path)?;
         let patch_id = if pre_paths.len() == 1 {
             id.clone()
         } else {
             format!("{id}-{}", i + 1)
         };
-        patches.push(Patch::new(patch_id, pre, post));
+        // An unreadable file fails its own item, not the batch.
+        match (read_file(pre_path), read_file(post_path)) {
+            (Ok(pre), Ok(post)) => patches.push(Patch::new(patch_id, pre, post)),
+            (Err(e), _) | (_, Err(e)) => failures.push(ItemFailure {
+                id: patch_id,
+                stage: "input".to_string(),
+                message: e,
+            }),
+        }
     }
 
-    // Each patch compiles and diffs independently; run them on the
-    // work-stealing pool and merge results in patch-index order so the
-    // spec output is byte-identical to a sequential run.
+    // Fault-isolated batch: each patch gets a result slot, survivors are
+    // byte-identical to running alone, and the merge in patch-index order
+    // keeps the output independent of the worker count.
     let seal = Seal::default();
-    let per_patch: Vec<Result<Vec<Specification>, String>> =
-        seal_runtime::par_map_jobs(jobs(opts)?, &patches, |patch| {
-            seal.infer(patch)
-                .map_err(|e| format!("patch `{}` does not compile:\n{e}", patch.id))
-        });
+    let results = seal::core::infer_batch(&seal, &patches, jobs(opts)?);
     let mut specs = Vec::new();
-    for result in per_patch {
-        specs.extend(result?);
+    for (patch, result) in patches.iter().zip(results) {
+        match result {
+            Ok(s) => specs.extend(s),
+            Err(e) => failures.push(ItemFailure::of(&patch.id, &e)),
+        }
     }
-    Ok(specs)
+    Ok((specs, failures))
 }
 
-fn infer(opts: &HashMap<String, String>) -> Result<(), String> {
-    let specs = merge_specs(infer_specs(opts)?);
+fn infer(opts: &HashMap<String, String>) -> Result<Outcome, String> {
+    let (specs, failures) = infer_specs(opts)?;
+    let specs = merge_specs(specs);
     let lines: Vec<String> = specs.iter().map(to_line).collect();
     match opts.get("out") {
         Some(path) => {
@@ -167,22 +244,35 @@ fn infer(opts: &HashMap<String, String>) -> Result<(), String> {
             }
         }
     }
-    if specs.is_empty() {
+    if specs.is_empty() && failures.is_empty() {
         eprintln!("note: zero relations inferred (the change touches no interaction data)");
     }
-    Ok(())
+    report_failures(&failures);
+    Ok(if failures.is_empty() {
+        Outcome::Full
+    } else {
+        Outcome::Partial
+    })
 }
 
 /// Merges one or more spec datasets (deduplicating and disjoining same-
-/// shape constraints, §9) into one file.
-fn merge(opts: &HashMap<String, String>) -> Result<(), String> {
-    let paths = opts
-        .get("specs")
-        .ok_or_else(|| format!("missing --specs\n{}", usage()))?;
+/// shape constraints, §9) into one file. A malformed input file loses its
+/// own specs, not the merge.
+fn merge(opts: &HashMap<String, String>) -> Result<Outcome, String> {
+    let paths = list(opts, "specs")?;
     let mut all = Vec::new();
-    for path in paths.split(',') {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        all.extend(parse_lines(&text).map_err(|e| e.to_string())?);
+    let mut failures = Vec::new();
+    for path in &paths {
+        let parsed = read_file(path)
+            .and_then(|text| parse_lines(&text).map_err(|e| format!("malformed spec file: {e}")));
+        match parsed {
+            Ok(specs) => all.extend(specs),
+            Err(message) => failures.push(ItemFailure {
+                id: path.clone(),
+                stage: "input".to_string(),
+                message,
+            }),
+        }
     }
     let before = all.len();
     let merged = merge_specs(all);
@@ -199,13 +289,18 @@ fn merge(opts: &HashMap<String, String>) -> Result<(), String> {
         "merged {before} -> {} specification(s) into {out_path}",
         merged.len()
     );
-    Ok(())
+    report_failures(&failures);
+    Ok(if failures.is_empty() {
+        Outcome::Full
+    } else {
+        Outcome::Partial
+    })
 }
 
 /// Materializes a synthetic kernel + patch corpus on disk, ready for the
 /// infer/merge/detect workflow (and with a ground-truth ledger to score
 /// against).
-fn gen_corpus(opts: &HashMap<String, String>) -> Result<(), String> {
+fn gen_corpus(opts: &HashMap<String, String>) -> Result<Outcome, String> {
     let dir = opts
         .get("dir")
         .ok_or_else(|| format!("missing --dir\n{}", usage()))?;
@@ -230,40 +325,76 @@ fn gen_corpus(opts: &HashMap<String, String>) -> Result<(), String> {
         tree.patch_files.len(),
         corpus.ground_truth.len()
     );
-    Ok(())
+    Ok(Outcome::Full)
 }
 
-fn detect(opts: &HashMap<String, String>) -> Result<(), String> {
+/// Writes deterministic mutants of the given sources, for fault-injection
+/// smoke tests (`scripts/ci.sh`) and manual robustness probing.
+fn mutate(opts: &HashMap<String, String>) -> Result<Outcome, String> {
+    let srcs = list(opts, "src")?;
+    let out_dir = opts
+        .get("out")
+        .ok_or_else(|| format!("missing --out\n{}", usage()))?;
+    let parse_num = |key: &str, default: u64| -> Result<u64, String> {
+        match opts.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("--{key} must be a number")),
+            None => Ok(default),
+        }
+    };
+    let n = parse_num("n", 8)? as usize;
+    let seed = parse_num("seed", 0xFA11)?;
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+    let mut written = 0usize;
+    for (si, src_path) in srcs.iter().enumerate() {
+        let text = read_file(src_path)?;
+        let stem = std::path::Path::new(src_path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("src");
+        for (mi, m) in seal::corpus::mutate::mutants(&text, n, seed ^ (si as u64))
+            .iter()
+            .enumerate()
+        {
+            let path = format!("{out_dir}/{stem}.mut{mi}.c");
+            std::fs::write(&path, m).map_err(|e| format!("cannot write {path}: {e}"))?;
+            written += 1;
+        }
+    }
+    eprintln!("wrote {written} mutant(s) to {out_dir}");
+    Ok(Outcome::Full)
+}
+
+fn detect(opts: &HashMap<String, String>) -> Result<Outcome, String> {
     let jobs = jobs(opts)?;
     let specs_text = read(opts, "specs")?;
-    let specs = parse_lines(&specs_text).map_err(|e| e.to_string())?;
-    detect_with(opts, &specs, jobs)
+    let specs =
+        parse_lines(&specs_text).map_err(|e| format!("malformed spec file --specs: {e}"))?;
+    detect_with(opts, &specs, jobs, Vec::new())
 }
 
-fn infer_and_detect(opts: &HashMap<String, String>) -> Result<(), String> {
+fn infer_and_detect(opts: &HashMap<String, String>) -> Result<Outcome, String> {
     let jobs = jobs(opts)?;
-    let specs = infer_specs(opts)?;
+    let (specs, failures) = infer_specs(opts)?;
     eprintln!("inferred {} specification(s)", specs.len());
     for s in &specs {
         eprintln!("  {s}");
     }
-    detect_with(opts, &specs, jobs)
+    detect_with(opts, &specs, jobs, failures)
 }
 
 fn detect_with(
     opts: &HashMap<String, String>,
     specs: &[Specification],
     jobs: usize,
-) -> Result<(), String> {
+    mut failures: Vec<ItemFailure>,
+) -> Result<Outcome, String> {
     // `--target` accepts a comma-separated file list; the files are linked
-    // into one module (the §7 linking step).
-    let paths = opts
-        .get("target")
-        .ok_or_else(|| format!("missing --target\n{}", usage()))?;
+    // into one module (the §7 linking step). The target is the shared
+    // substrate of every check, so a broken target is fatal, not partial.
+    let paths = list(opts, "target")?;
     let mut sources = Vec::new();
-    for path in paths.split(',') {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        sources.push((path.to_string(), text));
+    for path in &paths {
+        sources.push((path.clone(), read_file(path)?));
     }
     let borrowed: Vec<(&str, &str)> = sources
         .iter()
@@ -271,10 +402,14 @@ fn detect_with(
         .collect();
     let tu =
         seal_kir::compile_many(&borrowed).map_err(|e| format!("target does not compile:\n{e}"))?;
-    let module = seal_ir::lower(&tu);
+    let module = seal_ir::lower_checked(&tu)
+        .map_err(|e| format!("target lowers to an invalid module: {e}"))?;
     let seal = Seal::default();
-    let (reports, _) =
-        seal::core::detect::detect_bugs_with_stats_jobs(&module, specs, &seal.detect, jobs);
+    let (reports, _, errors) =
+        seal::core::detect::detect_bugs_isolated(&module, specs, &seal.detect, jobs);
+    for e in &errors {
+        failures.push(ItemFailure::of("target", e));
+    }
     if reports.is_empty() {
         println!("no violations found ({} specs checked)", specs.len());
     } else {
@@ -283,5 +418,10 @@ fn detect_with(
             println!("{r}\n");
         }
     }
-    Ok(())
+    report_failures(&failures);
+    Ok(if failures.is_empty() {
+        Outcome::Full
+    } else {
+        Outcome::Partial
+    })
 }

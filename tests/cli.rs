@@ -255,3 +255,233 @@ fn bad_input_fails_cleanly() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("does not compile"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Exit-code protocol: 0 when every item succeeds, 1 for usage/fatal
+/// errors, 2 when the run completes but some batch items failed.
+#[test]
+fn exit_codes_distinguish_full_partial_and_fatal() {
+    let dir = temp_dir("codes");
+    let pre = write(
+        &dir,
+        "pre.c",
+        &format!(
+            "{SHARED}int bp(struct riscmem *r) {{ vbi(r); return 0; }}\n\
+             struct vb2_ops q = {{ .buf_prepare = bp, }};"
+        ),
+    );
+    let post = write(
+        &dir,
+        "post.c",
+        &format!(
+            "{SHARED}int bp(struct riscmem *r) {{ return vbi(r); }}\n\
+             struct vb2_ops q = {{ .buf_prepare = bp, }};"
+        ),
+    );
+    let junk = write(&dir, "junk.c", "int f( { ;;; }");
+
+    // All items fine -> 0.
+    let out = Command::new(seal_bin())
+        .arg("infer")
+        .arg("--pre")
+        .arg(&pre)
+        .arg("--post")
+        .arg(&post)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+
+    // One of two items fails -> 2 (partial).
+    let out = Command::new(seal_bin())
+        .arg("infer")
+        .arg("--pre")
+        .arg(format!("{},{}", pre.display(), junk.display()))
+        .arg("--post")
+        .arg(format!("{},{}", post.display(), post.display()))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "partial failure must exit 2");
+
+    // Usage error -> 1.
+    let out = Command::new(seal_bin())
+        .args(["infer", "--pre"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "usage error must exit 1");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A failing patch in a batch costs only its own item: survivors' specs are
+/// still written, and stderr names the failed item with its stage.
+#[test]
+fn partial_failure_keeps_survivors_and_summarizes() {
+    let dir = temp_dir("partial");
+    let pre = write(
+        &dir,
+        "pre.c",
+        &format!(
+            "{SHARED}int bp(struct riscmem *r) {{ vbi(r); return 0; }}\n\
+             struct vb2_ops q = {{ .buf_prepare = bp, }};"
+        ),
+    );
+    let post = write(
+        &dir,
+        "post.c",
+        &format!(
+            "{SHARED}int bp(struct riscmem *r) {{ return vbi(r); }}\n\
+             struct vb2_ops q = {{ .buf_prepare = bp, }};"
+        ),
+    );
+    let junk = write(&dir, "junk.c", "int f( { ;;; }");
+    let specs_out = dir.join("specs.txt");
+    let out = Command::new(seal_bin())
+        .arg("infer")
+        .arg("--pre")
+        .arg(format!("{},{}", junk.display(), pre.display()))
+        .arg("--post")
+        .arg(format!("{},{}", post.display(), post.display()))
+        .args(["--id", "fix"])
+        .arg("--out")
+        .arg(&specs_out)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Survivor (item 2) still produced its specs.
+    let written = std::fs::read_to_string(&specs_out).unwrap();
+    assert!(written.contains("spec["), "survivor specs lost: {written}");
+    // The summary names the failed item, its stage, and the cause.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fix-1"), "stderr: {stderr}");
+    assert!(stderr.contains("[frontend]"), "stderr: {stderr}");
+    assert!(stderr.contains("does not compile"), "stderr: {stderr}");
+    // An unreadable file is also one item, not a fatal error.
+    let out = Command::new(seal_bin())
+        .arg("infer")
+        .arg("--pre")
+        .arg(format!("{},/nonexistent-pre.c", pre.display()))
+        .arg("--post")
+        .arg(format!("{},{}", post.display(), post.display()))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A malformed dataset in `seal merge` loses its own specs, not the merge.
+#[test]
+fn merge_survives_malformed_spec_file() {
+    let dir = temp_dir("merge-bad");
+    let pre = write(
+        &dir,
+        "pre.c",
+        &format!(
+            "{SHARED}int bp(struct riscmem *r) {{ vbi(r); return 0; }}\n\
+             struct vb2_ops q = {{ .buf_prepare = bp, }};"
+        ),
+    );
+    let post = write(
+        &dir,
+        "post.c",
+        &format!(
+            "{SHARED}int bp(struct riscmem *r) {{ return vbi(r); }}\n\
+             struct vb2_ops q = {{ .buf_prepare = bp, }};"
+        ),
+    );
+    let good = dir.join("good.txt");
+    let st = Command::new(seal_bin())
+        .arg("infer")
+        .arg("--pre")
+        .arg(&pre)
+        .arg("--post")
+        .arg(&post)
+        .arg("--out")
+        .arg(&good)
+        .status()
+        .unwrap();
+    assert!(st.success());
+    let bad = write(&dir, "bad.txt", "spec[this is not a well-formed line\n");
+    let merged = dir.join("merged.txt");
+    let out = Command::new(seal_bin())
+        .arg("merge")
+        .arg("--specs")
+        .arg(format!("{},{}", good.display(), bad.display()))
+        .arg("--out")
+        .arg(&merged)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad.txt"), "stderr: {stderr}");
+    let merged_text = std::fs::read_to_string(&merged).unwrap();
+    assert!(
+        merged_text.contains("spec["),
+        "survivors lost: {merged_text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Comma lists reject empty entries instead of treating them as the empty
+/// path (`--pre a.c,,b.c` used to try to read "").
+#[test]
+fn empty_list_entries_are_rejected() {
+    let dir = temp_dir("empty-entry");
+    let ok = write(&dir, "ok.c", "int f(void) { return 0; }");
+    let out = Command::new(seal_bin())
+        .arg("infer")
+        .arg("--pre")
+        .arg(format!("{},,{}", ok.display(), ok.display()))
+        .arg("--post")
+        .arg(format!(
+            "{},{},{}",
+            ok.display(),
+            ok.display(),
+            ok.display()
+        ))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("empty entry"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Option parsing is strict: a flag can't swallow the next flag as its
+/// value, and a repeated flag is an error instead of a silent overwrite.
+#[test]
+fn option_parsing_rejects_flag_values_and_duplicates() {
+    let dir = temp_dir("optparse");
+    let ok = write(&dir, "ok.c", "int f(void) { return 0; }");
+    // `--pre --post x.c` used to set pre="--post" silently.
+    let out = Command::new(seal_bin())
+        .args(["infer", "--pre", "--post"])
+        .arg(&ok)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("needs a value"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Duplicate flag: the second occurrence used to win silently.
+    let out = Command::new(seal_bin())
+        .arg("infer")
+        .arg("--pre")
+        .arg(&ok)
+        .arg("--pre")
+        .arg(&ok)
+        .arg("--post")
+        .arg(&ok)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("more than once"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

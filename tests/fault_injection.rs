@@ -1,0 +1,131 @@
+//! Fault-injection harness for the pipeline's isolation contract
+//! (DESIGN.md, "Fault tolerance").
+//!
+//! Hundreds of deterministically mutated patches — truncated, spliced,
+//! corrupted variants of real corpus patches — go through batch inference.
+//! The contract under test:
+//!
+//! 1. **no escaped panics**: every mutant yields a `Result`, the harness
+//!    process never unwinds,
+//! 2. **typed failures**: each error carries the pipeline stage it came
+//!    from,
+//! 3. **survivor integrity**: an item that succeeds inside the batch
+//!    produces byte-identical specs to running it alone, at any `--jobs`.
+
+use seal_core::{infer_batch, Patch, Seal};
+use seal_corpus::mutate::mutants;
+use seal_corpus::{generate, CorpusConfig};
+use seal_spec::parse::to_line;
+
+/// Builds ≥200 patches: a small seeded corpus's patch set, mostly mutated
+/// (pre and/or post), with the originals kept in the mix so survivors are
+/// guaranteed.
+fn mutated_patch_set() -> Vec<Patch> {
+    let corpus = generate(&CorpusConfig {
+        seed: 0xFA117,
+        drivers_per_template: 2,
+        patches_per_template: 2,
+        refactor_patches: 2,
+        ..CorpusConfig::default()
+    });
+    assert!(!corpus.patches.is_empty());
+    let mut out = Vec::new();
+    // Originals first: the guaranteed-survivor population.
+    for p in &corpus.patches {
+        out.push(Patch::new(format!("orig-{}", p.id), &p.pre, &p.post));
+    }
+    // Mutants: cycle the corpus patches, mutating pre, post, or both.
+    let mut i = 0usize;
+    while out.len() < 220 {
+        let p = &corpus.patches[i % corpus.patches.len()];
+        let seed = 0xBAD5EED ^ (i as u64);
+        let (pre, post) = match i % 3 {
+            0 => (mutants(&p.pre, 1, seed).pop().unwrap(), p.post.clone()),
+            1 => (p.pre.clone(), mutants(&p.post, 1, seed).pop().unwrap()),
+            _ => (
+                mutants(&p.pre, 1, seed).pop().unwrap(),
+                mutants(&p.post, 1, seed ^ 0xFF).pop().unwrap(),
+            ),
+        };
+        out.push(Patch::new(format!("mut-{i:04}"), pre, post));
+        i += 1;
+    }
+    out
+}
+
+#[test]
+fn mutated_corpus_cannot_escape_the_isolation_boundary() {
+    let seal = Seal::default();
+    let patches = mutated_patch_set();
+    assert!(patches.len() >= 200, "need ≥200 injected inputs");
+
+    // The batch completing at all is contract point 1 — an escaped panic
+    // would abort the test process here.
+    let batch1 = infer_batch(&seal, &patches, 1);
+    let batch4 = infer_batch(&seal, &patches, 4);
+    assert_eq!(batch1.len(), patches.len());
+    assert_eq!(batch4.len(), patches.len());
+
+    let mut successes = 0usize;
+    let mut failures = 0usize;
+    for (patch, (r1, r4)) in patches.iter().zip(batch1.iter().zip(&batch4)) {
+        // Jobs-invariance of each slot, success or failure.
+        assert_eq!(r1, r4, "slot for {} differs between jobs=1 and 4", patch.id);
+        match r1 {
+            Ok(specs) => {
+                successes += 1;
+                // Contract point 3: byte-identical to a solo run.
+                let solo = seal
+                    .infer(patch)
+                    .unwrap_or_else(|e| panic!("{} ok in batch, failed solo: {e}", patch.id));
+                let batch_lines: Vec<String> = specs.iter().map(to_line).collect();
+                let solo_lines: Vec<String> = solo.iter().map(to_line).collect();
+                assert_eq!(batch_lines, solo_lines, "survivor {} diverged", patch.id);
+            }
+            Err(e) => {
+                failures += 1;
+                // Contract point 2: a typed, stage-attributed error with a
+                // non-empty rendering.
+                let msg = e.to_string();
+                assert!(!msg.is_empty(), "{}: empty error", patch.id);
+                assert!(!e.stage().to_string().is_empty());
+            }
+        }
+    }
+    // The harness only means something if both populations are non-trivial:
+    // unmutated originals must survive, and the mutation engine must
+    // actually break things.
+    assert!(
+        successes >= patches.len() / 10,
+        "only {successes} survivors of {}",
+        patches.len()
+    );
+    assert!(
+        failures >= patches.len() / 10,
+        "only {failures} failures of {} — mutations too tame",
+        patches.len()
+    );
+}
+
+/// The originals (unmutated corpus patches) must all survive inference —
+/// isolation must not turn good inputs into failures.
+#[test]
+fn unmutated_originals_all_survive() {
+    let corpus = generate(&CorpusConfig {
+        seed: 0xFA117,
+        drivers_per_template: 2,
+        patches_per_template: 2,
+        refactor_patches: 2,
+        ..CorpusConfig::default()
+    });
+    let seal = Seal::default();
+    let results = infer_batch(&seal, &corpus.patches, 4);
+    for (p, r) in corpus.patches.iter().zip(&results) {
+        assert!(
+            r.is_ok(),
+            "original {} failed: {}",
+            p.id,
+            r.as_ref().unwrap_err()
+        );
+    }
+}
