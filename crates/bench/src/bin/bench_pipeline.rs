@@ -156,6 +156,29 @@ fn num(x: f64) -> String {
     format!("{:.2}", x)
 }
 
+/// Per-stage metrics block from one instrumented run, so a regression in
+/// the medians above is attributable to a stage instead of end-to-end.
+fn metrics_json(snap: &seal_obs::MetricsSnapshot) -> String {
+    use seal_obs::metrics::MetricValue;
+    let mut parts = Vec::new();
+    for (name, m) in &snap.metrics {
+        let v = match &m.value {
+            MetricValue::Counter(c) => {
+                format!("{{\"kind\":\"counter\",\"det\":{},\"value\":{c}}}", m.det)
+            }
+            MetricValue::Gauge(g) => {
+                format!("{{\"kind\":\"gauge\",\"det\":{},\"value\":{g}}}", m.det)
+            }
+            MetricValue::Hist { count, sum, .. } => format!(
+                "{{\"kind\":\"hist\",\"det\":{},\"count\":{count},\"sum\":{sum}}}",
+                m.det
+            ),
+        };
+        parts.push(format!("\"{name}\": {v}"));
+    }
+    format!("{{{}}}", parts.join(",\n    "))
+}
+
 fn phase_json(s: &Samples) -> String {
     format!(
         "{{\"end_to_end_ms\":{{\"median\":{},\"p90\":{}}},\
@@ -221,6 +244,14 @@ fn main() {
         ));
     }
 
+    // One instrumented run: every measured run above had the registry
+    // disabled (the default), so the medians include only the disabled-path
+    // cost; this extra run collects the per-stage counters for the report.
+    eprintln!("collecting per-stage metrics (1 instrumented run)");
+    seal_obs::metrics::enable();
+    let _ = run_pipeline_with_jobs(&eval_config(), *worker_counts.last().unwrap());
+    let stage_metrics = seal_obs::metrics::take();
+
     let cfg = eval_config();
     let opt = DetectConfig::default();
     let json = format!(
@@ -233,6 +264,7 @@ fn main() {
          \"prune_unsat_prefixes\": {}, \"solver_memo\": {}, \"intern_signatures\": {}}}}},\n  \
          \"baseline_seed_equivalent\": {},\n  \
          \"workers\": [\n    {}\n  ],\n  \
+         \"stage_metrics\": {},\n  \
          \"identical_output_across_workers\": {identical}\n}}\n",
         cfg.seed,
         cfg.drivers_per_template,
@@ -249,6 +281,7 @@ fn main() {
         seal_core::DiffConfig::default().intern_signatures,
         phase_json(&baseline),
         workers_json.join(",\n    "),
+        metrics_json(&stage_metrics),
     );
 
     std::fs::write("BENCH_pipeline.json", &json).expect("cannot write BENCH_pipeline.json");

@@ -56,16 +56,22 @@ pub fn run_pipeline(config: &CorpusConfig) -> PipelineResult {
 /// list — and everything downstream — is byte-identical to a sequential
 /// run for any `jobs`.
 pub fn run_pipeline_with_jobs(config: &CorpusConfig, jobs: usize) -> PipelineResult {
-    let corpus = generate(config);
+    let corpus = {
+        let _span = seal_obs::span!("pipeline.generate", seed = config.seed);
+        generate(config)
+    };
     let target = corpus.target_module();
     let seal = Seal::default();
 
     let t0 = Instant::now();
+    let infer_span = seal_obs::span!("pipeline.infer", patches = corpus.patches.len());
     let per_patch: Vec<(String, Vec<Specification>)> =
         seal_runtime::par_map_jobs(jobs, &corpus.patches, |patch| {
+            let _span = seal_obs::task_span!("infer.patch", id = patch.id.clone());
             let s = seal.infer(patch).expect("corpus patches compile");
             (patch.id.clone(), s)
         });
+    drop(infer_span);
     let mut specs = Vec::new();
     let mut per_patch_specs = Vec::new();
     for (id, s) in per_patch {
@@ -73,10 +79,13 @@ pub fn run_pipeline_with_jobs(config: &CorpusConfig, jobs: usize) -> PipelineRes
         specs.extend(s);
     }
     let infer_time = t0.elapsed();
+    seal_obs::metrics::counter_add("pipeline.specs", specs.len() as u64);
 
     let t1 = Instant::now();
-    let (reports, detect_stats) =
-        seal_core::detect_bugs_with_stats_jobs(&target, &specs, &seal.detect, jobs);
+    let (reports, detect_stats) = {
+        let _span = seal_obs::span!("pipeline.detect", specs = specs.len());
+        seal_core::detect_bugs_with_stats_jobs(&target, &specs, &seal.detect, jobs)
+    };
     let detect_time = t1.elapsed();
 
     let score = score(&reports, &corpus.ground_truth);

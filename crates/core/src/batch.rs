@@ -24,13 +24,19 @@ pub fn infer_batch(
     patches: &[Patch],
     jobs: usize,
 ) -> Vec<Result<Vec<Specification>, SealError>> {
-    par_map_isolated_jobs(jobs, patches, |patch| seal.infer(patch))
-        .into_iter()
-        .map(|slot| match slot {
-            Ok(r) => r,
-            Err(p) => Err(SealError::panic(Stage::Infer, p)),
-        })
-        .collect()
+    par_map_isolated_jobs(jobs, patches, |patch| {
+        // A task root: the per-patch subtree is a forest root whether the
+        // item ran inline (jobs = 1) or on a pool worker, which keeps the
+        // trace structure jobs-invariant.
+        let _span = seal_obs::task_span!("infer.patch", id = patch.id.clone());
+        seal.infer(patch)
+    })
+    .into_iter()
+    .map(|slot| match slot {
+        Ok(r) => r,
+        Err(p) => Err(SealError::panic(Stage::Infer, p)),
+    })
+    .collect()
 }
 
 #[cfg(test)]

@@ -209,6 +209,13 @@ fn detect_inner(
         .collect();
 
     let run_shard = |shard: &Shard| -> Result<ShardOut, SealError> {
+        // A task root: the shard subtree is identical whether it ran inline
+        // (jobs = 1) or on a pool worker, keeping the trace jobs-invariant.
+        let _span = seal_obs::task_span!(
+            "detect.shard",
+            scope = scope_names(module, &shard.scope),
+            items = shard.items.len(),
+        );
         let mut o = ShardOut {
             results: Vec::with_capacity(shard.items.len()),
             pdg_time: std::time::Duration::ZERO,
@@ -220,6 +227,7 @@ fn detect_inner(
             let pdg = Pdg::try_build(module, &cg, &shard.scope)?;
             o.pdg_time += t0.elapsed();
             let mut paths = PathCache::new(&pdg, cfg);
+            let _search = seal_obs::span!("detect.search", items = shard.items.len());
             for &(si, ri, region) in &shard.items {
                 let t1 = std::time::Instant::now();
                 let r = check_region(module, &pdg, &mut paths, &specs[si], region, cfg);
@@ -294,6 +302,21 @@ fn detect_inner(
         }
     }
     dedup_reports(&mut out);
+    // Flush the deterministic aggregates into the metrics registry at the
+    // merge point: every count below is jobs-invariant by the same argument
+    // as `DetectStats` (commutative sums over a fixed shard composition).
+    seal_obs::metrics::counter_add("detect.shards", shards.len() as u64);
+    seal_obs::metrics::counter_add("detect.regions", stats.regions as u64);
+    seal_obs::metrics::counter_add("detect.skipped", stats.skipped as u64);
+    seal_obs::metrics::counter_add("detect.reports", out.len() as u64);
+    seal_obs::metrics::counter_add("detect.errors", errors.len() as u64);
+    seal_obs::metrics::counter_add("detect.solver_queries", stats.solver_queries);
+    seal_obs::metrics::counter_add("detect.solver_cache_hits", stats.solver_cache_hits);
+    seal_obs::metrics::counter_add("detect.subtrees_pruned", stats.subtrees_pruned);
+    seal_obs::metrics::counter_add(
+        "detect.sources_skipped_unreachable",
+        stats.sources_skipped_unreachable,
+    );
     (out, stats, errors)
 }
 

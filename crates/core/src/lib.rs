@@ -72,10 +72,30 @@ impl Seal {
     /// [`SealError::Panic`] tagged with the stage instead of unwinding.
     pub fn infer(&self, patch: &Patch) -> Result<Vec<Specification>, SealError> {
         let compiled = patch.compile()?;
-        let changed = catch_task_panic(|| diff::diff_patch(&compiled, &self.diff))
-            .map_err(|p| SealError::panic(Stage::Diff, p))?;
-        catch_task_panic(|| extract::extract_specs(&compiled, &changed))
-            .map_err(|p| SealError::panic(Stage::Extract, p))
+        let changed = catch_task_panic(|| {
+            let _span = seal_obs::span!("infer.diff");
+            diff::diff_patch(&compiled, &self.diff)
+        })
+        .map_err(|p| SealError::panic(Stage::Diff, p))?;
+        seal_obs::metrics::counter_add("diff.paths.removed", changed.removed.len() as u64);
+        seal_obs::metrics::counter_add("diff.paths.added", changed.added.len() as u64);
+        seal_obs::metrics::counter_add(
+            "diff.paths.cond_changed",
+            changed.cond_changed.len() as u64,
+        );
+        seal_obs::metrics::counter_add(
+            "diff.paths.unchanged_pairs",
+            changed.unchanged_pairs.len() as u64,
+        );
+        let specs = catch_task_panic(|| {
+            let _span = seal_obs::span!("infer.extract");
+            extract::extract_specs(&compiled, &changed)
+        })
+        .map_err(|p| SealError::panic(Stage::Extract, p));
+        if let Ok(specs) = &specs {
+            seal_obs::metrics::counter_add("infer.specs", specs.len() as u64);
+        }
+        specs
     }
 
     /// Detects violations of `specs` inside `module` (stage ④).

@@ -42,10 +42,14 @@ impl Patch {
     /// into [`SealError::Panic`] instead of unwinding into the caller's
     /// batch.
     pub fn compile(&self) -> Result<CompiledPatch, SealError> {
+        let _span = seal_obs::span!("patch.compile", id = self.id.clone());
+        seal_obs::metrics::counter_add("frontend.compiles", 2);
         let pre_tu = contain(Stage::Frontend, || {
+            let _span = seal_obs::span!("frontend.compile", ver = "pre");
             seal_kir::compile(&self.pre, &format!("{}:pre", self.id))
         })??;
         let post_tu = contain(Stage::Frontend, || {
+            let _span = seal_obs::span!("frontend.compile", ver = "post");
             seal_kir::compile(&self.post, &format!("{}:post", self.id))
         })??;
         let pre = contain(Stage::Lower, || seal_ir::lower_checked(&pre_tu))??;

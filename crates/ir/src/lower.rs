@@ -229,6 +229,7 @@ pub fn lower_checked(tu: &TranslationUnit) -> Result<Module, LowerError> {
 /// tolerated, but malformed lvalues panic). Use [`lower_checked`] for the
 /// fault-isolated variant that validates the result instead.
 pub fn lower(tu: &TranslationUnit) -> Module {
+    let _span = seal_obs::span!("ir.lower", unit = tu.file.clone());
     let mut module = Module {
         name: tu.file.clone(),
         structs: tu.structs.clone(),
@@ -284,6 +285,7 @@ pub fn lower(tu: &TranslationUnit) -> Module {
         let body = FunctionLowerer::new(tu, FuncId(i as u32), f).run();
         module.functions.push(body);
     }
+    seal_obs::metrics::counter_add("ir.lower.functions", module.functions.len() as u64);
 
     // Bindings from stores of function references into interface fields.
     let mut store_bindings = Vec::new();

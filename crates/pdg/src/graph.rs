@@ -191,6 +191,7 @@ impl<'m> Pdg<'m> {
     /// Builds the PDG for the given functions (and interprocedural edges
     /// among them).
     pub fn build(module: &'m Module, cg: &CallGraph, scope: &BTreeSet<FuncId>) -> Self {
+        let _span = seal_obs::span!("pdg.build", funcs = scope.len());
         let mut pdg = Pdg {
             module,
             scope: scope.clone(),
@@ -217,6 +218,10 @@ impl<'m> Pdg<'m> {
             pdg.add_control_edges(module.body(fid));
         }
         pdg.add_interprocedural_edges(cg);
+        seal_obs::metrics::counter_add("pdg.builds", 1);
+        seal_obs::metrics::counter_add("pdg.nodes", pdg.nodes.len() as u64);
+        seal_obs::metrics::counter_add("pdg.edges", pdg.edge_count() as u64);
+        seal_obs::metrics::hist_observe("pdg.nodes_per_build", pdg.nodes.len() as u64);
         pdg
     }
 
@@ -245,6 +250,12 @@ impl<'m> Pdg<'m> {
     /// Direct control dependences of a node.
     pub fn ctrl_deps(&self, n: NodeId) -> &[(NodeId, BranchEdge)] {
         &self.ctrl[n as usize]
+    }
+
+    /// Total edge count (`E_d` + `E_c`), for sizing/metrics.
+    pub fn edge_count(&self) -> usize {
+        self.data_succ.iter().map(Vec::len).sum::<usize>()
+            + self.ctrl.iter().map(Vec::len).sum::<usize>()
     }
 
     /// Order stamp (absent for pseudo-nodes like globals).

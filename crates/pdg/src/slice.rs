@@ -151,6 +151,7 @@ pub fn forward_paths(
     let mut out = Vec::new();
     let mut stack = vec![start];
     dfs_forward(pdg, cctx, &mut stack, &mut out, cfg);
+    seal_obs::metrics::counter_add("slice.paths", out.len() as u64);
     out
 }
 
@@ -604,6 +605,7 @@ pub fn forward_paths_pruned(
     if let (Some(t), Some(m)) = (theory, outer_mark) {
         t.undo_to(m);
     }
+    seal_obs::metrics::counter_add("slice.paths", out.len() as u64);
     out
 }
 

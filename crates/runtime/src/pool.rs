@@ -72,6 +72,8 @@ impl Queues {
                             None => break,
                         }
                     }
+                    seal_obs::metrics::counter_add_nd("pool.injector_refills", 1);
+                    seal_obs::metrics::gauge_max_nd("pool.queue_depth_max", own.len() as i64);
                     continue;
                 }
             }
@@ -83,6 +85,7 @@ impl Queues {
                 }
                 if let Some(i) = lock(deque).pop_front() {
                     self.claimed.fetch_add(1, Ordering::SeqCst);
+                    seal_obs::metrics::counter_add_nd("pool.steals", 1);
                     return Some(i);
                 }
             }
@@ -105,10 +108,13 @@ where
     F: Fn(usize, &T) -> U + Sync,
 {
     let total = items.len();
+    // Task totals are jobs-invariant; worker counts are not.
+    seal_obs::metrics::counter_add("pool.tasks", total as u64);
     if jobs <= 1 || total <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let workers = jobs.min(total);
+    seal_obs::metrics::gauge_max_nd("pool.workers_max", workers as i64);
     let queues = Queues {
         injector: Mutex::new((0..total).collect()),
         deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),

@@ -125,8 +125,10 @@ impl<T: Clone + Eq + Hash> SolverCache<T> {
     pub fn is_sat(&mut self, f: &Formula<T>) -> Verdict {
         let id = self.interner.intern(f);
         self.queries += 1;
+        seal_obs::metrics::counter_add("solver.cache.queries", 1);
         if let Some(&v) = self.sat_memo.get(&id) {
             self.hits += 1;
+            seal_obs::metrics::counter_add("solver.cache.hits", 1);
             return v;
         }
         let v = sat::is_sat(f);
@@ -140,12 +142,15 @@ impl<T: Clone + Eq + Hash> SolverCache<T> {
         let ia = self.interner.intern(a);
         let ib = self.interner.intern(b);
         self.queries += 1;
+        seal_obs::metrics::counter_add("solver.cache.queries", 1);
         if ia == ib {
             self.hits += 1;
+            seal_obs::metrics::counter_add("solver.cache.hits", 1);
             return true;
         }
         if let Some(&r) = self.implies_memo.get(&(ia, ib)) {
             self.hits += 1;
+            seal_obs::metrics::counter_add("solver.cache.hits", 1);
             return r;
         }
         let r = sat::implies(a, b);
@@ -156,6 +161,15 @@ impl<T: Clone + Eq + Hash> SolverCache<T> {
     /// Memoized [`sat::equivalent`] (mutual implication).
     pub fn equivalent(&mut self, a: &Formula<T>, b: &Formula<T>) -> bool {
         self.implies(a, b) && self.implies(b, a)
+    }
+}
+
+impl<T> Drop for SolverCache<T> {
+    /// Publishes final interner occupancy when the cache retires. Summed
+    /// across caches (one per detection shard) the total is deterministic:
+    /// each shard interns a fixed set of formulas regardless of `--jobs`.
+    fn drop(&mut self) {
+        seal_obs::metrics::counter_add("solver.interner.nodes", self.interner.len as u64);
     }
 }
 

@@ -45,6 +45,7 @@ impl Verdict {
 
 /// Decides satisfiability of a formula.
 pub fn is_sat<T: Clone + Eq + Hash>(f: &Formula<T>) -> Verdict {
+    seal_obs::metrics::counter_add("solver.sat.calls", 1);
     let nnf = f.clone().nnf();
     let mut budget = DNF_BUDGET;
     let clauses = match dnf(&nnf, &mut budget) {

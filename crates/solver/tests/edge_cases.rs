@@ -1,0 +1,211 @@
+//! Edge-case tests for the solver's incremental theory, the hash-consing
+//! interner, and the memoizing cache — including the contract that the
+//! cache's own `queries`/`hits` counters agree exactly with the
+//! `solver.cache.*` metrics the cache publishes.
+
+use seal_obs::metrics::{self, MetricValue};
+use seal_solver::{CmpOp, Formula, FormulaInterner, IncrementalTheory, SolverCache, Verdict};
+use std::sync::{Mutex, MutexGuard};
+
+type Fm = Formula<&'static str>;
+
+/// The metrics registry is process-global; serialize the tests that use it.
+static METRICS_LOCK: Mutex<()> = Mutex::new(());
+
+fn metrics_lock() -> MutexGuard<'static, ()> {
+    METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------- theory
+
+#[test]
+fn nested_mark_rewind_restores_each_level() {
+    let mut t: IncrementalTheory<&str> = IncrementalTheory::new();
+    assert!(t.assert_formula(&Fm::cmp("x", CmpOp::Ge, 0)));
+    let outer = t.mark();
+
+    assert!(t.assert_formula(&Fm::cmp("x", CmpOp::Le, 10)));
+    let inner = t.mark();
+
+    // Contradict inside the inner frame.
+    assert!(!t.assert_formula(&Fm::cmp("x", CmpOp::Gt, 10)));
+    assert!(!t.is_consistent());
+
+    // Rewinding the inner frame removes the contradiction but keeps the
+    // outer constraints.
+    t.undo_to(inner);
+    assert!(t.is_consistent());
+    assert!(!t.assert_formula(&Fm::cmp("x", CmpOp::Eq, 11)));
+    t.undo_to(inner);
+    assert!(t.is_consistent());
+
+    // Rewinding the outer frame drops `x <= 10` again.
+    t.undo_to(outer);
+    assert!(t.assert_formula(&Fm::cmp("x", CmpOp::Eq, 1000)));
+}
+
+#[test]
+fn rewind_across_multiple_contradictions() {
+    let mut t: IncrementalTheory<&str> = IncrementalTheory::new();
+    let m0 = t.mark();
+    assert!(!t.assert_formula(&Fm::cmp("a", CmpOp::Lt, 0).and(Fm::cmp("a", CmpOp::Gt, 0))));
+    let m1 = t.mark();
+    assert!(!t.assert_formula(&Fm::cmp("b", CmpOp::Eq, 1).and(Fm::cmp("b", CmpOp::Eq, 2))));
+    // Two independent contradictions are active; undoing one frame must
+    // leave the other in force.
+    t.undo_to(m1);
+    assert!(!t.is_consistent(), "outer contradiction must survive");
+    t.undo_to(m0);
+    assert!(t.is_consistent());
+}
+
+#[test]
+fn undo_to_stale_mark_after_deeper_rewind_is_safe() {
+    let mut t: IncrementalTheory<&str> = IncrementalTheory::new();
+    let m0 = t.mark();
+    assert!(t.assert_formula(&Fm::cmp("x", CmpOp::Eq, 1)));
+    let m1 = t.mark();
+    assert!(t.assert_formula(&Fm::cmp("y", CmpOp::Eq, 2)));
+    t.undo_to(m0);
+    // m1 points past the (now shorter) trail; undoing to it is a no-op
+    // rather than a panic or a resurrection of dropped state.
+    t.undo_to(m1);
+    assert!(t.is_consistent());
+    assert!(t.assert_formula(&Fm::cmp("x", CmpOp::Eq, 99)));
+}
+
+#[test]
+fn union_find_equalities_rewind() {
+    let mut t: IncrementalTheory<&str> = IncrementalTheory::new();
+    let m = t.mark();
+    // x == y and y == 3 force x == 3; asserting x == 4 contradicts.
+    assert!(t.assert_formula(&Fm::atom(
+        seal_solver::Term::Var("x"),
+        CmpOp::Eq,
+        seal_solver::Term::Var("y"),
+    )));
+    assert!(t.assert_formula(&Fm::cmp("y", CmpOp::Eq, 3)));
+    assert!(!t.assert_formula(&Fm::cmp("x", CmpOp::Eq, 4)));
+    // After rewinding the whole frame the classes are separate again.
+    t.undo_to(m);
+    assert!(t.is_consistent());
+    assert!(t.assert_formula(&Fm::cmp("y", CmpOp::Eq, 3)));
+    assert!(t.assert_formula(&Fm::cmp("x", CmpOp::Eq, 4)));
+    assert!(t.is_consistent());
+}
+
+// -------------------------------------------------------------- interner
+
+#[test]
+fn structurally_equal_formulas_built_in_different_orders() {
+    let mut it: FormulaInterner<&str> = FormulaInterner::default();
+    let a = Fm::cmp("x", CmpOp::Eq, 0);
+    let b = Fm::cmp("y", CmpOp::Gt, 3);
+    let c = Fm::cmp("z", CmpOp::Ne, 7);
+
+    // Same tree shape built leaves-first vs conjunct-appended: `and`
+    // flattens, so both render as And([a, b, c]) and must collide.
+    let built_flat = a.clone().and(b.clone()).and(c.clone());
+    let built_nested = a.clone().and(b.clone().and(c.clone()));
+    let ia = it.intern(&built_flat);
+    let ib = it.intern(&built_nested);
+    assert_eq!(ia, ib, "flattened conjunctions must hash-cons to one id");
+
+    // Different *operand order* is a different structure: no collision.
+    let reordered = c.clone().and(b.clone()).and(a.clone());
+    assert_ne!(
+        it.intern(&reordered),
+        ia,
+        "operand order is semantically commutative but structurally distinct"
+    );
+
+    // Interning the reordered variant reuses every leaf: only the one new
+    // And node is allocated.
+    let before = it.len();
+    it.intern(&c.and(b).and(a));
+    assert_eq!(it.len(), before, "structural sharing across orders");
+}
+
+#[test]
+fn subformula_sharing_is_exposed() {
+    let mut it: FormulaInterner<&str> = FormulaInterner::default();
+    let shared = Fm::cmp("p", CmpOp::Eq, 0);
+    let f = shared.clone().or(Fm::cmp("q", CmpOp::Lt, 5));
+    let g = shared.clone().and(Fm::cmp("r", CmpOp::Ge, 9));
+    it.intern(&f);
+    let mid = it.len();
+    it.intern(&g);
+    // `g` adds its own atom and its And node but reuses `shared`:
+    // exactly 2 new nodes.
+    assert_eq!(it.len(), mid + 2);
+    // Negation wraps an existing id; double intern adds one node once.
+    it.intern(&shared.clone().negate());
+    let after_not = it.len();
+    it.intern(&shared.negate());
+    assert_eq!(it.len(), after_not);
+}
+
+// ------------------------------------------------- cache + metrics accord
+
+#[test]
+fn cache_accounting_matches_metrics_exactly() {
+    let _l = metrics_lock();
+    metrics::enable();
+    let (queries, hits) = {
+        let mut cache: SolverCache<&str> = SolverCache::new();
+        let f: Fm = Fm::cmp("x", CmpOp::Lt, 0).and(Fm::cmp("x", CmpOp::Gt, 10));
+        let g: Fm = Fm::cmp("x", CmpOp::Eq, 5);
+
+        assert_eq!(cache.is_sat(&f), Verdict::Unsat); // miss
+        assert_eq!(cache.is_sat(&f), Verdict::Unsat); // hit
+        assert_eq!(cache.is_sat(&g), Verdict::Sat); // miss
+        assert!(cache.implies(&g, &g)); // identity hit
+        assert!(!cache.implies(&g, &f)); // miss
+        assert!(!cache.implies(&g, &f)); // hit
+        assert!(!cache.equivalent(&g, &f)); // one hit (g⇒f memo), short-circuit
+        (cache.queries, cache.hits)
+    }; // cache drops here, publishing interner occupancy
+    let snap = metrics::take();
+
+    assert_eq!((queries, hits), (7, 4), "the scripted sequence above");
+    assert_eq!(
+        snap.metrics["solver.cache.queries"].value,
+        MetricValue::Counter(queries),
+        "metrics counter must equal the cache's own queries field"
+    );
+    assert_eq!(
+        snap.metrics["solver.cache.hits"].value,
+        MetricValue::Counter(hits),
+        "metrics counter must equal the cache's own hits field"
+    );
+    assert!(snap.metrics["solver.cache.queries"].det);
+    assert!(snap.metrics["solver.cache.hits"].det);
+    // Drop published the interner occupancy, and misses ran the solver.
+    match snap.metrics["solver.interner.nodes"].value {
+        MetricValue::Counter(n) => assert!(n > 0),
+        ref other => panic!("unexpected kind: {other:?}"),
+    }
+    match snap.metrics["solver.sat.calls"].value {
+        // 3 misses ran is_sat (the implies identity hit never did).
+        MetricValue::Counter(n) => assert_eq!(n, 3),
+        ref other => panic!("unexpected kind: {other:?}"),
+    }
+}
+
+#[test]
+fn metrics_disabled_costs_no_counts_and_cache_still_works() {
+    let _l = metrics_lock();
+    // Registry off: the cache's own fields still count, nothing global.
+    let mut cache: SolverCache<&str> = SolverCache::new();
+    let f: Fm = Fm::cmp("x", CmpOp::Eq, 5);
+    assert_eq!(cache.is_sat(&f), Verdict::Sat);
+    assert_eq!(cache.is_sat(&f), Verdict::Sat);
+    assert_eq!((cache.queries, cache.hits), (2, 1));
+    drop(cache);
+    metrics::enable();
+    let snap = metrics::take();
+    assert!(
+        !snap.metrics.contains_key("solver.cache.queries"),
+        "disabled-period events must not leak into a later registry"
+    );
+}

@@ -11,6 +11,7 @@ pub use seal_corpus as corpus;
 pub use seal_exec as exec;
 pub use seal_ir as ir;
 pub use seal_kir as kir;
+pub use seal_obs as obs;
 pub use seal_pdg as pdg;
 pub use seal_solver as solver;
 pub use seal_spec as spec;

@@ -80,20 +80,174 @@ fn run(args: &[String]) -> Result<Outcome, String> {
     let Some(cmd) = args.first() else {
         return Err(usage());
     };
-    let opts = parse_opts(&args[1..])?;
+    if matches!(cmd.as_str(), "help" | "--help" | "-h") {
+        println!("{}", usage());
+        return Ok(Outcome::Full);
+    }
+    let Some(known) = known_flags(cmd) else {
+        return Err(format!("unknown command `{cmd}`\n{}", usage()));
+    };
+    let opts = parse_opts(&args[1..], known)?;
     match cmd.as_str() {
-        "infer" => infer(&opts),
-        "detect" => detect(&opts),
-        "hunt" => infer_and_detect(&opts),
+        // The analysis commands support --trace/--metrics: observability is
+        // armed before any pipeline work and the files are written after.
+        "infer" | "detect" | "hunt" => {
+            let obs = ObsRun::start(&opts)?;
+            let out = match cmd.as_str() {
+                "infer" => infer(&opts),
+                "detect" => detect(&opts),
+                _ => infer_and_detect(&opts),
+            };
+            match &out {
+                Ok(_) => obs.finish()?,
+                Err(_) => obs.abort(),
+            }
+            out
+        }
         "merge" => merge(&opts),
         "gen-corpus" => gen_corpus(&opts),
         "mutate" => mutate(&opts),
-        "help" | "--help" | "-h" => {
-            println!("{}", usage());
-            Ok(Outcome::Full)
-        }
+        "stats" => stats(&opts),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
+}
+
+/// Flags each command accepts, or `None` for an unknown command. The
+/// allowlist is what lets [`parse_opts`] reject typos (`--trce x`) instead
+/// of silently ignoring them.
+fn known_flags(cmd: &str) -> Option<&'static [&'static str]> {
+    Some(match cmd {
+        "infer" => &["pre", "post", "id", "out", "jobs", "trace", "metrics"],
+        "detect" => &["target", "specs", "jobs", "trace", "metrics"],
+        "hunt" => &["pre", "post", "id", "target", "jobs", "trace", "metrics"],
+        "merge" => &["specs", "out"],
+        "gen-corpus" => &["dir", "seed", "drivers"],
+        "mutate" => &["src", "out", "n", "seed"],
+        "stats" => &["trace", "metrics"],
+        _ => return None,
+    })
+}
+
+/// Observability state for one analysis command: a trace collector and/or
+/// the metrics registry, armed from `--trace`/`--metrics` before the
+/// pipeline runs and flushed to their files afterwards.
+struct ObsRun {
+    trace: Option<(seal_obs::Trace, String)>,
+    metrics_path: Option<String>,
+}
+
+impl ObsRun {
+    fn start(opts: &HashMap<String, String>) -> Result<ObsRun, String> {
+        let trace = match opts.get("trace") {
+            Some(path) => {
+                let t = seal_obs::Trace::install()
+                    .ok_or_else(|| "a trace is already installed in this process".to_string())?;
+                Some((t, path.clone()))
+            }
+            None => None,
+        };
+        let metrics_path = opts.get("metrics").cloned();
+        if metrics_path.is_some() {
+            seal_obs::metrics::enable();
+        }
+        Ok(ObsRun {
+            trace,
+            metrics_path,
+        })
+    }
+
+    /// Writes the requested files (the command completed, fully or
+    /// partially — a partial run's trace is exactly what one debugs with).
+    fn finish(self) -> Result<(), String> {
+        if let Some((t, path)) = self.trace {
+            let data = t.finish();
+            std::fs::write(&path, data.to_jsonl())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote trace to {path}");
+        }
+        if let Some(path) = self.metrics_path {
+            let snap = seal_obs::metrics::take();
+            std::fs::write(&path, snap.to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote metrics to {path}");
+        }
+        Ok(())
+    }
+
+    /// Tears down without writing (the command failed before producing
+    /// anything worth tracing; dropping the trace guard uninstalls it).
+    fn abort(self) {
+        if self.metrics_path.is_some() {
+            let _ = seal_obs::metrics::take();
+        }
+    }
+}
+
+/// `seal stats`: aggregates a `--trace` file (and optionally a `--metrics`
+/// file) into per-stage tables.
+fn stats(opts: &HashMap<String, String>) -> Result<Outcome, String> {
+    use std::collections::BTreeMap;
+
+    let trace_path = opts
+        .get("trace")
+        .ok_or_else(|| format!("missing --trace\n{}", usage()))?;
+    let data = seal_obs::TraceData::parse_jsonl(&read_file(trace_path)?)
+        .map_err(|e| format!("malformed trace file {trace_path}: {e}"))?;
+
+    #[derive(Default)]
+    struct Agg {
+        count: u64,
+        total_us: u64,
+        self_us: u64,
+    }
+    fn walk<'a>(r: &'a seal_obs::SpanRec, by: &mut BTreeMap<&'a str, Agg>) {
+        let child_us: u64 = r.children.iter().map(|c| c.dur_us).sum();
+        let a = by.entry(r.name).or_default();
+        a.count += 1;
+        a.total_us += r.dur_us;
+        a.self_us += r.dur_us.saturating_sub(child_us);
+        for c in &r.children {
+            walk(c, by);
+        }
+    }
+    let mut by_name: BTreeMap<&str, Agg> = BTreeMap::new();
+    for r in &data.roots {
+        walk(r, &mut by_name);
+    }
+    println!(
+        "{:<24} {:>8} {:>12} {:>12}",
+        "span", "count", "total_ms", "self_ms"
+    );
+    for (name, a) in &by_name {
+        println!(
+            "{:<24} {:>8} {:>12.2} {:>12.2}",
+            name,
+            a.count,
+            a.total_us as f64 / 1e3,
+            a.self_us as f64 / 1e3
+        );
+    }
+
+    if let Some(mpath) = opts.get("metrics") {
+        let snap = seal_obs::MetricsSnapshot::parse(&read_file(mpath)?)
+            .map_err(|e| format!("malformed metrics file {mpath}: {e}"))?;
+        println!();
+        println!(
+            "{:<40} {:>8} {:>5} {:>16}",
+            "metric", "kind", "det", "value"
+        );
+        for (name, m) in &snap.metrics {
+            let (kind, value) = match &m.value {
+                seal_obs::metrics::MetricValue::Counter(c) => ("counter", c.to_string()),
+                seal_obs::metrics::MetricValue::Gauge(g) => ("gauge", g.to_string()),
+                seal_obs::metrics::MetricValue::Hist { count, sum, .. } => {
+                    ("hist", format!("n={count} sum={sum}"))
+                }
+            };
+            println!("{:<40} {:>8} {:>5} {:>16}", name, kind, m.det, value);
+        }
+    }
+    Ok(Outcome::Full)
 }
 
 fn usage() -> String {
@@ -103,12 +257,18 @@ fn usage() -> String {
      seal hunt   --pre <file,...> --post <file,...> --target <file,...> [--jobs <n>]\n  \
      seal merge  --specs <file,file,...> --out <specs-file>\n  \
      seal gen-corpus --dir <dir> [--seed <n>] [--drivers <n>]\n  \
-     seal mutate --src <file,...> --out <dir> [--n <k>] [--seed <n>]\n\
+     seal mutate --src <file,...> --out <dir> [--n <k>] [--seed <n>]\n  \
+     seal stats  --trace <trace-file> [--metrics <metrics-file>]\n\
      \n\
      --pre/--post accept comma-separated lists of equal length; the pairs\n\
      are inferred in parallel and the specs are merged in argument order.\n\
      --jobs overrides the worker count (otherwise SEAL_JOBS, default:\n\
      available parallelism); results are identical for any worker count.\n\
+     \n\
+     infer/detect/hunt also accept [--trace <file>] [--metrics <file>] to\n\
+     record a span trace (JSON Lines) and a metrics snapshot; summarize\n\
+     them with `seal stats`. The trace structure and every deterministic\n\
+     metric are identical for any worker count (only durations vary).\n\
      \n\
      Batch items are fault-isolated: a failing item is reported on stderr\n\
      and the rest proceed. Exit codes: 0 all items succeeded, 1 usage or\n\
@@ -129,13 +289,25 @@ fn jobs(opts: &HashMap<String, String>) -> Result<usize, String> {
     }
 }
 
-fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
+fn parse_opts(args: &[String], known: &[&str]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let Some(key) = flag.strip_prefix("--") else {
             return Err(format!("expected a --flag, found `{flag}`"));
         };
+        // A typo'd flag must fail loudly, not be silently ignored (a
+        // mistyped `--trce f` would otherwise just produce no trace file).
+        if !known.contains(&key) {
+            return Err(format!(
+                "unknown flag --{key} for this command (expected one of: {})",
+                known
+                    .iter()
+                    .map(|k| format!("--{k}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
         let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
         // A flag where a value belongs means the value was forgotten
         // (`--pre --post b.c` must not silently set pre to "--post").
@@ -215,6 +387,7 @@ fn infer_specs(
     // byte-identical to running alone, and the merge in patch-index order
     // keeps the output independent of the worker count.
     let seal = Seal::default();
+    let _span = seal_obs::span!("cli.infer", patches = patches.len());
     let results = seal::core::infer_batch(&seal, &patches, jobs(opts)?);
     let mut specs = Vec::new();
     for (patch, result) in patches.iter().zip(results) {
@@ -400,6 +573,7 @@ fn detect_with(
         .iter()
         .map(|(p, t)| (p.as_str(), t.as_str()))
         .collect();
+    let _span = seal_obs::span!("cli.detect", targets = paths.len());
     let tu =
         seal_kir::compile_many(&borrowed).map_err(|e| format!("target does not compile:\n{e}"))?;
     let module = seal_ir::lower_checked(&tu)

@@ -485,3 +485,102 @@ fn option_parsing_rejects_flag_values_and_duplicates() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn unknown_flags_are_rejected_per_command() {
+    let dir = temp_dir("unknown-flag");
+    let ok = write(&dir, "ok.c", "int f(void) { return 0; }");
+    // A typo'd flag used to be swallowed into the option map silently.
+    let out = Command::new(seal_bin())
+        .arg("infer")
+        .arg("--pre")
+        .arg(&ok)
+        .arg("--post")
+        .arg(&ok)
+        .args(["--trce", "t.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --trce"), "stderr: {stderr}");
+    // The error names the command's accepted flags.
+    assert!(stderr.contains("expected one of"), "stderr: {stderr}");
+    assert!(stderr.contains("--trace"), "stderr: {stderr}");
+
+    // A flag that exists on another command is still unknown here.
+    let out = Command::new(seal_bin())
+        .args(["merge", "--specs", "a.txt", "--out", "b.txt", "--jobs", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown flag --jobs"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_and_metrics_flags_parse_like_the_rest() {
+    let dir = temp_dir("obs-flags");
+    let ok = write(&dir, "ok.c", "int f(void) { return 0; }");
+    // Flag-as-value: `--trace --metrics m.json` must not set trace="--metrics".
+    let out = Command::new(seal_bin())
+        .arg("detect")
+        .arg("--target")
+        .arg(&ok)
+        .args(["--specs", "s.txt", "--trace", "--metrics"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--trace needs a value, found flag"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Duplicates are rejected rather than last-one-wins.
+    let out = Command::new(seal_bin())
+        .arg("detect")
+        .arg("--target")
+        .arg(&ok)
+        .args([
+            "--specs",
+            "s.txt",
+            "--metrics",
+            "a.json",
+            "--metrics",
+            "b.json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--metrics given more than once"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_requires_a_trace_file() {
+    let out = Command::new(seal_bin()).arg("stats").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("missing --trace"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // And it refuses a file that is not a seal trace.
+    let dir = temp_dir("stats-bad");
+    let bogus = write(&dir, "bogus.jsonl", "not a trace\n");
+    let out = Command::new(seal_bin())
+        .arg("stats")
+        .arg("--trace")
+        .arg(&bogus)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&dir).ok();
+}

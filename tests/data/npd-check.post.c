@@ -1,0 +1,23 @@
+void *devm_kzalloc(unsigned long size);
+struct fw_mem_v0 { int ready; int cookie; };
+struct firmware_ops_v0 { int (*fw_probe)(int id); };
+struct fw_mem_v1 { int ready; int cookie; };
+struct firmware_ops_v1 { int (*fw_probe)(int id); };
+struct fw_mem_v2 { int ready; int cookie; };
+struct firmware_ops_v2 { int (*fw_probe)(int id); };
+struct fw_mem_v3 { int ready; int cookie; };
+struct firmware_ops_v3 { int (*fw_probe)(int id); };
+struct fw_mem_v4 { int ready; int cookie; };
+struct firmware_ops_v4 { int (*fw_probe)(int id); };
+
+struct fw_mem_v3 *imx7007_4_alloc_state(int id) {
+    struct fw_mem_v3 *m = (struct fw_mem_v3 *)devm_kzalloc(48);
+    return m;
+}
+int imx7007_4_fw_probe(int id) {
+    struct fw_mem_v3 *m = imx7007_4_alloc_state(id);
+    if (m == NULL) return -12;
+    m->ready = id;
+    return 0;
+}
+struct firmware_ops_v3 imx7007_4_fw_ops = { .fw_probe = imx7007_4_fw_probe, };

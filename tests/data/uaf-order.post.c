@@ -1,0 +1,15 @@
+struct device { int devt; };
+struct platform_device { struct device dev; };
+void put_device(struct device *dev);
+void release_minor(struct device *dev);
+struct platform_driver_v0 { int (*remove)(struct platform_device *pdev); };
+struct platform_driver_v1 { int (*remove)(struct platform_device *pdev); };
+struct platform_driver_v2 { int (*remove)(struct platform_device *pdev); };
+struct platform_driver_v3 { int (*remove)(struct platform_device *pdev); };
+
+int dw2835_remove(struct platform_device *pdev) {
+    release_minor(&pdev->dev);
+    put_device(&pdev->dev);
+    return 0;
+}
+struct platform_driver_v1 dw2835_driver = { .remove = dw2835_remove, };

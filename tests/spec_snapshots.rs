@@ -1,0 +1,90 @@
+//! Snapshot tests for specification text: the corpus pipeline's inferred
+//! specs must round-trip through the text format losslessly, and their
+//! canonical rendering is pinned to a committed golden file.
+//!
+//! Regenerate the golden file after an intentional format change with
+//! `BLESS=1 cargo test --test spec_snapshots` (documented in DESIGN.md's
+//! "Observability" section).
+
+use seal::core::Seal;
+use seal::corpus::{generate, CorpusConfig};
+use seal::spec::parse::{parse_line, parse_lines, to_line};
+use std::path::PathBuf;
+
+fn snapshot_config() -> CorpusConfig {
+    CorpusConfig {
+        seed: 42,
+        drivers_per_template: 6,
+        bug_rate: 0.3,
+        patches_per_template: 2,
+        refactor_patches: 2,
+    }
+}
+
+/// Every spec the snapshot corpus infers, in patch order.
+fn corpus_specs() -> Vec<seal::spec::Specification> {
+    let corpus = generate(&snapshot_config());
+    let seal = Seal::default();
+    let mut specs = Vec::new();
+    for patch in &corpus.patches {
+        specs.extend(seal.infer(patch).expect("corpus patches compile"));
+    }
+    assert!(!specs.is_empty(), "snapshot corpus inferred no specs");
+    specs
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/corpus.specs")
+}
+
+#[test]
+fn every_inferred_spec_round_trips_through_text() {
+    for spec in corpus_specs() {
+        let line = to_line(&spec);
+        let parsed = parse_line(&line)
+            .unwrap_or_else(|e| panic!("spec does not parse back: {e}\nline: {line}"));
+        // display → parse → display is the identity on the canonical form.
+        assert_eq!(to_line(&parsed), line, "round-trip changed the rendering");
+        // And the parsed value itself re-renders stably (second round trip).
+        let again = parse_line(&to_line(&parsed)).unwrap();
+        assert_eq!(to_line(&again), line);
+    }
+}
+
+#[test]
+fn corpus_specs_match_committed_golden_file() {
+    let mut text = String::from("# golden: snapshot-corpus specs (BLESS=1 to regenerate)\n");
+    for spec in corpus_specs() {
+        text.push_str(&to_line(&spec));
+        text.push('\n');
+    }
+    let path = golden_path();
+    if std::env::var("BLESS").map(|v| v == "1").unwrap_or(false) {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &text).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with BLESS=1 cargo test --test spec_snapshots",
+            path.display()
+        )
+    });
+    assert_eq!(
+        text, golden,
+        "inferred specs diverge from the golden file; if the change is \
+         intentional, regenerate with BLESS=1 cargo test --test spec_snapshots"
+    );
+}
+
+#[test]
+fn golden_file_itself_parses() {
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file committed");
+    let specs = parse_lines(&golden).expect("golden specs parse");
+    assert!(!specs.is_empty());
+    for s in &specs {
+        let line = to_line(s);
+        assert_eq!(to_line(&parse_line(&line).unwrap()), line);
+    }
+}
