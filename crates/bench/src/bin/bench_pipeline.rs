@@ -1,8 +1,9 @@
 //! Hand-rolled pipeline benchmark (replaces the former criterion bench).
 //!
 //! Times the pipeline phases — specification inference, PDG construction,
-//! path search, and total detection — over warmup + measured iterations at
-//! several worker counts, verifies that specs, reports, and scores are
+//! path search, and total detection — over warmup + measured iterations
+//! across a workers × corpus-size matrix (jobs ∈ {1, 2, 4, 8} at 1x and 4x
+//! corpus scale), verifies that specs, reports, and scores are
 //! byte-identical across worker counts, and writes `BENCH_pipeline.json`.
 //!
 //! Two reference points are reported per worker count:
@@ -15,14 +16,37 @@
 //!   this optimization pass.
 //!
 //! Iteration counts come from `SEAL_BENCH_WARMUP` / `SEAL_BENCH_ITERS`
-//! (defaults 1 and 3).
+//! (defaults 1 and 5). Within each corpus scale the worker counts are
+//! measured interleaved, round-robin per iteration, so machine-load
+//! drift cannot skew one cell's median against another's.
 
 use seal_bench::{eval_config, run_pipeline_with_jobs, PipelineResult};
 use seal_core::{detect_bugs_with_stats_jobs, DetectConfig, Seal};
+use seal_corpus::CorpusConfig;
 use seal_spec::parse::to_line;
 use seal_spec::Specification;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// The eval corpus scaled up: `scale`× the drivers (and with them the
+/// detection regions), so the matrix exercises both the per-item and the
+/// per-shard cost paths.
+fn scaled_config(scale: usize) -> CorpusConfig {
+    let base = eval_config();
+    CorpusConfig {
+        drivers_per_template: base.drivers_per_template * scale,
+        ..base
+    }
+}
+
+/// CPUs visible to this process *right now*. Queried at measurement time
+/// (not once at startup) so every matrix row records the parallelism that
+/// actually applied to it.
+fn cpus_now() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -45,6 +69,14 @@ fn median(xs: &[f64]) -> f64 {
     let mut s = xs.to_vec();
     s.sort_by(|a, b| a.partial_cmp(b).unwrap());
     s[s.len() / 2]
+}
+
+/// Minimum sample: the low-noise estimator. Timing noise on a shared
+/// host is strictly additive, so the min is the closest observation to
+/// the true cost and is what the scaling ratios (and the CI gate) use;
+/// median/p90 stay in the report for distribution shape.
+fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
 }
 
 fn p90(xs: &[f64]) -> f64 {
@@ -87,27 +119,59 @@ fn fingerprint(r: &PipelineResult) -> String {
     out
 }
 
-fn measure(jobs: usize, warmup: usize, iters: usize) -> (Samples, String) {
-    let config = eval_config();
+/// One matrix cell: samples, output fingerprint, and the parallelism that
+/// was actually available while the cell was measured.
+struct Cell {
+    samples: Samples,
+    fingerprint: String,
+    cpus: usize,
+}
+
+/// Measures every worker count over one corpus configuration with the
+/// iterations *interleaved* round-robin across the worker counts: sample
+/// `i` of every cell runs back to back, so slow machine-load drift hits
+/// all cells alike instead of skewing whichever cell ran last. Cells come
+/// back in `worker_counts` order.
+fn measure_row(
+    config: &CorpusConfig,
+    worker_counts: &[usize],
+    warmup: usize,
+    iters: usize,
+) -> Vec<(usize, Cell)> {
+    let cpus = cpus_now();
     for _ in 0..warmup {
-        let _ = run_pipeline_with_jobs(&config, jobs);
+        let _ = run_pipeline_with_jobs(config, worker_counts[0]);
     }
-    let mut s = Samples::default();
-    let mut fp = String::new();
+    let mut cells: Vec<(usize, Cell)> = worker_counts
+        .iter()
+        .map(|&jobs| {
+            (
+                jobs,
+                Cell {
+                    samples: Samples::default(),
+                    fingerprint: String::new(),
+                    cpus,
+                },
+            )
+        })
+        .collect();
     for i in 0..iters {
-        let t0 = Instant::now();
-        let r = run_pipeline_with_jobs(&config, jobs);
-        s.total.push(t0.elapsed().as_secs_f64() * 1e3);
-        s.infer.push(r.infer_time.as_secs_f64() * 1e3);
-        s.pdg.push(r.detect_stats.pdg_time.as_secs_f64() * 1e3);
-        s.search
-            .push(r.detect_stats.search_time.as_secs_f64() * 1e3);
-        s.detect.push(r.detect_time.as_secs_f64() * 1e3);
-        if i == 0 {
-            fp = fingerprint(&r);
+        for (jobs, cell) in &mut cells {
+            let t0 = Instant::now();
+            let r = run_pipeline_with_jobs(config, *jobs);
+            let s = &mut cell.samples;
+            s.total.push(t0.elapsed().as_secs_f64() * 1e3);
+            s.infer.push(r.infer_time.as_secs_f64() * 1e3);
+            s.pdg.push(r.detect_stats.pdg_time.as_secs_f64() * 1e3);
+            s.search
+                .push(r.detect_stats.search_time.as_secs_f64() * 1e3);
+            s.detect.push(r.detect_time.as_secs_f64() * 1e3);
+            if i == 0 {
+                cell.fingerprint = fingerprint(&r);
+            }
         }
     }
-    (s, fp)
+    cells
 }
 
 /// The seed-equivalent baseline: sequential inference and detection with
@@ -180,69 +244,124 @@ fn metrics_json(snap: &seal_obs::MetricsSnapshot) -> String {
 }
 
 fn phase_json(s: &Samples) -> String {
+    let stat = |xs: &[f64]| {
+        format!(
+            "{{\"min\":{},\"median\":{},\"p90\":{}}}",
+            num(min(xs)),
+            num(median(xs)),
+            num(p90(xs))
+        )
+    };
     format!(
-        "{{\"end_to_end_ms\":{{\"median\":{},\"p90\":{}}},\
-         \"infer_ms\":{{\"median\":{},\"p90\":{}}},\
-         \"pdg_ms\":{{\"median\":{},\"p90\":{}}},\
-         \"search_ms\":{{\"median\":{},\"p90\":{}}},\
-         \"detect_ms\":{{\"median\":{},\"p90\":{}}}}}",
-        num(median(&s.total)),
-        num(p90(&s.total)),
-        num(median(&s.infer)),
-        num(p90(&s.infer)),
-        num(median(&s.pdg)),
-        num(p90(&s.pdg)),
-        num(median(&s.search)),
-        num(p90(&s.search)),
-        num(median(&s.detect)),
-        num(p90(&s.detect)),
+        "{{\"end_to_end_ms\":{},\"infer_ms\":{},\"pdg_ms\":{},\
+         \"search_ms\":{},\"detect_ms\":{}}}",
+        stat(&s.total),
+        stat(&s.infer),
+        stat(&s.pdg),
+        stat(&s.search),
+        stat(&s.detect),
     )
 }
 
 fn main() {
     let warmup = env_usize("SEAL_BENCH_WARMUP", 1);
-    let iters = env_usize("SEAL_BENCH_ITERS", 3).max(1);
-    let cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let worker_counts = [1usize, 2, 4];
+    let iters = env_usize("SEAL_BENCH_ITERS", 5).max(1);
+    let cpus = cpus_now();
+    let worker_counts = [1usize, 2, 4, 8];
+    let corpus_scales = [(1usize, "1x"), (4, "4x")];
 
     eprintln!("bench_pipeline: warmup={warmup} iters={iters} cpus={cpus}");
 
     eprintln!("measuring seed-equivalent baseline (1 worker, no path-result reuse)");
     let baseline = measure_baseline(warmup, iters);
-    let baseline_med = median(&baseline.total);
+    let baseline_min = min(&baseline.total);
 
-    let mut results: Vec<(usize, Samples)> = Vec::new();
-    let mut fingerprints: Vec<String> = Vec::new();
-    for &jobs in &worker_counts {
-        eprintln!("measuring {jobs} worker(s)");
-        let (s, fp) = measure(jobs, warmup, iters);
-        results.push((jobs, s));
-        fingerprints.push(fp);
+    // corpus scale -> per-jobs cells, in worker_counts order.
+    let mut matrix: Vec<(&str, Vec<(usize, Cell)>)> = Vec::new();
+    let mut identical = true;
+    for &(scale, label) in &corpus_scales {
+        let config = scaled_config(scale);
+        eprintln!("measuring corpus {label}, jobs {worker_counts:?} (interleaved)");
+        let cells = measure_row(&config, &worker_counts, warmup, iters);
+        let scale_identical = cells
+            .iter()
+            .all(|(_, c)| c.fingerprint == cells[0].1.fingerprint);
+        assert!(
+            scale_identical,
+            "pipeline output differs across worker counts at corpus {label} — \
+             determinism contract broken"
+        );
+        identical &= scale_identical;
+        matrix.push((label, cells));
     }
 
-    let identical = fingerprints.iter().all(|f| f == &fingerprints[0]);
-    assert!(
-        identical,
-        "pipeline output differs across worker counts — determinism contract broken"
-    );
-
-    let one_worker_med = median(&results[0].1.total);
-    let mut workers_json = Vec::new();
-    for (jobs, s) in &results {
-        let med = median(&s.total);
+    // Scaling ratios are *paired*: within each round-robin iteration the
+    // cells run back to back, so the per-iteration ratio cancels any
+    // machine-load burst that a cross-cell min-over-min (or median-over-
+    // median) comparison would mistake for a scaling change. The median
+    // of the paired ratios is the reported statistic.
+    let paired_ratio = |reference: &[f64], sample: &[f64]| {
+        let ratios: Vec<f64> = reference.iter().zip(sample).map(|(r, s)| r / s).collect();
+        median(&ratios)
+    };
+    let row_json = |jobs: usize, cell: &Cell, one_worker: &Samples, vs_baseline: Option<f64>| {
         // More workers than CPUs measures scheduling overhead, not
         // parallel speedup; annotate so readers discount those rows.
-        let oversubscribed = *jobs > cpus;
-        workers_json.push(format!(
-            "{{\"jobs\":{jobs},\"oversubscribed\":{oversubscribed},\"phases\":{},\
-             \"speedup_vs_1worker\":{},\"speedup_vs_baseline\":{}}}",
-            phase_json(s),
-            format_args!("{:.3}", one_worker_med / med),
-            format_args!("{:.3}", baseline_med / med),
+        // Both `cpus` and `oversubscribed` reflect the parallelism
+        // available while this row was measured, not a startup snapshot.
+        let oversubscribed = jobs > cell.cpus;
+        let jobs_effective = jobs.min(cell.cpus);
+        let baseline_field = vs_baseline
+            .map(|b| {
+                format!(
+                    ",\"speedup_vs_baseline\":{:.3}",
+                    b / min(&cell.samples.total)
+                )
+            })
+            .unwrap_or_default();
+        format!(
+            "{{\"jobs\":{jobs},\"jobs_effective\":{jobs_effective},\"cpus\":{},\
+             \"oversubscribed\":{oversubscribed},\"phases\":{},\
+             \"speedup_vs_1worker\":{},\
+             \"pdg_ms_ratio_vs_1worker\":{}{}}}",
+            cell.cpus,
+            phase_json(&cell.samples),
+            format_args!(
+                "{:.3}",
+                paired_ratio(&one_worker.total, &cell.samples.total)
+            ),
+            // Inverted pairing: >1 means this cell's PDG phase costs more
+            // than the 1-worker run's (the regression the gate bounds).
+            format_args!("{:.3}", paired_ratio(&cell.samples.pdg, &one_worker.pdg)),
+            baseline_field,
+        )
+    };
+
+    let mut matrix_json = Vec::new();
+    for (label, cells) in &matrix {
+        let one_worker = &cells[0].1.samples;
+        // The seed-equivalent baseline runs at 1x scale only; cross-scale
+        // ratios would compare different workloads.
+        let vs_baseline = (*label == "1x").then_some(baseline_min);
+        let rows: Vec<String> = cells
+            .iter()
+            .map(|(jobs, cell)| row_json(*jobs, cell, one_worker, vs_baseline))
+            .collect();
+        matrix_json.push(format!(
+            "{{\"corpus\":\"{label}\",\"workers\":[\n      {}\n    ]}}",
+            rows.join(",\n      ")
         ));
     }
+
+    // Back-compat view: the 1x-corpus rows under the original key.
+    let workers_json: Vec<String> = {
+        let (_, cells) = &matrix[0];
+        let one_worker = &cells[0].1.samples;
+        cells
+            .iter()
+            .map(|(jobs, cell)| row_json(*jobs, cell, one_worker, Some(baseline_min)))
+            .collect()
+    };
 
     // One instrumented run: every measured run above had the registry
     // disabled (the default), so the medians include only the disabled-path
@@ -261,9 +380,11 @@ fn main() {
          \"patches_per_template\": {}, \"refactor_patches\": {}, \
          \"optimizations\": {{\"reuse_pdg_cache\": {}, \"path_sensitive\": {}, \
          \"reuse_path_cache\": {}, \"dedup_specs\": {}, \"prune_unreachable\": {}, \
-         \"prune_unsat_prefixes\": {}, \"solver_memo\": {}, \"intern_signatures\": {}}}}},\n  \
+         \"prune_unsat_prefixes\": {}, \"solver_memo\": {}, \"shard_local_interner\": {}, \
+         \"arena_pdg\": {}, \"intern_signatures\": {}}}}},\n  \
          \"baseline_seed_equivalent\": {},\n  \
          \"workers\": [\n    {}\n  ],\n  \
+         \"matrix\": [\n    {}\n  ],\n  \
          \"stage_metrics\": {},\n  \
          \"identical_output_across_workers\": {identical}\n}}\n",
         cfg.seed,
@@ -278,24 +399,29 @@ fn main() {
         opt.prune_unreachable,
         opt.prune_unsat_prefixes,
         opt.solver_memo,
+        opt.shard_local_interner,
+        opt.arena_pdg,
         seal_core::DiffConfig::default().intern_signatures,
         phase_json(&baseline),
         workers_json.join(",\n    "),
+        matrix_json.join(",\n    "),
         metrics_json(&stage_metrics),
     );
 
     std::fs::write("BENCH_pipeline.json", &json).expect("cannot write BENCH_pipeline.json");
     println!("{json}");
 
-    for (jobs, s) in &results {
-        let med = median(&s.total);
-        println!(
-            "workers={jobs}: median {:.1} ms  (vs 1 worker {:.2}x, vs seed baseline {:.2}x)",
-            med,
-            one_worker_med / med,
-            baseline_med / med
-        );
+    for (label, cells) in &matrix {
+        let one_worker = cells[0].1.samples.total.clone();
+        for (jobs, cell) in cells {
+            println!(
+                "corpus={label} workers={jobs}: min {:.1} ms, median {:.1} ms  (vs 1 worker {:.2}x paired)",
+                min(&cell.samples.total),
+                median(&cell.samples.total),
+                paired_ratio(&one_worker, &cell.samples.total),
+            );
+        }
     }
-    println!("baseline (seed-equivalent): median {:.1} ms", baseline_med);
+    println!("baseline (seed-equivalent, 1x): min {:.1} ms", baseline_min);
     println!("output identical across worker counts: {identical}");
 }

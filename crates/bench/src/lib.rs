@@ -55,7 +55,13 @@ pub fn run_pipeline(config: &CorpusConfig) -> PipelineResult {
 /// per-patch results come back in patch-index order, so the merged spec
 /// list — and everything downstream — is byte-identical to a sequential
 /// run for any `jobs`.
+///
+/// The requested count is capped at the host's available parallelism
+/// ([`seal_runtime::effective_jobs`]): the pipeline is CPU-bound, so
+/// extra threads beyond the cores only add scheduling overhead, and the
+/// determinism contract makes the cap invisible in the output.
 pub fn run_pipeline_with_jobs(config: &CorpusConfig, jobs: usize) -> PipelineResult {
+    let jobs = seal_runtime::effective_jobs(jobs);
     let corpus = {
         let _span = seal_obs::span!("pipeline.generate", seed = config.seed);
         generate(config)

@@ -87,6 +87,62 @@ fn reports_identical_across_every_optimization_toggle() {
     }
 }
 
+/// The memory/contention optimizations — shard-local solver interning
+/// (seeded from the spec-condition snapshot) and arena-backed PDG
+/// adjacency — must be invisible in the output: byte-identical reports
+/// and identical deterministic counters vs the shared-path configuration,
+/// at every worker count in the bench matrix.
+#[test]
+fn shard_local_interning_and_arena_pdg_are_output_invisible() {
+    for seed in [0xA11CEu64, 0xBEEF] {
+        let corpus = seal_corpus::generate(&small(seed));
+        let target = corpus.target_module();
+        let specs = infer_all(&corpus, &Seal::default());
+        let render = |cfg: &DetectConfig, jobs: usize| {
+            let (reports, stats) = detect_bugs_with_stats_jobs(&target, &specs, cfg, jobs);
+            let mut out: String = reports.iter().map(|r| format!("{r}\n")).collect();
+            out.push_str(&format!(
+                "regions={} skipped={} solver_queries={} solver_cache_hits={} \
+                 subtrees_pruned={} sources_skipped_unreachable={}",
+                stats.regions,
+                stats.skipped,
+                stats.solver_queries,
+                stats.solver_cache_hits,
+                stats.subtrees_pruned,
+                stats.sources_skipped_unreachable,
+            ));
+            out
+        };
+        let reference = render(&DetectConfig::default(), 1);
+        assert!(!reference.is_empty());
+        let variants = [
+            DetectConfig {
+                shard_local_interner: false,
+                ..DetectConfig::default()
+            },
+            DetectConfig {
+                arena_pdg: false,
+                ..DetectConfig::default()
+            },
+            DetectConfig {
+                shard_local_interner: false,
+                arena_pdg: false,
+                ..DetectConfig::default()
+            },
+            DetectConfig::default(),
+        ];
+        for (i, cfg) in variants.iter().enumerate() {
+            for jobs in [1usize, 2, 4, 8] {
+                assert_eq!(
+                    reference,
+                    render(cfg, jobs),
+                    "variant {i} jobs {jobs} (seed {seed:#x})"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn interned_signatures_do_not_change_inference() {
     for seed in [0xA11CEu64, 0xB0B] {

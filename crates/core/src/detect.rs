@@ -66,6 +66,22 @@ pub struct DetectConfig {
     /// Output-identical (the solver is deterministic); disable for
     /// ablation.
     pub solver_memo: bool,
+    /// Seed each shard's spec-condition `SolverCache` from one immutable,
+    /// pre-interned snapshot of every checked spec condition, built before
+    /// the fan-out. Shards then intern spec conditions by pure lookup
+    /// (same ids everywhere) instead of re-walking the formula per shard.
+    /// Output-identical — seeding changes where ids come from, never a
+    /// verdict; only active together with `solver_memo`. Disable for
+    /// ablation.
+    pub shard_local_interner: bool,
+    /// Build shard PDGs on pooled arena/CSR adjacency storage (edges
+    /// logged into one arena and finalized into compressed sparse rows,
+    /// control lists shared per block) instead of the legacy per-node
+    /// vectors. Output-identical — both layouts serve byte-identical
+    /// adjacency slices; the pooled one trades thousands of small
+    /// allocations per build for a handful of large ones, which is what
+    /// keeps `pdg_ms` flat under parallel workers. Disable for ablation.
+    pub arena_pdg: bool,
 }
 
 impl Default for DetectConfig {
@@ -80,6 +96,8 @@ impl Default for DetectConfig {
             prune_unreachable: true,
             prune_unsat_prefixes: true,
             solver_memo: true,
+            shard_local_interner: true,
+            arena_pdg: true,
         }
     }
 }
@@ -208,6 +226,24 @@ fn detect_inner(
         .map(|(scope, items)| Shard { scope, items })
         .collect();
 
+    // Pre-intern every checked spec condition once, in deterministic spec
+    // order, into an immutable snapshot each shard's solver cache is
+    // seeded from. Shards share nothing mutable: the snapshot is read-only
+    // and each worker copies it into its own cache at shard start.
+    let spec_cond_snapshot: Option<seal_solver::FormulaSnapshot<SpecValue>> =
+        (cfg.solver_memo && cfg.shard_local_interner).then(|| {
+            seal_solver::FormulaSnapshot::build(spec_indices.iter().flat_map(|&si| {
+                specs[si]
+                    .constraints
+                    .iter()
+                    .filter_map(|c| match &c.relation {
+                        Relation::Reach { cond, .. } => Some(cond),
+                        Relation::Order { .. } => None,
+                    })
+            }))
+        });
+    let spec_cond_snapshot = spec_cond_snapshot.as_ref();
+
     let run_shard = |shard: &Shard| -> Result<ShardOut, SealError> {
         // A task root: the shard subtree is identical whether it ran inline
         // (jobs = 1) or on a pool worker, keeping the trace jobs-invariant.
@@ -224,9 +260,9 @@ fn detect_inner(
         };
         if cfg.reuse_pdg_cache {
             let t0 = std::time::Instant::now();
-            let pdg = Pdg::try_build(module, &cg, &shard.scope)?;
+            let pdg = Pdg::try_build_opts(module, &cg, &shard.scope, cfg.arena_pdg)?;
             o.pdg_time += t0.elapsed();
-            let mut paths = PathCache::new(&pdg, cfg);
+            let mut paths = PathCache::new(&pdg, cfg, spec_cond_snapshot);
             let _search = seal_obs::span!("detect.search", items = shard.items.len());
             for &(si, ri, region) in &shard.items {
                 let t1 = std::time::Instant::now();
@@ -240,9 +276,9 @@ fn detect_inner(
             // no-summary-reuse baseline of §8.4.
             for &(si, ri, region) in &shard.items {
                 let t0 = std::time::Instant::now();
-                let pdg = Pdg::try_build(module, &cg, &shard.scope)?;
+                let pdg = Pdg::try_build_opts(module, &cg, &shard.scope, cfg.arena_pdg)?;
                 o.pdg_time += t0.elapsed();
-                let mut paths = PathCache::new(&pdg, cfg);
+                let mut paths = PathCache::new(&pdg, cfg, spec_cond_snapshot);
                 let t1 = std::time::Instant::now();
                 let r = check_region(module, &pdg, &mut paths, &specs[si], region, cfg);
                 o.search_time += t1.elapsed();
@@ -468,7 +504,11 @@ type PathRoles = (Option<SpecValue>, Option<(SpecUse, Option<String>)>);
 type PathKey = (NodeId, u32, bool);
 
 impl<'p, 'm> PathCache<'p, 'm> {
-    fn new(pdg: &'p Pdg<'m>, cfg: &DetectConfig) -> Self {
+    fn new(
+        pdg: &'p Pdg<'m>,
+        cfg: &DetectConfig,
+        spec_base: Option<&seal_solver::FormulaSnapshot<SpecValue>>,
+    ) -> Self {
         PathCache {
             pdg,
             cctx: CondCtx::new(pdg),
@@ -480,7 +520,10 @@ impl<'p, 'm> PathCache<'p, 'm> {
             reach: cfg.prune_unreachable.then(|| SinkReach::build(pdg)),
             theory: (cfg.path_sensitive && cfg.prune_unsat_prefixes).then(IncrementalTheory::new),
             cond_solver: cfg.solver_memo.then(SolverCache::new),
-            spec_solver: cfg.solver_memo.then(SolverCache::new),
+            spec_solver: cfg.solver_memo.then(|| match spec_base {
+                Some(base) => SolverCache::with_base(base),
+                None => SolverCache::new(),
+            }),
             psi_memo: HashMap::new(),
             consistency_memo: HashMap::new(),
             roles_memo: HashMap::new(),

@@ -17,6 +17,7 @@
 //! stamps `Ω`, which are the raw material of SEAL's PDG differentiation and
 //! bug detection.
 
+pub mod arena;
 pub mod cell;
 pub mod cond;
 pub mod domtree;

@@ -29,7 +29,7 @@ pub mod symbol;
 
 pub use panic::{catch_task_panic, TaskPanic};
 pub use pool::{
-    par_map, par_map_indexed, par_map_indexed_jobs, par_map_isolated, par_map_isolated_jobs,
-    par_map_jobs, worker_count,
+    effective_jobs, par_map, par_map_indexed, par_map_indexed_jobs, par_map_indexed_jobs_with,
+    par_map_isolated, par_map_isolated_jobs, par_map_jobs, worker_count, PoolConfig,
 };
 pub use symbol::Symbol;

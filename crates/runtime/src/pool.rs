@@ -8,6 +8,13 @@
 //! index-addressed output vector, so `par_map` is order-preserving by
 //! construction.
 //!
+//! Idle workers spin briefly and then *park* on a condvar instead of
+//! busy-yielding ([`PoolConfig::park`]): on a box with fewer cores than
+//! workers, a yield loop steals timeslices from the threads doing real
+//! work, which is exactly the oversubscription cliff the bench matrix
+//! measures. Parking always uses a bounded `wait_timeout`, so a missed
+//! wakeup costs latency, never liveness.
+//!
 //! Shutdown is non-blocking: a worker exits once no task can be found
 //! anywhere *and* every task has been claimed for execution. Claiming is
 //! counted at pop time, so a task that panics still counts as claimed and
@@ -18,7 +25,8 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Number of workers to use: `SEAL_JOBS` when set to a positive integer,
 /// otherwise the machine's available parallelism.
@@ -34,6 +42,51 @@ pub fn worker_count() -> usize {
     }
 }
 
+/// Caps a requested worker count at the parallelism actually available
+/// right now. For a CPU-bound stage, threads beyond the host's cores buy
+/// no throughput — they only add timeslicing and scheduling overhead —
+/// and pipeline output is jobs-invariant, so the cap is unobservable
+/// outside of timing. Callers that deliberately oversubscribe (pool
+/// stress tests, the CI smoke) pass their worker count straight to the
+/// pool entry points instead.
+pub fn effective_jobs(requested: usize) -> usize {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    requested.min(cpus).max(1)
+}
+
+/// Tuning knobs for the worker pool. Both optimizations are on by
+/// default and independently toggleable so the equivalence suite can
+/// prove each one output-neutral.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Idle workers spin briefly, then park on a condvar until work is
+    /// published or the call drains. Off = the legacy `yield_now` loop.
+    pub park: bool,
+    /// Scale injector refill chunks with per-worker load instead of the
+    /// fixed cap, so large corpora amortize injector lock traffic while
+    /// small ones keep tasks stealable.
+    pub adaptive_chunk: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            park: true,
+            adaptive_chunk: true,
+        }
+    }
+}
+
+/// Yield-spin iterations before an idle worker parks.
+const SPIN_BEFORE_PARK: u32 = 16;
+
+/// Park timeout: an upper bound on wakeup latency after a missed notify,
+/// NOT a correctness mechanism — shutdown re-checks `claimed` on every
+/// wake.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
 /// Locks a queue, surviving poisoning (a panic never happens while the
 /// lock is held, so the protected deque is always consistent).
 fn lock(q: &Mutex<VecDeque<usize>>) -> MutexGuard<'_, VecDeque<usize>> {
@@ -47,16 +100,29 @@ struct Queues {
     /// Tasks popped for execution (not merely moved between queues).
     claimed: AtomicUsize,
     total: usize,
+    cfg: PoolConfig,
+    /// Guards nothing — pairs with `idle_cv` for parked idle workers.
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
 }
 
 impl Queues {
+    /// Counts a claim; the worker that claims the last task wakes every
+    /// parked sibling so they can observe shutdown immediately.
+    fn claim(&self) {
+        if self.claimed.fetch_add(1, Ordering::SeqCst) + 1 >= self.total && self.cfg.park {
+            self.idle_cv.notify_all();
+        }
+    }
+
     /// Claims the next task for worker `me`, or returns `None` when every
     /// task in the call has been claimed. Never blocks indefinitely.
     fn next_task(&self, me: usize) -> Option<usize> {
+        let mut spins = 0u32;
         loop {
             // 1. Own deque, LIFO (freshest batch is cache-warm).
             if let Some(i) = lock(&self.deques[me]).pop_back() {
-                self.claimed.fetch_add(1, Ordering::SeqCst);
+                self.claim();
                 return Some(i);
             }
             // 2. Refill from the shared injector, one batch at a time so
@@ -64,7 +130,16 @@ impl Queues {
             {
                 let mut inj = lock(&self.injector);
                 if !inj.is_empty() {
-                    let batch = (inj.len() / (self.deques.len() * 2)).clamp(1, 32);
+                    let fair = inj.len() / (self.deques.len() * 2);
+                    let batch = if self.cfg.adaptive_chunk {
+                        // Cap scales with per-worker load: big corpora take
+                        // bigger bites (fewer injector locks), small ones
+                        // stay at 1-2 so siblings can still steal.
+                        let cap = (self.total / (self.deques.len() * 4)).clamp(4, 64);
+                        fair.clamp(1, cap)
+                    } else {
+                        fair.clamp(1, 32)
+                    };
                     let mut own = lock(&self.deques[me]);
                     for _ in 0..batch {
                         match inj.pop_front() {
@@ -74,6 +149,13 @@ impl Queues {
                     }
                     seal_obs::metrics::counter_add_nd("pool.injector_refills", 1);
                     seal_obs::metrics::gauge_max_nd("pool.queue_depth_max", own.len() as i64);
+                    let stealable = own.len() > 1;
+                    drop(own);
+                    drop(inj);
+                    // New stealable work: wake parked siblings to share it.
+                    if stealable && self.cfg.park {
+                        self.idle_cv.notify_all();
+                    }
                     continue;
                 }
             }
@@ -84,24 +166,47 @@ impl Queues {
                     continue;
                 }
                 if let Some(i) = lock(deque).pop_front() {
-                    self.claimed.fetch_add(1, Ordering::SeqCst);
+                    self.claim();
                     seal_obs::metrics::counter_add_nd("pool.steals", 1);
                     return Some(i);
                 }
             }
-            // 4. Nothing anywhere: done, or a loser of a race — retry.
+            // 4. Nothing anywhere: done, or a loser of a race. Spin a few
+            //    rounds (work usually reappears within a timeslice), then
+            //    park so idle workers stop stealing CPU from busy ones.
             if self.claimed.load(Ordering::SeqCst) >= self.total {
                 return None;
             }
-            std::thread::yield_now();
+            if !self.cfg.park || spins < SPIN_BEFORE_PARK {
+                spins += 1;
+                std::thread::yield_now();
+                continue;
+            }
+            spins = 0;
+            let waited = Instant::now();
+            let guard = self.idle_lock.lock().unwrap_or_else(|e| e.into_inner());
+            // Re-check under the idle lock: a notify between our last scan
+            // and this park would otherwise be lost until the timeout.
+            if self.claimed.load(Ordering::SeqCst) >= self.total {
+                return None;
+            }
+            let _unused = self
+                .idle_cv
+                .wait_timeout(guard, PARK_TIMEOUT)
+                .unwrap_or_else(|e| e.into_inner());
+            seal_obs::metrics::counter_add_nd("pool.park_count", 1);
+            seal_obs::metrics::counter_add_nd(
+                "pool.injector_wait_ns",
+                waited.elapsed().as_nanos() as u64,
+            );
         }
     }
 }
 
-/// Parallel map preserving input order, with an explicit worker count.
-/// `jobs <= 1` (or fewer than two items) runs inline on the caller's
-/// thread — the deterministic reference path.
-pub fn par_map_indexed_jobs<T, U, F>(jobs: usize, items: &[T], f: F) -> Vec<U>
+/// Parallel map preserving input order, with an explicit worker count and
+/// pool configuration. `jobs <= 1` (or fewer than two items) runs inline
+/// on the caller's thread — the deterministic reference path.
+pub fn par_map_indexed_jobs_with<T, U, F>(cfg: PoolConfig, jobs: usize, items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
@@ -120,6 +225,9 @@ where
         deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
         claimed: AtomicUsize::new(0),
         total,
+        cfg,
+        idle_lock: Mutex::new(()),
+        idle_cv: Condvar::new(),
     };
     let (tx, rx) = mpsc::channel::<(usize, U)>();
     let mut out: Vec<Option<U>> = Vec::with_capacity(total);
@@ -149,6 +257,16 @@ where
     out.into_iter()
         .map(|v| v.expect("scope completed without panic, so every task ran"))
         .collect()
+}
+
+/// [`par_map_indexed_jobs_with`] under the default [`PoolConfig`].
+pub fn par_map_indexed_jobs<T, U, F>(jobs: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_indexed_jobs_with(PoolConfig::default(), jobs, items, f)
 }
 
 /// [`par_map_indexed_jobs`] without the index argument.
@@ -256,6 +374,49 @@ mod tests {
         let empty: Vec<i32> = vec![];
         assert!(par_map_jobs(4, &empty, |&x| x).is_empty());
         assert_eq!(par_map_jobs(4, &[41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn all_pool_configs_agree() {
+        // Parking and adaptive chunking are scheduling-only: every config
+        // must produce the identical, order-preserved result vector.
+        let items: Vec<u64> = (0..311).collect();
+        let want: Vec<u64> = items.iter().map(|&x| x * 3 + 7).collect();
+        for park in [false, true] {
+            for adaptive_chunk in [false, true] {
+                let cfg = PoolConfig {
+                    park,
+                    adaptive_chunk,
+                };
+                for jobs in [2, 4, 8] {
+                    let got = par_map_indexed_jobs_with(cfg, jobs, &items, |_, &x| x * 3 + 7);
+                    assert_eq!(got, want, "cfg={cfg:?} jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parking_workers_wake_for_late_stealable_work() {
+        // One long task holds a worker while the rest go idle and park;
+        // they must wake (notify or timeout) and finish the stragglers.
+        let items: Vec<u64> = (0..32).collect();
+        let got = par_map_indexed_jobs_with(
+            PoolConfig {
+                park: true,
+                adaptive_chunk: true,
+            },
+            8,
+            &items,
+            |i, &x| {
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                x + 1
+            },
+        );
+        let want: Vec<u64> = items.iter().map(|&x| x + 1).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -36,7 +36,7 @@ enum Node<T> {
 }
 
 /// Hash-consing interner for [`Formula`] trees.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FormulaInterner<T> {
     ids: HashMap<Node<T>, FormulaId>,
     len: u32,
@@ -72,6 +72,20 @@ impl<T: Clone + Eq + Hash> FormulaInterner<T> {
         id
     }
 
+    /// Looks a formula up without interning: `Some(id)` iff the formula
+    /// (and every subformula) is already present.
+    pub fn get(&self, f: &Formula<T>) -> Option<FormulaId> {
+        let node = match f {
+            Formula::True => Node::True,
+            Formula::False => Node::False,
+            Formula::Atom(a) => Node::Atom(a.clone()),
+            Formula::Not(x) => Node::Not(self.get(x)?),
+            Formula::And(xs) => Node::And(xs.iter().map(|x| self.get(x)).collect::<Option<_>>()?),
+            Formula::Or(xs) => Node::Or(xs.iter().map(|x| self.get(x)).collect::<Option<_>>()?),
+        };
+        self.ids.get(&node).copied()
+    }
+
     /// Number of distinct nodes interned so far.
     pub fn len(&self) -> usize {
         self.len as usize
@@ -83,12 +97,57 @@ impl<T: Clone + Eq + Hash> FormulaInterner<T> {
     }
 }
 
+/// An immutable, pre-interned formula set, built once before detection
+/// fans out and shared read-only across shards. Every shard-local
+/// [`SolverCache`] seeded via [`SolverCache::with_base`] starts from this
+/// identical table, so the hot per-shard `intern` of a specification
+/// condition is a pure lookup — no cross-shard synchronization, and ids
+/// for snapshot formulas agree across every shard by construction.
+#[derive(Debug, Clone)]
+pub struct FormulaSnapshot<T> {
+    base: FormulaInterner<T>,
+}
+
+impl<T: Clone + Eq + Hash> FormulaSnapshot<T> {
+    /// Interns `formulas` (in iteration order, which callers keep
+    /// deterministic) and freezes the result.
+    pub fn build<'a, I>(formulas: I) -> Self
+    where
+        T: 'a,
+        I: IntoIterator<Item = &'a Formula<T>>,
+    {
+        let mut base = FormulaInterner::default();
+        for f in formulas {
+            base.intern(f);
+        }
+        FormulaSnapshot { base }
+    }
+
+    /// Id of a snapshot formula (`None` if it was not pre-interned).
+    pub fn id_of(&self, f: &Formula<T>) -> Option<FormulaId> {
+        self.base.get(f)
+    }
+
+    /// Number of distinct nodes in the snapshot.
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// True when the snapshot holds no formulas.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+}
+
 /// A memoizing front end over [`sat::is_sat`]/[`sat::implies`], keyed on
 /// interned formula ids. `queries`/`hits` make the effect observable so
 /// speedups are attributable (the PR 3 `DetectStats` counters).
 #[derive(Debug)]
 pub struct SolverCache<T> {
     interner: FormulaInterner<T>,
+    /// Interner size at construction; nodes below this line came from a
+    /// shared [`FormulaSnapshot`], not this cache's own work.
+    base_len: u32,
     sat_memo: HashMap<FormulaId, Verdict>,
     implies_memo: HashMap<(FormulaId, FormulaId), bool>,
     /// Total `is_sat`/`implies` questions asked through this cache.
@@ -101,6 +160,7 @@ impl<T> Default for SolverCache<T> {
     fn default() -> Self {
         SolverCache {
             interner: FormulaInterner::default(),
+            base_len: 0,
             sat_memo: HashMap::new(),
             implies_memo: HashMap::new(),
             queries: 0,
@@ -113,6 +173,21 @@ impl<T: Clone + Eq + Hash> SolverCache<T> {
     /// A fresh, empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A cache whose interner starts as a copy of `base`. Snapshot
+    /// formulas are already interned (same ids in every seeded cache);
+    /// verdict memos start empty, so cached verdicts are still computed —
+    /// once — by this cache and are byte-identical to an unseeded run.
+    pub fn with_base(base: &FormulaSnapshot<T>) -> Self {
+        SolverCache {
+            interner: base.base.clone(),
+            base_len: base.base.len,
+            sat_memo: HashMap::new(),
+            implies_memo: HashMap::new(),
+            queries: 0,
+            hits: 0,
+        }
     }
 
     /// Interns a formula (exposed so callers can key their own per-formula
@@ -165,11 +240,16 @@ impl<T: Clone + Eq + Hash> SolverCache<T> {
 }
 
 impl<T> Drop for SolverCache<T> {
-    /// Publishes final interner occupancy when the cache retires. Summed
-    /// across caches (one per detection shard) the total is deterministic:
-    /// each shard interns a fixed set of formulas regardless of `--jobs`.
+    /// Publishes final interner occupancy when the cache retires — only
+    /// the nodes this cache interned itself, excluding any seeded
+    /// snapshot. Summed across caches (one per detection shard) the total
+    /// is deterministic: each shard interns a fixed set of formulas
+    /// regardless of `--jobs`.
     fn drop(&mut self) {
-        seal_obs::metrics::counter_add("solver.interner.nodes", self.interner.len as u64);
+        seal_obs::metrics::counter_add(
+            "solver.interner.nodes",
+            (self.interner.len - self.base_len) as u64,
+        );
     }
 }
 
@@ -224,6 +304,31 @@ mod tests {
             assert_eq!(cache.is_sat(f), direct);
             assert_eq!(cache.is_sat(f), direct); // and again, from the memo
         }
+    }
+
+    #[test]
+    fn snapshot_seeds_caches_with_stable_ids() {
+        let c1: Fm = Fm::cmp("x", CmpOp::Eq, 0);
+        let c2: Fm = Fm::cmp("y", CmpOp::Gt, 3).and(Fm::cmp("x", CmpOp::Eq, 0));
+        let snap = FormulaSnapshot::build([&c1, &c2]);
+        assert!(!snap.is_empty());
+        assert!(snap.id_of(&c1).is_some());
+        assert_eq!(snap.id_of(&Fm::cmp("z", CmpOp::Lt, 9)), None);
+        // Two independently seeded caches agree with the snapshot (and
+        // each other) on snapshot ids without interning anything new.
+        let mut a: SolverCache<&str> = SolverCache::with_base(&snap);
+        let mut b: SolverCache<&str> = SolverCache::with_base(&snap);
+        for f in [&c1, &c2] {
+            assert_eq!(Some(a.intern(f)), snap.id_of(f));
+            assert_eq!(a.intern(f), b.intern(f));
+        }
+        assert_eq!(a.interner.len(), snap.len());
+        // Fresh formulas extend past the base; verdicts match an unseeded
+        // cache byte for byte.
+        let g: Fm = Fm::cmp("x", CmpOp::Lt, 0).and(Fm::cmp("x", CmpOp::Gt, 10));
+        assert!(a.intern(&g).0 as usize >= snap.len());
+        assert_eq!(a.is_sat(&g), SolverCache::<&str>::new().is_sat(&g));
+        assert_eq!(a.is_sat(&c1), sat::is_sat(&c1));
     }
 
     #[test]

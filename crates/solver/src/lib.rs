@@ -18,6 +18,6 @@ pub mod sat;
 pub mod theory;
 
 pub use formula::{Atom, CmpOp, Formula, Term};
-pub use intern::{FormulaId, FormulaInterner, SolverCache};
+pub use intern::{FormulaId, FormulaInterner, FormulaSnapshot, SolverCache};
 pub use sat::{equivalent, implies, is_sat, Verdict};
 pub use theory::{IncrementalTheory, Mark};

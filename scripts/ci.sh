@@ -24,6 +24,10 @@ cargo test -q --offline -p seal-solver --test edge_cases
 
 cargo run --release --offline -p seal-bench --bin bench_pipeline
 
+# Scaling regression gate: the fresh matrix must hold the committed
+# speedup floor and stay within 15% of the committed phase medians.
+sh scripts/bench_check.sh
+
 # Trace-determinism smoke: the same hunt twice, at different worker counts,
 # must yield byte-identical traces once durations are masked, and the
 # deterministic subset of the metrics must match exactly.
@@ -51,6 +55,22 @@ if ! diff -u "$OBS_DIR/m1.det" "$OBS_DIR/m4.det"; then
 fi
 rm -rf "$OBS_DIR"
 echo "trace-determinism smoke: ok"
+
+# Oversubscription smoke: jobs=8 on the CI host (more workers than cores
+# on most runners) must terminate — parked workers may not deadlock — and
+# produce byte-identical reports to the sequential run.
+OVER_DIR=$(mktemp -d)
+"$SEAL" hunt --pre "$PRE" --post "$POST" --target tests/data/target.c \
+    --jobs 1 >"$OVER_DIR/reports.j1"
+"$SEAL" hunt --pre "$PRE" --post "$POST" --target tests/data/target.c \
+    --jobs 8 >"$OVER_DIR/reports.j8"
+if ! diff -u "$OVER_DIR/reports.j1" "$OVER_DIR/reports.j8"; then
+    echo "oversubscription smoke: reports differ between jobs=1 and jobs=8" >&2
+    rm -rf "$OVER_DIR"
+    exit 1
+fi
+rm -rf "$OVER_DIR"
+echo "oversubscription smoke: ok"
 
 # Fault-injection smoke: mutate a real corpus patch and batch-infer the
 # mutants next to a good pair. The contract (DESIGN.md, "Fault tolerance"):

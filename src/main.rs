@@ -64,30 +64,46 @@ fn report_failures(failures: &[ItemFailure]) {
     }
 }
 
+/// A fatal CLI error: the message plus the exit code to report. Usage and
+/// I/O errors exit 1; invalid worker counts exit 2 (see [`validate_jobs`]).
+struct Fatal {
+    msg: String,
+    code: u8,
+}
+
+impl From<String> for Fatal {
+    fn from(msg: String) -> Self {
+        Fatal { msg, code: 1 }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(Outcome::Full) => ExitCode::SUCCESS,
         Ok(Outcome::Partial) => ExitCode::from(2),
-        Err(e) => {
-            eprintln!("seal: {e}");
-            ExitCode::FAILURE
+        Err(f) => {
+            eprintln!("seal: {}", f.msg);
+            ExitCode::from(f.code)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<Outcome, String> {
+fn run(args: &[String]) -> Result<Outcome, Fatal> {
     let Some(cmd) = args.first() else {
-        return Err(usage());
+        return Err(usage().into());
     };
     if matches!(cmd.as_str(), "help" | "--help" | "-h") {
         println!("{}", usage());
         return Ok(Outcome::Full);
     }
     let Some(known) = known_flags(cmd) else {
-        return Err(format!("unknown command `{cmd}`\n{}", usage()));
+        return Err(format!("unknown command `{cmd}`\n{}", usage()).into());
     };
     let opts = parse_opts(&args[1..], known)?;
+    if known.contains(&"jobs") {
+        validate_jobs(&opts).map_err(|msg| Fatal { msg, code: 2 })?;
+    }
     match cmd.as_str() {
         // The analysis commands support --trace/--metrics: observability is
         // armed before any pipeline work and the files are written after.
@@ -102,13 +118,13 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 Ok(_) => obs.finish()?,
                 Err(_) => obs.abort(),
             }
-            out
+            out.map_err(Fatal::from)
         }
-        "merge" => merge(&opts),
-        "gen-corpus" => gen_corpus(&opts),
-        "mutate" => mutate(&opts),
-        "stats" => stats(&opts),
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        "merge" => merge(&opts).map_err(Fatal::from),
+        "gen-corpus" => gen_corpus(&opts).map_err(Fatal::from),
+        "mutate" => mutate(&opts).map_err(Fatal::from),
+        "stats" => stats(&opts).map_err(Fatal::from),
+        other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
     }
 }
 
@@ -276,15 +292,47 @@ fn usage() -> String {
         .to_string()
 }
 
+/// Hard ceiling on the worker count. Far above any real machine; a value
+/// beyond it is a typo'd or corrupted setting, not a request we should
+/// honor by spawning thousands of threads.
+const MAX_JOBS: usize = 1024;
+
+/// Parses one worker-count setting, rejecting zero, garbage, and absurd
+/// values instead of clamping them: a silently "repaired" `--jobs 0` or
+/// `SEAL_JOBS=1o24` would quietly change the parallelism the user thinks
+/// they measured.
+fn parse_jobs(source: &str, v: &str) -> Result<usize, String> {
+    match v.trim().parse::<usize>() {
+        Ok(n) if (1..=MAX_JOBS).contains(&n) => Ok(n),
+        Ok(n) => Err(format!(
+            "{source} must be between 1 and {MAX_JOBS}, got `{n}`"
+        )),
+        Err(_) => Err(format!("{source} must be a positive integer, got `{v}`")),
+    }
+}
+
+/// Validates every worker-count source before any pipeline work starts,
+/// so a bad value is a clean exit-2 error instead of a mid-run surprise.
+/// `--jobs` is checked when present; `SEAL_JOBS` is checked whenever it
+/// is set, even if `--jobs` overrides it — an invalid value in the
+/// environment is a latent bug for the next invocation.
+fn validate_jobs(opts: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(v) = opts.get("jobs") {
+        parse_jobs("--jobs", v)?;
+    }
+    if let Ok(v) = std::env::var("SEAL_JOBS") {
+        parse_jobs("SEAL_JOBS", &v)?;
+    }
+    Ok(())
+}
+
 /// Worker count for this invocation: `--jobs` wins over `SEAL_JOBS` (which
 /// [`seal_runtime::worker_count`] reads), which wins over the machine's
-/// available parallelism.
+/// available parallelism. Values were vetted by [`validate_jobs`] before
+/// the command started.
 fn jobs(opts: &HashMap<String, String>) -> Result<usize, String> {
     match opts.get("jobs") {
-        Some(v) => match v.parse::<usize>() {
-            Ok(n) if n >= 1 => Ok(n),
-            _ => Err(format!("--jobs must be a positive integer, got `{v}`")),
-        },
+        Some(v) => parse_jobs("--jobs", v),
         None => Ok(seal_runtime::worker_count()),
     }
 }

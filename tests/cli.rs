@@ -219,6 +219,54 @@ fn jobs_flag_overrides_env_and_preserves_output() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Invalid worker counts — `--jobs 0`, an absurd `--jobs`, or a bad
+/// `SEAL_JOBS` in the environment — are a clean exit-code-2 error before
+/// any pipeline work starts, never a silent clamp. The target/specs files
+/// here don't exist: the error must come from jobs validation, not I/O.
+#[test]
+fn invalid_jobs_exit_2_before_any_work() {
+    let detect = |jobs: Option<&str>, env: Option<&str>| {
+        let mut cmd = Command::new(seal_bin());
+        cmd.args(["detect", "--target", "/nonexistent.c"])
+            .args(["--specs", "/nonexistent.txt"]);
+        if let Some(j) = jobs {
+            cmd.args(["--jobs", j]);
+        }
+        cmd.env_remove("SEAL_JOBS");
+        if let Some(e) = env {
+            cmd.env("SEAL_JOBS", e);
+        }
+        cmd.output().unwrap()
+    };
+
+    for bad in ["0", "1000000", "many", "-4"] {
+        let out = detect(Some(bad), None);
+        assert_eq!(out.status.code(), Some(2), "--jobs {bad} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--jobs"), "stderr: {stderr}");
+        // Validation fires before the pipeline ever touches the files.
+        assert!(!stderr.contains("nonexistent"), "stderr: {stderr}");
+    }
+
+    for bad in ["0", "1000000", "1o24"] {
+        let out = detect(None, Some(bad));
+        assert_eq!(out.status.code(), Some(2), "SEAL_JOBS={bad} must exit 2");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("SEAL_JOBS"),
+            "stderr should name SEAL_JOBS"
+        );
+    }
+
+    // A bad environment value is rejected even when --jobs overrides it:
+    // leaving it latent would bite the next invocation.
+    let out = detect(Some("1"), Some("0"));
+    assert_eq!(out.status.code(), Some(2));
+
+    // Valid values at both sources still fail on the missing file (exit 1).
+    let out = detect(Some("2"), Some("3"));
+    assert_eq!(out.status.code(), Some(1));
+}
+
 #[test]
 fn bad_input_fails_cleanly() {
     // Unknown command.

@@ -105,6 +105,37 @@ fn trace_and_det_metrics_identical_across_job_counts_and_runs() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The full bench-matrix worker counts: the masked trace and the
+/// deterministic metrics are invariant for jobs ∈ {1, 2, 4, 8} with the
+/// shard-local interner and arena-backed PDG on (the defaults). This
+/// covers the seeded `solver.interner.nodes` counter in particular — each
+/// shard's cache reports only nodes interned beyond the shared snapshot,
+/// so the total cannot drift with the shard-to-worker assignment.
+#[test]
+fn det_metrics_invariant_across_matrix_worker_counts() {
+    let dir = temp_dir("matrix");
+    let runs: Vec<(String, String)> = [1u32, 2, 4, 8]
+        .iter()
+        .map(|&jobs| hunt(&dir, jobs, 1))
+        .collect();
+    let trace0 = seal::obs::trace::mask_durations(&runs[0].0);
+    let det0 = det_metrics(&runs[0].1);
+    for (i, (trace, metrics)) in runs.iter().enumerate().skip(1) {
+        let jobs = [1, 2, 4, 8][i];
+        assert_eq!(
+            trace0,
+            seal::obs::trace::mask_durations(trace),
+            "masked trace differs between jobs=1 and jobs={jobs}"
+        );
+        assert_eq!(
+            det0,
+            det_metrics(metrics),
+            "det metrics differ between jobs=1 and jobs={jobs}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn trace_has_the_expected_span_tree() {
     let dir = temp_dir("structure");
@@ -243,6 +274,8 @@ fn metrics_cover_every_instrumented_subsystem() {
         "pool.injector_refills",
         "pool.queue_depth_max",
         "pool.workers_max",
+        "pool.park_count",
+        "pool.injector_wait_ns",
     ] {
         if let Some(m) = snap.metrics.get(nd) {
             assert!(!m.det, "{nd} must be nondeterministic");
