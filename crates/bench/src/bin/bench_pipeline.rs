@@ -20,8 +20,8 @@
 //! measured interleaved, round-robin per iteration, so machine-load
 //! drift cannot skew one cell's median against another's.
 
-use seal_bench::{eval_config, run_pipeline_with_jobs, PipelineResult};
-use seal_core::{detect_bugs_with_stats_jobs, DetectConfig, Seal};
+use seal_bench::{eval_config, run_parts, run_pipeline_with_jobs, PipelineParts, PipelineResult};
+use seal_core::{detect_bugs_with_stats_jobs, AnalysisCache, DetectConfig, Seal};
 use seal_corpus::CorpusConfig;
 use seal_spec::parse::to_line;
 use seal_spec::Specification;
@@ -89,6 +89,18 @@ fn p90(xs: &[f64]) -> f64 {
 /// Canonical rendering of everything the pipeline outputs; equal strings
 /// mean a byte-identical run.
 fn fingerprint(r: &PipelineResult) -> String {
+    fingerprint_parts(&PipelineParts {
+        specs: r.specs.clone(),
+        per_patch_specs: r.per_patch_specs.clone(),
+        reports: r.reports.clone(),
+        score: r.score.clone(),
+        infer_time: r.infer_time,
+        detect_time: r.detect_time,
+        detect_stats: r.detect_stats,
+    })
+}
+
+fn fingerprint_parts(r: &PipelineParts) -> String {
     let mut out = String::new();
     for s in &r.specs {
         out.push_str(&to_line(s));
@@ -213,6 +225,270 @@ fn measure_baseline(warmup: usize, iters: usize) -> Samples {
         s.detect.push(detect_ms);
     }
     s
+}
+
+/// One row of the incremental-cache benchmark: the store mode it ran in,
+/// the analysis time samples (inference + detection, excluding corpus
+/// generation, which is cache-independent), and the store's session
+/// counters from the first sample.
+struct CacheRow {
+    row: &'static str,
+    mode: &'static str,
+    analysis_ms: Vec<f64>,
+    hits: u64,
+    misses: u64,
+    bytes_read: u64,
+    invalidations: u64,
+    hit_rate: f64,
+    extra: String,
+}
+
+impl CacheRow {
+    fn json(&self, cold_median: f64) -> String {
+        let stat = format!(
+            "{{\"min\":{},\"median\":{},\"p90\":{}}}",
+            num(min(&self.analysis_ms)),
+            num(median(&self.analysis_ms)),
+            num(p90(&self.analysis_ms))
+        );
+        let speedup = if self.row == "cold" {
+            String::new()
+        } else {
+            format!(
+                ",\"speedup_vs_cold\":{:.3}",
+                cold_median / median(&self.analysis_ms)
+            )
+        };
+        format!(
+            "{{\"row\":\"{}\",\"mode\":\"{}\",\"analysis_ms\":{stat},\
+             \"hits\":{},\"misses\":{},\"hit_rate\":{:.3},\
+             \"bytes_read\":{},\"invalidations\":{}{speedup}{}}}",
+            self.row,
+            self.mode,
+            self.hits,
+            self.misses,
+            self.hit_rate,
+            self.bytes_read,
+            self.invalidations,
+            self.extra,
+        )
+    }
+}
+
+/// Simulates a 10% edit to the target: every tenth function's definition
+/// span moves (what a real edit higher up in the file does to everything
+/// below it). The positional body hash of exactly those functions changes,
+/// so only shards whose scope contains one of them should miss.
+fn mutate_tenth_of_functions(m: &mut seal_ir::Module) -> usize {
+    let mut mutated = 0;
+    for (i, f) in m.functions.iter_mut().enumerate() {
+        if i % 10 == 0 {
+            f.span.line += 977;
+            mutated += 1;
+        }
+    }
+    mutated
+}
+
+/// Semantically mutates every tenth patch: both versions gain one (unused,
+/// identical) helper function, so the patch's diff — and its specs — are
+/// unchanged, but its raw and semantic cache keys both move and the patch
+/// re-infers from scratch.
+fn mutate_tenth_of_patches(patches: &mut [seal_core::Patch]) -> usize {
+    let mut mutated = 0;
+    for (i, p) in patches.iter_mut().enumerate() {
+        if i % 10 == 0 {
+            let pad = "\nint seal_bench_mut_pad(int x) { return x + 1; }\n";
+            p.pre.push_str(pad);
+            p.post.push_str(pad);
+            mutated += 1;
+        }
+    }
+    mutated
+}
+
+/// Measures the incremental cache: cold (fresh rw store per sample), warm
+/// (read-only over a populated store), and a 10%-mutated corpus over the
+/// same populated store. Returns the JSON section plus the equivalence and
+/// warm-speedup verdicts.
+fn measure_cache(iters: usize) -> (String, bool, f64) {
+    let config = eval_config();
+    let corpus = seal_corpus::generate(&config);
+    let target = corpus.target_module();
+    let disabled = AnalysisCache::disabled();
+
+    // Uncached reference (doubles as warmup).
+    let base = run_parts(&corpus, &target, 1, &disabled);
+    let fp_base = fingerprint_parts(&base);
+
+    let tmp = std::env::temp_dir().join(format!("seal-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).expect("cannot create cache bench dir");
+    let cold_dir = tmp.join("cold");
+    let warm_dir = tmp.join("warm");
+
+    let mut identical = true;
+    let run_cached = |dir: &std::path::Path,
+                      mode: seal_store::CacheMode,
+                      corpus: &seal_corpus::Corpus,
+                      target: &seal_ir::Module|
+     -> (f64, PipelineParts, AnalysisCache) {
+        let cache = AnalysisCache::open(dir, mode).expect("cannot open bench cache");
+        let t0 = Instant::now();
+        let r = run_parts(corpus, target, 1, &cache);
+        cache.flush().expect("cannot flush bench cache");
+        (t0.elapsed().as_secs_f64() * 1e3, r, cache)
+    };
+
+    // Cold: every sample starts from an empty store in rw mode (flush
+    // included in the sample — writing the store is part of the cold cost).
+    let mut cold = CacheRow {
+        row: "cold",
+        mode: "rw",
+        analysis_ms: Vec::new(),
+        hits: 0,
+        misses: 0,
+        bytes_read: 0,
+        invalidations: 0,
+        hit_rate: 0.0,
+        extra: String::new(),
+    };
+    for i in 0..iters {
+        let _ = std::fs::remove_dir_all(&cold_dir);
+        std::fs::create_dir_all(&cold_dir).expect("cannot create cold dir");
+        let (ms, r, cache) = run_cached(
+            &cold_dir,
+            seal_store::CacheMode::ReadWrite,
+            &corpus,
+            &target,
+        );
+        cold.analysis_ms.push(ms);
+        identical &= fingerprint_parts(&r) == fp_base;
+        if i == 0 {
+            let s = cache.stats();
+            cold.hits = s.hits;
+            cold.misses = s.misses;
+            cold.bytes_read = s.bytes_read;
+            cold.invalidations = s.invalidations;
+            cold.hit_rate = s.hit_rate();
+        }
+    }
+
+    // Populate the warm store once.
+    std::fs::create_dir_all(&warm_dir).expect("cannot create warm dir");
+    let _ = run_cached(
+        &warm_dir,
+        seal_store::CacheMode::ReadWrite,
+        &corpus,
+        &target,
+    );
+
+    // Warm: read-only over the populated store; everything replays.
+    let mut warm = CacheRow {
+        row: "warm",
+        mode: "ro",
+        ..warm_row_default()
+    };
+    for i in 0..iters {
+        let (ms, r, cache) =
+            run_cached(&warm_dir, seal_store::CacheMode::ReadOnly, &corpus, &target);
+        warm.analysis_ms.push(ms);
+        identical &= fingerprint_parts(&r) == fp_base;
+        if i == 0 {
+            let s = cache.stats();
+            warm.hits = s.hits;
+            warm.misses = s.misses;
+            warm.bytes_read = s.bytes_read;
+            warm.invalidations = s.invalidations;
+            warm.hit_rate = s.hit_rate();
+        }
+    }
+
+    // 10%-mutated corpus over the same populated store: misses should be
+    // proportional to the edit set (only shards touching a mutated
+    // function, only mutated patches), not a full recompute.
+    let mut mut_corpus = corpus;
+    let mutated_patches = mutate_tenth_of_patches(&mut mut_corpus.patches);
+    let mut mut_target = target;
+    let mutated_functions = mutate_tenth_of_functions(&mut mut_target);
+    let total_functions = mut_target.functions.len();
+    let fp_mut = fingerprint_parts(&run_parts(&mut_corpus, &mut_target, 1, &disabled));
+    let mut mutated = CacheRow {
+        row: "mutated_10pct",
+        mode: "ro",
+        ..warm_row_default()
+    };
+    mutated.extra = format!(
+        ",\"mutated_functions\":{mutated_functions},\"total_functions\":{total_functions},\
+         \"mutated_patches\":{mutated_patches},\"total_patches\":{}",
+        mut_corpus.patches.len()
+    );
+    for i in 0..iters {
+        let (ms, r, cache) = run_cached(
+            &warm_dir,
+            seal_store::CacheMode::ReadOnly,
+            &mut_corpus,
+            &mut_target,
+        );
+        mutated.analysis_ms.push(ms);
+        identical &= fingerprint_parts(&r) == fp_mut;
+        if i == 0 {
+            let s = cache.stats();
+            mutated.hits = s.hits;
+            mutated.misses = s.misses;
+            mutated.bytes_read = s.bytes_read;
+            mutated.invalidations = s.invalidations;
+            mutated.hit_rate = s.hit_rate();
+        }
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    assert!(
+        identical,
+        "cached pipeline output differs from the uncached run — cache equivalence broken"
+    );
+    // Proportionality: the mutated run must sit strictly between the warm
+    // and cold extremes — some misses (the edit set), mostly hits.
+    assert!(
+        mutated.misses > 0,
+        "mutated corpus produced no cache misses"
+    );
+    assert!(mutated.hits > 0, "mutated corpus produced no cache hits");
+    assert!(
+        mutated.misses < cold.misses,
+        "mutated corpus re-computed everything (misses {} vs cold {})",
+        mutated.misses,
+        cold.misses
+    );
+
+    let cold_median = median(&cold.analysis_ms);
+    let warm_speedup = cold_median / median(&warm.analysis_ms);
+    let rows = [&cold, &warm, &mutated]
+        .iter()
+        .map(|r| r.json(cold_median))
+        .collect::<Vec<_>>()
+        .join(",\n      ");
+    let section = format!(
+        "{{\n    \"jobs\": 1,\n    \"corpus\": \"1x\",\n    \"rows\": [\n      {rows}\n    ],\n    \
+         \"identical_reports_cold_warm_uncached\": {identical},\n    \
+         \"warm_speedup_vs_cold_median\": {:.3}\n  }}",
+        warm_speedup
+    );
+    (section, identical, warm_speedup)
+}
+
+fn warm_row_default() -> CacheRow {
+    CacheRow {
+        row: "",
+        mode: "",
+        analysis_ms: Vec::new(),
+        hits: 0,
+        misses: 0,
+        bytes_read: 0,
+        invalidations: 0,
+        hit_rate: 0.0,
+        extra: String::new(),
+    }
 }
 
 /// Minimal JSON emitter (numbers rounded to 0.01 ms).
@@ -363,6 +639,13 @@ fn main() {
             .collect()
     };
 
+    eprintln!("measuring incremental cache (cold / warm / 10%-mutated, jobs=1)");
+    let (cache_json, cache_identical, warm_speedup) = measure_cache(iters);
+    assert!(
+        warm_speedup >= 2.0,
+        "warm cache run is only {warm_speedup:.2}x faster than cold (acceptance floor: 2.0x)"
+    );
+
     // One instrumented run: every measured run above had the registry
     // disabled (the default), so the medians include only the disabled-path
     // cost; this extra run collects the per-stage counters for the report.
@@ -385,6 +668,7 @@ fn main() {
          \"baseline_seed_equivalent\": {},\n  \
          \"workers\": [\n    {}\n  ],\n  \
          \"matrix\": [\n    {}\n  ],\n  \
+         \"cache\": {},\n  \
          \"stage_metrics\": {},\n  \
          \"identical_output_across_workers\": {identical}\n}}\n",
         cfg.seed,
@@ -405,6 +689,7 @@ fn main() {
         phase_json(&baseline),
         workers_json.join(",\n    "),
         matrix_json.join(",\n    "),
+        cache_json,
         metrics_json(&stage_metrics),
     );
 
@@ -424,4 +709,8 @@ fn main() {
     }
     println!("baseline (seed-equivalent, 1x): min {:.1} ms", baseline_min);
     println!("output identical across worker counts: {identical}");
+    println!(
+        "cache: warm {warm_speedup:.2}x faster than cold (median, jobs=1), \
+         outputs identical cold/warm/uncached: {cache_identical}"
+    );
 }

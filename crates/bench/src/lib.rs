@@ -5,7 +5,7 @@
 //! generate the corpus, infer specifications from all patches, detect
 //! violations in the target kernel, and score against ground truth.
 
-use seal_core::{BugReport, DetectStats, Seal};
+use seal_core::{AnalysisCache, BugReport, DetectStats, Seal};
 use seal_corpus::ledger::{score, Score};
 use seal_corpus::{generate, Corpus, CorpusConfig};
 use seal_spec::{Provenance, Specification};
@@ -61,13 +61,69 @@ pub fn run_pipeline(config: &CorpusConfig) -> PipelineResult {
 /// extra threads beyond the cores only add scheduling overhead, and the
 /// determinism contract makes the cap invisible in the output.
 pub fn run_pipeline_with_jobs(config: &CorpusConfig, jobs: usize) -> PipelineResult {
-    let jobs = seal_runtime::effective_jobs(jobs);
+    run_pipeline_with_jobs_cached(config, jobs, &AnalysisCache::disabled())
+}
+
+/// [`run_pipeline_with_jobs`] with an artifact cache attached to every
+/// stage (spec inference and detection shards). With a disabled cache this
+/// is exactly the uncached pipeline.
+pub fn run_pipeline_with_jobs_cached(
+    config: &CorpusConfig,
+    jobs: usize,
+    cache: &AnalysisCache,
+) -> PipelineResult {
     let corpus = {
         let _span = seal_obs::span!("pipeline.generate", seed = config.seed);
         generate(config)
     };
     let target = corpus.target_module();
-    let seal = Seal::default();
+    let parts = run_parts(&corpus, &target, jobs, cache);
+    PipelineResult {
+        corpus,
+        specs: parts.specs,
+        per_patch_specs: parts.per_patch_specs,
+        reports: parts.reports,
+        score: parts.score,
+        infer_time: parts.infer_time,
+        detect_time: parts.detect_time,
+        detect_stats: parts.detect_stats,
+    }
+}
+
+/// [`PipelineResult`] without the corpus: what one inference + detection
+/// pass over *given* inputs produces. Lets harnesses (the cache benchmark)
+/// run the analysis repeatedly — or over mutated inputs — without
+/// regenerating or re-owning the corpus.
+pub struct PipelineParts {
+    /// All inferred specifications.
+    pub specs: Vec<Specification>,
+    /// Per-patch specification counts (patch id, count).
+    pub per_patch_specs: Vec<(String, usize)>,
+    /// All reports (deduplicated).
+    pub reports: Vec<BugReport>,
+    /// Score against ground truth.
+    pub score: Score,
+    /// Wall-clock of the inference stage.
+    pub infer_time: Duration,
+    /// Wall-clock of the detection stage.
+    pub detect_time: Duration,
+    /// Detection phase split.
+    pub detect_stats: DetectStats,
+}
+
+/// Runs inference over `corpus.patches` and detection over `target`, with
+/// the given worker count and artifact cache.
+pub fn run_parts(
+    corpus: &Corpus,
+    target: &seal_ir::Module,
+    jobs: usize,
+    cache: &AnalysisCache,
+) -> PipelineParts {
+    let jobs = seal_runtime::effective_jobs(jobs);
+    let seal = Seal {
+        cache: cache.clone(),
+        ..Seal::default()
+    };
 
     let t0 = Instant::now();
     let infer_span = seal_obs::span!("pipeline.infer", patches = corpus.patches.len());
@@ -90,13 +146,18 @@ pub fn run_pipeline_with_jobs(config: &CorpusConfig, jobs: usize) -> PipelineRes
     let t1 = Instant::now();
     let (reports, detect_stats) = {
         let _span = seal_obs::span!("pipeline.detect", specs = specs.len());
-        seal_core::detect_bugs_with_stats_jobs(&target, &specs, &seal.detect, jobs)
+        seal_core::detect::detect_bugs_with_stats_jobs_cached(
+            target,
+            &specs,
+            &seal.detect,
+            jobs,
+            &seal.cache,
+        )
     };
     let detect_time = t1.elapsed();
 
     let score = score(&reports, &corpus.ground_truth);
-    PipelineResult {
-        corpus,
+    PipelineParts {
         specs,
         per_patch_specs,
         reports,

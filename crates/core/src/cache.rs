@@ -1,0 +1,519 @@
+//! Content-addressed incremental analysis cache.
+//!
+//! Every cached artifact is addressed by a 128-bit content hash of *all*
+//! the inputs that determine it — source text or semantic renders, the
+//! config fingerprint of the stage that produced it, and a domain-version
+//! string — so a warm run serves byte-identical results or recomputes;
+//! there is no "stale hit" state. Four artifact kinds live in one
+//! [`Store`] (see DESIGN.md, "Incremental cache & binary store"):
+//!
+//! | kind | artifact | keyed on |
+//! |------|----------|----------|
+//! | [`KIND_SPECS_RAW`] | inferred specs | patch id + raw pre/post text + diff fp |
+//! | [`KIND_SPECS_SEM`] | inferred specs | patch id + KIR unit hashes + diff fp |
+//! | [`KIND_SHARD`]     | detection shard results | env hash + scoped body hashes + items + detect fp |
+//! | [`KIND_MODULE`]    | lowered module | module name + raw source text |
+//!
+//! The two spec kinds form a two-level lookup: the raw key is a pure text
+//! hash (no parsing needed — the common warm path), the semantic key is
+//! checked after the frontend ran and survives whitespace/comment/sibling
+//! -reordering edits; a semantic hit is promoted back into a raw entry so
+//! the next run short-circuits before compiling.
+//!
+//! Decoding failures of any payload are *not* errors: they count one
+//! invalidation and fall back to recomputation, by the same degradation
+//! contract the store applies to on-disk corruption.
+
+use crate::detect::DetectConfig;
+use crate::diff::DiffConfig;
+use crate::error::SealError;
+use crate::patch::{CompiledPatch, Patch};
+use crate::report::{BugReport, BugType};
+use seal_ir::ids::FuncId;
+use seal_ir::module::Module;
+use seal_spec::Specification;
+use seal_store::{
+    fnv64, CacheMode, CodecError, ContentHash, Dec, Enc, Hasher128, Store, StoreStats,
+};
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Record kind: specs keyed on raw patch text.
+pub const KIND_SPECS_RAW: u8 = 1;
+/// Record kind: specs keyed on semantic (KIR-level) unit hashes.
+pub const KIND_SPECS_SEM: u8 = 2;
+/// Record kind: one detection shard's reports and counters.
+pub const KIND_SHARD: u8 = 3;
+/// Record kind: a lowered module keyed on its raw source.
+pub const KIND_MODULE: u8 = 4;
+
+/// Stable fingerprint of a stage config: FNV-1a over its `Debug` render.
+/// `Debug` covers every field (budgets included), so any config edit —
+/// not just the ablation toggles — moves every key derived from it.
+fn debug_fp(cfg: &dyn std::fmt::Debug) -> u64 {
+    fnv64(format!("{cfg:?}").as_bytes())
+}
+
+/// Fingerprint of the differencing config (keys both spec kinds).
+pub fn diff_fingerprint(cfg: &DiffConfig) -> u64 {
+    debug_fp(cfg)
+}
+
+/// Fingerprint of the detection config (keys shard records).
+pub fn detect_fingerprint(cfg: &DetectConfig) -> u64 {
+    debug_fp(cfg)
+}
+
+/// Handle to the per-function artifact cache. Cheap to clone (shared
+/// store); the [`Default`] value is a disabled cache, so `Seal::default()`
+/// behaves exactly as before the cache existed.
+#[derive(Clone)]
+pub struct AnalysisCache {
+    store: Arc<Store>,
+}
+
+impl Default for AnalysisCache {
+    fn default() -> Self {
+        AnalysisCache::disabled()
+    }
+}
+
+impl std::fmt::Debug for AnalysisCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisCache")
+            .field("store", &*self.store)
+            .finish()
+    }
+}
+
+impl AnalysisCache {
+    /// A cache that never hits and never writes.
+    pub fn disabled() -> AnalysisCache {
+        AnalysisCache {
+            store: Arc::new(Store::disabled()),
+        }
+    }
+
+    /// Opens (or creates) the store under `dir` in the given mode.
+    pub fn open(dir: &Path, mode: CacheMode) -> Result<AnalysisCache, SealError> {
+        Ok(AnalysisCache {
+            store: Arc::new(Store::open(dir, mode)?),
+        })
+    }
+
+    /// Whether lookups can ever hit (mode is not `off`).
+    pub fn is_enabled(&self) -> bool {
+        self.store.is_enabled()
+    }
+
+    /// The underlying store (for stats display).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Persists pending writes (no-op unless mode is `rw`).
+    pub fn flush(&self) -> Result<(), SealError> {
+        self.store.flush()?;
+        Ok(())
+    }
+
+    /// Session counters plus index sizes.
+    pub fn stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    // ---- specs ---------------------------------------------------------
+
+    /// Raw-text spec key: nothing semantic, so a hit needs zero parsing.
+    fn raw_spec_key(fp: u64, patch: &Patch) -> ContentHash {
+        let mut h = Hasher128::new();
+        h.update_str("core.specs.raw.v1");
+        h.update_u64(fp);
+        h.update_str(&patch.id);
+        h.update_str(&patch.pre);
+        h.update_str(&patch.post);
+        h.finish()
+    }
+
+    /// Semantic spec key over the compiled patch's KIR unit hashes, or
+    /// `None` when the patch was compiled without them
+    /// ([`Patch::compile`] instead of [`Patch::compile_hashed`]).
+    fn sem_spec_key(fp: u64, compiled: &CompiledPatch) -> Option<ContentHash> {
+        let (pre, post) = (compiled.pre_unit_hash?, compiled.post_unit_hash?);
+        let mut h = Hasher128::new();
+        h.update_str("core.specs.sem.v1");
+        h.update_u64(fp);
+        h.update_str(&compiled.id);
+        h.update(pre.as_bytes());
+        h.update(post.as_bytes());
+        Some(h.finish())
+    }
+
+    /// Looks up inferred specs by raw patch text.
+    pub fn get_specs_raw(&self, fp: u64, patch: &Patch) -> Option<Vec<Specification>> {
+        let bytes = self
+            .store
+            .get(KIND_SPECS_RAW, &Self::raw_spec_key(fp, patch))?;
+        self.decode_specs(&bytes)
+    }
+
+    /// Stores inferred specs under the raw-text key.
+    pub fn put_specs_raw(&self, fp: u64, patch: &Patch, specs: &[Specification]) {
+        self.store.put(
+            KIND_SPECS_RAW,
+            Self::raw_spec_key(fp, patch),
+            seal_spec::binary::encode_specs(specs),
+        );
+    }
+
+    /// Looks up inferred specs by semantic unit hashes. Always a miss for
+    /// a patch compiled without hashes.
+    pub fn get_specs_sem(&self, fp: u64, compiled: &CompiledPatch) -> Option<Vec<Specification>> {
+        let key = Self::sem_spec_key(fp, compiled)?;
+        let bytes = self.store.get(KIND_SPECS_SEM, &key)?;
+        self.decode_specs(&bytes)
+    }
+
+    /// Stores inferred specs under the semantic key (a no-op for a patch
+    /// compiled without hashes).
+    pub fn put_specs_sem(&self, fp: u64, compiled: &CompiledPatch, specs: &[Specification]) {
+        if let Some(key) = Self::sem_spec_key(fp, compiled) {
+            self.store
+                .put(KIND_SPECS_SEM, key, seal_spec::binary::encode_specs(specs));
+        }
+    }
+
+    fn decode_specs(&self, bytes: &[u8]) -> Option<Vec<Specification>> {
+        match seal_spec::binary::decode_specs(bytes) {
+            Ok(specs) => Some(specs),
+            Err(_) => {
+                self.store.note_invalidation();
+                None
+            }
+        }
+    }
+
+    // ---- lowered modules ----------------------------------------------
+
+    fn module_key(name: &str, source: &str) -> ContentHash {
+        let mut h = Hasher128::new();
+        h.update_str("core.module.v1");
+        h.update_str(name);
+        h.update_str(source);
+        h.finish()
+    }
+
+    /// Looks up a lowered module by `(name, raw source)`.
+    pub fn get_module(&self, name: &str, source: &str) -> Option<Module> {
+        let bytes = self
+            .store
+            .get(KIND_MODULE, &Self::module_key(name, source))?;
+        match seal_ir::codec::decode_module(&bytes) {
+            Ok(m) => Some(m),
+            Err(_) => {
+                self.store.note_invalidation();
+                None
+            }
+        }
+    }
+
+    /// Stores a lowered module under its `(name, raw source)` key.
+    pub fn put_module(&self, name: &str, source: &str, module: &Module) {
+        self.store.put(
+            KIND_MODULE,
+            Self::module_key(name, source),
+            seal_ir::codec::encode_module(module),
+        );
+    }
+
+    // ---- detection shards ---------------------------------------------
+
+    /// Raw shard-record access (the key is built by [`shard_key`]).
+    pub(crate) fn get_shard(&self, key: &ContentHash) -> Option<Vec<u8>> {
+        self.store.get(KIND_SHARD, key)
+    }
+
+    pub(crate) fn put_shard(&self, key: ContentHash, payload: Vec<u8>) {
+        self.store.put(KIND_SHARD, key, payload);
+    }
+
+    pub(crate) fn note_invalidation(&self) {
+        self.store.note_invalidation();
+    }
+}
+
+/// Key of one detection shard's results.
+///
+/// Covers exactly the inputs the shard's output is a function of: the
+/// detection config fingerprint, the module environment, the bodies of the
+/// scope functions (positional hashes — reports carry line numbers), the
+/// PDG storage toggle, and the identity of each `(spec, region)` item.
+/// Bodies *outside* the scope are deliberately absent, which is what makes
+/// warm-run misses proportional to the edit set: mutating one function
+/// only invalidates the shards whose scope contains it.
+pub(crate) fn shard_key(
+    fp: u64,
+    env_hash: &ContentHash,
+    body_hashes: &[ContentHash],
+    spec_hashes: &[ContentHash],
+    arena_pdg: bool,
+    scope: &BTreeSet<FuncId>,
+    items: &[(usize, usize, FuncId)],
+) -> ContentHash {
+    let mut h = Hasher128::new();
+    h.update_str("core.shard.v1");
+    h.update_u64(fp);
+    h.update(env_hash.as_bytes());
+    h.update_u8(arena_pdg as u8);
+    h.update_u64(scope.len() as u64);
+    for &fid in scope {
+        h.update_u32(fid.0);
+        match body_hashes.get(fid.index()) {
+            Some(bh) => h.update(bh.as_bytes()),
+            None => h.update_str("<missing>"),
+        }
+    }
+    h.update_u64(items.len() as u64);
+    for &(si, ri, region) in items {
+        // The spec's *content* (not its index) keys the item, so renumbered
+        // but identical spec lists still hit; `ri` and the region id pin
+        // the item's place in the deterministic merge order.
+        match spec_hashes.get(si) {
+            Some(sh) => h.update(sh.as_bytes()),
+            None => h.update_str("<missing>"),
+        }
+        h.update_u64(ri as u64);
+        h.update_u32(region.0);
+    }
+    h.finish()
+}
+
+/// One shard's cacheable output: per-item report slots (in the shard's
+/// item order) plus the search counters. Phase *durations* are not cached
+/// — a warm hit truthfully spent ~0 time building PDGs.
+pub(crate) struct ShardPayload {
+    pub reports: Vec<Option<BugReport>>,
+    /// `[solver_queries, solver_cache_hits, subtrees_pruned,
+    /// sources_skipped_unreachable]`.
+    pub counters: [u64; 4],
+}
+
+pub(crate) fn encode_shard_payload(p: &ShardPayload) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(p.reports.len() as u32);
+    for slot in &p.reports {
+        match slot {
+            Some(r) => {
+                e.bool(true);
+                enc_report(&mut e, r);
+            }
+            None => e.bool(false),
+        }
+    }
+    for c in p.counters {
+        e.u64(c);
+    }
+    e.into_bytes()
+}
+
+pub(crate) fn decode_shard_payload(bytes: &[u8]) -> Result<ShardPayload, CodecError> {
+    let mut d = Dec::new(bytes);
+    let n = d.u32()?;
+    let mut reports = Vec::with_capacity(n.min(65536) as usize);
+    for _ in 0..n {
+        reports.push(if d.bool()? {
+            Some(dec_report(&mut d)?)
+        } else {
+            None
+        });
+    }
+    let mut counters = [0u64; 4];
+    for c in &mut counters {
+        *c = d.u64()?;
+    }
+    d.finish()?;
+    Ok(ShardPayload { reports, counters })
+}
+
+const BUG_TYPES: [BugType; 8] = [
+    BugType::Npd,
+    BugType::MemLeak,
+    BugType::WrongEc,
+    BugType::Oob,
+    BugType::Uaf,
+    BugType::Dbz,
+    BugType::Uninit,
+    BugType::Other,
+];
+
+fn enc_report(e: &mut Enc, r: &BugReport) {
+    seal_spec::binary::encode_spec_into(e, &r.spec);
+    e.str(&r.module);
+    e.str(&r.function);
+    e.u32(r.line);
+    e.u8(BUG_TYPES.iter().position(|b| *b == r.bug_type).unwrap() as u8);
+    e.u32(r.witness_lines.len() as u32);
+    for &l in &r.witness_lines {
+        e.u32(l);
+    }
+    e.str(&r.explanation);
+}
+
+fn dec_report(d: &mut Dec) -> Result<BugReport, CodecError> {
+    let spec = seal_spec::binary::decode_spec_from(d)?;
+    let module = d.str()?.to_string();
+    let function = d.str()?.to_string();
+    let line = d.u32()?;
+    let tag = d.u8()?;
+    let bug_type = *BUG_TYPES.get(tag as usize).ok_or(CodecError::BadTag {
+        what: "BugType",
+        tag,
+    })?;
+    let n = d.u32()?;
+    let mut witness_lines = Vec::with_capacity(n.min(65536) as usize);
+    for _ in 0..n {
+        witness_lines.push(d.u32()?);
+    }
+    let explanation = d.str()?.to_string();
+    Ok(BugReport {
+        spec,
+        module,
+        function,
+        line,
+        bug_type,
+        witness_lines,
+        explanation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seal_spec::{Provenance, Specification};
+
+    fn spec(id: &str) -> Specification {
+        Specification {
+            interface: Some("ops::prep".into()),
+            constraints: vec![],
+            origin_patch: id.into(),
+            provenance: Provenance::AddedPath,
+        }
+    }
+
+    fn report(line: u32) -> BugReport {
+        BugReport {
+            spec: spec("p1"),
+            module: "m.c".into(),
+            function: "f".into(),
+            line,
+            bug_type: BugType::Npd,
+            witness_lines: vec![3, 5, 8],
+            explanation: "deref of unchecked pointer".into(),
+        }
+    }
+
+    #[test]
+    fn shard_payload_round_trips_and_rejects_corruption() {
+        let p = ShardPayload {
+            reports: vec![Some(report(7)), None, Some(report(12))],
+            counters: [10, 4, 2, 1],
+        };
+        let bytes = encode_shard_payload(&p);
+        let back = decode_shard_payload(&bytes).unwrap();
+        assert_eq!(back.reports.len(), 3);
+        assert_eq!(back.reports[0], Some(report(7)));
+        assert_eq!(back.reports[1], None);
+        assert_eq!(back.counters, [10, 4, 2, 1]);
+        // Canonical: re-encoding the decode gives the same bytes.
+        assert_eq!(encode_shard_payload(&back), bytes);
+        for cut in 0..bytes.len() {
+            assert!(decode_shard_payload(&bytes[..cut]).is_err());
+        }
+        for pos in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[pos] ^= 0x41;
+            let _ = decode_shard_payload(&m); // must not panic
+        }
+    }
+
+    #[test]
+    fn config_fingerprints_move_with_any_field() {
+        let base = DetectConfig::default();
+        let mut other = base;
+        other.max_regions += 1;
+        assert_ne!(detect_fingerprint(&base), detect_fingerprint(&other));
+        let mut d = DiffConfig::default();
+        let fp0 = diff_fingerprint(&d);
+        d.intern_signatures = !d.intern_signatures;
+        assert_ne!(fp0, diff_fingerprint(&d));
+    }
+
+    #[test]
+    fn shard_key_ignores_spec_renumbering_but_sees_content() {
+        let fp = 7u64;
+        let env = ContentHash::of(b"env");
+        let bodies = vec![ContentHash::of(b"f0"), ContentHash::of(b"f1")];
+        let scope: BTreeSet<FuncId> = [FuncId(0), FuncId(1)].into_iter().collect();
+        let s_a = ContentHash::of(b"specA");
+        let s_b = ContentHash::of(b"specB");
+        // Same spec content at a different index: identical key.
+        let k1 = shard_key(
+            fp,
+            &env,
+            &bodies,
+            &[s_a, s_b],
+            true,
+            &scope,
+            &[(0, 0, FuncId(0))],
+        );
+        let k2 = shard_key(
+            fp,
+            &env,
+            &bodies,
+            &[s_b, s_a],
+            true,
+            &scope,
+            &[(1, 0, FuncId(0))],
+        );
+        assert_eq!(k1, k2);
+        // Different spec content at the same index: different key.
+        let k3 = shard_key(
+            fp,
+            &env,
+            &bodies,
+            &[s_b, s_a],
+            true,
+            &scope,
+            &[(0, 0, FuncId(0))],
+        );
+        assert_ne!(k1, k3);
+        // Body edit inside the scope: different key.
+        let edited = vec![ContentHash::of(b"f0'"), ContentHash::of(b"f1")];
+        let k4 = shard_key(
+            fp,
+            &env,
+            &edited,
+            &[s_a, s_b],
+            true,
+            &scope,
+            &[(0, 0, FuncId(0))],
+        );
+        assert_ne!(k1, k4);
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let c = AnalysisCache::disabled();
+        assert!(!c.is_enabled());
+        let p = Patch::new(
+            "p",
+            "int f(void) { return 1; }",
+            "int f(void) { return 2; }",
+        );
+        assert!(c.get_specs_raw(0, &p).is_none());
+        c.put_specs_raw(0, &p, &[spec("p")]);
+        assert!(c.get_specs_raw(0, &p).is_none());
+        assert!(c.flush().is_ok());
+    }
+}

@@ -9,6 +9,7 @@
 //! a demand-built PDG (cached per scope, the summary reuse of §6.2.3) and
 //! checked against the spec's condition, order, and quantifier.
 
+use crate::cache::{self, AnalysisCache, ShardPayload};
 use crate::error::{DetectError, SealError};
 use crate::report::{classify_spec, BugReport};
 use crate::roles;
@@ -156,7 +157,22 @@ pub fn detect_bugs_with_stats_jobs(
     cfg: &DetectConfig,
     jobs: usize,
 ) -> (Vec<BugReport>, DetectStats) {
-    let (reports, stats, errors) = detect_inner(module, specs, cfg, jobs, false);
+    detect_bugs_with_stats_jobs_cached(module, specs, cfg, jobs, &AnalysisCache::disabled())
+}
+
+/// [`detect_bugs_with_stats_jobs`] backed by an artifact cache: shards
+/// whose key (scope bodies, environment, items, config fingerprint) is in
+/// the store replay their recorded reports and counters instead of
+/// building a PDG. Reports and all `DetectStats` *counts* are
+/// byte-identical to an uncached run; only the phase durations shrink.
+pub fn detect_bugs_with_stats_jobs_cached(
+    module: &Module,
+    specs: &[Specification],
+    cfg: &DetectConfig,
+    jobs: usize,
+    cache: &AnalysisCache,
+) -> (Vec<BugReport>, DetectStats) {
+    let (reports, stats, errors) = detect_inner(module, specs, cfg, jobs, false, cache);
     if let Some(e) = errors.into_iter().next() {
         // Non-isolated contract: a failed shard is a caller bug, not data.
         panic!("{e}");
@@ -175,7 +191,19 @@ pub fn detect_bugs_isolated(
     cfg: &DetectConfig,
     jobs: usize,
 ) -> (Vec<BugReport>, DetectStats, Vec<SealError>) {
-    detect_inner(module, specs, cfg, jobs, true)
+    detect_inner(module, specs, cfg, jobs, true, &AnalysisCache::disabled())
+}
+
+/// [`detect_bugs_isolated`] backed by an artifact cache (see
+/// [`detect_bugs_with_stats_jobs_cached`] for the replay contract).
+pub fn detect_bugs_isolated_cached(
+    module: &Module,
+    specs: &[Specification],
+    cfg: &DetectConfig,
+    jobs: usize,
+    cache: &AnalysisCache,
+) -> (Vec<BugReport>, DetectStats, Vec<SealError>) {
+    detect_inner(module, specs, cfg, jobs, true, cache)
 }
 
 fn detect_inner(
@@ -184,6 +212,7 @@ fn detect_inner(
     cfg: &DetectConfig,
     jobs: usize,
     isolate: bool,
+    cache: &AnalysisCache,
 ) -> (Vec<BugReport>, DetectStats, Vec<SealError>) {
     let cg = CallGraph::build(module);
 
@@ -244,6 +273,36 @@ fn detect_inner(
         });
     let spec_cond_snapshot = spec_cond_snapshot.as_ref();
 
+    // Cache-key ingredients, hashed once and shared read-only across
+    // workers. The environment hash plus per-scope body hashes (instead of
+    // one whole-module hash) are what keep invalidation proportional to
+    // the edit set: a mutated function only moves the keys of shards whose
+    // scope contains it.
+    let cache_on = cache.is_enabled();
+    let detect_fp = cache_on.then(|| cache::detect_fingerprint(cfg));
+    let env_hash = cache_on.then(|| seal_ir::codec::env_hash(module));
+    let body_hashes: Vec<seal_store::ContentHash> = if cache_on {
+        module
+            .functions
+            .iter()
+            .map(seal_ir::codec::body_hash)
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let spec_hashes: Vec<seal_store::ContentHash> = if cache_on {
+        specs
+            .iter()
+            .map(|s| {
+                seal_store::ContentHash::of(&seal_spec::binary::encode_specs(std::slice::from_ref(
+                    s,
+                )))
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     let run_shard = |shard: &Shard| -> Result<ShardOut, SealError> {
         // A task root: the shard subtree is identical whether it ran inline
         // (jobs = 1) or on a pool worker, keeping the trace jobs-invariant.
@@ -252,6 +311,27 @@ fn detect_inner(
             scope = scope_names(module, &shard.scope),
             items = shard.items.len(),
         );
+        let key = detect_fp.map(|fp| {
+            cache::shard_key(
+                fp,
+                env_hash.as_ref().unwrap(),
+                &body_hashes,
+                &spec_hashes,
+                cfg.arena_pdg,
+                &shard.scope,
+                &shard.items,
+            )
+        });
+        if let Some(key) = &key {
+            if let Some(bytes) = cache.get_shard(key) {
+                match decode_shard(&bytes, &shard.items) {
+                    Some(o) => return Ok(o),
+                    // Undecodable or mis-shaped payload: degrade to a
+                    // recompute, exactly like on-disk corruption.
+                    None => cache.note_invalidation(),
+                }
+            }
+        }
         let mut o = ShardOut {
             results: Vec::with_capacity(shard.items.len()),
             pdg_time: std::time::Duration::ZERO,
@@ -285,6 +365,9 @@ fn detect_inner(
                 o.results.push((si, ri, r));
                 o.counters.add(paths.counters);
             }
+        }
+        if let Some(key) = key {
+            cache.put_shard(key, encode_shard(&o));
         }
         Ok(o)
     };
@@ -362,6 +445,48 @@ struct ShardOut {
     pdg_time: std::time::Duration,
     search_time: std::time::Duration,
     counters: SearchCounters,
+}
+
+/// Serializes a computed shard for the artifact cache. Report slots are
+/// stored in item order; the `(si, ri)` tags are re-derived from the
+/// shard's items on replay (the key already pins their identity), so a
+/// renumbered-but-identical spec list replays cleanly.
+fn encode_shard(o: &ShardOut) -> Vec<u8> {
+    cache::encode_shard_payload(&ShardPayload {
+        reports: o.results.iter().map(|(_, _, r)| r.clone()).collect(),
+        counters: [
+            o.counters.solver_queries,
+            o.counters.solver_cache_hits,
+            o.counters.subtrees_pruned,
+            o.counters.sources_skipped_unreachable,
+        ],
+    })
+}
+
+/// Replays a cached shard against the current item list. `None` on any
+/// decode failure or item-count mismatch — the caller recomputes. Phase
+/// durations stay zero: a replayed shard truthfully spent no time building
+/// PDGs or searching paths.
+fn decode_shard(bytes: &[u8], items: &[(usize, usize, FuncId)]) -> Option<ShardOut> {
+    let p = cache::decode_shard_payload(bytes).ok()?;
+    if p.reports.len() != items.len() {
+        return None;
+    }
+    Some(ShardOut {
+        results: items
+            .iter()
+            .zip(p.reports)
+            .map(|(&(si, ri, _), r)| (si, ri, r))
+            .collect(),
+        pdg_time: std::time::Duration::ZERO,
+        search_time: std::time::Duration::ZERO,
+        counters: SearchCounters {
+            solver_queries: p.counters[0],
+            solver_cache_hits: p.counters[1],
+            subtrees_pruned: p.counters[2],
+            sources_skipped_unreachable: p.counters[3],
+        },
+    })
 }
 
 /// Human-readable scope label for shard-level errors: function names where

@@ -29,6 +29,9 @@ pub enum Stage {
     Detect,
     /// The whole-item inference wrapper (batch isolation boundary).
     Infer,
+    /// The on-disk artifact cache (open/flush I/O; cache *content*
+    /// corruption never errors — it degrades to recompute).
+    Store,
 }
 
 impl std::fmt::Display for Stage {
@@ -41,6 +44,7 @@ impl std::fmt::Display for Stage {
             Stage::Extract => "extract",
             Stage::Detect => "detect",
             Stage::Infer => "infer",
+            Stage::Store => "store",
         })
     }
 }
@@ -80,6 +84,9 @@ pub enum SealError {
     Pdg(PdgError),
     /// The detection stage failed for a shard of work.
     Detect(DetectError),
+    /// The artifact store could not be opened or written (I/O level; never
+    /// raised for corrupt cache *content*, which falls back to recompute).
+    Store(seal_store::StoreError),
     /// A stage panicked; the panic was contained at the item boundary.
     Panic {
         /// Stage the panic unwound from.
@@ -105,6 +112,7 @@ impl SealError {
             SealError::Lower(_) => Stage::Lower,
             SealError::Pdg(_) => Stage::Pdg,
             SealError::Detect(_) => Stage::Detect,
+            SealError::Store(_) => Stage::Store,
             SealError::Panic { stage, .. } => *stage,
         }
     }
@@ -119,6 +127,7 @@ impl std::fmt::Display for SealError {
             SealError::Lower(e) => write!(f, "invalid lowered module: {e}"),
             SealError::Pdg(e) => write!(f, "PDG construction failed: {e}"),
             SealError::Detect(e) => write!(f, "{e}"),
+            SealError::Store(e) => write!(f, "{e}"),
             SealError::Panic { stage, message } => {
                 write!(f, "panic in {stage} stage: {message}")
             }
@@ -149,6 +158,12 @@ impl From<PdgError> for SealError {
 impl From<DetectError> for SealError {
     fn from(e: DetectError) -> Self {
         SealError::Detect(e)
+    }
+}
+
+impl From<seal_store::StoreError> for SealError {
+    fn from(e: seal_store::StoreError) -> Self {
+        SealError::Store(e)
     }
 }
 

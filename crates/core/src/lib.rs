@@ -32,6 +32,7 @@
 //! ```
 
 pub mod batch;
+pub mod cache;
 pub mod detect;
 pub mod diff;
 pub mod error;
@@ -41,6 +42,7 @@ pub mod report;
 pub mod roles;
 
 pub use batch::infer_batch;
+pub use cache::AnalysisCache;
 pub use detect::{
     detect_bugs, detect_bugs_isolated, detect_bugs_with_stats, detect_bugs_with_stats_jobs,
     DetectConfig, DetectStats,
@@ -60,6 +62,8 @@ pub struct Seal {
     pub diff: DiffConfig,
     /// Detection budgets.
     pub detect: DetectConfig,
+    /// Incremental artifact cache (disabled by default; see [`cache`]).
+    pub cache: AnalysisCache,
 }
 
 impl Seal {
@@ -70,8 +74,35 @@ impl Seal {
     /// their typed [`SealError`] variants, and a panic inside
     /// differentiation or extraction is contained into
     /// [`SealError::Panic`] tagged with the stage instead of unwinding.
+    /// With an enabled [`cache`], inference is two-level incremental: a
+    /// raw-text hit returns the cached specs with zero parsing; otherwise
+    /// the patch is compiled and the semantic key (KIR unit hashes, stable
+    /// under formatting/reordering edits) is tried before the expensive
+    /// differencing runs. Cached and recomputed specs are byte-identical
+    /// — both keys cover the patch id, both source texts' identity, and
+    /// the diff-config fingerprint.
     pub fn infer(&self, patch: &Patch) -> Result<Vec<Specification>, SealError> {
-        let compiled = patch.compile()?;
+        let fp = cache::diff_fingerprint(&self.diff);
+        if self.cache.is_enabled() {
+            if let Some(specs) = self.cache.get_specs_raw(fp, patch) {
+                seal_obs::metrics::counter_add("infer.specs", specs.len() as u64);
+                return Ok(specs);
+            }
+        }
+        let compiled = if self.cache.is_enabled() {
+            patch.compile_hashed()?
+        } else {
+            patch.compile()?
+        };
+        if self.cache.is_enabled() {
+            if let Some(specs) = self.cache.get_specs_sem(fp, &compiled) {
+                // Promote: the next run with this exact text short-circuits
+                // before the frontend.
+                self.cache.put_specs_raw(fp, patch, &specs);
+                seal_obs::metrics::counter_add("infer.specs", specs.len() as u64);
+                return Ok(specs);
+            }
+        }
         let changed = catch_task_panic(|| {
             let _span = seal_obs::span!("infer.diff");
             diff::diff_patch(&compiled, &self.diff)
@@ -94,13 +125,25 @@ impl Seal {
         .map_err(|p| SealError::panic(Stage::Extract, p));
         if let Ok(specs) = &specs {
             seal_obs::metrics::counter_add("infer.specs", specs.len() as u64);
+            if self.cache.is_enabled() {
+                self.cache.put_specs_raw(fp, patch, specs);
+                self.cache.put_specs_sem(fp, &compiled, specs);
+            }
         }
         specs
     }
 
-    /// Detects violations of `specs` inside `module` (stage ④).
+    /// Detects violations of `specs` inside `module` (stage ④), serving
+    /// unchanged shards from the cache when one is attached.
     pub fn detect(&self, module: &seal_ir::Module, specs: &[Specification]) -> Vec<BugReport> {
-        detect::detect_bugs(module, specs, &self.detect)
+        detect::detect_bugs_with_stats_jobs_cached(
+            module,
+            specs,
+            &self.detect,
+            seal_runtime::worker_count(),
+            &self.cache,
+        )
+        .0
     }
 
     /// Convenience: infer from a patch and immediately hunt for violations

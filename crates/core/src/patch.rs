@@ -42,6 +42,17 @@ impl Patch {
     /// into [`SealError::Panic`] instead of unwinding into the caller's
     /// batch.
     pub fn compile(&self) -> Result<CompiledPatch, SealError> {
+        self.compile_inner(false)
+    }
+
+    /// [`Patch::compile`] plus the semantic unit hashes the incremental
+    /// cache keys on ([`CompiledPatch::pre_unit_hash`]). Split from
+    /// `compile` so uncached runs never pay for hashing.
+    pub fn compile_hashed(&self) -> Result<CompiledPatch, SealError> {
+        self.compile_inner(true)
+    }
+
+    fn compile_inner(&self, hashed: bool) -> Result<CompiledPatch, SealError> {
         let _span = seal_obs::span!("patch.compile", id = self.id.clone());
         seal_obs::metrics::counter_add("frontend.compiles", 2);
         let pre_tu = contain(Stage::Frontend, || {
@@ -55,8 +66,18 @@ impl Patch {
         let pre = contain(Stage::Lower, || seal_ir::lower_checked(&pre_tu))??;
         let post = contain(Stage::Lower, || seal_ir::lower_checked(&post_tu))??;
         let changed = changed_functions(&pre_tu, &post_tu);
+        let (pre_unit_hash, post_unit_hash) = if hashed {
+            (
+                Some(seal_kir::hash::unit_hash(&pre_tu)),
+                Some(seal_kir::hash::unit_hash(&post_tu)),
+            )
+        } else {
+            (None, None)
+        };
         Ok(CompiledPatch {
             id: self.id.clone(),
+            pre_unit_hash,
+            post_unit_hash,
             pre,
             post,
             changed,
@@ -89,6 +110,16 @@ pub struct CompiledPatch {
     pub post: Module,
     /// Names of syntactically changed functions.
     pub changed: BTreeSet<String>,
+    /// Semantic content hash of the pre-patch translation unit
+    /// ([`seal_kir::hash::unit_hash`]): stable under renames of the file
+    /// and reordering of siblings, sensitive to every semantic edit. The
+    /// incremental cache keys inferred specs on this pair. `None` unless
+    /// compiled via [`Patch::compile_hashed`] — hashing both units costs
+    /// real time per patch, so uncached runs skip it.
+    pub pre_unit_hash: Option<seal_store::ContentHash>,
+    /// Semantic content hash of the post-patch translation unit (see
+    /// [`CompiledPatch::pre_unit_hash`]).
+    pub post_unit_hash: Option<seal_store::ContentHash>,
 }
 
 /// Function-level change detection by comparing normalized pretty-printed

@@ -113,7 +113,7 @@ pub fn classify_spec(spec: &Specification) -> BugType {
 }
 
 /// One detected violation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BugReport {
     /// The violated specification.
     pub spec: Specification,

@@ -19,6 +19,7 @@
 
 pub mod body;
 pub mod callgraph;
+pub mod codec;
 pub mod ids;
 pub mod lower;
 pub mod module;

@@ -17,6 +17,7 @@
 
 pub mod ast;
 pub mod diag;
+pub mod hash;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;

@@ -38,7 +38,7 @@ pub fn print_struct(out: &mut String, def: &crate::types::StructDef) {
     let _ = writeln!(out, "}};");
 }
 
-fn print_enum(out: &mut String, e: &EnumDef) {
+pub(crate) fn print_enum(out: &mut String, e: &EnumDef) {
     let _ = write!(out, "enum");
     if let Some(n) = &e.name {
         let _ = write!(out, " {n}");
@@ -50,7 +50,7 @@ fn print_enum(out: &mut String, e: &EnumDef) {
     let _ = writeln!(out, "}};");
 }
 
-fn print_decl(out: &mut String, d: &FuncDecl) {
+pub(crate) fn print_decl(out: &mut String, d: &FuncDecl) {
     let _ = write!(out, "{} {}(", type_str(&d.ret), d.name);
     print_params(out, &d.params, d.variadic);
     let _ = writeln!(out, ");");
@@ -75,7 +75,7 @@ fn print_params(out: &mut String, params: &[Param], variadic: bool) {
     }
 }
 
-fn print_global(out: &mut String, g: &GlobalDef) {
+pub(crate) fn print_global(out: &mut String, g: &GlobalDef) {
     if g.is_static {
         let _ = write!(out, "static ");
     }

@@ -1,0 +1,448 @@
+//! Exact binary codec for specifications.
+//!
+//! The textual spec grammar (`display`/`parse`) canonicalizes on the way
+//! through — fine for humans and snapshots, wrong for a cache that must
+//! hand back *byte-identical* artifacts. This codec round-trips a
+//! [`Specification`] exactly: every formula node, every field projection,
+//! in order, no normalization. Decoding is fully checked (it shares the
+//! store's [`Dec`] cursor) so a corrupt cache record surfaces as a
+//! [`CodecError`] the caller turns into a recompute.
+
+use crate::{Constraint, Provenance, Quantifier, Relation, SpecUse, SpecValue, Specification};
+use seal_solver::{Atom, CmpOp, Formula, Term};
+use seal_store::{CodecError, Dec, Enc};
+
+fn enc_value(e: &mut Enc, v: &SpecValue) {
+    match v {
+        SpecValue::ArgI { index, fields } => {
+            e.u8(0);
+            e.usize(*index);
+            e.u32(fields.len() as u32);
+            for f in fields {
+                e.str(f);
+            }
+        }
+        SpecValue::RetF { api } => {
+            e.u8(1);
+            e.str(api);
+        }
+        SpecValue::Global { name } => {
+            e.u8(2);
+            e.str(name);
+        }
+        SpecValue::Literal(v) => {
+            e.u8(3);
+            e.i64(*v);
+        }
+    }
+}
+
+fn dec_value(d: &mut Dec) -> Result<SpecValue, CodecError> {
+    Ok(match d.u8()? {
+        0 => {
+            let index = d.usize()?;
+            let n = d.u32()?;
+            let mut fields = Vec::with_capacity(n.min(64) as usize);
+            for _ in 0..n {
+                fields.push(d.str()?.to_string());
+            }
+            SpecValue::ArgI { index, fields }
+        }
+        1 => SpecValue::RetF {
+            api: d.str()?.to_string(),
+        },
+        2 => SpecValue::Global {
+            name: d.str()?.to_string(),
+        },
+        3 => SpecValue::Literal(d.i64()?),
+        tag => {
+            return Err(CodecError::BadTag {
+                what: "SpecValue",
+                tag,
+            })
+        }
+    })
+}
+
+fn enc_use(e: &mut Enc, u: &SpecUse) {
+    match u {
+        SpecUse::ArgF { api, index } => {
+            e.u8(0);
+            e.str(api);
+            e.usize(*index);
+        }
+        SpecUse::RetI => e.u8(1),
+        SpecUse::GlobalStore { name } => {
+            e.u8(2);
+            e.str(name);
+        }
+        SpecUse::Deref => e.u8(3),
+        SpecUse::Div => e.u8(4),
+        SpecUse::IndexUse => e.u8(5),
+    }
+}
+
+fn dec_use(d: &mut Dec) -> Result<SpecUse, CodecError> {
+    Ok(match d.u8()? {
+        0 => SpecUse::ArgF {
+            api: d.str()?.to_string(),
+            index: d.usize()?,
+        },
+        1 => SpecUse::RetI,
+        2 => SpecUse::GlobalStore {
+            name: d.str()?.to_string(),
+        },
+        3 => SpecUse::Deref,
+        4 => SpecUse::Div,
+        5 => SpecUse::IndexUse,
+        tag => {
+            return Err(CodecError::BadTag {
+                what: "SpecUse",
+                tag,
+            })
+        }
+    })
+}
+
+fn enc_term(e: &mut Enc, t: &Term<SpecValue>) {
+    match t {
+        Term::Var(v) => {
+            e.u8(0);
+            enc_value(e, v);
+        }
+        Term::Const(c) => {
+            e.u8(1);
+            e.i64(*c);
+        }
+    }
+}
+
+fn dec_term(d: &mut Dec) -> Result<Term<SpecValue>, CodecError> {
+    Ok(match d.u8()? {
+        0 => Term::Var(dec_value(d)?),
+        1 => Term::Const(d.i64()?),
+        tag => return Err(CodecError::BadTag { what: "Term", tag }),
+    })
+}
+
+const CMPS: [CmpOp; 6] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+];
+
+fn enc_formula(e: &mut Enc, f: &Formula<SpecValue>) {
+    match f {
+        Formula::True => e.u8(0),
+        Formula::False => e.u8(1),
+        Formula::Atom(a) => {
+            e.u8(2);
+            enc_term(e, &a.lhs);
+            e.u8(CMPS.iter().position(|c| *c == a.op).unwrap() as u8);
+            enc_term(e, &a.rhs);
+        }
+        Formula::Not(inner) => {
+            e.u8(3);
+            enc_formula(e, inner);
+        }
+        Formula::And(parts) => {
+            e.u8(4);
+            e.u32(parts.len() as u32);
+            for p in parts {
+                enc_formula(e, p);
+            }
+        }
+        Formula::Or(parts) => {
+            e.u8(5);
+            e.u32(parts.len() as u32);
+            for p in parts {
+                enc_formula(e, p);
+            }
+        }
+    }
+}
+
+fn dec_formula(d: &mut Dec) -> Result<Formula<SpecValue>, CodecError> {
+    Ok(match d.u8()? {
+        0 => Formula::True,
+        1 => Formula::False,
+        2 => {
+            let lhs = dec_term(d)?;
+            let tag = d.u8()?;
+            let op = *CMPS
+                .get(tag as usize)
+                .ok_or(CodecError::BadTag { what: "CmpOp", tag })?;
+            Formula::Atom(Atom {
+                lhs,
+                op,
+                rhs: dec_term(d)?,
+            })
+        }
+        3 => Formula::Not(Box::new(dec_formula(d)?)),
+        4 => {
+            let n = d.u32()?;
+            let mut parts = Vec::with_capacity(n.min(1024) as usize);
+            for _ in 0..n {
+                parts.push(dec_formula(d)?);
+            }
+            Formula::And(parts)
+        }
+        5 => {
+            let n = d.u32()?;
+            let mut parts = Vec::with_capacity(n.min(1024) as usize);
+            for _ in 0..n {
+                parts.push(dec_formula(d)?);
+            }
+            Formula::Or(parts)
+        }
+        tag => {
+            return Err(CodecError::BadTag {
+                what: "Formula",
+                tag,
+            })
+        }
+    })
+}
+
+fn enc_spec(e: &mut Enc, s: &Specification) {
+    match &s.interface {
+        Some(i) => {
+            e.bool(true);
+            e.str(i);
+        }
+        None => e.bool(false),
+    }
+    e.u32(s.constraints.len() as u32);
+    for c in &s.constraints {
+        e.u8(match c.quantifier {
+            Quantifier::ForAll => 0,
+            Quantifier::Exists => 1,
+            Quantifier::NotExists => 2,
+        });
+        match &c.relation {
+            Relation::Reach { value, use_, cond } => {
+                e.u8(0);
+                enc_value(e, value);
+                enc_use(e, use_);
+                enc_formula(e, cond);
+            }
+            Relation::Order {
+                value,
+                first,
+                second,
+            } => {
+                e.u8(1);
+                enc_value(e, value);
+                enc_use(e, first);
+                enc_use(e, second);
+            }
+        }
+    }
+    e.str(&s.origin_patch);
+    e.u8(match s.provenance {
+        Provenance::RemovedPath => 0,
+        Provenance::AddedPath => 1,
+        Provenance::CondChanged => 2,
+        Provenance::OrderChanged => 3,
+    });
+}
+
+fn dec_spec(d: &mut Dec) -> Result<Specification, CodecError> {
+    let interface = if d.bool()? {
+        Some(d.str()?.to_string())
+    } else {
+        None
+    };
+    let n = d.u32()?;
+    let mut constraints = Vec::with_capacity(n.min(1024) as usize);
+    for _ in 0..n {
+        let quantifier = match d.u8()? {
+            0 => Quantifier::ForAll,
+            1 => Quantifier::Exists,
+            2 => Quantifier::NotExists,
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "Quantifier",
+                    tag,
+                })
+            }
+        };
+        let relation = match d.u8()? {
+            0 => Relation::Reach {
+                value: dec_value(d)?,
+                use_: dec_use(d)?,
+                cond: dec_formula(d)?,
+            },
+            1 => Relation::Order {
+                value: dec_value(d)?,
+                first: dec_use(d)?,
+                second: dec_use(d)?,
+            },
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "Relation",
+                    tag,
+                })
+            }
+        };
+        constraints.push(Constraint {
+            quantifier,
+            relation,
+        });
+    }
+    let origin_patch = d.str()?.to_string();
+    let provenance = match d.u8()? {
+        0 => Provenance::RemovedPath,
+        1 => Provenance::AddedPath,
+        2 => Provenance::CondChanged,
+        3 => Provenance::OrderChanged,
+        tag => {
+            return Err(CodecError::BadTag {
+                what: "Provenance",
+                tag,
+            })
+        }
+    };
+    Ok(Specification {
+        interface,
+        constraints,
+        origin_patch,
+        provenance,
+    })
+}
+
+/// Encodes one specification into an open encoder (for callers embedding
+/// specs inside a larger record, like bug-report payloads).
+pub fn encode_spec_into(e: &mut Enc, s: &Specification) {
+    enc_spec(e, s);
+}
+
+/// Decodes one specification from an open cursor (dual of
+/// [`encode_spec_into`]).
+pub fn decode_spec_from(d: &mut Dec) -> Result<Specification, CodecError> {
+    dec_spec(d)
+}
+
+/// Encodes a list of specifications into one buffer.
+pub fn encode_specs(specs: &[Specification]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(specs.len() as u32);
+    for s in specs {
+        enc_spec(&mut e, s);
+    }
+    e.into_bytes()
+}
+
+/// Decodes a list of specifications, consuming the whole buffer. Never
+/// panics on malformed input.
+pub fn decode_specs(bytes: &[u8]) -> Result<Vec<Specification>, CodecError> {
+    let mut d = Dec::new(bytes);
+    let n = d.u32()?;
+    let mut out = Vec::with_capacity(n.min(65536) as usize);
+    for _ in 0..n {
+        out.push(dec_spec(&mut d)?);
+    }
+    d.finish()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zoo() -> Vec<Specification> {
+        vec![
+            Specification {
+                interface: Some("vb2_ops::buf_prepare".into()),
+                constraints: vec![Constraint {
+                    quantifier: Quantifier::Exists,
+                    relation: Relation::Reach {
+                        value: SpecValue::Literal(-12),
+                        use_: SpecUse::RetI,
+                        cond: Formula::And(vec![
+                            Formula::cmp(SpecValue::ret_of("dma_alloc_coherent"), CmpOp::Eq, 0),
+                            Formula::Not(Box::new(Formula::Or(vec![
+                                Formula::True,
+                                Formula::False,
+                            ]))),
+                        ]),
+                    },
+                }],
+                origin_patch: "fig3".into(),
+                provenance: Provenance::AddedPath,
+            },
+            Specification {
+                interface: None,
+                constraints: vec![
+                    Constraint {
+                        quantifier: Quantifier::NotExists,
+                        relation: Relation::Order {
+                            value: SpecValue::arg_field(0, "dev"),
+                            first: SpecUse::ArgF {
+                                api: "put_device".into(),
+                                index: 0,
+                            },
+                            second: SpecUse::Deref,
+                        },
+                    },
+                    Constraint {
+                        quantifier: Quantifier::ForAll,
+                        relation: Relation::Reach {
+                            value: SpecValue::ArgI {
+                                index: 1,
+                                fields: vec!["block".into(), "len".into()],
+                            },
+                            use_: SpecUse::IndexUse,
+                            cond: Formula::Atom(Atom {
+                                lhs: Term::Const(3),
+                                op: CmpOp::Le,
+                                rhs: Term::Var(SpecValue::Global { name: "cap".into() }),
+                            }),
+                        },
+                    },
+                ],
+                origin_patch: "p-7".into(),
+                provenance: Provenance::OrderChanged,
+            },
+            Specification {
+                interface: Some("x::y".into()),
+                constraints: vec![],
+                origin_patch: String::new(),
+                provenance: Provenance::CondChanged,
+            },
+        ]
+    }
+
+    #[test]
+    fn specs_round_trip_exactly() {
+        let specs = zoo();
+        let bytes = encode_specs(&specs);
+        assert_eq!(decode_specs(&bytes).unwrap(), specs);
+        // Canonical bytes: encode(decode(x)) == x.
+        assert_eq!(encode_specs(&decode_specs(&bytes).unwrap()), bytes);
+        // Empty list works too.
+        assert_eq!(decode_specs(&encode_specs(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn truncation_and_garbage_error_instead_of_panicking() {
+        let bytes = encode_specs(&zoo());
+        for cut in 0..bytes.len() {
+            assert!(decode_specs(&bytes[..cut]).is_err());
+        }
+        let mut padded = bytes.clone();
+        padded.push(7);
+        assert!(matches!(
+            decode_specs(&padded),
+            Err(CodecError::TrailingBytes { .. })
+        ));
+        for pos in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[pos] = 0xEE;
+            let _ = decode_specs(&mutated); // must not panic
+        }
+    }
+}

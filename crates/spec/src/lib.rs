@@ -11,6 +11,7 @@
 //! (§6.3.3), and mapped back (`𝔸⁻¹`) when instantiating a specification
 //! inside a bug-detection region (§6.4.1).
 
+pub mod binary;
 pub mod display;
 pub mod merge;
 pub mod parse;

@@ -1,0 +1,286 @@
+//! Fixed little-endian binary encoding with fully checked decoding.
+//!
+//! Every multi-byte integer is little-endian; every variable-length field
+//! is `u32`-length-prefixed. The decoder never indexes unchecked and never
+//! panics on malformed input — a corrupt cache record must surface as a
+//! [`CodecError`] the store can turn into a recompute, not an unwind.
+
+use std::fmt;
+
+/// A decoding failure (truncated buffer, bad tag, malformed string).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before a fixed-width read.
+    Truncated {
+        /// Bytes the read needed.
+        wanted: usize,
+        /// Bytes left in the buffer.
+        have: usize,
+    },
+    /// An enum tag byte outside the known range.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A length prefix larger than the remaining buffer.
+    BadLength {
+        /// The claimed length.
+        len: usize,
+        /// Bytes left in the buffer.
+        have: usize,
+    },
+    /// A string field that is not valid UTF-8.
+    Utf8,
+    /// Bytes left over after a decode that must consume the whole buffer.
+    TrailingBytes {
+        /// How many bytes remained.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { wanted, have } => {
+                write!(f, "truncated record: wanted {wanted} bytes, have {have}")
+            }
+            CodecError::BadTag { what, tag } => write!(f, "bad {what} tag {tag}"),
+            CodecError::BadLength { len, have } => {
+                write!(f, "length {len} exceeds remaining {have} bytes")
+            }
+            CodecError::Utf8 => write!(f, "string field is not valid UTF-8"),
+            CodecError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after record")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only encoder over a growable buffer.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// A fresh, empty encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// Consumes the encoder, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Writes a little-endian `i64`.
+    pub fn i64(&mut self, x: i64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64` (lossless on every supported platform).
+    pub fn usize(&mut self, x: usize) {
+        self.u64(x as u64);
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// Writes a boolean as one byte.
+    pub fn bool(&mut self, b: bool) {
+        self.u8(b as u8);
+    }
+}
+
+/// Checked cursor over an encoded byte slice.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the whole buffer was consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fails unless every byte was consumed — the guard that makes a
+    /// payload with appended garbage a decode error, not a silent accept.
+    pub fn finish(self) -> Result<(), CodecError> {
+        match self.remaining() {
+            0 => Ok(()),
+            extra => Err(CodecError::TrailingBytes { extra }),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                wanted: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` back into a `usize`.
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        Ok(self.u64()? as usize)
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(CodecError::BadLength {
+                len,
+                have: self.remaining(),
+            });
+        }
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, CodecError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| CodecError::Utf8)
+    }
+
+    /// Reads a one-byte boolean (strict: only 0 and 1 are valid).
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(CodecError::BadTag { what: "bool", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xDEADBEEF);
+        e.u64(u64::MAX);
+        e.i64(-42);
+        e.bool(true);
+        e.str("héllo");
+        e.bytes(&[1, 2, 3]);
+        let buf = e.into_bytes();
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.str().unwrap(), "héllo");
+        assert_eq!(d.bytes().unwrap(), &[1, 2, 3]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn every_truncation_point_errors_cleanly() {
+        let mut e = Enc::new();
+        e.u32(5);
+        e.str("payload");
+        let buf = e.into_bytes();
+        // Every prefix of the buffer must decode to an error, never panic.
+        for cut in 0..buf.len() {
+            let mut d = Dec::new(&buf[..cut]);
+            let r = d.u32().and_then(|_| d.str().map(str::to_string));
+            assert!(r.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_bad_length_not_a_hang() {
+        let mut e = Enc::new();
+        e.u32(u32::MAX); // claims a 4 GiB string
+        let buf = e.into_bytes();
+        let mut d = Dec::new(&buf);
+        assert!(matches!(d.bytes(), Err(CodecError::BadLength { .. })));
+    }
+
+    #[test]
+    fn bad_bool_and_trailing_bytes_are_errors() {
+        let mut d = Dec::new(&[9]);
+        assert!(matches!(d.bool(), Err(CodecError::BadTag { .. })));
+        let d = Dec::new(&[0, 0]);
+        assert!(matches!(
+            d.finish(),
+            Err(CodecError::TrailingBytes { extra: 2 })
+        ));
+    }
+}

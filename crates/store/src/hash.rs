@@ -1,0 +1,276 @@
+//! Content hashing: a hand-rolled SipHash-2-4 with 128-bit output.
+//!
+//! Cache keys must be *stable across processes and platforms* — the std
+//! `Hasher` trait randomizes per process and documents no cross-version
+//! stability, so the store carries its own implementation with fixed keys.
+//! SipHash-2-4/128 is the reference design from the SipHash paper; 128
+//! bits makes accidental collisions across a kernel-scale corpus
+//! (~10⁷ functions ⇒ collision odds ~2⁻⁹⁴) a non-concern.
+
+use std::fmt;
+
+/// A 128-bit content hash — the address of one cached artifact.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(pub [u8; 16]);
+
+impl ContentHash {
+    /// Hashes one byte string (convenience over [`Hasher128`]).
+    pub fn of(bytes: &[u8]) -> ContentHash {
+        let mut h = Hasher128::new();
+        h.update(bytes);
+        h.finish()
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+}
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ContentHash({self})")
+    }
+}
+
+/// Fixed SipHash key. Any constant works — stability is the requirement,
+/// secrecy is not (the store is a cache, not an integrity boundary).
+const K0: u64 = 0x5345414c5f535452; // "SEAL_STR"
+const K1: u64 = 0x302e312e76312e30; // "0.1.v1.0"
+
+#[inline]
+fn sipround(v: &mut [u64; 4]) {
+    v[0] = v[0].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(13);
+    v[1] ^= v[0];
+    v[0] = v[0].rotate_left(32);
+    v[2] = v[2].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(16);
+    v[3] ^= v[2];
+    v[0] = v[0].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(21);
+    v[3] ^= v[0];
+    v[2] = v[2].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(17);
+    v[1] ^= v[2];
+    v[2] = v[2].rotate_left(32);
+}
+
+/// Streaming SipHash-2-4 with 128-bit output.
+///
+/// Variable-length fields must go through [`Hasher128::update_bytes`] (or
+/// the typed helpers), which length-prefix their input — plain
+/// concatenation would make `("ab", "c")` and `("a", "bc")` collide.
+pub struct Hasher128 {
+    v: [u64; 4],
+    /// Partial 8-byte word buffer.
+    buf: [u8; 8],
+    buf_len: usize,
+    /// Total bytes absorbed (mod 256 goes into the final word).
+    len: u64,
+}
+
+impl Default for Hasher128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher128 {
+    /// A fresh hasher with the store's fixed key.
+    pub fn new() -> Hasher128 {
+        let mut v = [
+            K0 ^ 0x736f6d6570736575,
+            K1 ^ 0x646f72616e646f6d,
+            K0 ^ 0x6c7967656e657261,
+            K1 ^ 0x7465646279746573,
+        ];
+        // The 128-bit variant's domain separation from 64-bit SipHash.
+        v[1] ^= 0xee;
+        Hasher128 {
+            v,
+            buf: [0; 8],
+            buf_len: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn compress(&mut self, m: u64) {
+        self.v[3] ^= m;
+        sipround(&mut self.v);
+        sipround(&mut self.v);
+        self.v[0] ^= m;
+    }
+
+    /// Absorbs raw bytes (no framing — use for fixed-width data or when
+    /// the caller frames fields itself).
+    pub fn update(&mut self, mut bytes: &[u8]) {
+        self.len = self.len.wrapping_add(bytes.len() as u64);
+        if self.buf_len > 0 {
+            let take = (8 - self.buf_len).min(bytes.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&bytes[..take]);
+            self.buf_len += take;
+            bytes = &bytes[take..];
+            if self.buf_len < 8 {
+                // Word still partial — `bytes` is exhausted; falling through
+                // would clobber `buf_len` with the empty remainder.
+                return;
+            }
+            let m = u64::from_le_bytes(self.buf);
+            self.compress(m);
+            self.buf_len = 0;
+        }
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let m = u64::from_le_bytes(c.try_into().unwrap());
+            self.compress(m);
+        }
+        let rest = chunks.remainder();
+        self.buf[..rest.len()].copy_from_slice(rest);
+        self.buf_len = rest.len();
+    }
+
+    /// Absorbs a length-prefixed byte string (unambiguous field framing).
+    pub fn update_bytes(&mut self, bytes: &[u8]) {
+        self.update_u64(bytes.len() as u64);
+        self.update(bytes);
+    }
+
+    /// Absorbs a length-prefixed UTF-8 string.
+    pub fn update_str(&mut self, s: &str) {
+        self.update_bytes(s.as_bytes());
+    }
+
+    /// Absorbs one little-endian `u64`.
+    pub fn update_u64(&mut self, x: u64) {
+        self.update(&x.to_le_bytes());
+    }
+
+    /// Absorbs one little-endian `u32`.
+    pub fn update_u32(&mut self, x: u32) {
+        self.update(&x.to_le_bytes());
+    }
+
+    /// Absorbs one byte.
+    pub fn update_u8(&mut self, x: u8) {
+        self.update(&[x]);
+    }
+
+    /// Finalizes into the 128-bit digest.
+    pub fn finish(mut self) -> ContentHash {
+        let mut last = [0u8; 8];
+        last[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        last[7] = (self.len & 0xff) as u8;
+        let m = u64::from_le_bytes(last);
+        self.compress(m);
+
+        self.v[2] ^= 0xee;
+        for _ in 0..4 {
+            sipround(&mut self.v);
+        }
+        let h1 = self.v[0] ^ self.v[1] ^ self.v[2] ^ self.v[3];
+        self.v[1] ^= 0xdd;
+        for _ in 0..4 {
+            sipround(&mut self.v);
+        }
+        let h2 = self.v[0] ^ self.v[1] ^ self.v[2] ^ self.v[3];
+
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&h1.to_le_bytes());
+        out[8..].copy_from_slice(&h2.to_le_bytes());
+        ContentHash(out)
+    }
+}
+
+/// FNV-1a 64 — the per-record payload checksum. Cheap, order-sensitive,
+/// and good enough to catch the truncation/bit-flip corruption the store
+/// guards against (keys already carry the strong hash).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_input_equal_hash_and_streaming_is_chunking_invariant() {
+        let a = ContentHash::of(b"hello siphash world, this is long enough to cross blocks");
+        let mut h = Hasher128::new();
+        h.update(b"hello siphash world, ");
+        h.update(b"this is long ");
+        h.update(b"enough to cross blocks");
+        assert_eq!(a, h.finish());
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(ContentHash::of(b"a"), ContentHash::of(b"b"));
+        assert_ne!(ContentHash::of(b""), ContentHash::of(b"\0"));
+        // One flipped bit anywhere flips the digest.
+        let base = ContentHash::of(b"0123456789abcdef0123456789abcdef");
+        let mut flipped = *b"0123456789abcdef0123456789abcdef";
+        flipped[17] ^= 0x40;
+        assert_ne!(base, ContentHash::of(&flipped));
+    }
+
+    #[test]
+    fn field_framing_prevents_concatenation_collisions() {
+        let mut h1 = Hasher128::new();
+        h1.update_str("ab");
+        h1.update_str("c");
+        let mut h2 = Hasher128::new();
+        h2.update_str("a");
+        h2.update_str("bc");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn display_is_32_hex_chars() {
+        let h = ContentHash::of(b"x");
+        let s = h.to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_ne!(fnv64(b"abc"), fnv64(b"acb"));
+    }
+}
+
+#[cfg(test)]
+mod probe_tests {
+    use super::*;
+
+    #[test]
+    fn single_mid_stream_byte_changes_digest() {
+        let mk = |b: u8| {
+            let mut h = Hasher128::new();
+            h.update_str("pdg.scope.v1");
+            h.update(&[0u8; 16]);
+            h.update_u8(b);
+            h.update_u64(1);
+            h.update_u32(0);
+            h.update(&[7u8; 16]);
+            h.finish()
+        };
+        assert_ne!(mk(0), mk(1));
+    }
+}

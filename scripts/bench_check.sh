@@ -8,7 +8,14 @@
 #     cliff this optimization pass removed), or
 #   * any phase regressed more than 15% against the committed
 #     BENCH_pipeline.json (plus a 2 ms absolute allowance so sub-ms
-#     timing noise cannot flake the gate).
+#     timing noise cannot flake the gate), or
+#   * the fresh file carries a `cache` section whose cold/warm/uncached
+#     outputs differ, or whose warm run is less than 2x faster than cold.
+#
+# Older committed reference files may predate the `matrix` or `cache`
+# sections (or individual phases inside a row); every lookup degrades to
+# "nothing to compare" instead of a KeyError so the gate keeps working
+# across format generations.
 # All ratio checks use the per-phase `min` when present (the low-noise
 # estimator the bench emits alongside median/p90; timing noise on a
 # shared host is additive, so the min is the stable statistic), falling
@@ -45,8 +52,8 @@ def rows(doc):
     """(corpus, jobs) -> row, from the matrix (or the legacy workers key)."""
     out = {}
     for group in doc.get("matrix", [{"corpus": "1x", "workers": doc.get("workers", [])}]):
-        for row in group["workers"]:
-            out[(group["corpus"], row["jobs"])] = row
+        for row in group.get("workers", []):
+            out[(group.get("corpus", "1x"), row["jobs"])] = row
     return out
 
 
@@ -54,8 +61,12 @@ new_rows, ref_rows = rows(new), rows(ref)
 
 
 def stat(row, phase):
-    """The low-noise statistic for one phase: min when emitted, else median."""
-    p = row["phases"][phase]
+    """The low-noise statistic for one phase: min when emitted, else median.
+
+    Returns None when the row predates this phase (older file formats)."""
+    p = row.get("phases", {}).get(phase)
+    if p is None:
+        return None
     return p.get("min", p["median"])
 
 
@@ -72,7 +83,9 @@ else:
     # a cross-cell ratio of the low-noise stats for older files.
     pdg_ratio = row4.get("pdg_ms_ratio_vs_1worker")
     if pdg_ratio is None:
-        pdg_ratio = stat(row4, "pdg_ms") / stat(new_rows[("1x", 1)], "pdg_ms")
+        pdg4 = stat(row4, "pdg_ms")
+        pdg1 = stat(new_rows[("1x", 1)], "pdg_ms")
+        pdg_ratio = pdg4 / pdg1 if pdg4 is not None and pdg1 else 0.0
     if pdg_ratio > 1.1:
         failures.append(f"jobs=4 pdg_ms ratio vs 1 worker {pdg_ratio} > 1.1")
 
@@ -84,15 +97,31 @@ for key, row in sorted(new_rows.items()):
     for phase in PHASES:
         old = stat(ref_row, phase)
         cur = stat(row, phase)
+        if old is None or cur is None:
+            continue  # phase not present in one generation of the format
         if cur > old * 1.15 + 2.0:
             failures.append(
                 f"corpus {key[0]} jobs={key[1]} {phase} "
                 f"{cur} regresses >15% vs committed {old}"
             )
 
+# Incremental-cache gate: only the fresh file is checked (reference files
+# may predate the section), and only when the section is present.
+cache = new.get("cache")
+if cache is not None:
+    if not cache.get("identical_reports_cold_warm_uncached", False):
+        failures.append("cache: cold/warm/uncached outputs are not identical")
+    warm = cache.get("warm_speedup_vs_cold_median")
+    if warm is not None and warm < 2.0:
+        failures.append(f"cache: warm speedup {warm} < 2.0x over cold")
+    for row in cache.get("rows", []):
+        if row.get("row") == "warm" and row.get("misses", 0) != 0:
+            failures.append(f"cache: warm run missed {row['misses']} artifacts")
+
 if failures:
     for f in failures:
         print(f"bench_check: {f}", file=sys.stderr)
     sys.exit(1)
-print(f"bench_check: ok ({len(new_rows)} matrix rows within bounds)")
+cache_note = " + cache section" if cache is not None else ""
+print(f"bench_check: ok ({len(new_rows)} matrix rows within bounds{cache_note})")
 EOF

@@ -105,3 +105,76 @@ if grep -q "panicked at" "$SMOKE_DIR/smoke.err"; then
     exit 1
 fi
 echo "fault-injection smoke: ok (exit $CODE)"
+
+# Warm-cache smoke: the same hunt twice against one --cache-dir. The second
+# run must be byte-identical to the first and must actually serve from the
+# store (cache.hits > 0, cache.misses == 0 in the metrics snapshot).
+CACHE_DIR=$(mktemp -d)
+"$SEAL" hunt --pre "$PRE" --post "$POST" --target tests/data/target.c \
+    --cache-dir "$CACHE_DIR/store" --metrics "$CACHE_DIR/m-cold.json" \
+    >"$CACHE_DIR/reports.cold"
+"$SEAL" hunt --pre "$PRE" --post "$POST" --target tests/data/target.c \
+    --cache-dir "$CACHE_DIR/store" --metrics "$CACHE_DIR/m-warm.json" \
+    >"$CACHE_DIR/reports.warm"
+"$SEAL" hunt --pre "$PRE" --post "$POST" --target tests/data/target.c \
+    >"$CACHE_DIR/reports.nocache"
+if ! diff -u "$CACHE_DIR/reports.cold" "$CACHE_DIR/reports.warm"; then
+    echo "warm-cache smoke: warm reports differ from cold" >&2
+    rm -rf "$CACHE_DIR"
+    exit 1
+fi
+if ! diff -u "$CACHE_DIR/reports.nocache" "$CACHE_DIR/reports.warm"; then
+    echo "warm-cache smoke: cached reports differ from uncached" >&2
+    rm -rf "$CACHE_DIR"
+    exit 1
+fi
+python3 - "$CACHE_DIR/m-warm.json" <<'EOF'
+import json, sys
+entries = json.load(open(sys.argv[1]))["metrics"]
+by_name = {e["name"]: e.get("value", 0) for e in entries}
+hits = by_name.get("cache.hits", 0)
+misses = by_name.get("cache.misses", 0)
+if hits <= 0:
+    sys.exit("warm-cache smoke: second run had no cache hits")
+if misses != 0:
+    sys.exit(f"warm-cache smoke: second run missed {misses} artifacts")
+print(f"warm-cache smoke: ok (hits={hits}, misses=0, reports identical)")
+EOF
+
+# Cache-corruption smoke: truncate and then scribble over the store file;
+# the pipeline must degrade to recompute — same reports, exit 0 or 2,
+# and no panic backtrace.
+STORE_FILE=$(find "$CACHE_DIR/store" -name '*.bin' | head -n 1)
+if [ -z "$STORE_FILE" ]; then
+    echo "cache-corruption smoke: no store file written" >&2
+    exit 1
+fi
+for CORRUPT in truncate scribble; do
+    if [ "$CORRUPT" = truncate ]; then
+        head -c 37 "$STORE_FILE" >"$STORE_FILE.tmp" && mv "$STORE_FILE.tmp" "$STORE_FILE"
+    else
+        printf 'GARBAGE-NOT-A-STORE-%s' "$CORRUPT" >"$STORE_FILE"
+    fi
+    set +e
+    "$SEAL" hunt --pre "$PRE" --post "$POST" --target tests/data/target.c \
+        --cache-dir "$CACHE_DIR/store" \
+        >"$CACHE_DIR/reports.corrupt" 2>"$CACHE_DIR/corrupt.err"
+    CODE=$?
+    set -e
+    if [ "$CODE" != 0 ] && [ "$CODE" != 2 ]; then
+        echo "cache-corruption smoke ($CORRUPT): unexpected exit code $CODE" >&2
+        cat "$CACHE_DIR/corrupt.err" >&2
+        exit 1
+    fi
+    if grep -q "panicked at" "$CACHE_DIR/corrupt.err"; then
+        echo "cache-corruption smoke ($CORRUPT): panic escaped to stderr" >&2
+        cat "$CACHE_DIR/corrupt.err" >&2
+        exit 1
+    fi
+    if ! diff -u "$CACHE_DIR/reports.nocache" "$CACHE_DIR/reports.corrupt"; then
+        echo "cache-corruption smoke ($CORRUPT): reports changed under corruption" >&2
+        exit 1
+    fi
+done
+rm -rf "$CACHE_DIR"
+echo "cache-corruption smoke: ok (truncated + scribbled store both recompute)"

@@ -15,7 +15,7 @@
 //! stderr and reflected in the exit code — `0` all items succeeded, `1`
 //! usage or fatal error, `2` completed but some items failed.
 
-use seal::core::{Patch, Seal};
+use seal::core::{AnalysisCache, Patch, Seal};
 use seal_spec::merge::merge_specs;
 use seal_spec::parse::{parse_lines, to_line};
 use seal_spec::Specification;
@@ -108,14 +108,23 @@ fn run(args: &[String]) -> Result<Outcome, Fatal> {
         // The analysis commands support --trace/--metrics: observability is
         // armed before any pipeline work and the files are written after.
         "infer" | "detect" | "hunt" => {
+            // The cache is opened once per command and shared by every
+            // stage (spec inference, target lowering, detection shards), so
+            // a `hunt` never races two handles over one store file.
+            let cache = open_cache(&opts).map_err(Fatal::from)?;
             let obs = ObsRun::start(&opts)?;
             let out = match cmd.as_str() {
-                "infer" => infer(&opts),
-                "detect" => detect(&opts),
-                _ => infer_and_detect(&opts),
+                "infer" => infer(&opts, &cache),
+                "detect" => detect(&opts, &cache),
+                _ => infer_and_detect(&opts, &cache),
             };
             match &out {
-                Ok(_) => obs.finish()?,
+                Ok(_) => {
+                    cache
+                        .flush()
+                        .map_err(|e| Fatal::from(format!("cannot flush cache: {e}")))?;
+                    obs.finish()?
+                }
                 Err(_) => obs.abort(),
             }
             out.map_err(Fatal::from)
@@ -133,15 +142,78 @@ fn run(args: &[String]) -> Result<Outcome, Fatal> {
 /// of silently ignoring them.
 fn known_flags(cmd: &str) -> Option<&'static [&'static str]> {
     Some(match cmd {
-        "infer" => &["pre", "post", "id", "out", "jobs", "trace", "metrics"],
-        "detect" => &["target", "specs", "jobs", "trace", "metrics"],
-        "hunt" => &["pre", "post", "id", "target", "jobs", "trace", "metrics"],
+        "infer" => &[
+            "pre",
+            "post",
+            "id",
+            "out",
+            "jobs",
+            "trace",
+            "metrics",
+            "cache-dir",
+            "cache",
+        ],
+        "detect" => &[
+            "target",
+            "specs",
+            "jobs",
+            "trace",
+            "metrics",
+            "cache-dir",
+            "cache",
+        ],
+        "hunt" => &[
+            "pre",
+            "post",
+            "id",
+            "target",
+            "jobs",
+            "trace",
+            "metrics",
+            "cache-dir",
+            "cache",
+        ],
         "merge" => &["specs", "out"],
         "gen-corpus" => &["dir", "seed", "drivers"],
         "mutate" => &["src", "out", "n", "seed"],
-        "stats" => &["trace", "metrics"],
+        "stats" => &["trace", "metrics", "cache-dir"],
         _ => return None,
     })
+}
+
+/// Opens the incremental artifact cache for one analysis command.
+///
+/// The directory comes from `--cache-dir` (or `SEAL_CACHE_DIR`), the mode
+/// from `--cache` (or `SEAL_CACHE`): `off`, `ro`, or `rw` (the default
+/// when a directory is given). With no directory configured the cache is
+/// disabled and every command behaves exactly as before the cache existed.
+fn open_cache(opts: &HashMap<String, String>) -> Result<AnalysisCache, String> {
+    let dir = opts
+        .get("cache-dir")
+        .cloned()
+        .or_else(|| std::env::var("SEAL_CACHE_DIR").ok());
+    let mode_str = opts
+        .get("cache")
+        .cloned()
+        .or_else(|| std::env::var("SEAL_CACHE").ok());
+    let mode = match &mode_str {
+        Some(s) => seal_store::CacheMode::parse(s)
+            .ok_or_else(|| format!("--cache must be one of off, ro, rw; got `{s}`"))?,
+        None => seal_store::CacheMode::ReadWrite,
+    };
+    match dir {
+        None => {
+            if opts.contains_key("cache") {
+                return Err(
+                    "--cache needs --cache-dir (or SEAL_CACHE_DIR) to point at a store".to_string(),
+                );
+            }
+            Ok(AnalysisCache::disabled())
+        }
+        Some(_) if mode == seal_store::CacheMode::Off => Ok(AnalysisCache::disabled()),
+        Some(dir) => AnalysisCache::open(std::path::Path::new(&dir), mode)
+            .map_err(|e| format!("cannot open cache: {e}")),
+    }
 }
 
 /// Observability state for one analysis command: a trace collector and/or
@@ -199,49 +271,60 @@ impl ObsRun {
     }
 }
 
-/// `seal stats`: aggregates a `--trace` file (and optionally a `--metrics`
-/// file) into per-stage tables.
+/// `seal stats`: aggregates any of a `--trace` file (per-span timing
+/// table), a `--metrics` file (counter/gauge/histogram table, including
+/// the `cache.*` session counters), and a `--cache-dir` (on-disk artifact
+/// store summary). At least one source is required.
 fn stats(opts: &HashMap<String, String>) -> Result<Outcome, String> {
     use std::collections::BTreeMap;
 
-    let trace_path = opts
-        .get("trace")
-        .ok_or_else(|| format!("missing --trace\n{}", usage()))?;
-    let data = seal_obs::TraceData::parse_jsonl(&read_file(trace_path)?)
-        .map_err(|e| format!("malformed trace file {trace_path}: {e}"))?;
+    if !["trace", "metrics", "cache-dir"]
+        .iter()
+        .any(|k| opts.contains_key(*k))
+    {
+        return Err(format!(
+            "stats needs at least one of --trace/--metrics/--cache-dir\n{}",
+            usage()
+        ));
+    }
 
-    #[derive(Default)]
-    struct Agg {
-        count: u64,
-        total_us: u64,
-        self_us: u64,
-    }
-    fn walk<'a>(r: &'a seal_obs::SpanRec, by: &mut BTreeMap<&'a str, Agg>) {
-        let child_us: u64 = r.children.iter().map(|c| c.dur_us).sum();
-        let a = by.entry(r.name).or_default();
-        a.count += 1;
-        a.total_us += r.dur_us;
-        a.self_us += r.dur_us.saturating_sub(child_us);
-        for c in &r.children {
-            walk(c, by);
+    if let Some(trace_path) = opts.get("trace") {
+        let data = seal_obs::TraceData::parse_jsonl(&read_file(trace_path)?)
+            .map_err(|e| format!("malformed trace file {trace_path}: {e}"))?;
+
+        #[derive(Default)]
+        struct Agg {
+            count: u64,
+            total_us: u64,
+            self_us: u64,
         }
-    }
-    let mut by_name: BTreeMap<&str, Agg> = BTreeMap::new();
-    for r in &data.roots {
-        walk(r, &mut by_name);
-    }
-    println!(
-        "{:<24} {:>8} {:>12} {:>12}",
-        "span", "count", "total_ms", "self_ms"
-    );
-    for (name, a) in &by_name {
+        fn walk<'a>(r: &'a seal_obs::SpanRec, by: &mut BTreeMap<&'a str, Agg>) {
+            let child_us: u64 = r.children.iter().map(|c| c.dur_us).sum();
+            let a = by.entry(r.name).or_default();
+            a.count += 1;
+            a.total_us += r.dur_us;
+            a.self_us += r.dur_us.saturating_sub(child_us);
+            for c in &r.children {
+                walk(c, by);
+            }
+        }
+        let mut by_name: BTreeMap<&str, Agg> = BTreeMap::new();
+        for r in &data.roots {
+            walk(r, &mut by_name);
+        }
         println!(
-            "{:<24} {:>8} {:>12.2} {:>12.2}",
-            name,
-            a.count,
-            a.total_us as f64 / 1e3,
-            a.self_us as f64 / 1e3
+            "{:<24} {:>8} {:>12} {:>12}",
+            "span", "count", "total_ms", "self_ms"
         );
+        for (name, a) in &by_name {
+            println!(
+                "{:<24} {:>8} {:>12.2} {:>12.2}",
+                name,
+                a.count,
+                a.total_us as f64 / 1e3,
+                a.self_us as f64 / 1e3
+            );
+        }
     }
 
     if let Some(mpath) = opts.get("metrics") {
@@ -263,6 +346,22 @@ fn stats(opts: &HashMap<String, String>) -> Result<Outcome, String> {
             println!("{:<40} {:>8} {:>5} {:>16}", name, kind, m.det, value);
         }
     }
+
+    // With `--cache-dir`, summarize the on-disk artifact store (the
+    // session counters — cache.hits/misses/bytes_read/invalidations —
+    // live in the metrics snapshot above; this is the disk-side view).
+    if let Some(dir) = opts.get("cache-dir") {
+        let cache = AnalysisCache::open(std::path::Path::new(dir), seal_store::CacheMode::ReadOnly)
+            .map_err(|e| format!("cannot open cache: {e}"))?;
+        let s = cache.stats();
+        let file = std::path::Path::new(dir).join(seal_store::STORE_FILE);
+        let bytes = std::fs::metadata(&file).map(|m| m.len()).unwrap_or(0);
+        println!();
+        println!("cache store {}", file.display());
+        println!("{:<24} {:>12}", "disk_entries", s.disk_entries);
+        println!("{:<24} {:>12}", "file_bytes", bytes);
+        println!("{:<24} {:>12}", "scan_invalidations", s.invalidations);
+    }
     Ok(Outcome::Full)
 }
 
@@ -274,7 +373,14 @@ fn usage() -> String {
      seal merge  --specs <file,file,...> --out <specs-file>\n  \
      seal gen-corpus --dir <dir> [--seed <n>] [--drivers <n>]\n  \
      seal mutate --src <file,...> --out <dir> [--n <k>] [--seed <n>]\n  \
-     seal stats  --trace <trace-file> [--metrics <metrics-file>]\n\
+     seal stats  [--trace <trace-file>] [--metrics <metrics-file>] [--cache-dir <dir>]\n\
+     \n\
+     infer/detect/hunt accept [--cache-dir <dir>] [--cache off|ro|rw] (or\n\
+     SEAL_CACHE_DIR / SEAL_CACHE) to reuse per-function artifacts across\n\
+     runs: unchanged inputs replay cached specs, lowered modules, and\n\
+     detection shards, byte-identically to a cold run. Default mode with a\n\
+     directory is rw; a corrupt or stale store is never fatal — damaged\n\
+     records are invalidated and recomputed.\n\
      \n\
      --pre/--post accept comma-separated lists of equal length; the pairs\n\
      are inferred in parallel and the specs are merged in argument order.\n\
@@ -398,6 +504,7 @@ fn list(opts: &HashMap<String, String>, key: &str) -> Result<Vec<String>, String
 /// the first bad patch aborting the batch.
 fn infer_specs(
     opts: &HashMap<String, String>,
+    cache: &AnalysisCache,
 ) -> Result<(Vec<Specification>, Vec<ItemFailure>), String> {
     let pre_paths = list(opts, "pre")?;
     let post_paths = list(opts, "post")?;
@@ -434,7 +541,10 @@ fn infer_specs(
     // Fault-isolated batch: each patch gets a result slot, survivors are
     // byte-identical to running alone, and the merge in patch-index order
     // keeps the output independent of the worker count.
-    let seal = Seal::default();
+    let seal = Seal {
+        cache: cache.clone(),
+        ..Seal::default()
+    };
     let _span = seal_obs::span!("cli.infer", patches = patches.len());
     let results = seal::core::infer_batch(&seal, &patches, jobs(opts)?);
     let mut specs = Vec::new();
@@ -447,8 +557,8 @@ fn infer_specs(
     Ok((specs, failures))
 }
 
-fn infer(opts: &HashMap<String, String>) -> Result<Outcome, String> {
-    let (specs, failures) = infer_specs(opts)?;
+fn infer(opts: &HashMap<String, String>, cache: &AnalysisCache) -> Result<Outcome, String> {
+    let (specs, failures) = infer_specs(opts, cache)?;
     let specs = merge_specs(specs);
     let lines: Vec<String> = specs.iter().map(to_line).collect();
     match opts.get("out") {
@@ -585,26 +695,30 @@ fn mutate(opts: &HashMap<String, String>) -> Result<Outcome, String> {
     Ok(Outcome::Full)
 }
 
-fn detect(opts: &HashMap<String, String>) -> Result<Outcome, String> {
+fn detect(opts: &HashMap<String, String>, cache: &AnalysisCache) -> Result<Outcome, String> {
     let jobs = jobs(opts)?;
     let specs_text = read(opts, "specs")?;
     let specs =
         parse_lines(&specs_text).map_err(|e| format!("malformed spec file --specs: {e}"))?;
-    detect_with(opts, &specs, jobs, Vec::new())
+    detect_with(opts, cache, &specs, jobs, Vec::new())
 }
 
-fn infer_and_detect(opts: &HashMap<String, String>) -> Result<Outcome, String> {
+fn infer_and_detect(
+    opts: &HashMap<String, String>,
+    cache: &AnalysisCache,
+) -> Result<Outcome, String> {
     let jobs = jobs(opts)?;
-    let (specs, failures) = infer_specs(opts)?;
+    let (specs, failures) = infer_specs(opts, cache)?;
     eprintln!("inferred {} specification(s)", specs.len());
     for s in &specs {
         eprintln!("  {s}");
     }
-    detect_with(opts, &specs, jobs, failures)
+    detect_with(opts, cache, &specs, jobs, failures)
 }
 
 fn detect_with(
     opts: &HashMap<String, String>,
+    cache: &AnalysisCache,
     specs: &[Specification],
     jobs: usize,
     mut failures: Vec<ItemFailure>,
@@ -622,13 +736,41 @@ fn detect_with(
         .map(|(p, t)| (p.as_str(), t.as_str()))
         .collect();
     let _span = seal_obs::span!("cli.detect", targets = paths.len());
-    let tu =
-        seal_kir::compile_many(&borrowed).map_err(|e| format!("target does not compile:\n{e}"))?;
-    let module = seal_ir::lower_checked(&tu)
-        .map_err(|e| format!("target lowers to an invalid module: {e}"))?;
-    let seal = Seal::default();
+    // Module-level cache entry: the lowered target keyed on the raw source
+    // texts, so a warm run skips the frontend and lowering entirely. Paths
+    // and texts are framed with NULs to keep the key unambiguous.
+    let (module_name, module_src) = {
+        let mut name = String::new();
+        let mut src = String::new();
+        for (p, t) in &sources {
+            name.push_str(p);
+            name.push(',');
+            src.push_str(p);
+            src.push('\0');
+            src.push_str(t);
+            src.push('\0');
+        }
+        (name, src)
+    };
+    let module = match cache.get_module(&module_name, &module_src) {
+        Some(m) => m,
+        None => {
+            let tu = seal_kir::compile_many(&borrowed)
+                .map_err(|e| format!("target does not compile:\n{e}"))?;
+            let module = seal_ir::lower_checked(&tu)
+                .map_err(|e| format!("target lowers to an invalid module: {e}"))?;
+            if cache.is_enabled() {
+                cache.put_module(&module_name, &module_src, &module);
+            }
+            module
+        }
+    };
+    let seal = Seal {
+        cache: cache.clone(),
+        ..Seal::default()
+    };
     let (reports, _, errors) =
-        seal::core::detect::detect_bugs_isolated(&module, specs, &seal.detect, jobs);
+        seal::core::detect::detect_bugs_isolated_cached(&module, specs, &seal.detect, jobs, cache);
     for e in &errors {
         failures.push(ItemFailure::of("target", e));
     }

@@ -1,0 +1,266 @@
+//! End-to-end contract tests for the incremental artifact cache: cached
+//! runs are byte-identical to uncached ones at any worker count, stale or
+//! corrupt stores degrade to recompute (never to wrong output, never to a
+//! panic), and the CLI surface validates its flags.
+
+use seal_core::{detect::detect_bugs_with_stats_jobs_cached, AnalysisCache, DetectConfig, Seal};
+use seal_spec::Specification;
+use seal_store::CacheMode;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seal-cache-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn tiny_corpus() -> seal_corpus::Corpus {
+    seal_corpus::generate(&seal_corpus::CorpusConfig {
+        seed: 11,
+        drivers_per_template: 4,
+        bug_rate: 0.3,
+        patches_per_template: 1,
+        refactor_patches: 1,
+    })
+}
+
+/// Canonical rendering of one full pipeline pass (specs + reports).
+fn run_rendered(
+    corpus: &seal_corpus::Corpus,
+    target: &seal_ir::Module,
+    jobs: usize,
+    cache: &AnalysisCache,
+    detect: &DetectConfig,
+) -> String {
+    let seal = Seal {
+        cache: cache.clone(),
+        detect: *detect,
+        ..Seal::default()
+    };
+    let mut specs: Vec<Specification> = Vec::new();
+    for patch in &corpus.patches {
+        specs.extend(seal.infer(patch).expect("corpus patches compile"));
+    }
+    let (reports, stats) =
+        detect_bugs_with_stats_jobs_cached(target, &specs, &seal.detect, jobs, cache);
+    let mut out = String::new();
+    for s in &specs {
+        out.push_str(&seal_spec::parse::to_line(s));
+        out.push('\n');
+    }
+    for r in &reports {
+        out.push_str(&format!("{r}\n"));
+    }
+    out.push_str(&format!(
+        "q={} h={} p={} s={}\n",
+        stats.solver_queries,
+        stats.solver_cache_hits,
+        stats.subtrees_pruned,
+        stats.sources_skipped_unreachable
+    ));
+    out
+}
+
+#[test]
+fn cold_warm_and_off_runs_are_byte_identical_across_jobs() {
+    let dir = temp_dir("coldwarm");
+    let corpus = tiny_corpus();
+    let target = corpus.target_module();
+    let cfg = DetectConfig::default();
+
+    let off = run_rendered(&corpus, &target, 1, &AnalysisCache::disabled(), &cfg);
+
+    let cold_cache = AnalysisCache::open(&dir, CacheMode::ReadWrite).unwrap();
+    let cold = run_rendered(&corpus, &target, 1, &cold_cache, &cfg);
+    assert!(cold_cache.stats().misses > 0, "cold run must populate");
+    cold_cache.flush().unwrap();
+
+    for jobs in [1usize, 4] {
+        let warm_cache = AnalysisCache::open(&dir, CacheMode::ReadOnly).unwrap();
+        let warm = run_rendered(&corpus, &target, jobs, &warm_cache, &cfg);
+        assert_eq!(off, warm, "cache-off vs warm differ at jobs={jobs}");
+        assert_eq!(cold, warm, "cold vs warm differ at jobs={jobs}");
+        let s = warm_cache.stats();
+        assert!(s.hits > 0, "warm run served nothing at jobs={jobs}");
+        assert_eq!(s.misses, 0, "warm run missed at jobs={jobs}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_store_degrades_to_recompute_with_identical_output() {
+    let dir = temp_dir("corrupt");
+    let corpus = tiny_corpus();
+    let target = corpus.target_module();
+    let cfg = DetectConfig::default();
+    let reference = run_rendered(&corpus, &target, 1, &AnalysisCache::disabled(), &cfg);
+
+    let store_path = dir.join(seal_store::STORE_FILE);
+    let populate = || {
+        let c = AnalysisCache::open(&dir, CacheMode::ReadWrite).unwrap();
+        let _ = run_rendered(&corpus, &target, 1, &c, &cfg);
+        c.flush().unwrap();
+    };
+    populate();
+    let clean = std::fs::read(&store_path).unwrap();
+    assert!(clean.len() > 64, "store unexpectedly small");
+
+    // Seeded corruption: truncations at several depths, single byte flips
+    // across the file, and wholesale garbage.
+    let mut corruptions: Vec<(String, Vec<u8>)> = Vec::new();
+    for cut in [3usize, 15, 17, clean.len() / 2, clean.len() - 1] {
+        corruptions.push((format!("truncate@{cut}"), clean[..cut].to_vec()));
+    }
+    for pos in [0usize, 9, 16, 24, clean.len() / 3, clean.len() - 2] {
+        let mut c = clean.clone();
+        c[pos] ^= 0x41;
+        corruptions.push((format!("flip@{pos}"), c));
+    }
+    corruptions.push(("garbage".into(), b"not a seal store at all".to_vec()));
+
+    for (label, bytes) in corruptions {
+        std::fs::write(&store_path, &bytes).unwrap();
+        let cache = AnalysisCache::open(&dir, CacheMode::ReadOnly).unwrap();
+        let got = run_rendered(&corpus, &target, 1, &cache, &cfg);
+        assert_eq!(reference, got, "output changed under corruption `{label}`");
+        // Restore the clean store so every corruption starts from the
+        // same bytes.
+        std::fs::write(&store_path, &clean).unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn config_fingerprint_change_invalidates_without_stale_reuse() {
+    let dir = temp_dir("fingerprint");
+    let corpus = tiny_corpus();
+    let target = corpus.target_module();
+    let default_cfg = DetectConfig::default();
+
+    let warm = AnalysisCache::open(&dir, CacheMode::ReadWrite).unwrap();
+    let _ = run_rendered(&corpus, &target, 1, &warm, &default_cfg);
+    warm.flush().unwrap();
+
+    // Any detect-config field move must shift the shard keys: the warmed
+    // entries may not be served, and the output must equal an uncached run
+    // under the *new* config.
+    let changed_cfg = DetectConfig {
+        max_regions: default_cfg.max_regions + 1,
+        ..default_cfg
+    };
+    let reference = run_rendered(
+        &corpus,
+        &target,
+        1,
+        &AnalysisCache::disabled(),
+        &changed_cfg,
+    );
+    let cache = AnalysisCache::open(&dir, CacheMode::ReadOnly).unwrap();
+    let got = run_rendered(&corpus, &target, 1, &cache, &changed_cfg);
+    assert_eq!(reference, got, "stale shard served across a config change");
+    let s = cache.stats();
+    assert!(
+        s.misses > 0,
+        "changed detect config produced no shard misses (hits={}, misses=0)",
+        s.hits
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------- CLI ----
+
+fn seal_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_seal")
+}
+
+const PRE: &str = "
+struct ops { int (*prep)(int *p); };
+int do_prep(int *p) { return *p; }
+struct ops t = { .prep = do_prep, };
+";
+const POST: &str = "
+struct ops { int (*prep)(int *p); };
+int do_prep(int *p) { if (p == NULL) return -22; return *p; }
+struct ops t = { .prep = do_prep, };
+";
+
+#[test]
+fn cli_cache_mode_without_dir_is_an_error() {
+    let dir = temp_dir("cli-nodir");
+    let pre = dir.join("pre.c");
+    let post = dir.join("post.c");
+    std::fs::write(&pre, PRE).unwrap();
+    std::fs::write(&post, POST).unwrap();
+    let out = Command::new(seal_bin())
+        .args(["infer", "--pre"])
+        .arg(&pre)
+        .arg("--post")
+        .arg(&post)
+        .args(["--cache", "rw"])
+        .env_remove("SEAL_CACHE_DIR")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--cache needs --cache-dir"),
+        "unexpected stderr: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_cache_off_writes_no_store_and_env_dir_is_honored() {
+    let dir = temp_dir("cli-env");
+    let pre = dir.join("pre.c");
+    let post = dir.join("post.c");
+    std::fs::write(&pre, PRE).unwrap();
+    std::fs::write(&post, POST).unwrap();
+
+    // `--cache off` with a directory: the run works, nothing is stored.
+    let off_store = dir.join("off-store");
+    let out = Command::new(seal_bin())
+        .args(["infer", "--pre"])
+        .arg(&pre)
+        .arg("--post")
+        .arg(&post)
+        .arg("--cache-dir")
+        .arg(&off_store)
+        .args(["--cache", "off"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        !off_store.join(seal_store::STORE_FILE).exists(),
+        "--cache off still wrote a store"
+    );
+
+    // The directory can come from SEAL_CACHE_DIR alone; two runs must
+    // produce identical stdout and the second must leave a store behind.
+    let env_store = dir.join("env-store");
+    let run = || {
+        Command::new(seal_bin())
+            .args(["infer", "--pre"])
+            .arg(&pre)
+            .arg("--post")
+            .arg(&post)
+            .env("SEAL_CACHE_DIR", &env_store)
+            .output()
+            .unwrap()
+    };
+    let first = run();
+    let second = run();
+    assert!(first.status.success() && second.status.success());
+    assert_eq!(first.stdout, second.stdout, "warm CLI run changed output");
+    assert!(
+        env_store.join(seal_store::STORE_FILE).exists(),
+        "SEAL_CACHE_DIR run wrote no store"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -616,7 +616,8 @@ fn stats_requires_a_trace_file() {
     let out = Command::new(seal_bin()).arg("stats").output().unwrap();
     assert_eq!(out.status.code(), Some(1));
     assert!(
-        String::from_utf8_lossy(&out.stderr).contains("missing --trace"),
+        String::from_utf8_lossy(&out.stderr)
+            .contains("stats needs at least one of --trace/--metrics/--cache-dir"),
         "stderr: {}",
         String::from_utf8_lossy(&out.stderr)
     );
@@ -630,5 +631,21 @@ fn stats_requires_a_trace_file() {
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_cache_dir_alone_summarizes_the_store() {
+    let dir = temp_dir("stats-cache");
+    let out = Command::new(seal_bin())
+        .arg("stats")
+        .arg("--cache-dir")
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cache store"), "stdout: {stdout}");
+    assert!(stdout.contains("disk_entries"), "stdout: {stdout}");
     std::fs::remove_dir_all(&dir).ok();
 }
