@@ -19,6 +19,13 @@
 //! (defaults 1 and 5). Within each corpus scale the worker counts are
 //! measured interleaved, round-robin per iteration, so machine-load
 //! drift cannot skew one cell's median against another's.
+//!
+//! A `serve` section compares the solo CLI against the `seal serve`
+//! daemon on a per-patch hunt workload: N cold CLI spawns, the same
+//! batch as the daemon's first request, then warm re-requests with 10%
+//! of the patch files mutated each round. The daemon's outputs must be
+//! byte-identical to the CLI's, and the warm median must beat the cold
+//! CLI by at least 5x.
 
 use seal_bench::{eval_config, run_parts, run_pipeline_with_jobs, PipelineParts, PipelineResult};
 use seal_core::{detect_bugs_with_stats_jobs, AnalysisCache, DetectConfig, Seal};
@@ -26,6 +33,7 @@ use seal_corpus::CorpusConfig;
 use seal_spec::parse::to_line;
 use seal_spec::Specification;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// The eval corpus scaled up: `scale`× the drivers (and with them the
@@ -477,6 +485,244 @@ fn measure_cache(iters: usize) -> (String, bool, f64) {
     (section, identical, warm_speedup)
 }
 
+/// One `seal serve` benchmark row: per-item latency samples plus the
+/// daemon-side counters captured right after the row was measured.
+struct ServeRow {
+    row: &'static str,
+    per_item_ms: Vec<f64>,
+    /// Daemon-only fields (absent on the `cold_cli` row).
+    daemon: Option<ServeDaemonStats>,
+}
+
+struct ServeDaemonStats {
+    rss_peak_kb: u64,
+    warm_hits: u64,
+    warm_hit_rate: f64,
+    evictions: u64,
+}
+
+impl ServeRow {
+    fn json(&self) -> String {
+        let s = &self.per_item_ms;
+        let mut out = format!(
+            "{{\"row\":\"{}\",\"per_item_ms\":{{\"min\":{},\"median\":{},\"p90\":{}}},\
+             \"items_per_sec\":{:.2}",
+            self.row,
+            num(min(s)),
+            num(median(s)),
+            num(p90(s)),
+            1e3 / median(s),
+        );
+        if let Some(d) = &self.daemon {
+            out.push_str(&format!(
+                ",\"rss_peak_kb\":{},\"warm_hits\":{},\"warm_hit_rate\":{:.3},\
+                 \"evictions\":{}",
+                d.rss_peak_kb, d.warm_hits, d.warm_hit_rate, d.evictions
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Reads one JSONL response line from the daemon.
+fn serve_read_line(stdout: &mut impl std::io::BufRead) -> seal::json::Json {
+    let mut buf = String::new();
+    let n = stdout.read_line(&mut buf).expect("daemon stdout read");
+    assert!(n > 0, "daemon closed its stdout early");
+    seal::json::Json::parse(buf.trim_end())
+        .unwrap_or_else(|e| panic!("bad daemon response `{buf}`: {e}"))
+}
+
+fn serve_num(v: &seal::json::Json, key: &str) -> f64 {
+    v.get(key)
+        .and_then(seal::json::Json::as_num)
+        .unwrap_or_else(|| panic!("missing number `{key}` in daemon stats"))
+}
+
+/// Measures `seal serve` against the solo CLI over a per-patch hunt
+/// workload: N cold CLI spawns, then the same N items as one batch on a
+/// fresh daemon (first request), then re-requests with 10% of the patch
+/// files mutated each round (append-only pads, so the diffs — and the
+/// outputs — are unchanged). Returns the JSON section, the output-identity
+/// verdict, and the warm speedup over the cold CLI.
+fn measure_serve(iters: usize) -> Option<(String, bool, f64)> {
+    use seal::json::{escape, Json};
+    use std::io::{BufReader, Write as _};
+    use std::process::{Command, Stdio};
+
+    let seal_bin = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("seal")))?;
+    if !seal_bin.exists() {
+        eprintln!(
+            "bench_pipeline: skipping serve section ({} not built)",
+            seal_bin.display()
+        );
+        return None;
+    }
+
+    // Materialize the eval corpus as the file tree the CLI consumes.
+    let corpus = seal_corpus::generate(&eval_config());
+    let tmp = std::env::temp_dir().join(format!("seal-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).expect("cannot create serve bench dir");
+    let tree = seal_corpus::files::write_to_dir(&corpus, &tmp).expect("cannot write corpus tree");
+    let target = tree.kernel_files[0].clone();
+    let items: Vec<(PathBuf, PathBuf)> = tree
+        .patch_files
+        .iter()
+        .take(10)
+        .map(|(_, pre, post)| (pre.clone(), post.clone()))
+        .collect();
+    let n = items.len();
+    assert!(n >= 2, "corpus too small for the serve benchmark");
+
+    // Cold CLI: one full process per item — startup, target compile, and
+    // detection all paid from scratch every time.
+    let mut cold = ServeRow {
+        row: "cold_cli",
+        per_item_ms: Vec::new(),
+        daemon: None,
+    };
+    let mut cli_outputs: Vec<String> = Vec::new();
+    for (pre, post) in &items {
+        let t0 = Instant::now();
+        let out = Command::new(&seal_bin)
+            .arg("hunt")
+            .arg("--pre")
+            .arg(pre)
+            .arg("--post")
+            .arg(post)
+            .arg("--target")
+            .arg(&target)
+            .args(["--jobs", "1"])
+            .env_remove("SEAL_CACHE_DIR")
+            .output()
+            .expect("cannot spawn solo seal hunt");
+        cold.per_item_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(
+            out.status.success(),
+            "solo hunt failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        cli_outputs.push(String::from_utf8(out.stdout).expect("non-utf8 hunt output"));
+    }
+
+    // The daemon, on stdin/stdout with one worker (matching the CLI runs).
+    let mut child = Command::new(&seal_bin)
+        .args(["serve", "--jobs", "1"])
+        .env_remove("SEAL_CACHE_DIR")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("cannot spawn seal serve");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    // Ping first so daemon startup is not billed to the first request.
+    writeln!(stdin, "{{\"cmd\":\"ping\"}}").unwrap();
+    let _ = serve_read_line(&mut stdout);
+
+    let batch_line = |items: &[(PathBuf, PathBuf)]| {
+        let body: Vec<String> = items
+            .iter()
+            .map(|(pre, post)| {
+                format!(
+                    "{{\"cmd\":\"hunt\",\"pre\":\"{}\",\"post\":\"{}\",\"target\":\"{}\"}}",
+                    escape(&pre.display().to_string()),
+                    escape(&post.display().to_string()),
+                    escape(&target.display().to_string()),
+                )
+            })
+            .collect();
+        format!("{{\"cmd\":\"batch\",\"items\":[{}]}}", body.join(","))
+    };
+    let mut identical = true;
+    let run_batch = |stdin: &mut std::process::ChildStdin,
+                     stdout: &mut BufReader<std::process::ChildStdout>,
+                     identical: &mut bool|
+     -> f64 {
+        let t0 = Instant::now();
+        writeln!(stdin, "{}", batch_line(&items)).unwrap();
+        stdin.flush().unwrap();
+        for reference in &cli_outputs {
+            let r = serve_read_line(stdout);
+            *identical &= r.get("ok") == Some(&Json::Bool(true))
+                && r.get("output").and_then(Json::as_str) == Some(reference.as_str());
+        }
+        t0.elapsed().as_secs_f64() * 1e3 / n as f64
+    };
+    let stats = |stdin: &mut std::process::ChildStdin,
+                 stdout: &mut BufReader<std::process::ChildStdout>|
+     -> ServeDaemonStats {
+        writeln!(stdin, "{{\"cmd\":\"stats\"}}").unwrap();
+        stdin.flush().unwrap();
+        let s = serve_read_line(stdout);
+        let warm = s.get("warm").expect("daemon stats carry no warm section");
+        ServeDaemonStats {
+            rss_peak_kb: serve_num(&s, "rss_peak_kb") as u64,
+            warm_hits: serve_num(warm, "hits") as u64,
+            warm_hit_rate: serve_num(warm, "hits")
+                / (serve_num(warm, "hits") + serve_num(warm, "misses")).max(1.0),
+            evictions: serve_num(warm, "evictions") as u64,
+        }
+    };
+
+    // First request: the daemon is running but its warm layer is empty.
+    let first_ms = run_batch(&mut stdin, &mut stdout, &mut identical);
+    let first = ServeRow {
+        row: "first_request",
+        per_item_ms: vec![first_ms],
+        daemon: Some(stats(&mut stdin, &mut stdout)),
+    };
+
+    // Warm re-requests: every round appends a fresh (semantics-preserving)
+    // pad to every tenth patch pair, so each sample re-infers 10% of the
+    // items against a warm target module and snapshot.
+    let mut warm = ServeRow {
+        row: "warm_mutated_10pct",
+        per_item_ms: Vec::new(),
+        daemon: None,
+    };
+    for round in 0..iters.max(3) {
+        for (i, (pre, post)) in items.iter().enumerate() {
+            if i % 10 == 0 {
+                for p in [pre, post] {
+                    let mut text = std::fs::read_to_string(p).expect("cannot reread patch");
+                    text.push_str(&format!(
+                        "\nint seal_bench_mut_pad_{round}(int x) {{ return x + 1; }}\n"
+                    ));
+                    std::fs::write(p, text).expect("cannot mutate patch");
+                }
+            }
+        }
+        warm.per_item_ms
+            .push(run_batch(&mut stdin, &mut stdout, &mut identical));
+    }
+    warm.daemon = Some(stats(&mut stdin, &mut stdout));
+
+    writeln!(stdin, "{{\"cmd\":\"shutdown\"}}").unwrap();
+    let _ = serve_read_line(&mut stdout);
+    drop(stdin);
+    let status = child.wait().expect("daemon did not exit");
+    assert!(status.success(), "daemon exited with {status}");
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let warm_speedup = median(&cold.per_item_ms) / median(&warm.per_item_ms);
+    let rows = [&cold, &first, &warm]
+        .iter()
+        .map(|r| r.json())
+        .collect::<Vec<_>>()
+        .join(",\n      ");
+    let section = format!(
+        "{{\n    \"items\": {n},\n    \"jobs\": 1,\n    \"rows\": [\n      {rows}\n    ],\n    \
+         \"identical_outputs\": {identical},\n    \
+         \"warm_speedup_vs_cold_cli\": {warm_speedup:.3}\n  }}"
+    );
+    Some((section, identical, warm_speedup))
+}
+
 fn warm_row_default() -> CacheRow {
     CacheRow {
         row: "",
@@ -646,6 +892,24 @@ fn main() {
         "warm cache run is only {warm_speedup:.2}x faster than cold (acceptance floor: 2.0x)"
     );
 
+    eprintln!("measuring seal serve (cold CLI / first request / warm mutated-10%)");
+    let serve = measure_serve(iters);
+    if let Some((_, identical, speedup)) = &serve {
+        assert!(
+            identical,
+            "daemon outputs differ from the solo CLI — serve equivalence broken"
+        );
+        assert!(
+            *speedup >= 5.0,
+            "warm daemon request is only {speedup:.2}x faster than the cold CLI \
+             (acceptance floor: 5.0x)"
+        );
+    }
+    let serve_json = serve
+        .as_ref()
+        .map(|(s, _, _)| format!("\n  \"serve\": {s},"))
+        .unwrap_or_default();
+
     // One instrumented run: every measured run above had the registry
     // disabled (the default), so the medians include only the disabled-path
     // cost; this extra run collects the per-stage counters for the report.
@@ -668,7 +932,7 @@ fn main() {
          \"baseline_seed_equivalent\": {},\n  \
          \"workers\": [\n    {}\n  ],\n  \
          \"matrix\": [\n    {}\n  ],\n  \
-         \"cache\": {},\n  \
+         \"cache\": {},{serve_json}\n  \
          \"stage_metrics\": {},\n  \
          \"identical_output_across_workers\": {identical}\n}}\n",
         cfg.seed,
@@ -713,4 +977,10 @@ fn main() {
         "cache: warm {warm_speedup:.2}x faster than cold (median, jobs=1), \
          outputs identical cold/warm/uncached: {cache_identical}"
     );
+    if let Some((_, serve_identical, serve_speedup)) = &serve {
+        println!(
+            "serve: warm daemon request {serve_speedup:.2}x faster than the cold CLI \
+             (median per item), outputs identical: {serve_identical}"
+        );
+    }
 }

@@ -29,9 +29,11 @@ use crate::diff::DiffConfig;
 use crate::error::SealError;
 use crate::patch::{CompiledPatch, Patch};
 use crate::report::{BugReport, BugType};
+use crate::warm::{snapshot_cost, WarmMemory, WarmValue};
 use seal_ir::ids::FuncId;
 use seal_ir::module::Module;
-use seal_spec::Specification;
+use seal_solver::FormulaSnapshot;
+use seal_spec::{SpecValue, Specification};
 use seal_store::{
     fnv64, CacheMode, CodecError, ContentHash, Dec, Enc, Hasher128, Store, StoreStats,
 };
@@ -47,6 +49,10 @@ pub const KIND_SPECS_SEM: u8 = 2;
 pub const KIND_SHARD: u8 = 3;
 /// Record kind: a lowered module keyed on its raw source.
 pub const KIND_MODULE: u8 = 4;
+/// Record kind: the pre-interned spec-condition snapshot. Warm-memory
+/// only — never persisted (rebuilding it is cheap; re-reading the interner
+/// tables from disk would not be).
+pub const KIND_SNAPSHOT: u8 = 5;
 
 /// Stable fingerprint of a stage config: FNV-1a over its `Debug` render.
 /// `Debug` covers every field (budgets included), so any config edit —
@@ -71,6 +77,9 @@ pub fn detect_fingerprint(cfg: &DetectConfig) -> u64 {
 #[derive(Clone)]
 pub struct AnalysisCache {
     store: Arc<Store>,
+    /// In-process decoded-artifact LRU fronting the store (attached by
+    /// `seal serve`; `None` for one-shot CLI runs).
+    warm: Option<WarmMemory>,
 }
 
 impl Default for AnalysisCache {
@@ -83,6 +92,7 @@ impl std::fmt::Debug for AnalysisCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AnalysisCache")
             .field("store", &*self.store)
+            .field("warm", &self.warm)
             .finish()
     }
 }
@@ -92,6 +102,7 @@ impl AnalysisCache {
     pub fn disabled() -> AnalysisCache {
         AnalysisCache {
             store: Arc::new(Store::disabled()),
+            warm: None,
         }
     }
 
@@ -99,12 +110,28 @@ impl AnalysisCache {
     pub fn open(dir: &Path, mode: CacheMode) -> Result<AnalysisCache, SealError> {
         Ok(AnalysisCache {
             store: Arc::new(Store::open(dir, mode)?),
+            warm: None,
         })
     }
 
-    /// Whether lookups can ever hit (mode is not `off`).
+    /// Attaches an in-process warm layer fronting the store. With one
+    /// attached, decoded artifacts are served from memory before any
+    /// store read, and the cache is enabled even over a disabled store
+    /// (an in-memory-only daemon still reuses work across requests).
+    pub fn with_warm(mut self, warm: WarmMemory) -> AnalysisCache {
+        self.warm = Some(warm);
+        self
+    }
+
+    /// The attached warm layer, if any.
+    pub fn warm(&self) -> Option<&WarmMemory> {
+        self.warm.as_ref()
+    }
+
+    /// Whether lookups can ever hit (the store reads, or a warm layer is
+    /// attached).
     pub fn is_enabled(&self) -> bool {
-        self.store.is_enabled()
+        self.store.is_enabled() || self.warm.is_some()
     }
 
     /// The underlying store (for stats display).
@@ -150,37 +177,69 @@ impl AnalysisCache {
         Some(h.finish())
     }
 
+    /// Warm-layer front for one spec kind: a hit returns the decoded list
+    /// without touching the store.
+    fn warm_specs(&self, kind: u8, key: &ContentHash) -> Option<Vec<Specification>> {
+        match self.warm.as_ref()?.get(kind, key)? {
+            WarmValue::Specs(s) => Some(s.as_ref().clone()),
+            _ => None,
+        }
+    }
+
+    /// Shared spec-lookup path: warm layer first, then the store (a store
+    /// hit back-fills the warm layer so the next visit skips the decode).
+    fn get_specs(&self, kind: u8, key: &ContentHash) -> Option<Vec<Specification>> {
+        if let Some(specs) = self.warm_specs(kind, key) {
+            return Some(specs);
+        }
+        let bytes = self.store.get(kind, key)?;
+        let specs = self.decode_specs(&bytes)?;
+        if let Some(warm) = &self.warm {
+            warm.put(
+                kind,
+                *key,
+                WarmValue::Specs(Arc::new(specs.clone())),
+                bytes.len() as u64,
+            );
+        }
+        Some(specs)
+    }
+
+    fn put_specs(&self, kind: u8, key: ContentHash, specs: &[Specification]) {
+        let bytes = seal_spec::binary::encode_specs(specs);
+        if let Some(warm) = &self.warm {
+            warm.put(
+                kind,
+                key,
+                WarmValue::Specs(Arc::new(specs.to_vec())),
+                bytes.len() as u64,
+            );
+        }
+        self.store.put(kind, key, bytes);
+    }
+
     /// Looks up inferred specs by raw patch text.
     pub fn get_specs_raw(&self, fp: u64, patch: &Patch) -> Option<Vec<Specification>> {
-        let bytes = self
-            .store
-            .get(KIND_SPECS_RAW, &Self::raw_spec_key(fp, patch))?;
-        self.decode_specs(&bytes)
+        self.get_specs(KIND_SPECS_RAW, &Self::raw_spec_key(fp, patch))
     }
 
     /// Stores inferred specs under the raw-text key.
     pub fn put_specs_raw(&self, fp: u64, patch: &Patch, specs: &[Specification]) {
-        self.store.put(
-            KIND_SPECS_RAW,
-            Self::raw_spec_key(fp, patch),
-            seal_spec::binary::encode_specs(specs),
-        );
+        self.put_specs(KIND_SPECS_RAW, Self::raw_spec_key(fp, patch), specs);
     }
 
     /// Looks up inferred specs by semantic unit hashes. Always a miss for
     /// a patch compiled without hashes.
     pub fn get_specs_sem(&self, fp: u64, compiled: &CompiledPatch) -> Option<Vec<Specification>> {
         let key = Self::sem_spec_key(fp, compiled)?;
-        let bytes = self.store.get(KIND_SPECS_SEM, &key)?;
-        self.decode_specs(&bytes)
+        self.get_specs(KIND_SPECS_SEM, &key)
     }
 
     /// Stores inferred specs under the semantic key (a no-op for a patch
     /// compiled without hashes).
     pub fn put_specs_sem(&self, fp: u64, compiled: &CompiledPatch, specs: &[Specification]) {
         if let Some(key) = Self::sem_spec_key(fp, compiled) {
-            self.store
-                .put(KIND_SPECS_SEM, key, seal_spec::binary::encode_specs(specs));
+            self.put_specs(KIND_SPECS_SEM, key, specs);
         }
     }
 
@@ -204,13 +263,29 @@ impl AnalysisCache {
         h.finish()
     }
 
-    /// Looks up a lowered module by `(name, raw source)`.
-    pub fn get_module(&self, name: &str, source: &str) -> Option<Module> {
-        let bytes = self
-            .store
-            .get(KIND_MODULE, &Self::module_key(name, source))?;
+    /// Looks up a lowered module by `(name, raw source)`. The `Arc` lets
+    /// a warm hit share the decoded module instead of cloning it.
+    pub fn get_module(&self, name: &str, source: &str) -> Option<Arc<Module>> {
+        let key = Self::module_key(name, source);
+        if let Some(WarmValue::Module(m)) =
+            self.warm.as_ref().and_then(|w| w.get(KIND_MODULE, &key))
+        {
+            return Some(m);
+        }
+        let bytes = self.store.get(KIND_MODULE, &key)?;
         match seal_ir::codec::decode_module(&bytes) {
-            Ok(m) => Some(m),
+            Ok(m) => {
+                let m = Arc::new(m);
+                if let Some(warm) = &self.warm {
+                    warm.put(
+                        KIND_MODULE,
+                        key,
+                        WarmValue::Module(m.clone()),
+                        bytes.len() as u64,
+                    );
+                }
+                Some(m)
+            }
             Err(_) => {
                 self.store.note_invalidation();
                 None
@@ -219,27 +294,76 @@ impl AnalysisCache {
     }
 
     /// Stores a lowered module under its `(name, raw source)` key.
-    pub fn put_module(&self, name: &str, source: &str, module: &Module) {
-        self.store.put(
-            KIND_MODULE,
-            Self::module_key(name, source),
-            seal_ir::codec::encode_module(module),
-        );
+    pub fn put_module(&self, name: &str, source: &str, module: &Arc<Module>) {
+        let key = Self::module_key(name, source);
+        let bytes = seal_ir::codec::encode_module(module);
+        if let Some(warm) = &self.warm {
+            warm.put(
+                KIND_MODULE,
+                key,
+                WarmValue::Module(module.clone()),
+                bytes.len() as u64,
+            );
+        }
+        self.store.put(KIND_MODULE, key, bytes);
     }
 
     // ---- detection shards ---------------------------------------------
 
     /// Raw shard-record access (the key is built by [`shard_key`]).
-    pub(crate) fn get_shard(&self, key: &ContentHash) -> Option<Vec<u8>> {
-        self.store.get(KIND_SHARD, key)
+    pub(crate) fn get_shard(&self, key: &ContentHash) -> Option<Arc<Vec<u8>>> {
+        if let Some(WarmValue::Payload(p)) = self.warm.as_ref().and_then(|w| w.get(KIND_SHARD, key))
+        {
+            return Some(p);
+        }
+        let bytes = Arc::new(self.store.get(KIND_SHARD, key)?);
+        if let Some(warm) = &self.warm {
+            warm.put(
+                KIND_SHARD,
+                *key,
+                WarmValue::Payload(bytes.clone()),
+                bytes.len() as u64,
+            );
+        }
+        Some(bytes)
     }
 
     pub(crate) fn put_shard(&self, key: ContentHash, payload: Vec<u8>) {
+        if let Some(warm) = &self.warm {
+            let cost = payload.len() as u64;
+            warm.put(
+                KIND_SHARD,
+                key,
+                WarmValue::Payload(Arc::new(payload.clone())),
+                cost,
+            );
+        }
         self.store.put(KIND_SHARD, key, payload);
     }
 
     pub(crate) fn note_invalidation(&self) {
         self.store.note_invalidation();
+    }
+
+    // ---- spec-condition snapshot (warm-only) --------------------------
+
+    /// Looks up the pre-interned spec-condition snapshot (never on disk:
+    /// a miss just rebuilds it).
+    pub(crate) fn get_snapshot(
+        &self,
+        key: &ContentHash,
+    ) -> Option<Arc<FormulaSnapshot<SpecValue>>> {
+        match self.warm.as_ref()?.get(KIND_SNAPSHOT, key)? {
+            WarmValue::Snapshot(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn put_snapshot(&self, key: ContentHash, snap: &Arc<FormulaSnapshot<SpecValue>>) {
+        if let Some(warm) = &self.warm {
+            let cost = snapshot_cost(snap.len());
+            warm.put(KIND_SNAPSHOT, key, WarmValue::Snapshot(snap.clone()), cost);
+        }
     }
 }
 

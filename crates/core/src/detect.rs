@@ -24,6 +24,7 @@ use seal_pdg::slice::{
 use seal_solver::{Formula, IncrementalTheory, SolverCache, Verdict};
 use seal_spec::{Quantifier, Relation, SpecUse, SpecValue, Specification};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Budgets and ablation switches for detection.
 #[derive(Debug, Clone, Copy)]
@@ -258,20 +259,44 @@ fn detect_inner(
     // Pre-intern every checked spec condition once, in deterministic spec
     // order, into an immutable snapshot each shard's solver cache is
     // seeded from. Shards share nothing mutable: the snapshot is read-only
-    // and each worker copies it into its own cache at shard start.
-    let spec_cond_snapshot: Option<seal_solver::FormulaSnapshot<SpecValue>> =
+    // and each worker copies it into its own cache at shard start. With a
+    // warm layer attached (`seal serve`), the snapshot is reused across
+    // requests keyed on the deduped specs' content — its node table is a
+    // pure function of those conditions in that order, so an exact-content
+    // re-request skips the rebuild entirely.
+    let build_snapshot = || {
+        seal_solver::FormulaSnapshot::build(spec_indices.iter().flat_map(|&si| {
+            specs[si]
+                .constraints
+                .iter()
+                .filter_map(|c| match &c.relation {
+                    Relation::Reach { cond, .. } => Some(cond),
+                    Relation::Order { .. } => None,
+                })
+        }))
+    };
+    let spec_cond_snapshot: Option<Arc<seal_solver::FormulaSnapshot<SpecValue>>> =
         (cfg.solver_memo && cfg.shard_local_interner).then(|| {
-            seal_solver::FormulaSnapshot::build(spec_indices.iter().flat_map(|&si| {
-                specs[si]
-                    .constraints
-                    .iter()
-                    .filter_map(|c| match &c.relation {
-                        Relation::Reach { cond, .. } => Some(cond),
-                        Relation::Order { .. } => None,
-                    })
-            }))
+            if cache.warm().is_some() {
+                let mut h = seal_store::Hasher128::new();
+                h.update_str("detect.snapshot.v1");
+                h.update_u64(spec_indices.len() as u64);
+                for &si in &spec_indices {
+                    let enc = seal_spec::binary::encode_specs(std::slice::from_ref(&specs[si]));
+                    h.update(seal_store::ContentHash::of(&enc).as_bytes());
+                }
+                let key = h.finish();
+                if let Some(s) = cache.get_snapshot(&key) {
+                    return s;
+                }
+                let s = Arc::new(build_snapshot());
+                cache.put_snapshot(key, &s);
+                s
+            } else {
+                Arc::new(build_snapshot())
+            }
         });
-    let spec_cond_snapshot = spec_cond_snapshot.as_ref();
+    let spec_cond_snapshot = spec_cond_snapshot.as_deref();
 
     // Cache-key ingredients, hashed once and shared read-only across
     // workers. The environment hash plus per-scope body hashes (instead of
@@ -324,7 +349,7 @@ fn detect_inner(
         });
         if let Some(key) = &key {
             if let Some(bytes) = cache.get_shard(key) {
-                match decode_shard(&bytes, &shard.items) {
+                match decode_shard(&bytes[..], &shard.items) {
                     Some(o) => return Ok(o),
                     // Undecodable or mis-shaped payload: degrade to a
                     // recompute, exactly like on-disk corruption.

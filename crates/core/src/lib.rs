@@ -40,6 +40,7 @@ pub mod extract;
 pub mod patch;
 pub mod report;
 pub mod roles;
+pub mod warm;
 
 pub use batch::infer_batch;
 pub use cache::AnalysisCache;
@@ -51,6 +52,7 @@ pub use diff::{ChangedPaths, DiffConfig};
 pub use error::{DetectError, SealError, Stage};
 pub use patch::{CompiledPatch, Patch};
 pub use report::{BugReport, BugType};
+pub use warm::{WarmMemory, WarmStats};
 
 use seal_runtime::catch_task_panic;
 use seal_spec::Specification;

@@ -1,0 +1,299 @@
+//! In-process warm memory above the on-disk store.
+//!
+//! A long-lived analysis process (`seal serve`) re-sees the same artifacts
+//! across requests — lowered target modules, inferred spec lists, whole
+//! detection-shard results, the pre-interned spec-condition
+//! [`FormulaSnapshot`] — and paying a disk read plus a decode for each
+//! repeat visit throws away most of the warm-state win. [`WarmMemory`] is
+//! a byte-budgeted LRU holding the *decoded* artifacts behind `Arc`s, so
+//! a hit is a map lookup and a pointer bump.
+//!
+//! Keys are the exact `(kind, ContentHash)` pairs the store uses (see
+//! [`crate::cache`]), so warm entries inherit the store's correctness
+//! story wholesale: a key covers every input the artifact is a function
+//! of, and there is no "stale hit" state — only hits and recomputes.
+//!
+//! Eviction is least-recently-used under a byte budget. Costs are the
+//! encoded payload sizes (what the artifact costs in the store), with the
+//! snapshot — never persisted — charged a fixed per-node estimate; the
+//! budget therefore bounds resident warm bytes up to the constant factor
+//! between encoded and decoded sizes. An entry larger than the whole
+//! budget is refused outright rather than evicting everything else.
+//!
+//! Counters: `serve.warm_hits` / `serve.warm_misses` / `serve.evictions`
+//! in the metrics registry, non-deterministic class — concurrent shards
+//! may race a put, so arrival order (and thus eviction order) is
+//! timing-dependent even though every *served value* is content-addressed
+//! and exact.
+
+use seal_ir::module::Module;
+use seal_solver::FormulaSnapshot;
+use seal_spec::{SpecValue, Specification};
+use seal_store::ContentHash;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Default warm budget: 256 MiB.
+pub const DEFAULT_WARM_BUDGET: u64 = 256 * 1024 * 1024;
+
+/// Rough decoded size of one interned formula node (map entry, node
+/// payload, id). Only used to cost the never-persisted snapshot.
+const SNAPSHOT_NODE_COST: u64 = 96;
+
+/// One warm artifact. Values are `Arc`s: a hit shares, never copies.
+#[derive(Clone)]
+pub enum WarmValue {
+    /// A lowered target module ([`crate::cache::KIND_MODULE`]).
+    Module(Arc<Module>),
+    /// An inferred spec list (both spec kinds).
+    Specs(Arc<Vec<Specification>>),
+    /// An encoded shard-result payload ([`crate::cache::KIND_SHARD`]).
+    Payload(Arc<Vec<u8>>),
+    /// The pre-interned spec-condition snapshot (never on disk).
+    Snapshot(Arc<FormulaSnapshot<SpecValue>>),
+}
+
+struct Entry {
+    cost: u64,
+    last_used: u64,
+    value: WarmValue,
+}
+
+struct Inner {
+    budget: u64,
+    used: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    map: HashMap<(u8, ContentHash), Entry>,
+}
+
+/// Counter snapshot of one warm layer (`seal serve`'s `stats` reply and
+/// the `seal stats` hit-rate line are rendered from this).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups that fell through (to the store or a recompute).
+    pub misses: u64,
+    /// Entries inserted (replacements included).
+    pub insertions: u64,
+    /// Entries evicted to stay under the budget.
+    pub evictions: u64,
+    /// Approximate bytes currently resident.
+    pub used_bytes: u64,
+    /// The configured byte budget.
+    pub budget_bytes: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl WarmStats {
+    /// Hit rate over all lookups (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The byte-budgeted LRU of decoded artifacts. Cheap to clone (shared
+/// state); all methods take `&self`.
+#[derive(Clone)]
+pub struct WarmMemory {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl std::fmt::Debug for WarmMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("WarmMemory")
+            .field("budget_bytes", &s.budget_bytes)
+            .field("used_bytes", &s.used_bytes)
+            .field("entries", &s.entries)
+            .finish()
+    }
+}
+
+impl WarmMemory {
+    /// A warm layer bounded to `budget_bytes` of (approximate) resident
+    /// artifact bytes.
+    pub fn new(budget_bytes: u64) -> WarmMemory {
+        WarmMemory {
+            inner: Arc::new(Mutex::new(Inner {
+                budget: budget_bytes,
+                used: 0,
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                insertions: 0,
+                evictions: 0,
+                map: HashMap::new(),
+            })),
+        }
+    }
+
+    /// A warm layer with the default 256 MiB budget.
+    pub fn with_default_budget() -> WarmMemory {
+        WarmMemory::new(DEFAULT_WARM_BUDGET)
+    }
+
+    /// Looks one artifact up, refreshing its recency on a hit.
+    pub fn get(&self, kind: u8, key: &ContentHash) -> Option<WarmValue> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&(kind, *key)) {
+            Some(e) => {
+                e.last_used = tick;
+                let v = e.value.clone();
+                inner.hits += 1;
+                drop(inner);
+                seal_obs::metrics::counter_add_nd("serve.warm_hits", 1);
+                Some(v)
+            }
+            None => {
+                inner.misses += 1;
+                drop(inner);
+                seal_obs::metrics::counter_add_nd("serve.warm_misses", 1);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) one artifact at the given byte cost, evicting
+    /// least-recently-used entries until the budget holds. An artifact
+    /// larger than the entire budget is not admitted.
+    pub fn put(&self, kind: u8, key: ContentHash, value: WarmValue, cost: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if cost > inner.budget {
+            return;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.insert(
+            (kind, key),
+            Entry {
+                cost,
+                last_used: tick,
+                value,
+            },
+        ) {
+            inner.used -= old.cost;
+        }
+        inner.used += cost;
+        inner.insertions += 1;
+        let mut evicted = 0u64;
+        while inner.used > inner.budget {
+            // The just-inserted entry carries the freshest tick, so it is
+            // never its own victim (cost <= budget was checked above).
+            let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, e)| e.last_used) else {
+                break;
+            };
+            if let Some(e) = inner.map.remove(&victim) {
+                inner.used -= e.cost;
+                inner.evictions += 1;
+                evicted += 1;
+            }
+        }
+        drop(inner);
+        if evicted > 0 {
+            seal_obs::metrics::counter_add_nd("serve.evictions", evicted);
+        }
+    }
+
+    /// Counter snapshot for this warm layer's lifetime.
+    pub fn stats(&self) -> WarmStats {
+        let inner = self.inner.lock().unwrap();
+        WarmStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            insertions: inner.insertions,
+            evictions: inner.evictions,
+            used_bytes: inner.used,
+            budget_bytes: inner.budget,
+            entries: inner.map.len() as u64,
+        }
+    }
+}
+
+/// Cost estimate for a snapshot of `nodes` interned formula nodes.
+pub fn snapshot_cost(nodes: usize) -> u64 {
+    (nodes as u64) * SNAPSHOT_NODE_COST
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(b: u8) -> ContentHash {
+        ContentHash([b; 16])
+    }
+
+    fn payload(n: usize) -> WarmValue {
+        WarmValue::Payload(Arc::new(vec![0u8; n]))
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_value_and_counts() {
+        let w = WarmMemory::new(1000);
+        assert!(w.get(3, &key(1)).is_none());
+        w.put(3, key(1), payload(10), 10);
+        match w.get(3, &key(1)) {
+            Some(WarmValue::Payload(p)) => assert_eq!(p.len(), 10),
+            _ => panic!("expected a payload hit"),
+        }
+        let s = w.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert_eq!((s.used_bytes, s.entries), (10, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kinds_namespace_equal_hashes() {
+        let w = WarmMemory::new(1000);
+        w.put(1, key(1), payload(1), 1);
+        assert!(w.get(2, &key(1)).is_none());
+        assert!(w.get(1, &key(1)).is_some());
+    }
+
+    #[test]
+    fn eviction_respects_the_byte_budget_in_lru_order() {
+        let w = WarmMemory::new(100);
+        w.put(3, key(1), payload(40), 40);
+        w.put(3, key(2), payload(40), 40);
+        // Touch key(1) so key(2) is the LRU victim.
+        assert!(w.get(3, &key(1)).is_some());
+        w.put(3, key(3), payload(40), 40); // 120 > 100: evict key(2)
+        assert!(w.get(3, &key(2)).is_none());
+        assert!(w.get(3, &key(1)).is_some());
+        assert!(w.get(3, &key(3)).is_some());
+        let s = w.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.used_bytes <= s.budget_bytes);
+    }
+
+    #[test]
+    fn replacement_updates_cost_instead_of_leaking_it() {
+        let w = WarmMemory::new(100);
+        w.put(3, key(1), payload(60), 60);
+        w.put(3, key(1), payload(30), 30);
+        let s = w.stats();
+        assert_eq!((s.used_bytes, s.entries, s.evictions), (30, 1, 0));
+    }
+
+    #[test]
+    fn oversized_entry_is_refused_not_thrashed() {
+        let w = WarmMemory::new(50);
+        w.put(3, key(1), payload(20), 20);
+        w.put(3, key(2), payload(200), 200); // larger than the whole budget
+        assert!(w.get(3, &key(2)).is_none());
+        assert!(w.get(3, &key(1)).is_some(), "resident entries survive");
+        assert_eq!(w.stats().evictions, 0);
+    }
+}

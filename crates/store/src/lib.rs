@@ -156,8 +156,10 @@ pub struct Store {
     /// Validated byte image of the file (header included).
     data: Vec<u8>,
     /// Length of the valid prefix on disk; anything past it is corrupt and
-    /// will be truncated away by the next flush.
-    valid_len: u64,
+    /// will be truncated away by the next flush. Atomic because
+    /// [`Store::flush_atomic`] rewrites the file wholesale and must move
+    /// this watermark without exclusive access to the store.
+    valid_len: AtomicU64,
     /// `(kind, key)` → payload `(offset, len)` into `data`. Later records
     /// win, so re-putting a key is an update.
     index: HashMap<(u8, ContentHash), (usize, usize)>,
@@ -188,7 +190,7 @@ impl Store {
             mode: CacheMode::Off,
             path: None,
             data: Vec::new(),
-            valid_len: 0,
+            valid_len: AtomicU64::new(0),
             index: HashMap::new(),
             pending: Mutex::new(HashMap::new()),
             written: Mutex::new(HashMap::new()),
@@ -279,7 +281,7 @@ impl Store {
                 .insert((kind, ContentHash(key)), (payload_at, len));
             pos = payload_at + len;
         }
-        self.valid_len = pos as u64;
+        self.valid_len.store(pos as u64, Ordering::Relaxed);
         self.data = raw;
     }
 
@@ -383,27 +385,99 @@ impl Store {
             path: path.display().to_string(),
             message: format!("cannot write store file: {e}"),
         };
-        if self.valid_len < HEADER_LEN as u64 {
+        let valid_len = self.valid_len.load(Ordering::Acquire);
+        if valid_len < HEADER_LEN as u64 {
             // Fresh file (or one whose header was unusable): rewrite.
             let mut bytes = Vec::with_capacity(HEADER_LEN + records.len());
             bytes.extend_from_slice(&MAGIC);
             bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
             bytes.extend_from_slice(&0u32.to_le_bytes());
             bytes.extend_from_slice(&records);
+            let new_len = bytes.len() as u64;
             std::fs::write(path, bytes).map_err(io_err)?;
+            self.valid_len.store(new_len, Ordering::Release);
         } else {
             let mut f = std::fs::OpenOptions::new()
                 .write(true)
                 .open(path)
                 .map_err(io_err)?;
             // Drop the corrupt tail (if any) before appending.
-            f.set_len(self.valid_len).map_err(io_err)?;
-            f.seek(SeekFrom::Start(self.valid_len)).map_err(io_err)?;
+            f.set_len(valid_len).map_err(io_err)?;
+            f.seek(SeekFrom::Start(valid_len)).map_err(io_err)?;
             f.write_all(&records).map_err(io_err)?;
+            self.valid_len
+                .store(valid_len + records.len() as u64, Ordering::Release);
         }
 
         let mut written = self.written.lock().unwrap();
         for (k, payload) in entries {
+            written.insert(k, payload);
+        }
+        Ok(())
+    }
+
+    /// Rewrites the *entire* store — on-disk records, previously flushed
+    /// puts, and everything pending — into a fresh file image and installs
+    /// it with a temp-file + `rename`, so a crash mid-write leaves either
+    /// the old complete file or the new complete file, never a torn one.
+    /// Records are sorted by `(kind, key)` with later puts winning, so the
+    /// resulting bytes are deterministic. This is the daemon's shutdown
+    /// path (`seal serve` on EOF or `{"cmd":"shutdown"}`); the incremental
+    /// [`Store::flush`] remains the cheap per-command path.
+    pub fn flush_atomic(&self) -> Result<(), StoreError> {
+        if !self.mode.writes() {
+            return Ok(());
+        }
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let io_err = |e: std::io::Error| StoreError {
+            path: path.display().to_string(),
+            message: format!("cannot write store file: {e}"),
+        };
+        // Holding the pending lock across the whole rewrite serializes
+        // against a concurrent `flush`/`flush_atomic`, which would
+        // otherwise race on the file and the `valid_len` watermark.
+        let mut pending = self.pending.lock().unwrap();
+        let mut merged: HashMap<(u8, ContentHash), Vec<u8>> = HashMap::new();
+        for (&k, &(off, len)) in &self.index {
+            merged.insert(k, self.data[off..off + len].to_vec());
+        }
+        {
+            let written = self.written.lock().unwrap();
+            for (k, payload) in written.iter() {
+                merged.insert(*k, payload.as_ref().clone());
+            }
+        }
+        let drained: Vec<_> = pending.drain().collect();
+        for (k, payload) in &drained {
+            merged.insert(*k, payload.as_ref().clone());
+        }
+        let mut entries: Vec<_> = merged.into_iter().collect();
+        entries.sort_by_key(|&((kind, key), _)| (kind, key));
+
+        let mut bytes = Vec::with_capacity(HEADER_LEN);
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        for ((kind, key), payload) in &entries {
+            bytes.push(*kind);
+            bytes.extend_from_slice(key.as_bytes());
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&fnv64(payload).to_le_bytes());
+            bytes.extend_from_slice(payload);
+        }
+        let new_len = bytes.len() as u64;
+        let tmp = path.with_extension("bin.tmp");
+        std::fs::write(&tmp, &bytes).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)?;
+        // The in-memory index still points into the old image (same
+        // payloads, possibly different file offsets); only the watermark
+        // moves, so a later incremental flush appends at the right place.
+        self.valid_len.store(new_len, Ordering::Release);
+
+        let mut written = self.written.lock().unwrap();
+        for (k, payload) in drained {
             written.insert(k, payload);
         }
         Ok(())
@@ -589,6 +663,68 @@ mod tests {
         assert_eq!(once, std::fs::read(dir2.join(STORE_FILE)).unwrap());
         std::fs::remove_dir_all(&dir).unwrap();
         std::fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn flush_atomic_round_trips_and_composes_with_flush() {
+        let dir = tmpdir("atomic");
+        let s = Store::open(&dir, CacheMode::ReadWrite).unwrap();
+        s.put(1, key(1), b"alpha".to_vec());
+        s.flush().unwrap(); // one incremental append first
+        s.put(1, key(2), b"beta".to_vec());
+        s.flush_atomic().unwrap();
+        // No temp file left behind; both records survive a reopen.
+        assert!(!dir.join("seal-store.v1.bin.tmp").exists());
+        let s2 = Store::open(&dir, CacheMode::ReadOnly).unwrap();
+        assert_eq!(s2.stats().invalidations, 0);
+        assert_eq!(s2.get(1, &key(1)).unwrap(), b"alpha");
+        assert_eq!(s2.get(1, &key(2)).unwrap(), b"beta");
+
+        // An incremental flush *after* the rewrite must append past the
+        // new image, not truncate it back to the pre-rewrite watermark.
+        s.put(1, key(3), b"gamma".to_vec());
+        s.flush().unwrap();
+        let s3 = Store::open(&dir, CacheMode::ReadOnly).unwrap();
+        assert_eq!(s3.stats().invalidations, 0);
+        assert_eq!(s3.stats().disk_entries, 3);
+        assert_eq!(s3.get(1, &key(3)).unwrap(), b"gamma");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flush_atomic_is_deterministic_and_idempotent() {
+        let dir = tmpdir("atomic-det");
+        let s = Store::open(&dir, CacheMode::ReadWrite).unwrap();
+        s.put(3, key(9), b"z".to_vec());
+        s.put(1, key(1), b"a".to_vec());
+        s.flush_atomic().unwrap();
+        let once = std::fs::read(dir.join(STORE_FILE)).unwrap();
+        s.flush_atomic().unwrap(); // nothing new: byte-identical image
+        assert_eq!(once, std::fs::read(dir.join(STORE_FILE)).unwrap());
+
+        let dir2 = tmpdir("atomic-det2");
+        let s2 = Store::open(&dir2, CacheMode::ReadWrite).unwrap();
+        s2.put(1, key(1), b"a".to_vec());
+        s2.put(3, key(9), b"z".to_vec());
+        s2.flush_atomic().unwrap();
+        assert_eq!(once, std::fs::read(dir2.join(STORE_FILE)).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn two_incremental_flushes_keep_earlier_appends() {
+        let dir = tmpdir("twoflush");
+        let s = Store::open(&dir, CacheMode::ReadWrite).unwrap();
+        s.put(1, key(1), b"first".to_vec());
+        s.flush().unwrap();
+        s.put(1, key(2), b"second".to_vec());
+        s.flush().unwrap();
+        let s2 = Store::open(&dir, CacheMode::ReadOnly).unwrap();
+        assert_eq!(s2.stats().disk_entries, 2);
+        assert_eq!(s2.get(1, &key(1)).unwrap(), b"first");
+        assert_eq!(s2.get(1, &key(2)).unwrap(), b"second");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -10,7 +10,10 @@
 #     BENCH_pipeline.json (plus a 2 ms absolute allowance so sub-ms
 #     timing noise cannot flake the gate), or
 #   * the fresh file carries a `cache` section whose cold/warm/uncached
-#     outputs differ, or whose warm run is less than 2x faster than cold.
+#     outputs differ, or whose warm run is less than 2x faster than cold, or
+#   * the fresh file carries a `serve` section whose daemon outputs differ
+#     from the solo CLI, or whose warm daemon request is less than 5x
+#     faster than the cold CLI (per-item median).
 #
 # Older committed reference files may predate the `matrix` or `cache`
 # sections (or individual phases inside a row); every lookup degrades to
@@ -118,10 +121,27 @@ if cache is not None:
         if row.get("row") == "warm" and row.get("misses", 0) != 0:
             failures.append(f"cache: warm run missed {row['misses']} artifacts")
 
+# Serve gate: like the cache gate, only the fresh file is checked (pre-serve
+# reference files simply lack the section).
+serve = new.get("serve")
+if serve is not None:
+    if not serve.get("identical_outputs", False):
+        failures.append("serve: daemon outputs differ from the solo CLI")
+    speedup = serve.get("warm_speedup_vs_cold_cli")
+    if speedup is not None and speedup < 5.0:
+        failures.append(f"serve: warm speedup {speedup} < 5.0x over the cold CLI")
+    for row in serve.get("rows", []):
+        if row.get("row") != "cold_cli" and "rss_peak_kb" not in row:
+            failures.append(f"serve: row {row.get('row')} carries no rss_peak_kb")
+
 if failures:
     for f in failures:
         print(f"bench_check: {f}", file=sys.stderr)
     sys.exit(1)
-cache_note = " + cache section" if cache is not None else ""
-print(f"bench_check: ok ({len(new_rows)} matrix rows within bounds{cache_note})")
+notes = ""
+if cache is not None:
+    notes += " + cache section"
+if serve is not None:
+    notes += " + serve section"
+print(f"bench_check: ok ({len(new_rows)} matrix rows within bounds{notes})")
 EOF

@@ -178,3 +178,40 @@ for CORRUPT in truncate scribble; do
 done
 rm -rf "$CACHE_DIR"
 echo "cache-corruption smoke: ok (truncated + scribbled store both recompute)"
+
+# Serve smoke: a three-item batch with one poisoned item through the
+# daemon. Contract: one response line per item, per-item statuses (two ok,
+# one failed), exit code 2 (partial), no panic backtrace — and a separate
+# ping+shutdown session exits 0.
+SERVE_DIR=$(mktemp -d)
+set +e
+printf '%s\n' \
+    '{"cmd":"batch","items":[{"cmd":"hunt","pre":"tests/data/npd-check.pre.c","post":"tests/data/npd-check.post.c","target":"tests/data/target.c"},{"cmd":"hunt","pre":"tests/data/uaf-order.pre.c","post":"tests/data/uaf-order.post.c","target":"tests/data/target.c"},{"cmd":"detect","target":"tests/data/target.c","specs":"/nonexistent/specs.txt"}]}' \
+    | "$SEAL" serve >"$SERVE_DIR/out.jsonl" 2>"$SERVE_DIR/err.log"
+CODE=$?
+set -e
+if [ "$CODE" != 2 ]; then
+    echo "serve smoke: expected exit 2 (one poisoned item), got $CODE" >&2
+    cat "$SERVE_DIR/err.log" >&2
+    exit 1
+fi
+if grep -q "panicked at" "$SERVE_DIR/err.log"; then
+    echo "serve smoke: panic escaped to stderr" >&2
+    cat "$SERVE_DIR/err.log" >&2
+    exit 1
+fi
+SEQ_LINES=$(grep -c '"seq"' "$SERVE_DIR/out.jsonl")
+OK_LINES=$(grep -c '"ok":true' "$SERVE_DIR/out.jsonl")
+FAIL_LINES=$(grep -c '"ok":false' "$SERVE_DIR/out.jsonl")
+if [ "$SEQ_LINES" != 3 ] || [ "$OK_LINES" != 2 ] || [ "$FAIL_LINES" != 1 ]; then
+    echo "serve smoke: expected 3 responses (2 ok, 1 failed); got $SEQ_LINES/$OK_LINES/$FAIL_LINES" >&2
+    cat "$SERVE_DIR/out.jsonl" >&2
+    exit 1
+fi
+printf '{"cmd":"ping"}\n{"cmd":"shutdown"}\n' | "$SEAL" serve >"$SERVE_DIR/clean.jsonl"
+if ! grep -q '"shutdown":true' "$SERVE_DIR/clean.jsonl"; then
+    echo "serve smoke: shutdown was not acknowledged" >&2
+    exit 1
+fi
+rm -rf "$SERVE_DIR"
+echo "serve smoke: ok (3 per-item responses, clean shutdown)"

@@ -5,6 +5,10 @@
 //! for the architecture overview and `DESIGN.md` for the substrate
 //! inventory and experiment index.
 
+pub mod json;
+pub mod request;
+pub mod serve;
+
 pub use seal_baselines as baselines;
 pub use seal_core as core;
 pub use seal_corpus as corpus;

@@ -15,10 +15,10 @@
 //! stderr and reflected in the exit code — `0` all items succeeded, `1`
 //! usage or fatal error, `2` completed but some items failed.
 
-use seal::core::{AnalysisCache, Patch, Seal};
+use seal::core::AnalysisCache;
+use seal::request::{run_request, ItemFailure, RequestKind, RunCtx, RunResult};
 use seal_spec::merge::merge_specs;
 use seal_spec::parse::{parse_lines, to_line};
-use seal_spec::Specification;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -27,26 +27,6 @@ use std::process::ExitCode;
 enum Outcome {
     Full,
     Partial,
-}
-
-/// One failed batch item, for the stderr summary.
-struct ItemFailure {
-    /// Item identity: a patch id, a file path, or a shard scope.
-    id: String,
-    /// Pipeline stage the failure is attributed to.
-    stage: String,
-    /// Human-readable cause.
-    message: String,
-}
-
-impl ItemFailure {
-    fn of(id: &str, e: &seal::core::SealError) -> ItemFailure {
-        ItemFailure {
-            id: id.to_string(),
-            stage: e.stage().to_string(),
-            message: e.to_string(),
-        }
-    }
 }
 
 /// Prints the per-item failure summary (nothing when all items passed).
@@ -129,11 +109,48 @@ fn run(args: &[String]) -> Result<Outcome, Fatal> {
             }
             out.map_err(Fatal::from)
         }
+        "serve" => {
+            let cache = open_cache(&opts).map_err(Fatal::from)?;
+            let obs = ObsRun::start(&opts)?;
+            let budget = warm_budget(&opts).map_err(Fatal::from)?;
+            let cache = cache.with_warm(seal::core::WarmMemory::new(budget));
+            let sopts = seal::serve::ServeOptions {
+                listen: opts.get("listen").cloned(),
+                jobs: jobs(&opts).map_err(Fatal::from)?,
+            };
+            let out = seal::serve::serve(&cache, &sopts);
+            match &out {
+                Ok(_) => obs.finish()?,
+                Err(_) => obs.abort(),
+            }
+            match out {
+                Ok(true) => Ok(Outcome::Full),
+                Ok(false) => Ok(Outcome::Partial),
+                Err(e) => Err(Fatal::from(e)),
+            }
+        }
         "merge" => merge(&opts).map_err(Fatal::from),
         "gen-corpus" => gen_corpus(&opts).map_err(Fatal::from),
         "mutate" => mutate(&opts).map_err(Fatal::from),
         "stats" => stats(&opts).map_err(Fatal::from),
         other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
+    }
+}
+
+/// The warm-memory byte budget for `seal serve`: `SEAL_WARM_BYTES`
+/// (exact bytes, test hook) wins over `--warm-mb` (default 256 MiB).
+fn warm_budget(opts: &HashMap<String, String>) -> Result<u64, String> {
+    if let Ok(v) = std::env::var("SEAL_WARM_BYTES") {
+        return v
+            .parse()
+            .map_err(|_| format!("SEAL_WARM_BYTES must be a byte count, got `{v}`"));
+    }
+    match opts.get("warm-mb") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(mb) if mb >= 1 => Ok(mb * 1024 * 1024),
+            _ => Err(format!("--warm-mb must be a positive integer, got `{v}`")),
+        },
+        None => Ok(seal::core::warm::DEFAULT_WARM_BUDGET),
     }
 }
 
@@ -172,6 +189,15 @@ fn known_flags(cmd: &str) -> Option<&'static [&'static str]> {
             "metrics",
             "cache-dir",
             "cache",
+        ],
+        "serve" => &[
+            "listen",
+            "jobs",
+            "trace",
+            "metrics",
+            "cache-dir",
+            "cache",
+            "warm-mb",
         ],
         "merge" => &["specs", "out"],
         "gen-corpus" => &["dir", "seed", "drivers"],
@@ -345,6 +371,25 @@ fn stats(opts: &HashMap<String, String>) -> Result<Outcome, String> {
             };
             println!("{:<40} {:>8} {:>5} {:>16}", name, kind, m.det, value);
         }
+        // Derived daemon hit rates: how often `seal serve` answered from
+        // its in-process warm layer instead of the store or a recompute.
+        let counter = |name: &str| match snap.metrics.get(name) {
+            Some(seal_obs::metrics::Metric {
+                value: seal_obs::metrics::MetricValue::Counter(c),
+                ..
+            }) => *c,
+            _ => 0,
+        };
+        let (wh, wm) = (counter("serve.warm_hits"), counter("serve.warm_misses"));
+        if wh + wm > 0 {
+            println!();
+            println!(
+                "serve warm hit rate: {:.1}% ({wh} hits / {} lookups, {} evictions)",
+                100.0 * wh as f64 / (wh + wm) as f64,
+                wh + wm,
+                counter("serve.evictions")
+            );
+        }
     }
 
     // With `--cache-dir`, summarize the on-disk artifact store (the
@@ -373,7 +418,16 @@ fn usage() -> String {
      seal merge  --specs <file,file,...> --out <specs-file>\n  \
      seal gen-corpus --dir <dir> [--seed <n>] [--drivers <n>]\n  \
      seal mutate --src <file,...> --out <dir> [--n <k>] [--seed <n>]\n  \
+     seal serve  [--listen <socket>] [--jobs <n>] [--warm-mb <mb>]\n  \
      seal stats  [--trace <trace-file>] [--metrics <metrics-file>] [--cache-dir <dir>]\n\
+     \n\
+     serve reads JSONL requests from stdin (or a --listen Unix socket) and\n\
+     answers one JSON line per item, keeping analysis state warm across\n\
+     requests: {\"cmd\":\"hunt\",\"pre\":[...],\"post\":[...],\"target\":[...]},\n\
+     {\"cmd\":\"batch\",\"items\":[...]}, plus ping/stats/shutdown. Item outputs\n\
+     are byte-identical to solo CLI runs; a malformed line answers an error\n\
+     and the daemon keeps serving. --warm-mb bounds the in-process warm\n\
+     memory (default 256 MiB, LRU-evicted).\n\
      \n\
      infer/detect/hunt accept [--cache-dir <dir>] [--cache off|ro|rw] (or\n\
      SEAL_CACHE_DIR / SEAL_CACHE) to reuse per-function artifacts across\n\
@@ -475,13 +529,6 @@ fn parse_opts(args: &[String], known: &[&str]) -> Result<HashMap<String, String>
     Ok(opts)
 }
 
-fn read(opts: &HashMap<String, String>, key: &str) -> Result<String, String> {
-    let path = opts
-        .get(key)
-        .ok_or_else(|| format!("missing --{key}\n{}", usage()))?;
-    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
-}
-
 fn read_file(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
@@ -499,91 +546,53 @@ fn list(opts: &HashMap<String, String>, key: &str) -> Result<Vec<String>, String
     Ok(items)
 }
 
-/// Infers specifications for every `(pre, post)` pair, isolating failures
-/// per patch: survivors come back alongside the failure summary instead of
-/// the first bad patch aborting the batch.
-fn infer_specs(
-    opts: &HashMap<String, String>,
-    cache: &AnalysisCache,
-) -> Result<(Vec<Specification>, Vec<ItemFailure>), String> {
-    let pre_paths = list(opts, "pre")?;
-    let post_paths = list(opts, "post")?;
-    if pre_paths.len() != post_paths.len() {
-        return Err(format!(
-            "--pre lists {} file(s) but --post lists {}",
-            pre_paths.len(),
-            post_paths.len()
-        ));
-    }
-    let id = opts
-        .get("id")
-        .cloned()
-        .unwrap_or_else(|| "patch".to_string());
-    let mut patches = Vec::new();
-    let mut failures = Vec::new();
-    for (i, (pre_path, post_path)) in pre_paths.iter().zip(&post_paths).enumerate() {
-        let patch_id = if pre_paths.len() == 1 {
-            id.clone()
-        } else {
-            format!("{id}-{}", i + 1)
-        };
-        // An unreadable file fails its own item, not the batch.
-        match (read_file(pre_path), read_file(post_path)) {
-            (Ok(pre), Ok(post)) => patches.push(Patch::new(patch_id, pre, post)),
-            (Err(e), _) | (_, Err(e)) => failures.push(ItemFailure {
-                id: patch_id,
-                stage: "input".to_string(),
-                message: e,
-            }),
-        }
-    }
-
-    // Fault-isolated batch: each patch gets a result slot, survivors are
-    // byte-identical to running alone, and the merge in patch-index order
-    // keeps the output independent of the worker count.
-    let seal = Seal {
+/// The execution context shared by the analysis commands: the cache
+/// handle plus the validated worker count.
+fn run_ctx(opts: &HashMap<String, String>, cache: &AnalysisCache) -> Result<RunCtx, String> {
+    Ok(RunCtx {
         cache: cache.clone(),
-        ..Seal::default()
-    };
-    let _span = seal_obs::span!("cli.infer", patches = patches.len());
-    let results = seal::core::infer_batch(&seal, &patches, jobs(opts)?);
-    let mut specs = Vec::new();
-    for (patch, result) in patches.iter().zip(results) {
-        match result {
-            Ok(s) => specs.extend(s),
-            Err(e) => failures.push(ItemFailure::of(&patch.id, &e)),
-        }
-    }
-    Ok((specs, failures))
+        jobs: jobs(opts)?,
+    })
 }
 
-fn infer(opts: &HashMap<String, String>, cache: &AnalysisCache) -> Result<Outcome, String> {
-    let (specs, failures) = infer_specs(opts, cache)?;
-    let specs = merge_specs(specs);
-    let lines: Vec<String> = specs.iter().map(to_line).collect();
-    match opts.get("out") {
-        Some(path) => {
-            let mut text = String::from("# SEAL specification dataset\n");
-            text.push_str(&lines.join("\n"));
-            text.push('\n');
-            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
-            eprintln!("wrote {} specification(s) to {path}", lines.len());
-        }
-        None => {
-            for l in &lines {
-                println!("{l}");
-            }
-        }
+/// Prints one completed request the way the CLI always has: stdout bytes
+/// verbatim, then the informational notes and the per-item failure
+/// summary on stderr.
+fn finish_result(result: RunResult) -> Result<Outcome, String> {
+    print!("{}", result.stdout);
+    for n in &result.notes {
+        eprintln!("{n}");
     }
-    if specs.is_empty() && failures.is_empty() {
-        eprintln!("note: zero relations inferred (the change touches no interaction data)");
-    }
-    report_failures(&failures);
-    Ok(if failures.is_empty() {
+    report_failures(&result.failures);
+    Ok(if result.failures.is_empty() {
         Outcome::Full
     } else {
         Outcome::Partial
     })
+}
+
+fn infer(opts: &HashMap<String, String>, cache: &AnalysisCache) -> Result<Outcome, String> {
+    let kind = RequestKind::Infer {
+        pre: list(opts, "pre")?,
+        post: list(opts, "post")?,
+        id: opts
+            .get("id")
+            .cloned()
+            .unwrap_or_else(|| "patch".to_string()),
+    };
+    let mut result = run_request(&run_ctx(opts, cache)?, &kind)?;
+    if let Some(path) = opts.get("out") {
+        let mut text = String::from("# SEAL specification dataset\n");
+        text.push_str(&result.spec_lines.join("\n"));
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!(
+            "wrote {} specification(s) to {path}",
+            result.spec_lines.len()
+        );
+        result.stdout.clear(); // the dataset went to the file, not stdout
+    }
+    finish_result(result)
 }
 
 /// Merges one or more spec datasets (deduplicating and disjoining same-
@@ -696,96 +705,28 @@ fn mutate(opts: &HashMap<String, String>) -> Result<Outcome, String> {
 }
 
 fn detect(opts: &HashMap<String, String>, cache: &AnalysisCache) -> Result<Outcome, String> {
-    let jobs = jobs(opts)?;
-    let specs_text = read(opts, "specs")?;
-    let specs =
-        parse_lines(&specs_text).map_err(|e| format!("malformed spec file --specs: {e}"))?;
-    detect_with(opts, cache, &specs, jobs, Vec::new())
+    let kind = RequestKind::Detect {
+        target: list(opts, "target")?,
+        specs: opts
+            .get("specs")
+            .cloned()
+            .ok_or_else(|| format!("missing --specs\n{}", usage()))?,
+    };
+    finish_result(run_request(&run_ctx(opts, cache)?, &kind)?)
 }
 
 fn infer_and_detect(
     opts: &HashMap<String, String>,
     cache: &AnalysisCache,
 ) -> Result<Outcome, String> {
-    let jobs = jobs(opts)?;
-    let (specs, failures) = infer_specs(opts, cache)?;
-    eprintln!("inferred {} specification(s)", specs.len());
-    for s in &specs {
-        eprintln!("  {s}");
-    }
-    detect_with(opts, cache, &specs, jobs, failures)
-}
-
-fn detect_with(
-    opts: &HashMap<String, String>,
-    cache: &AnalysisCache,
-    specs: &[Specification],
-    jobs: usize,
-    mut failures: Vec<ItemFailure>,
-) -> Result<Outcome, String> {
-    // `--target` accepts a comma-separated file list; the files are linked
-    // into one module (the §7 linking step). The target is the shared
-    // substrate of every check, so a broken target is fatal, not partial.
-    let paths = list(opts, "target")?;
-    let mut sources = Vec::new();
-    for path in &paths {
-        sources.push((path.clone(), read_file(path)?));
-    }
-    let borrowed: Vec<(&str, &str)> = sources
-        .iter()
-        .map(|(p, t)| (p.as_str(), t.as_str()))
-        .collect();
-    let _span = seal_obs::span!("cli.detect", targets = paths.len());
-    // Module-level cache entry: the lowered target keyed on the raw source
-    // texts, so a warm run skips the frontend and lowering entirely. Paths
-    // and texts are framed with NULs to keep the key unambiguous.
-    let (module_name, module_src) = {
-        let mut name = String::new();
-        let mut src = String::new();
-        for (p, t) in &sources {
-            name.push_str(p);
-            name.push(',');
-            src.push_str(p);
-            src.push('\0');
-            src.push_str(t);
-            src.push('\0');
-        }
-        (name, src)
+    let kind = RequestKind::Hunt {
+        pre: list(opts, "pre")?,
+        post: list(opts, "post")?,
+        id: opts
+            .get("id")
+            .cloned()
+            .unwrap_or_else(|| "patch".to_string()),
+        target: list(opts, "target")?,
     };
-    let module = match cache.get_module(&module_name, &module_src) {
-        Some(m) => m,
-        None => {
-            let tu = seal_kir::compile_many(&borrowed)
-                .map_err(|e| format!("target does not compile:\n{e}"))?;
-            let module = seal_ir::lower_checked(&tu)
-                .map_err(|e| format!("target lowers to an invalid module: {e}"))?;
-            if cache.is_enabled() {
-                cache.put_module(&module_name, &module_src, &module);
-            }
-            module
-        }
-    };
-    let seal = Seal {
-        cache: cache.clone(),
-        ..Seal::default()
-    };
-    let (reports, _, errors) =
-        seal::core::detect::detect_bugs_isolated_cached(&module, specs, &seal.detect, jobs, cache);
-    for e in &errors {
-        failures.push(ItemFailure::of("target", e));
-    }
-    if reports.is_empty() {
-        println!("no violations found ({} specs checked)", specs.len());
-    } else {
-        println!("{} violation(s):\n", reports.len());
-        for r in &reports {
-            println!("{r}\n");
-        }
-    }
-    report_failures(&failures);
-    Ok(if failures.is_empty() {
-        Outcome::Full
-    } else {
-        Outcome::Partial
-    })
+    finish_result(run_request(&run_ctx(opts, cache)?, &kind)?)
 }

@@ -1,0 +1,532 @@
+//! `seal serve` — the warm-state analysis daemon.
+//!
+//! A long-running process accepting batches of infer/detect/hunt requests
+//! over a line-oriented JSONL protocol, on stdin/stdout or a `--listen`
+//! Unix socket. Request lines are JSON objects:
+//!
+//! ```text
+//! {"cmd":"hunt","pre":["p.pre.c"],"post":["p.post.c"],"target":["kernel.c"]}
+//! {"cmd":"batch","items":[{"cmd":"infer","pre":[…],"post":[…]}, …]}
+//! {"cmd":"ping"}   {"cmd":"stats"}   {"cmd":"shutdown"}
+//! ```
+//!
+//! and every *item* yields exactly one JSON response line:
+//!
+//! ```text
+//! {"seq":3,"item":0,"ok":true,"code":0,"output":"…","notes":[…],"failures":[]}
+//! ```
+//!
+//! `output` is byte-identical to the stdout of the equivalent solo CLI
+//! invocation — both run through [`crate::request::run_request`]. Failure
+//! semantics follow the CLI's exit-code classes: `code` 0 all items
+//! succeeded, 1 fatal (with `stage` + `error` fields), 2 completed with
+//! per-item failures (listed with their `[stage]`). A malformed or
+//! oversized request line yields a per-line `stage:"protocol"` error and
+//! the daemon keeps serving; a panic inside an item is contained by the
+//! PR-4 fence and reported the same way.
+//!
+//! What stays warm across requests: the open store handle, the
+//! [`AnalysisCache`] with its [`WarmMemory`] LRU (lowered modules, spec
+//! lists, shard results keyed by scope signature, the solver's
+//! [`FormulaSnapshot`](seal_solver::FormulaSnapshot)), and the process
+//! itself (symbol interner shards, allocator state). EOF and an explicit
+//! `shutdown` both flush the store atomically before exit.
+
+use crate::json::{escape, Json};
+use crate::request::{run_request, RequestKind, RunCtx};
+use seal_core::AnalysisCache;
+use seal_runtime::catch_task_panic;
+use std::io::{BufRead, BufReader, Write};
+
+/// Default ceiling on one request line (64 MiB). Overridable via
+/// `SEAL_SERVE_MAX_LINE` (bytes) — tests use a small value.
+const DEFAULT_MAX_LINE: usize = 64 * 1024 * 1024;
+
+/// Daemon configuration, resolved from CLI flags by `main`.
+pub struct ServeOptions {
+    /// Unix-socket path to listen on; `None` serves stdin/stdout.
+    pub listen: Option<String>,
+    /// Default worker count for items that carry no `"jobs"` field.
+    pub jobs: usize,
+}
+
+/// One daemon lifetime's mutable state.
+struct Session<'a> {
+    cache: &'a AnalysisCache,
+    default_jobs: usize,
+    /// Request-line counter (malformed lines included: their error
+    /// responses need an identity too).
+    seq: u64,
+    /// Whether any item failed (daemon exit-code class 2).
+    any_failed: bool,
+    /// Set by `{"cmd":"shutdown"}`.
+    shutdown: bool,
+}
+
+/// Runs the daemon to completion. Returns whether every served item
+/// succeeded; `Err` is the fatal class (socket bind failure, broken
+/// output stream).
+pub fn serve(cache: &AnalysisCache, opts: &ServeOptions) -> Result<bool, String> {
+    let max_line = std::env::var("SEAL_SERVE_MAX_LINE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(DEFAULT_MAX_LINE);
+    let mut session = Session {
+        cache,
+        default_jobs: opts.jobs,
+        seq: 0,
+        any_failed: false,
+        shutdown: false,
+    };
+    match &opts.listen {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_stream(&mut session, stdin.lock(), stdout.lock(), max_line)?;
+        }
+        Some(path) => serve_unix(&mut session, path, max_line)?,
+    }
+    // EOF and shutdown both land here: one atomic store flush, then exit.
+    cache
+        .store()
+        .flush_atomic()
+        .map_err(|e| format!("cannot flush cache: {e}"))?;
+    Ok(!session.any_failed)
+}
+
+#[cfg(unix)]
+fn serve_unix(session: &mut Session, path: &str, max_line: usize) -> Result<(), String> {
+    use std::os::unix::net::UnixListener;
+    // A stale socket file from a previous daemon would fail the bind.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path).map_err(|e| format!("cannot listen on {path}: {e}"))?;
+    eprintln!("seal serve: listening on {path}");
+    while !session.shutdown {
+        let (stream, _) = match listener.accept() {
+            Ok(s) => s,
+            Err(e) => return Err(format!("accept failed on {path}: {e}")),
+        };
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone socket stream: {e}"))?,
+        );
+        // A broken connection ends that connection, not the daemon.
+        let _ = serve_stream(session, reader, &stream, max_line);
+        // Persist incrementally between connections; the atomic rewrite
+        // happens once at daemon exit.
+        let _ = session.cache.flush();
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_unix(_session: &mut Session, path: &str, _max_line: usize) -> Result<(), String> {
+    Err(format!(
+        "--listen {path}: unix sockets are not supported on this platform"
+    ))
+}
+
+/// Serves one line stream until EOF or shutdown.
+fn serve_stream(
+    session: &mut Session,
+    mut reader: impl BufRead,
+    mut writer: impl Write,
+    max_line: usize,
+) -> Result<(), String> {
+    loop {
+        match read_bounded_line(&mut reader, max_line) {
+            Err(e) => return Err(format!("cannot read request line: {e}")),
+            Ok(LineRead::Eof) => return Ok(()),
+            Ok(LineRead::TooLong(len)) => {
+                session.seq += 1;
+                session.any_failed = true;
+                seal_obs::metrics::counter_add_nd("serve.requests", 1);
+                let line = protocol_error(
+                    session.seq,
+                    &format!("request line of {len} bytes exceeds the {max_line}-byte limit"),
+                );
+                write_line(&mut writer, &line)?;
+            }
+            Ok(LineRead::Line(text)) => {
+                if text.trim().is_empty() {
+                    continue;
+                }
+                session.seq += 1;
+                seal_obs::metrics::counter_add_nd("serve.requests", 1);
+                let responses = {
+                    let _span = seal_obs::span!("serve.request");
+                    handle_request(session, &text)
+                };
+                for line in &responses {
+                    write_line(&mut writer, line)?;
+                }
+                if session.shutdown {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+fn write_line(writer: &mut impl Write, line: &str) -> Result<(), String> {
+    writeln!(writer, "{line}")
+        .and_then(|_| writer.flush())
+        .map_err(|e| format!("cannot write response: {e}"))
+}
+
+/// Handles one parsed-or-not request line; returns the response lines.
+fn handle_request(session: &mut Session, text: &str) -> Vec<String> {
+    let seq = session.seq;
+    let req = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => {
+            session.any_failed = true;
+            return vec![protocol_error(seq, &format!("malformed JSON: {e}"))];
+        }
+    };
+    let Some(cmd) = req.get("cmd").and_then(Json::as_str) else {
+        session.any_failed = true;
+        return vec![protocol_error(seq, "missing string field `cmd`")];
+    };
+    match cmd {
+        "ping" => vec![format!("{{\"seq\":{seq},\"ok\":true,\"pong\":true}}")],
+        "stats" => vec![stats_line(session, seq)],
+        "shutdown" => {
+            session.shutdown = true;
+            vec![format!("{{\"seq\":{seq},\"ok\":true,\"shutdown\":true}}")]
+        }
+        "batch" => {
+            let Some(items) = req.get("items").and_then(Json::as_arr) else {
+                session.any_failed = true;
+                return vec![protocol_error(seq, "batch needs an `items` array")];
+            };
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| run_item(session, item, seq, i))
+                .collect()
+        }
+        "infer" | "detect" | "hunt" => vec![run_item(session, &req, seq, 0)],
+        other => {
+            session.any_failed = true;
+            vec![protocol_error(seq, &format!("unknown cmd `{other}`"))]
+        }
+    }
+}
+
+/// Executes one item and renders its response line. Never panics out:
+/// shape errors become `protocol` responses, fatal run errors `request`
+/// responses, and a contained panic a `panic` response.
+fn run_item(session: &mut Session, item: &Json, seq: u64, idx: usize) -> String {
+    seal_obs::metrics::counter_add_nd("serve.items", 1);
+    let kind = match parse_kind(item) {
+        Ok(k) => k,
+        Err(e) => {
+            session.any_failed = true;
+            return item_error(seq, idx, "protocol", &e);
+        }
+    };
+    let jobs = match item.get("jobs") {
+        None => session.default_jobs,
+        Some(v) => match v.as_num().filter(|n| n.fract() == 0.0 && *n >= 1.0) {
+            Some(n) if (n as usize) <= 1024 => n as usize,
+            _ => {
+                session.any_failed = true;
+                return item_error(
+                    seq,
+                    idx,
+                    "protocol",
+                    "`jobs` must be an integer in 1..=1024",
+                );
+            }
+        },
+    };
+    let ctx = RunCtx {
+        cache: session.cache.clone(),
+        jobs,
+    };
+    // Final fence: run_request is already staged-and-isolated inside, but
+    // a panic anywhere else in the request path must poison this item
+    // only, never the daemon.
+    match catch_task_panic(|| run_request(&ctx, &kind)) {
+        Ok(Ok(result)) => {
+            let code = result.code();
+            if code != 0 {
+                session.any_failed = true;
+            }
+            let mut line = format!(
+                "{{\"seq\":{seq},\"item\":{idx},\"ok\":{},\"code\":{code},\"output\":\"{}\"",
+                code == 0,
+                escape(&result.stdout)
+            );
+            if !result.notes.is_empty() {
+                line.push_str(",\"notes\":[");
+                for (i, n) in result.notes.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    line.push_str(&format!("\"{}\"", escape(n)));
+                }
+                line.push(']');
+            }
+            line.push_str(",\"failures\":[");
+            for (i, f) in result.failures.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!(
+                    "{{\"id\":\"{}\",\"stage\":\"{}\",\"message\":\"{}\"}}",
+                    escape(&f.id),
+                    escape(&f.stage),
+                    escape(&f.message)
+                ));
+            }
+            line.push_str("]}");
+            line
+        }
+        Ok(Err(fatal)) => {
+            session.any_failed = true;
+            item_error(seq, idx, "request", &fatal)
+        }
+        Err(p) => {
+            session.any_failed = true;
+            item_error(seq, idx, "panic", &p.to_string())
+        }
+    }
+}
+
+/// Normalizes one item object into a [`RequestKind`].
+fn parse_kind(item: &Json) -> Result<RequestKind, String> {
+    let cmd = item
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `cmd`")?;
+    let id = || -> Result<String, String> {
+        match item.get("id") {
+            None => Ok("patch".to_string()),
+            Some(v) => v
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "`id` must be a string".to_string()),
+        }
+    };
+    match cmd {
+        "infer" => Ok(RequestKind::Infer {
+            pre: path_list(item, "pre")?,
+            post: path_list(item, "post")?,
+            id: id()?,
+        }),
+        "detect" => Ok(RequestKind::Detect {
+            target: path_list(item, "target")?,
+            specs: item
+                .get("specs")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or("missing string field `specs`")?,
+        }),
+        "hunt" => Ok(RequestKind::Hunt {
+            pre: path_list(item, "pre")?,
+            post: path_list(item, "post")?,
+            id: id()?,
+            target: path_list(item, "target")?,
+        }),
+        other => Err(format!("unknown item cmd `{other}`")),
+    }
+}
+
+/// A file-list field: either an array of strings or one comma-separated
+/// string with the CLI's semantics (empty entries rejected).
+fn path_list(item: &Json, key: &str) -> Result<Vec<String>, String> {
+    let paths = match item.get(key) {
+        None => return Err(format!("missing field `{key}`")),
+        Some(Json::Str(s)) => s.split(',').map(str::to_string).collect::<Vec<_>>(),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("`{key}` must contain only strings"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => return Err(format!("`{key}` must be a string or an array of strings")),
+    };
+    if paths.is_empty() || paths.iter().any(|s| s.trim().is_empty()) {
+        return Err(format!("`{key}` contains an empty entry"));
+    }
+    Ok(paths)
+}
+
+fn protocol_error(seq: u64, msg: &str) -> String {
+    format!(
+        "{{\"seq\":{seq},\"ok\":false,\"code\":1,\"stage\":\"protocol\",\"error\":\"{}\"}}",
+        escape(msg)
+    )
+}
+
+fn item_error(seq: u64, idx: usize, stage: &str, msg: &str) -> String {
+    format!(
+        "{{\"seq\":{seq},\"item\":{idx},\"ok\":false,\"code\":1,\"stage\":\"{stage}\",\"error\":\"{}\"}}",
+        escape(msg)
+    )
+}
+
+/// Renders the `stats` reply: warm-layer counters, store counters, and
+/// the process's peak resident set (`VmHWM`).
+fn stats_line(session: &Session, seq: u64) -> String {
+    let mut line = format!("{{\"seq\":{seq},\"ok\":true");
+    if let Some(warm) = session.cache.warm() {
+        let w = warm.stats();
+        line.push_str(&format!(
+            ",\"warm\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\
+             \"used_bytes\":{},\"budget_bytes\":{},\"entries\":{}}}",
+            w.hits, w.misses, w.insertions, w.evictions, w.used_bytes, w.budget_bytes, w.entries
+        ));
+    }
+    let s = session.cache.stats();
+    line.push_str(&format!(
+        ",\"store\":{{\"hits\":{},\"misses\":{},\"bytes_read\":{},\"invalidations\":{},\
+         \"disk_entries\":{},\"pending_puts\":{}}}",
+        s.hits, s.misses, s.bytes_read, s.invalidations, s.disk_entries, s.pending_puts
+    ));
+    line.push_str(&format!(",\"rss_peak_kb\":{}}}", rss_peak_kb()));
+    line
+}
+
+/// Peak resident set size in KiB from `/proc/self/status` (0 when the
+/// platform has no procfs).
+pub fn rss_peak_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// One bounded line read.
+enum LineRead {
+    /// A complete line (newline stripped) within the limit.
+    Line(String),
+    /// The line exceeded `max` bytes; it was consumed (through its
+    /// newline) and discarded, so the stream is resynced. Carries the
+    /// discarded length.
+    TooLong(usize),
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, buffering at most `max` bytes. An
+/// oversized line is drained without buffering, so a hostile megabyte
+/// line costs I/O but not memory.
+fn read_bounded_line(r: &mut impl BufRead, max: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                let fits = buf.len() + i <= max;
+                if fits {
+                    buf.extend_from_slice(&chunk[..i]);
+                }
+                let total = buf.len() + if fits { 0 } else { i };
+                r.consume(i + 1);
+                return Ok(if fits {
+                    LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+                } else {
+                    LineRead::TooLong(total)
+                });
+            }
+            None => {
+                let n = chunk.len();
+                if buf.len() + n > max {
+                    // Over budget with no newline in sight: drain the rest
+                    // of the line chunk-by-chunk without keeping it.
+                    let mut total = buf.len() + n;
+                    buf.clear();
+                    r.consume(n);
+                    loop {
+                        let chunk = r.fill_buf()?;
+                        if chunk.is_empty() {
+                            return Ok(LineRead::TooLong(total));
+                        }
+                        match chunk.iter().position(|&b| b == b'\n') {
+                            Some(i) => {
+                                total += i;
+                                r.consume(i + 1);
+                                return Ok(LineRead::TooLong(total));
+                            }
+                            None => {
+                                total += chunk.len();
+                                let n = chunk.len();
+                                r.consume(n);
+                            }
+                        }
+                    }
+                }
+                buf.extend_from_slice(chunk);
+                r.consume(n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_line_reader_handles_the_edge_cases() {
+        let mut r = std::io::Cursor::new(b"short\nx".to_vec());
+        assert!(matches!(
+            read_bounded_line(&mut r, 100).unwrap(),
+            LineRead::Line(l) if l == "short"
+        ));
+        // Final line without a newline still comes back.
+        assert!(matches!(
+            read_bounded_line(&mut r, 100).unwrap(),
+            LineRead::Line(l) if l == "x"
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut r, 100).unwrap(),
+            LineRead::Eof
+        ));
+    }
+
+    #[test]
+    fn oversized_line_is_drained_and_stream_resyncs() {
+        let mut data = vec![b'a'; 1000];
+        data.push(b'\n');
+        data.extend_from_slice(b"next\n");
+        let mut r = std::io::Cursor::new(data);
+        assert!(matches!(
+            read_bounded_line(&mut r, 10).unwrap(),
+            LineRead::TooLong(1000)
+        ));
+        // The stream is positioned at the next line.
+        assert!(matches!(
+            read_bounded_line(&mut r, 10).unwrap(),
+            LineRead::Line(l) if l == "next"
+        ));
+    }
+
+    #[test]
+    fn exact_limit_line_is_accepted() {
+        let mut r = std::io::Cursor::new(b"abcde\n".to_vec());
+        assert!(matches!(
+            read_bounded_line(&mut r, 5).unwrap(),
+            LineRead::Line(l) if l == "abcde"
+        ));
+    }
+}

@@ -1,0 +1,516 @@
+//! End-to-end contract tests for `seal serve`: every item's `output` field
+//! is byte-identical to the equivalent solo CLI invocation at any worker
+//! count, the warm layer serves mutated re-requests without changing
+//! results, a corrupted store degrades to recompute, the LRU respects its
+//! byte budget, and protocol garbage never kills the daemon.
+
+use seal::json::Json;
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+fn seal_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_seal")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seal-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write(dir: &Path, name: &str, content: &str) -> PathBuf {
+    let p = dir.join(name);
+    std::fs::write(&p, content).unwrap();
+    p
+}
+
+const SHARED: &str = "
+struct riscmem { int *cpu; };
+void *dma_alloc_coherent(unsigned long size);
+struct vb2_ops { int (*buf_prepare)(struct riscmem *risc); };
+int vbi(struct riscmem *risc) {
+    risc->cpu = (int *)dma_alloc_coherent(64);
+    if (risc->cpu == NULL) return -12;
+    return 0;
+}
+";
+
+fn pre_source() -> String {
+    format!(
+        "{SHARED}int buffer_prepare(struct riscmem *r) {{ vbi(r); return 0; }}\n\
+         struct vb2_ops q = {{ .buf_prepare = buffer_prepare, }};"
+    )
+}
+
+fn post_source() -> String {
+    format!(
+        "{SHARED}int buffer_prepare(struct riscmem *r) {{ return vbi(r); }}\n\
+         struct vb2_ops q = {{ .buf_prepare = buffer_prepare, }};"
+    )
+}
+
+/// A target whose sibling ignores the `vbi` return value — the seeded
+/// violation the inferred spec flags.
+fn buggy_target() -> String {
+    format!(
+        "{SHARED}int tw68_buf_prepare(struct riscmem *r) {{ vbi(r); return 0; }}\n\
+         struct vb2_ops tw = {{ .buf_prepare = tw68_buf_prepare, }};"
+    )
+}
+
+/// One running `seal serve` child with piped stdin/stdout.
+struct Daemon {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn(args: &[&str], envs: &[(&str, &str)]) -> Daemon {
+        let mut cmd = Command::new(seal_bin());
+        cmd.arg("serve")
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        // Tests must not pick up an ambient cache directory.
+        cmd.env_remove("SEAL_CACHE_DIR");
+        let mut child = cmd.spawn().unwrap();
+        let stdin = child.stdin.take().unwrap();
+        let stdout = BufReader::new(child.stdout.take().unwrap());
+        Daemon {
+            child,
+            stdin: Some(stdin),
+            stdout,
+        }
+    }
+
+    /// Sends one request line and reads `n` response lines.
+    fn request(&mut self, line: &str, n: usize) -> Vec<Json> {
+        let stdin = self.stdin.as_mut().expect("stdin already closed");
+        writeln!(stdin, "{line}").unwrap();
+        stdin.flush().unwrap();
+        (0..n).map(|_| self.read_line()).collect()
+    }
+
+    fn read_line(&mut self) -> Json {
+        let mut buf = String::new();
+        let n = self.stdout.read_line(&mut buf).unwrap();
+        assert!(n > 0, "daemon closed its stdout early");
+        Json::parse(buf.trim_end()).unwrap_or_else(|e| panic!("bad response `{buf}`: {e}"))
+    }
+
+    fn stats(&mut self) -> Json {
+        self.request(r#"{"cmd":"stats"}"#, 1).remove(0)
+    }
+
+    /// Sends `shutdown`, waits for the ack, and returns the exit code.
+    fn shutdown(mut self) -> i32 {
+        let ack = self.request(r#"{"cmd":"shutdown"}"#, 1).remove(0);
+        assert_eq!(ack.get("shutdown"), Some(&Json::Bool(true)));
+        drop(self.stdin.take());
+        self.child.wait().unwrap().code().unwrap()
+    }
+
+    /// Closes stdin (EOF) without a shutdown command and waits for exit.
+    fn close_stdin_and_wait(mut self) -> i32 {
+        drop(self.stdin.take());
+        self.child.wait().unwrap().code().unwrap()
+    }
+}
+
+fn num(v: &Json, key: &str) -> f64 {
+    v.get(key)
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("missing number `{key}` in {v:?}"))
+}
+
+fn output(v: &Json) -> &str {
+    v.get("output")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("missing `output` in {v:?}"))
+}
+
+fn assert_ok_item(v: &Json) {
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "item failed: {v:?}");
+    assert_eq!(num(v, "code"), 0.0);
+}
+
+/// Runs the solo CLI and returns its stdout (asserting success).
+fn cli_stdout(args: &[&str]) -> String {
+    let out = Command::new(seal_bin())
+        .args(args)
+        .env_remove("SEAL_CACHE_DIR")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "cli {:?} failed: {}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+/// An interleaved infer/detect/hunt batch produces, for every item and at
+/// every worker count, the exact stdout bytes of the equivalent solo CLI
+/// invocation — including across re-requests that hit the warm layer.
+#[test]
+fn batch_items_are_byte_identical_to_solo_cli_across_jobs() {
+    let dir = temp_dir("identity");
+    let pre = write(&dir, "pre.c", &pre_source());
+    let post = write(&dir, "post.c", &post_source());
+    let target = write(&dir, "kernel.c", &buggy_target());
+    let specs = dir.join("specs.txt");
+    cli_stdout(&[
+        "infer",
+        "--pre",
+        pre.to_str().unwrap(),
+        "--post",
+        post.to_str().unwrap(),
+        "--out",
+        specs.to_str().unwrap(),
+    ]);
+
+    let mut daemon = Daemon::spawn(&[], &[]);
+    for jobs in ["1", "4"] {
+        let infer_ref = cli_stdout(&[
+            "infer",
+            "--pre",
+            pre.to_str().unwrap(),
+            "--post",
+            post.to_str().unwrap(),
+            "--jobs",
+            jobs,
+        ]);
+        let detect_ref = cli_stdout(&[
+            "detect",
+            "--target",
+            target.to_str().unwrap(),
+            "--specs",
+            specs.to_str().unwrap(),
+            "--jobs",
+            jobs,
+        ]);
+        let hunt_ref = cli_stdout(&[
+            "hunt",
+            "--pre",
+            pre.to_str().unwrap(),
+            "--post",
+            post.to_str().unwrap(),
+            "--target",
+            target.to_str().unwrap(),
+            "--jobs",
+            jobs,
+        ]);
+        assert!(detect_ref.contains("violation"), "target should be flagged");
+
+        let batch = format!(
+            r#"{{"cmd":"batch","items":[
+                {{"cmd":"infer","pre":"{pre}","post":"{post}","jobs":{jobs}}},
+                {{"cmd":"detect","target":"{target}","specs":"{specs}","jobs":{jobs}}},
+                {{"cmd":"hunt","pre":"{pre}","post":"{post}","target":"{target}","jobs":{jobs}}}
+            ]}}"#,
+            pre = pre.display(),
+            post = post.display(),
+            target = target.display(),
+            specs = specs.display(),
+        )
+        .replace('\n', " ");
+        let responses = daemon.request(&batch, 3);
+        for (i, r) in responses.iter().enumerate() {
+            assert_ok_item(r);
+            assert_eq!(num(r, "item"), i as f64);
+        }
+        assert_eq!(output(&responses[0]), infer_ref, "infer at jobs={jobs}");
+        assert_eq!(output(&responses[1]), detect_ref, "detect at jobs={jobs}");
+        assert_eq!(output(&responses[2]), hunt_ref, "hunt at jobs={jobs}");
+    }
+    assert_eq!(daemon.shutdown(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Re-requesting a batch after mutating a fraction of the patches must be
+/// served from the warm layer (hits strictly increase) and still match the
+/// solo CLI on the mutated inputs byte for byte.
+#[test]
+fn mutated_rerequest_hits_warm_layer_and_matches_cli() {
+    let dir = temp_dir("warm");
+    let target = write(&dir, "kernel.c", &buggy_target());
+    let mut patches = Vec::new();
+    for i in 0..3 {
+        // Distinct ids keep the three patch pairs from collapsing into one
+        // warm entry.
+        let pre = write(
+            &dir,
+            &format!("p{i}.pre.c"),
+            &format!("{}\nint pad_{i}(int x) {{ return x; }}\n", pre_source()),
+        );
+        let post = write(
+            &dir,
+            &format!("p{i}.post.c"),
+            &format!("{}\nint pad_{i}(int x) {{ return x; }}\n", post_source()),
+        );
+        patches.push((pre, post));
+    }
+    let batch = |patches: &[(PathBuf, PathBuf)]| {
+        let items: Vec<String> = patches
+            .iter()
+            .map(|(pre, post)| {
+                format!(
+                    r#"{{"cmd":"hunt","pre":"{}","post":"{}","target":"{}","jobs":1}}"#,
+                    pre.display(),
+                    post.display(),
+                    target.display()
+                )
+            })
+            .collect();
+        format!(r#"{{"cmd":"batch","items":[{}]}}"#, items.join(","))
+    };
+
+    let mut daemon = Daemon::spawn(&[], &[]);
+    let first = daemon.request(&batch(&patches), 3);
+    for r in &first {
+        assert_ok_item(r);
+    }
+    let s1 = daemon.stats();
+    let h1 = num(s1.get("warm").unwrap(), "hits");
+    assert!(
+        num(s1.get("warm").unwrap(), "insertions") > 0.0,
+        "first batch inserted nothing into the warm layer"
+    );
+
+    // Mutate one of the three patch pairs (append a no-op function to both
+    // sides, so the diff — and the inferred specs — stay the same).
+    let (pre, post) = &patches[0];
+    for p in [pre, post] {
+        let mut text = std::fs::read_to_string(p).unwrap();
+        text.push_str("\nint seal_mut_pad(int x) { return x + 1; }\n");
+        std::fs::write(p, text).unwrap();
+    }
+
+    let second = daemon.request(&batch(&patches), 3);
+    for r in &second {
+        assert_ok_item(r);
+    }
+    let s2 = daemon.stats();
+    let h2 = num(s2.get("warm").unwrap(), "hits");
+    assert!(
+        h2 > h1,
+        "mutated re-request was not served from the warm layer (hits {h1} -> {h2})"
+    );
+    assert_eq!(daemon.shutdown(), 0);
+
+    // The warm-served outputs match solo CLI runs on the mutated inputs.
+    for ((pre, post), r) in patches.iter().zip(&second) {
+        let reference = cli_stdout(&[
+            "hunt",
+            "--pre",
+            pre.to_str().unwrap(),
+            "--post",
+            post.to_str().unwrap(),
+            "--target",
+            target.to_str().unwrap(),
+            "--jobs",
+            "1",
+        ]);
+        assert_eq!(output(r), reference, "warm output drifted from the CLI");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted store degrades the next daemon to recompute — identical
+/// output, clean exit — and EOF (no explicit shutdown) still flushes the
+/// store atomically.
+#[test]
+fn store_corruption_degrades_to_recompute_with_identical_output() {
+    let dir = temp_dir("corrupt");
+    let cache_dir = dir.join("cache");
+    let pre = write(&dir, "pre.c", &pre_source());
+    let post = write(&dir, "post.c", &post_source());
+    let target = write(&dir, "kernel.c", &buggy_target());
+    let hunt = format!(
+        r#"{{"cmd":"hunt","pre":"{}","post":"{}","target":"{}","jobs":1}}"#,
+        pre.display(),
+        post.display(),
+        target.display()
+    );
+    let reference = cli_stdout(&[
+        "hunt",
+        "--pre",
+        pre.to_str().unwrap(),
+        "--post",
+        post.to_str().unwrap(),
+        "--target",
+        target.to_str().unwrap(),
+        "--jobs",
+        "1",
+    ]);
+    let serve_args = ["--cache-dir", cache_dir.to_str().unwrap(), "--cache", "rw"];
+
+    // Session 1 populates the store; EOF (not shutdown) must flush it.
+    let mut d1 = Daemon::spawn(&serve_args, &[]);
+    let r1 = d1.request(&hunt, 1).remove(0);
+    assert_ok_item(&r1);
+    assert_eq!(output(&r1), reference);
+    assert_eq!(d1.close_stdin_and_wait(), 0);
+    let store_path = cache_dir.join(seal_store::STORE_FILE);
+    let clean = std::fs::read(&store_path).unwrap();
+    assert!(clean.len() > 64, "EOF exit wrote no store");
+
+    // Flip a byte in the record area: the next open keeps only the valid
+    // prefix and recomputes the rest.
+    let mut bytes = clean.clone();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x41;
+    std::fs::write(&store_path, &bytes).unwrap();
+
+    let mut d2 = Daemon::spawn(&serve_args, &[]);
+    let r2 = d2.request(&hunt, 1).remove(0);
+    assert_ok_item(&r2);
+    assert_eq!(
+        output(&r2),
+        reference,
+        "corrupted store changed the daemon's output"
+    );
+    assert_eq!(d2.shutdown(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The warm LRU never holds more than its byte budget, and a budget
+/// smaller than the working set produces evictions rather than growth.
+#[test]
+fn lru_eviction_respects_the_byte_budget() {
+    let dir = temp_dir("lru");
+    let pre = write(&dir, "pre.c", &pre_source());
+    let post = write(&dir, "post.c", &post_source());
+    // Six distinct targets: six distinct module + shard warm entries.
+    let targets: Vec<PathBuf> = (0..6)
+        .map(|i| {
+            write(
+                &dir,
+                &format!("k{i}.c"),
+                &format!(
+                    "{SHARED}int prep_{i}(struct riscmem *r) {{ vbi(r); return 0; }}\n\
+                     struct vb2_ops q{i} = {{ .buf_prepare = prep_{i}, }};"
+                ),
+            )
+        })
+        .collect();
+    let batch = {
+        let items: Vec<String> = targets
+            .iter()
+            .map(|t| {
+                format!(
+                    r#"{{"cmd":"hunt","pre":"{}","post":"{}","target":"{}","jobs":1}}"#,
+                    pre.display(),
+                    post.display(),
+                    t.display()
+                )
+            })
+            .collect();
+        format!(r#"{{"cmd":"batch","items":[{}]}}"#, items.join(","))
+    };
+
+    // Phase 1: unconstrained budget to measure the working set.
+    let mut d1 = Daemon::spawn(&[], &[("SEAL_WARM_BYTES", "1073741824")]);
+    for r in d1.request(&batch, 6) {
+        assert_ok_item(&r);
+    }
+    let w1 = d1.stats();
+    let used = num(w1.get("warm").unwrap(), "used_bytes");
+    assert!(used > 0.0, "warm layer held nothing after six hunts");
+    assert_eq!(num(w1.get("warm").unwrap(), "evictions"), 0.0);
+    assert_eq!(d1.shutdown(), 0);
+
+    // Phase 2: two thirds of the working set forces evictions while the
+    // used count stays under budget at all times.
+    let budget = ((used as u64) * 2 / 3).max(1024);
+    let budget_str = budget.to_string();
+    let mut d2 = Daemon::spawn(&[], &[("SEAL_WARM_BYTES", budget_str.as_str())]);
+    for r in d2.request(&batch, 6) {
+        assert_ok_item(&r);
+    }
+    let w2 = d2.stats();
+    let warm = w2.get("warm").unwrap();
+    assert_eq!(num(warm, "budget_bytes"), budget as f64);
+    assert!(
+        num(warm, "used_bytes") <= budget as f64,
+        "warm layer exceeded its budget: {} > {budget}",
+        num(warm, "used_bytes")
+    );
+    assert!(
+        num(warm, "evictions") > 0.0,
+        "undersized budget produced no evictions"
+    );
+    assert_eq!(d2.shutdown(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Malformed JSON, unknown commands, bad item shapes, and oversized lines
+/// each get a per-line protocol error — and the daemon keeps serving.
+#[test]
+fn protocol_garbage_never_kills_the_daemon() {
+    let dir = temp_dir("protocol");
+    let pre = write(&dir, "pre.c", &pre_source());
+    let post = write(&dir, "post.c", &post_source());
+    let mut daemon = Daemon::spawn(&[], &[("SEAL_SERVE_MAX_LINE", "300")]);
+
+    let expect_protocol_error = |v: &Json| {
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "got: {v:?}");
+        assert_eq!(
+            v.get("stage").and_then(Json::as_str),
+            Some("protocol"),
+            "got: {v:?}"
+        );
+        assert!(v.get("error").and_then(Json::as_str).is_some());
+    };
+
+    for bad in [
+        "this is not json",
+        r#"{"cmd":"frobnicate"}"#,
+        r#"{"nocmd":true}"#,
+        r#"{"cmd":"batch"}"#,
+        r#"{"cmd":"hunt","pre":"x.c"}"#,
+        r#"{"cmd":"detect","target":"","specs":"s.txt"}"#,
+    ] {
+        let r = daemon.request(bad, 1).remove(0);
+        expect_protocol_error(&r);
+    }
+    // A `jobs` value outside 1..=1024 is a protocol error, not a crash.
+    let bad_jobs = format!(
+        r#"{{"cmd":"hunt","pre":"{}","post":"{}","target":"{}","jobs":0}}"#,
+        pre.display(),
+        post.display(),
+        pre.display()
+    );
+    expect_protocol_error(&daemon.request(&bad_jobs, 1).remove(0));
+
+    // An oversized line is drained, answered, and the stream resyncs.
+    let oversized = format!(r#"{{"cmd":"hunt","pre":"{}"}}"#, "x".repeat(2000));
+    let r = daemon.request(&oversized, 1).remove(0);
+    expect_protocol_error(&r);
+    assert!(r.get("error").unwrap().as_str().unwrap().contains("limit"));
+
+    // A missing input file is a per-item `request` failure, served cleanly.
+    let gone = format!(
+        r#"{{"cmd":"detect","target":"{}","specs":"/nonexistent/specs.txt"}}"#,
+        pre.display()
+    );
+    let r = daemon.request(&gone, 1).remove(0);
+    assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(r.get("stage").and_then(Json::as_str), Some("request"));
+
+    // After all of that, the daemon still answers.
+    let pong = daemon.request(r#"{"cmd":"ping"}"#, 1).remove(0);
+    assert_eq!(pong.get("pong"), Some(&Json::Bool(true)));
+
+    // Failures were served, so the daemon exits with the partial class.
+    assert_eq!(daemon.shutdown(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
