@@ -723,6 +723,203 @@ fn measure_serve(iters: usize) -> Option<(String, bool, f64)> {
     Some((section, identical, warm_speedup))
 }
 
+/// Measures the concurrent daemon over a Unix socket: 1/4/8 simultaneous
+/// clients each issuing the per-patch hunt workload as individual
+/// requests against one pre-warmed daemon. Reports per-client p90 item
+/// latency, aggregate items/sec (the scaling signal the gate bounds), and
+/// the warm hit rate under contention; verifies every response under
+/// contention is byte-identical to the solo CLI. Returns the JSON section
+/// and the identity verdict. `None` off unix or when the binary is absent.
+#[cfg(unix)]
+fn measure_serve_concurrency(iters: usize) -> Option<(String, bool)> {
+    use seal::json::{escape, Json};
+    use std::io::{BufRead, BufReader, Write as _};
+    use std::os::unix::net::UnixStream;
+    use std::process::{Command, Stdio};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let seal_bin = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("seal")))?;
+    if !seal_bin.exists() {
+        eprintln!(
+            "bench_pipeline: skipping serve_concurrency section ({} not built)",
+            seal_bin.display()
+        );
+        return None;
+    }
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let corpus = seal_corpus::generate(&eval_config());
+    let tmp = std::env::temp_dir().join(format!("seal-bench-serve-conc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).expect("cannot create serve bench dir");
+    let tree = seal_corpus::files::write_to_dir(&corpus, &tmp).expect("cannot write corpus tree");
+    let target = tree.kernel_files[0].clone();
+    let items: Vec<(PathBuf, PathBuf)> = tree
+        .patch_files
+        .iter()
+        .take(10)
+        .map(|(_, pre, post)| (pre.clone(), post.clone()))
+        .collect();
+    let n = items.len();
+
+    // Solo CLI references, one per item (jobs=1, like the daemon).
+    let mut cli_outputs: Vec<String> = Vec::new();
+    for (pre, post) in &items {
+        let out = Command::new(&seal_bin)
+            .arg("hunt")
+            .arg("--pre")
+            .arg(pre)
+            .arg("--post")
+            .arg(post)
+            .arg("--target")
+            .arg(&target)
+            .args(["--jobs", "1"])
+            .env_remove("SEAL_CACHE_DIR")
+            .output()
+            .expect("cannot spawn solo seal hunt");
+        assert!(out.status.success(), "solo hunt failed");
+        cli_outputs.push(String::from_utf8(out.stdout).expect("non-utf8 hunt output"));
+    }
+    let request_lines: Vec<String> = items
+        .iter()
+        .map(|(pre, post)| {
+            format!(
+                "{{\"cmd\":\"hunt\",\"pre\":\"{}\",\"post\":\"{}\",\"target\":\"{}\"}}",
+                escape(&pre.display().to_string()),
+                escape(&post.display().to_string()),
+                escape(&target.display().to_string()),
+            )
+        })
+        .collect();
+
+    let sock = tmp.join("bench.sock");
+    let mut child = Command::new(&seal_bin)
+        .arg("serve")
+        .arg("--listen")
+        .arg(&sock)
+        .args(["--jobs", "1", "--max-conns", "32"])
+        .env_remove("SEAL_CACHE_DIR")
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("cannot spawn seal serve --listen");
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    while UnixStream::connect(&sock).is_err() {
+        assert!(Instant::now() < deadline, "daemon never came up");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    let connect = || {
+        let stream = UnixStream::connect(&sock).expect("cannot connect to bench daemon");
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (stream, reader)
+    };
+    let read_json = |reader: &mut BufReader<UnixStream>| -> Json {
+        let mut buf = String::new();
+        let n = reader.read_line(&mut buf).expect("daemon socket read");
+        assert!(n > 0, "daemon closed the connection early");
+        Json::parse(buf.trim_end()).unwrap_or_else(|e| panic!("bad daemon response `{buf}`: {e}"))
+    };
+
+    // Warm the daemon once so every row measures the contended warm path,
+    // not first-touch compilation.
+    {
+        let (mut stream, mut reader) = connect();
+        for line in &request_lines {
+            writeln!(stream, "{line}").unwrap();
+            stream.flush().unwrap();
+            let _ = read_json(&mut reader);
+        }
+    }
+
+    let identical = AtomicBool::new(true);
+    let rounds = iters.max(3);
+    let mut rows = Vec::new();
+    for clients in [1usize, 4, 8] {
+        let mut per_item_ms: Vec<f64> = Vec::new();
+        let mut round_items_per_sec: Vec<f64> = Vec::new();
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            let samples: Vec<Vec<f64>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|_| {
+                        let (connect, read_json) = (&connect, &read_json);
+                        let (request_lines, cli_outputs, identical) =
+                            (&request_lines, &cli_outputs, &identical);
+                        scope.spawn(move || {
+                            let (mut stream, mut reader) = connect();
+                            let mut samples = Vec::with_capacity(request_lines.len());
+                            for (line, reference) in request_lines.iter().zip(cli_outputs) {
+                                let t = Instant::now();
+                                writeln!(stream, "{line}").unwrap();
+                                stream.flush().unwrap();
+                                let r = read_json(&mut reader);
+                                samples.push(t.elapsed().as_secs_f64() * 1e3);
+                                if r.get("ok") != Some(&Json::Bool(true))
+                                    || r.get("output").and_then(Json::as_str)
+                                        != Some(reference.as_str())
+                                {
+                                    identical.store(false, Ordering::Relaxed);
+                                }
+                            }
+                            samples
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let wall = t0.elapsed().as_secs_f64();
+            round_items_per_sec.push((clients * n) as f64 / wall);
+            per_item_ms.extend(samples.into_iter().flatten());
+        }
+        // Warm hit rate under this row's contention level.
+        let warm_hit_rate = {
+            let (mut stream, mut reader) = connect();
+            writeln!(stream, "{{\"cmd\":\"stats\"}}").unwrap();
+            stream.flush().unwrap();
+            let s = read_json(&mut reader);
+            let warm = s.get("warm").expect("daemon stats carry no warm section");
+            serve_num(warm, "hits") / (serve_num(warm, "hits") + serve_num(warm, "misses")).max(1.0)
+        };
+        rows.push(format!(
+            "{{\"clients\":{clients},\"per_item_ms\":{{\"min\":{},\"median\":{},\"p90\":{}}},\
+             \"aggregate_items_per_sec\":{:.2},\"warm_hit_rate\":{warm_hit_rate:.3}}}",
+            num(min(&per_item_ms)),
+            num(median(&per_item_ms)),
+            num(p90(&per_item_ms)),
+            median(&round_items_per_sec),
+        ));
+    }
+
+    {
+        let (mut stream, mut reader) = connect();
+        writeln!(stream, "{{\"cmd\":\"shutdown\"}}").unwrap();
+        stream.flush().unwrap();
+        let _ = read_json(&mut reader);
+    }
+    let status = child.wait().expect("daemon did not exit");
+    assert!(status.success(), "daemon exited with {status}");
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let identical = identical.load(Ordering::Relaxed);
+    let section = format!(
+        "{{\n    \"items\": {n},\n    \"jobs\": 1,\n    \"cpus\": {cpus},\n    \"rows\": [\n      {}\n    ],\n    \
+         \"identical_outputs\": {identical}\n  }}",
+        rows.join(",\n      ")
+    );
+    Some((section, identical))
+}
+
+#[cfg(not(unix))]
+fn measure_serve_concurrency(_iters: usize) -> Option<(String, bool)> {
+    None
+}
+
 fn warm_row_default() -> CacheRow {
     CacheRow {
         row: "",
@@ -910,6 +1107,20 @@ fn main() {
         .map(|(s, _, _)| format!("\n  \"serve\": {s},"))
         .unwrap_or_default();
 
+    eprintln!("measuring seal serve concurrency (1/4/8 simultaneous clients)");
+    let serve_conc = measure_serve_concurrency(iters);
+    if let Some((_, identical)) = &serve_conc {
+        assert!(
+            identical,
+            "daemon outputs under contention differ from the solo CLI — \
+             concurrent serve equivalence broken"
+        );
+    }
+    let serve_conc_json = serve_conc
+        .as_ref()
+        .map(|(s, _)| format!("\n  \"serve_concurrency\": {s},"))
+        .unwrap_or_default();
+
     // One instrumented run: every measured run above had the registry
     // disabled (the default), so the medians include only the disabled-path
     // cost; this extra run collects the per-stage counters for the report.
@@ -932,7 +1143,7 @@ fn main() {
          \"baseline_seed_equivalent\": {},\n  \
          \"workers\": [\n    {}\n  ],\n  \
          \"matrix\": [\n    {}\n  ],\n  \
-         \"cache\": {},{serve_json}\n  \
+         \"cache\": {},{serve_json}{serve_conc_json}\n  \
          \"stage_metrics\": {},\n  \
          \"identical_output_across_workers\": {identical}\n}}\n",
         cfg.seed,
@@ -981,6 +1192,12 @@ fn main() {
         println!(
             "serve: warm daemon request {serve_speedup:.2}x faster than the cold CLI \
              (median per item), outputs identical: {serve_identical}"
+        );
+    }
+    if let Some((_, identical)) = &serve_conc {
+        println!(
+            "serve concurrency: 1/4/8 simultaneous clients measured, \
+             outputs identical under contention: {identical}"
         );
     }
 }

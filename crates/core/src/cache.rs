@@ -74,6 +74,11 @@ pub fn detect_fingerprint(cfg: &DetectConfig) -> u64 {
 /// Handle to the per-function artifact cache. Cheap to clone (shared
 /// store); the [`Default`] value is a disabled cache, so `Seal::default()`
 /// behaves exactly as before the cache existed.
+///
+/// `AnalysisCache` is `Send + Sync`: the store's maps are mutexed, its
+/// flushes are serialized behind a dedicated flush lock, and the warm
+/// layer is internally sharded — one handle can be shared by every
+/// connection of a concurrent `seal serve` without external locking.
 #[derive(Clone)]
 pub struct AnalysisCache {
     store: Arc<Store>,
@@ -81,6 +86,13 @@ pub struct AnalysisCache {
     /// `seal serve`; `None` for one-shot CLI runs).
     warm: Option<WarmMemory>,
 }
+
+// Concurrent `seal serve` shares one cache across connection handler
+// threads; losing `Sync` must be a compile error, not a runtime surprise.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AnalysisCache>();
+};
 
 impl Default for AnalysisCache {
     fn default() -> Self {

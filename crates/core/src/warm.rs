@@ -13,12 +13,25 @@
 //! story wholesale: a key covers every input the artifact is a function
 //! of, and there is no "stale hit" state — only hits and recomputes.
 //!
-//! Eviction is least-recently-used under a byte budget. Costs are the
-//! encoded payload sizes (what the artifact costs in the store), with the
-//! snapshot — never persisted — charged a fixed per-node estimate; the
-//! budget therefore bounds resident warm bytes up to the constant factor
-//! between encoded and decoded sizes. An entry larger than the whole
-//! budget is refused outright rather than evicting everything else.
+//! **Concurrency.** The map is sharded internally: each `(kind, key)` is
+//! pinned to one of up to [`MAX_SHARDS`] shards by its content hash, and
+//! every shard has its own mutex and its own slice of the byte budget, so
+//! concurrent daemon connections contend only when they touch the same
+//! shard instead of serializing on one global lock. Recency ticks come
+//! from a single atomic counter, so LRU order stays comparable across
+//! shards. Budgets below [`MIN_SHARD_BUDGET`] per shard collapse to fewer
+//! shards (a sub-8-MiB layer is a single strict LRU exactly as before),
+//! which keeps eviction behavior deterministic for the small budgets tests
+//! use. [`WarmMemory`] is `Send + Sync` and cheap to clone; all methods
+//! take `&self`.
+//!
+//! Eviction is least-recently-used under a byte budget, per shard. Costs
+//! are the encoded payload sizes (what the artifact costs in the store),
+//! with the snapshot — never persisted — charged a fixed per-node
+//! estimate; the sum of the shard budgets never exceeds the configured
+//! budget, so total resident warm bytes stay strictly bounded. An entry
+//! larger than its shard's budget is refused outright rather than
+//! evicting everything else.
 //!
 //! Counters: `serve.warm_hits` / `serve.warm_misses` / `serve.evictions`
 //! in the metrics registry, non-deterministic class — concurrent shards
@@ -31,6 +44,7 @@ use seal_solver::FormulaSnapshot;
 use seal_spec::{SpecValue, Specification};
 use seal_store::ContentHash;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Default warm budget: 256 MiB.
@@ -39,6 +53,14 @@ pub const DEFAULT_WARM_BUDGET: u64 = 256 * 1024 * 1024;
 /// Rough decoded size of one interned formula node (map entry, node
 /// payload, id). Only used to cost the never-persisted snapshot.
 const SNAPSHOT_NODE_COST: u64 = 96;
+
+/// Upper bound on the internal shard count.
+pub const MAX_SHARDS: usize = 16;
+
+/// Minimum byte budget one shard is worth splitting off for. Below
+/// `2 * MIN_SHARD_BUDGET` the layer is a single shard, i.e. exactly the
+/// strict global LRU it was before sharding existed.
+pub const MIN_SHARD_BUDGET: u64 = 8 * 1024 * 1024;
 
 /// One warm artifact. Values are `Arc`s: a hit shares, never copies.
 #[derive(Clone)]
@@ -59,15 +81,24 @@ struct Entry {
     value: WarmValue,
 }
 
-struct Inner {
+/// One mutexed slice of the map, with its own slice of the budget.
+struct Shard {
     budget: u64,
     used: u64,
-    tick: u64,
-    hits: u64,
-    misses: u64,
-    insertions: u64,
-    evictions: u64,
     map: HashMap<(u8, ContentHash), Entry>,
+}
+
+/// State shared by every clone of one warm layer: the shards plus the
+/// cross-shard recency tick and the lifetime counters (atomics, so the
+/// hot path touches at most one shard mutex).
+struct Shared {
+    budget: u64,
+    shards: Vec<Mutex<Shard>>,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// Counter snapshot of one warm layer (`seal serve`'s `stats` reply and
@@ -102,12 +133,20 @@ impl WarmStats {
     }
 }
 
-/// The byte-budgeted LRU of decoded artifacts. Cheap to clone (shared
-/// state); all methods take `&self`.
+/// The byte-budgeted sharded LRU of decoded artifacts. Cheap to clone
+/// (shared state), `Send + Sync`; all methods take `&self`.
 #[derive(Clone)]
 pub struct WarmMemory {
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<Shared>,
 }
+
+// The whole point of the warm layer is to be shared across daemon
+// connection handlers; regressing to a single-threaded type must not
+// compile.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<WarmMemory>();
+};
 
 impl std::fmt::Debug for WarmMemory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -116,25 +155,43 @@ impl std::fmt::Debug for WarmMemory {
             .field("budget_bytes", &s.budget_bytes)
             .field("used_bytes", &s.used_bytes)
             .field("entries", &s.entries)
+            .field("shards", &self.inner.shards.len())
             .finish()
     }
+}
+
+/// Shard count for one budget: one shard per [`MIN_SHARD_BUDGET`], capped
+/// at [`MAX_SHARDS`], floored at 1.
+fn shard_count(budget: u64) -> usize {
+    ((budget / MIN_SHARD_BUDGET) as usize).clamp(1, MAX_SHARDS)
 }
 
 impl WarmMemory {
     /// A warm layer bounded to `budget_bytes` of (approximate) resident
     /// artifact bytes.
     pub fn new(budget_bytes: u64) -> WarmMemory {
+        let n = shard_count(budget_bytes);
+        // Floor division: the shard budgets sum to at most the configured
+        // budget, never over it.
+        let per_shard = budget_bytes / n as u64;
         WarmMemory {
-            inner: Arc::new(Mutex::new(Inner {
+            inner: Arc::new(Shared {
                 budget: budget_bytes,
-                used: 0,
-                tick: 0,
-                hits: 0,
-                misses: 0,
-                insertions: 0,
-                evictions: 0,
-                map: HashMap::new(),
-            })),
+                shards: (0..n)
+                    .map(|_| {
+                        Mutex::new(Shard {
+                            budget: per_shard,
+                            used: 0,
+                            map: HashMap::new(),
+                        })
+                    })
+                    .collect(),
+                tick: AtomicU64::new(0),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                insertions: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            }),
         }
     }
 
@@ -143,23 +200,32 @@ impl WarmMemory {
         WarmMemory::new(DEFAULT_WARM_BUDGET)
     }
 
+    /// The shard one key lives in. The key is already a content hash, so
+    /// its first bytes are uniformly distributed; fold the kind in so the
+    /// same hash under different kinds can land on different shards.
+    fn shard_of(&self, kind: u8, key: &ContentHash) -> &Mutex<Shard> {
+        let n = self.inner.shards.len();
+        let b = key.as_bytes();
+        let h = u64::from_le_bytes(b[..8].try_into().unwrap()) ^ ((kind as u64) << 56);
+        &self.inner.shards[(h % n as u64) as usize]
+    }
+
     /// Looks one artifact up, refreshing its recency on a hit.
     pub fn get(&self, kind: u8, key: &ContentHash) -> Option<WarmValue> {
-        let mut inner = self.inner.lock().unwrap();
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.map.get_mut(&(kind, *key)) {
+        let tick = self.inner.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut shard = self.shard_of(kind, key).lock().unwrap();
+        match shard.map.get_mut(&(kind, *key)) {
             Some(e) => {
                 e.last_used = tick;
                 let v = e.value.clone();
-                inner.hits += 1;
-                drop(inner);
+                drop(shard);
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
                 seal_obs::metrics::counter_add_nd("serve.warm_hits", 1);
                 Some(v)
             }
             None => {
-                inner.misses += 1;
-                drop(inner);
+                drop(shard);
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
                 seal_obs::metrics::counter_add_nd("serve.warm_misses", 1);
                 None
             }
@@ -167,16 +233,16 @@ impl WarmMemory {
     }
 
     /// Inserts (or replaces) one artifact at the given byte cost, evicting
-    /// least-recently-used entries until the budget holds. An artifact
-    /// larger than the entire budget is not admitted.
+    /// least-recently-used entries from its shard until the shard budget
+    /// holds. An artifact larger than the entire shard budget is not
+    /// admitted.
     pub fn put(&self, kind: u8, key: ContentHash, value: WarmValue, cost: u64) {
-        let mut inner = self.inner.lock().unwrap();
-        if cost > inner.budget {
+        let tick = self.inner.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut shard = self.shard_of(kind, &key).lock().unwrap();
+        if cost > shard.budget {
             return;
         }
-        inner.tick += 1;
-        let tick = inner.tick;
-        if let Some(old) = inner.map.insert(
+        if let Some(old) = shard.map.insert(
             (kind, key),
             Entry {
                 cost,
@@ -184,40 +250,48 @@ impl WarmMemory {
                 value,
             },
         ) {
-            inner.used -= old.cost;
+            shard.used -= old.cost;
         }
-        inner.used += cost;
-        inner.insertions += 1;
+        shard.used += cost;
         let mut evicted = 0u64;
-        while inner.used > inner.budget {
+        while shard.used > shard.budget {
             // The just-inserted entry carries the freshest tick, so it is
-            // never its own victim (cost <= budget was checked above).
-            let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, e)| e.last_used) else {
+            // never its own victim (cost <= shard budget was checked above).
+            let Some((&victim, _)) = shard.map.iter().min_by_key(|(_, e)| e.last_used) else {
                 break;
             };
-            if let Some(e) = inner.map.remove(&victim) {
-                inner.used -= e.cost;
-                inner.evictions += 1;
+            if let Some(e) = shard.map.remove(&victim) {
+                shard.used -= e.cost;
                 evicted += 1;
             }
         }
-        drop(inner);
+        drop(shard);
+        self.inner.insertions.fetch_add(1, Ordering::Relaxed);
         if evicted > 0 {
+            self.inner.evictions.fetch_add(evicted, Ordering::Relaxed);
             seal_obs::metrics::counter_add_nd("serve.evictions", evicted);
         }
     }
 
-    /// Counter snapshot for this warm layer's lifetime.
+    /// Counter snapshot for this warm layer's lifetime. Under concurrent
+    /// traffic the per-shard sums are a consistent-enough view (each shard
+    /// is read under its own lock); the atomics are exact.
     pub fn stats(&self) -> WarmStats {
-        let inner = self.inner.lock().unwrap();
+        let mut used = 0u64;
+        let mut entries = 0u64;
+        for shard in &self.inner.shards {
+            let s = shard.lock().unwrap();
+            used += s.used;
+            entries += s.map.len() as u64;
+        }
         WarmStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            insertions: inner.insertions,
-            evictions: inner.evictions,
-            used_bytes: inner.used,
-            budget_bytes: inner.budget,
-            entries: inner.map.len() as u64,
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            insertions: self.inner.insertions.load(Ordering::Relaxed),
+            evictions: self.inner.evictions.load(Ordering::Relaxed),
+            used_bytes: used,
+            budget_bytes: self.inner.budget,
+            entries,
         }
     }
 }
@@ -263,6 +337,36 @@ mod tests {
     }
 
     #[test]
+    fn small_budgets_are_one_strict_shard() {
+        // Everything below 2 * MIN_SHARD_BUDGET must behave as one global
+        // strict LRU — the regime every small-budget test (and SEAL_WARM_
+        // BYTES test hook) relies on.
+        assert_eq!(shard_count(0), 1);
+        assert_eq!(shard_count(1000), 1);
+        assert_eq!(shard_count(2 * MIN_SHARD_BUDGET - 1), 1);
+        assert_eq!(shard_count(2 * MIN_SHARD_BUDGET), 2);
+        assert_eq!(shard_count(DEFAULT_WARM_BUDGET), MAX_SHARDS);
+        assert_eq!(WarmMemory::new(1000).inner.shards.len(), 1);
+    }
+
+    #[test]
+    fn sharded_budgets_never_exceed_the_configured_total() {
+        for budget in [1000, MIN_SHARD_BUDGET * 3 + 17, DEFAULT_WARM_BUDGET] {
+            let w = WarmMemory::new(budget);
+            let total: u64 = w
+                .inner
+                .shards
+                .iter()
+                .map(|s| s.lock().unwrap().budget)
+                .sum();
+            assert!(
+                total <= budget,
+                "shard budgets {total} exceed the configured {budget}"
+            );
+        }
+    }
+
+    #[test]
     fn eviction_respects_the_byte_budget_in_lru_order() {
         let w = WarmMemory::new(100);
         w.put(3, key(1), payload(40), 40);
@@ -295,5 +399,45 @@ mod tests {
         assert!(w.get(3, &key(2)).is_none());
         assert!(w.get(3, &key(1)).is_some(), "resident entries survive");
         assert_eq!(w.stats().evictions, 0);
+    }
+
+    /// Hammer one (multi-shard) warm layer from several threads; the byte
+    /// budget must hold at every observation, every served value must be
+    /// the exact artifact stored under its key, and the lookup counters
+    /// must balance.
+    #[test]
+    fn concurrent_puts_and_gets_stay_under_budget_and_serve_exact_values() {
+        let budget = MIN_SHARD_BUDGET * 4; // forces > 1 shard
+        let w = WarmMemory::new(budget);
+        assert!(w.inner.shards.len() > 1, "test needs a sharded layer");
+        let threads = 8;
+        let per_thread = 200usize;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let w = w.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        // Distinct sizes per key so a cross-key mixup would
+                        // change the observed length.
+                        let b = ((t * per_thread + i) % 251) as u8;
+                        let len = 64 + b as usize;
+                        w.put(3, key(b), payload(len), len as u64);
+                        if let Some(WarmValue::Payload(p)) = w.get(3, &key(b)) {
+                            assert_eq!(p.len(), 64 + b as usize);
+                        }
+                        let s = w.stats();
+                        assert!(
+                            s.used_bytes <= s.budget_bytes,
+                            "budget exceeded under concurrency: {} > {}",
+                            s.used_bytes,
+                            s.budget_bytes
+                        );
+                    }
+                });
+            }
+        });
+        let s = w.stats();
+        assert_eq!(s.hits + s.misses, (threads * per_thread) as u64);
+        assert_eq!(s.insertions, (threads * per_thread) as u64);
     }
 }

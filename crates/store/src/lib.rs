@@ -167,6 +167,12 @@ pub struct Store {
     pending: Mutex<PayloadMap>,
     /// Puts flushed during this lifetime (still served from memory).
     written: Mutex<PayloadMap>,
+    /// Serializes [`Store::flush`] and [`Store::flush_atomic`] against each
+    /// other. Both mutate the file *and* the `valid_len` watermark as one
+    /// logical step; interleaving them could append behind a watermark the
+    /// atomic rewrite is about to move. Taken before `pending`/`written` —
+    /// never the other way around — so it adds no deadlock edge.
+    flush_lock: Mutex<()>,
     hits: AtomicU64,
     misses: AtomicU64,
     bytes_read: AtomicU64,
@@ -194,6 +200,7 @@ impl Store {
             index: HashMap::new(),
             pending: Mutex::new(HashMap::new()),
             written: Mutex::new(HashMap::new()),
+            flush_lock: Mutex::new(()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
@@ -365,6 +372,7 @@ impl Store {
         let Some(path) = &self.path else {
             return Ok(());
         };
+        let _flush = self.flush_lock.lock().unwrap();
         let mut pending = self.pending.lock().unwrap();
         if pending.is_empty() {
             return Ok(());
@@ -435,9 +443,10 @@ impl Store {
             path: path.display().to_string(),
             message: format!("cannot write store file: {e}"),
         };
-        // Holding the pending lock across the whole rewrite serializes
-        // against a concurrent `flush`/`flush_atomic`, which would
-        // otherwise race on the file and the `valid_len` watermark.
+        // The flush lock serializes this whole rewrite against any
+        // concurrent `flush`/`flush_atomic`, which would otherwise race
+        // on the file and the `valid_len` watermark.
+        let _flush = self.flush_lock.lock().unwrap();
         let mut pending = self.pending.lock().unwrap();
         let mut merged: HashMap<(u8, ContentHash), Vec<u8>> = HashMap::new();
         for (&k, &(off, len)) in &self.index {
@@ -600,6 +609,46 @@ mod tests {
         std::fs::write(&file, &bytes).unwrap();
         let s = Store::open(&dir, CacheMode::ReadOnly).unwrap();
         assert_eq!(s.stats().disk_entries, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Interleave incremental and atomic flushes (plus puts) from several
+    /// threads. The flush lock must keep every append behind a consistent
+    /// `valid_len` watermark, so the final file reopens cleanly — zero
+    /// invalidations — with every payload byte-exact.
+    #[test]
+    fn concurrent_flush_and_flush_atomic_leave_a_clean_reloadable_file() {
+        let dir = tmpdir("concflush");
+        let s = std::sync::Arc::new(Store::open(&dir, CacheMode::ReadWrite).unwrap());
+        let threads = 8;
+        let rounds = 25usize;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..rounds {
+                        let b = ((t * rounds + i) % 251) as u8;
+                        s.put(1, key(b), vec![b; 16 + b as usize]);
+                        if (t + i) % 3 == 0 {
+                            s.flush_atomic().unwrap();
+                        } else {
+                            s.flush().unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        s.flush_atomic().unwrap();
+
+        let s2 = Store::open(&dir, CacheMode::ReadOnly).unwrap();
+        let st = s2.stats();
+        assert_eq!(st.invalidations, 0, "interleaved flushes tore the file");
+        for t in 0..threads {
+            for i in 0..rounds {
+                let b = ((t * rounds + i) % 251) as u8;
+                assert_eq!(s2.get(1, &key(b)).unwrap(), vec![b; 16 + b as usize]);
+            }
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -13,7 +13,11 @@
 #     outputs differ, or whose warm run is less than 2x faster than cold, or
 #   * the fresh file carries a `serve` section whose daemon outputs differ
 #     from the solo CLI, or whose warm daemon request is less than 5x
-#     faster than the cold CLI (per-item median).
+#     faster than the cold CLI (per-item median), or
+#   * the fresh file carries a `serve_concurrency` section whose outputs
+#     under contention differ from the solo CLI, or (on hosts with >= 4
+#     CPUs) whose 4-client aggregate items/sec is less than 1.5x the
+#     1-client figure — concurrent connections must actually overlap.
 #
 # Older committed reference files may predate the `matrix` or `cache`
 # sections (or individual phases inside a row); every lookup degrades to
@@ -134,6 +138,28 @@ if serve is not None:
         if row.get("row") != "cold_cli" and "rss_peak_kb" not in row:
             failures.append(f"serve: row {row.get('row')} carries no rss_peak_kb")
 
+# Serve-concurrency gate: only the fresh file is checked (pre-concurrency
+# reference files simply lack the section). Output identity under
+# contention is gated everywhere; the throughput-overlap check only runs
+# on hosts with >= 4 CPUs (a 1-CPU host cannot overlap anything).
+conc = new.get("serve_concurrency")
+if conc is not None:
+    if not conc.get("identical_outputs", False):
+        failures.append(
+            "serve_concurrency: daemon outputs under contention differ "
+            "from the solo CLI"
+        )
+    if conc.get("cpus", 1) >= 4:
+        by_clients = {r.get("clients"): r for r in conc.get("rows", [])}
+        one = by_clients.get(1, {}).get("aggregate_items_per_sec")
+        four = by_clients.get(4, {}).get("aggregate_items_per_sec")
+        if one and four is not None and four < one * 1.5:
+            failures.append(
+                f"serve_concurrency: 4-client aggregate {four} items/s is "
+                f"< 1.5x the 1-client {one} items/s — connections are "
+                "being serialized"
+            )
+
 if failures:
     for f in failures:
         print(f"bench_check: {f}", file=sys.stderr)
@@ -143,5 +169,7 @@ if cache is not None:
     notes += " + cache section"
 if serve is not None:
     notes += " + serve section"
+if conc is not None:
+    notes += " + serve_concurrency section"
 print(f"bench_check: ok ({len(new_rows)} matrix rows within bounds{notes})")
 EOF

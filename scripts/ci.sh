@@ -215,3 +215,120 @@ if ! grep -q '"shutdown":true' "$SERVE_DIR/clean.jsonl"; then
 fi
 rm -rf "$SERVE_DIR"
 echo "serve smoke: ok (3 per-item responses, clean shutdown)"
+
+# Serve-concurrency smoke: a socket-mode daemon with four simultaneous
+# clients, one of which sends protocol garbage. Contract: every client is
+# served concurrently (the poisoned one only poisons itself), each good
+# client gets per-item statuses for its own batch with a private gapless
+# seq, and a client-driven shutdown drains cleanly. Exit code 2: the
+# garbage lines are protocol errors (partial-failure class), which must
+# not escalate to fatal or leak into the sibling connections.
+CONC_DIR=$(mktemp -d)
+CONC_SOCK="$CONC_DIR/seal.sock"
+"$SEAL" serve --listen "$CONC_SOCK" --max-conns 8 \
+    >/dev/null 2>"$CONC_DIR/err.log" &
+CONC_PID=$!
+python3 - "$CONC_SOCK" <<'EOF'
+import json
+import socket
+import sys
+import threading
+import time
+
+path = sys.argv[1]
+
+deadline = time.time() + 10.0
+while True:
+    try:
+        probe = socket.socket(socket.AF_UNIX)
+        probe.connect(path)
+        probe.close()
+        break
+    except OSError:
+        if time.time() > deadline:
+            print("serve-concurrency smoke: daemon never bound its socket",
+                  file=sys.stderr)
+            sys.exit(1)
+        time.sleep(0.05)
+
+HUNT = {"cmd": "hunt", "pre": "tests/data/npd-check.pre.c",
+        "post": "tests/data/npd-check.post.c",
+        "target": "tests/data/target.c"}
+errors = []
+
+
+def client(lines, nresps, check):
+    try:
+        s = socket.socket(socket.AF_UNIX)
+        s.connect(path)
+        s.settimeout(60.0)
+        f = s.makefile("rw", encoding="utf-8", newline="\n")
+        for line in lines:
+            f.write(line + "\n")
+        f.flush()
+        check([json.loads(f.readline()) for _ in range(nresps)])
+        s.close()
+    except Exception as e:  # collected, not raised: threads must all run
+        errors.append(f"client failed: {e!r}")
+
+
+def good(resps):
+    # A 2-item batch shares one seq (per-item lines differ by `item`),
+    # then the ping gets the next seq: private, gapless per connection.
+    if [r["seq"] for r in resps] != [1, 1, 2]:
+        errors.append(f"seq not gapless-per-connection: {resps}")
+    if [r.get("item") for r in resps[:2]] != [0, 1]:
+        errors.append(f"batch item indices wrong: {resps}")
+    if not all(r.get("ok") for r in resps):
+        errors.append(f"good client item failed: {resps}")
+
+
+def poisoned(resps):
+    # Garbage is a per-line protocol error, then the connection still works.
+    if [r.get("ok") for r in resps] != [False, False, True]:
+        errors.append(f"poisoned client statuses wrong: {resps}")
+    if resps[0].get("stage") != "protocol":
+        errors.append(f"garbage not classed as protocol error: {resps[0]}")
+
+
+batch = json.dumps({"cmd": "batch", "items": [HUNT, HUNT]})
+ping = json.dumps({"cmd": "ping"})
+threads = [threading.Thread(target=client, args=a) for a in [
+    ([batch, ping], 3, good),
+    ([batch, ping], 3, good),
+    ([batch, ping], 3, good),
+    (["this is not json", '{"cmd":"no-such-cmd"}', ping], 3, poisoned),
+]]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+
+
+def closer(resps):
+    if not resps[0].get("shutdown"):
+        errors.append(f"shutdown not acknowledged: {resps}")
+
+
+client([json.dumps({"cmd": "shutdown"})], 1, closer)
+if errors:
+    for e in errors:
+        print(f"serve-concurrency smoke: {e}", file=sys.stderr)
+    sys.exit(1)
+EOF
+set +e
+wait "$CONC_PID"
+CONC_CODE=$?
+set -e
+if [ "$CONC_CODE" != 2 ]; then
+    echo "serve-concurrency smoke: expected daemon exit 2 (poisoned client), got $CONC_CODE" >&2
+    cat "$CONC_DIR/err.log" >&2
+    exit 1
+fi
+if grep -q "panicked at" "$CONC_DIR/err.log"; then
+    echo "serve-concurrency smoke: panic escaped to stderr" >&2
+    cat "$CONC_DIR/err.log" >&2
+    exit 1
+fi
+rm -rf "$CONC_DIR"
+echo "serve-concurrency smoke: ok (4 parallel clients, poisoned sibling isolated, clean shutdown)"

@@ -110,14 +110,21 @@ fn run(args: &[String]) -> Result<Outcome, Fatal> {
             out.map_err(Fatal::from)
         }
         "serve" => {
+            // Validate the whole daemon configuration before any side
+            // effect (cache open, obs run): a garbage SEAL_SERVE_MAX_LINE
+            // or --max-conns is a misconfiguration, not a cue to silently
+            // serve with defaults — usage class 2, same as an invalid
+            // --jobs.
+            let sopts = seal::serve::ServeOptions {
+                listen: opts.get("listen").cloned(),
+                jobs: jobs(&opts).map_err(Fatal::from)?,
+                max_conns: max_conns(&opts).map_err(|msg| Fatal { msg, code: 2 })?,
+                max_line: seal::serve::resolve_max_line().map_err(|msg| Fatal { msg, code: 2 })?,
+            };
             let cache = open_cache(&opts).map_err(Fatal::from)?;
             let obs = ObsRun::start(&opts)?;
             let budget = warm_budget(&opts).map_err(Fatal::from)?;
             let cache = cache.with_warm(seal::core::WarmMemory::new(budget));
-            let sopts = seal::serve::ServeOptions {
-                listen: opts.get("listen").cloned(),
-                jobs: jobs(&opts).map_err(Fatal::from)?,
-            };
             let out = seal::serve::serve(&cache, &sopts);
             match &out {
                 Ok(_) => obs.finish()?,
@@ -134,6 +141,21 @@ fn run(args: &[String]) -> Result<Outcome, Fatal> {
         "mutate" => mutate(&opts).map_err(Fatal::from),
         "stats" => stats(&opts).map_err(Fatal::from),
         other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
+    }
+}
+
+/// The connection bound for `seal serve --listen`: `--max-conns`
+/// (default [`seal::serve::DEFAULT_MAX_CONNS`]). Zero and garbage are
+/// rejected — a daemon that admits no connections is a misconfiguration.
+fn max_conns(opts: &HashMap<String, String>) -> Result<usize, String> {
+    match opts.get("max-conns") {
+        None => Ok(seal::serve::DEFAULT_MAX_CONNS),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if (1..=1024).contains(&n) => Ok(n),
+            _ => Err(format!(
+                "--max-conns must be an integer in 1..=1024, got `{v}`"
+            )),
+        },
     }
 }
 
@@ -193,6 +215,7 @@ fn known_flags(cmd: &str) -> Option<&'static [&'static str]> {
         "serve" => &[
             "listen",
             "jobs",
+            "max-conns",
             "trace",
             "metrics",
             "cache-dir",
@@ -390,6 +413,23 @@ fn stats(opts: &HashMap<String, String>) -> Result<Outcome, String> {
                 counter("serve.evictions")
             );
         }
+        // Connection summary for a concurrent daemon run.
+        let gauge = |name: &str| match snap.metrics.get(name) {
+            Some(seal_obs::metrics::Metric {
+                value: seal_obs::metrics::MetricValue::Gauge(g),
+                ..
+            }) => *g,
+            _ => 0,
+        };
+        let conns = counter("serve.conns_total");
+        if conns > 0 {
+            println!(
+                "serve connections: {conns} served (peak {} active, {} rejected busy, {} conn errors)",
+                gauge("serve.conns_active_peak"),
+                counter("serve.conns_rejected"),
+                counter("serve.conn_errors")
+            );
+        }
     }
 
     // With `--cache-dir`, summarize the on-disk artifact store (the
@@ -418,7 +458,7 @@ fn usage() -> String {
      seal merge  --specs <file,file,...> --out <specs-file>\n  \
      seal gen-corpus --dir <dir> [--seed <n>] [--drivers <n>]\n  \
      seal mutate --src <file,...> --out <dir> [--n <k>] [--seed <n>]\n  \
-     seal serve  [--listen <socket>] [--jobs <n>] [--warm-mb <mb>]\n  \
+     seal serve  [--listen <socket>] [--jobs <n>] [--warm-mb <mb>] [--max-conns <n>]\n  \
      seal stats  [--trace <trace-file>] [--metrics <metrics-file>] [--cache-dir <dir>]\n\
      \n\
      serve reads JSONL requests from stdin (or a --listen Unix socket) and\n\
@@ -427,7 +467,10 @@ fn usage() -> String {
      {\"cmd\":\"batch\",\"items\":[...]}, plus ping/stats/shutdown. Item outputs\n\
      are byte-identical to solo CLI runs; a malformed line answers an error\n\
      and the daemon keeps serving. --warm-mb bounds the in-process warm\n\
-     memory (default 256 MiB, LRU-evicted).\n\
+     memory (default 256 MiB, LRU-evicted). With --listen, connections are\n\
+     served concurrently up to --max-conns (default 16); one beyond the\n\
+     bound is answered with a `server busy` protocol error and closed, and\n\
+     a --listen path already owned by a live daemon is a fatal error.\n\
      \n\
      infer/detect/hunt accept [--cache-dir <dir>] [--cache off|ro|rw] (or\n\
      SEAL_CACHE_DIR / SEAL_CACHE) to reuse per-function artifacts across\n\

@@ -76,12 +76,24 @@ pub enum RequestKind {
 /// Execution context one request runs against. The daemon builds this
 /// once and reuses it for every request — that sharing *is* the warm
 /// state (open store, warm memory, spec/module/shard/snapshot reuse).
+///
+/// `RunCtx` is `Send + Sync` (the cache handle is), so concurrent daemon
+/// connections can each run requests against clones of one shared cache
+/// without external locking; results stay byte-identical to solo runs
+/// because every artifact is content-addressed.
 pub struct RunCtx {
     /// The artifact cache (possibly warm-layered, possibly disabled).
     pub cache: AnalysisCache,
     /// Worker count for this request.
     pub jobs: usize,
 }
+
+// Concurrent `seal serve` runs requests from many handler threads; the
+// context losing `Send + Sync` must fail at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RunCtx>();
+};
 
 /// What one completed (possibly partially failed) request produced.
 pub struct RunResult {

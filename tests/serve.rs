@@ -3,6 +3,13 @@
 //! count, the warm layer serves mutated re-requests without changing
 //! results, a corrupted store degrades to recompute, the LRU respects its
 //! byte budget, and protocol garbage never kills the daemon.
+//!
+//! The socket-mode suite (unix only) covers the concurrent daemon:
+//! simultaneous clients with byte-identical outputs and gapless
+//! per-connection `seq`s, busy rejection beyond `--max-conns`, the
+//! live-socket/stale-socket distinction, logged (never fatal) connection
+//! I/O errors, and a shutdown drain that flushes a cleanly reloadable
+//! store.
 
 use seal::json::Json;
 use std::io::{BufRead, BufReader, Write as _};
@@ -513,4 +520,507 @@ fn protocol_garbage_never_kills_the_daemon() {
     // Failures were served, so the daemon exits with the partial class.
     assert_eq!(daemon.shutdown(), 2);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A garbage `SEAL_SERVE_MAX_LINE` (or `--max-conns`) must be a fatal
+/// startup error in the usage class (2) — not a silent fall-back to the
+/// default limit.
+#[test]
+fn invalid_serve_config_is_a_fatal_startup_error() {
+    let fatal = |args: &[&str], envs: &[(&str, &str)], needle: &str| {
+        let mut cmd = Command::new(seal_bin());
+        cmd.arg("serve")
+            .args(args)
+            .stdin(Stdio::null())
+            .env_remove("SEAL_CACHE_DIR");
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let out = cmd.output().unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "expected usage-class exit for {args:?} {envs:?}, stderr: {stderr}"
+        );
+        assert!(
+            stderr.contains(needle),
+            "stderr should mention `{needle}`: {stderr}"
+        );
+    };
+    fatal(
+        &[],
+        &[("SEAL_SERVE_MAX_LINE", "not-a-number")],
+        "SEAL_SERVE_MAX_LINE",
+    );
+    fatal(&[], &[("SEAL_SERVE_MAX_LINE", "0")], "SEAL_SERVE_MAX_LINE");
+    fatal(&["--max-conns", "0"], &[], "--max-conns");
+    fatal(&["--max-conns", "many"], &[], "--max-conns");
+}
+
+#[cfg(unix)]
+mod socket {
+    use super::*;
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::time::{Duration, Instant};
+
+    /// One `seal serve --listen` child plus its socket path. Stderr is
+    /// piped so tests can assert on logged connection errors.
+    struct SockDaemon {
+        child: Child,
+        path: PathBuf,
+    }
+
+    impl SockDaemon {
+        fn spawn(sock: &Path, extra: &[&str], envs: &[(&str, &str)]) -> SockDaemon {
+            let mut cmd = Command::new(seal_bin());
+            cmd.arg("serve")
+                .arg("--listen")
+                .arg(sock)
+                .args(extra)
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::piped())
+                .env_remove("SEAL_CACHE_DIR");
+            for (k, v) in envs {
+                cmd.env(k, v);
+            }
+            let child = cmd.spawn().unwrap();
+            SockDaemon {
+                child,
+                path: sock.to_path_buf(),
+            }
+        }
+
+        /// Waits (by probing with connects) until the daemon accepts.
+        fn wait_ready(&self) {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                if UnixStream::connect(&self.path).is_ok() {
+                    return; // The probe connection EOFs immediately; its handler exits.
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "daemon never came up on {}",
+                    self.path.display()
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+
+        /// Waits for exit; returns the exit code and captured stderr.
+        fn wait(self) -> (i32, String) {
+            let out = self.child.wait_with_output().unwrap();
+            (
+                out.status.code().unwrap(),
+                String::from_utf8_lossy(&out.stderr).into_owned(),
+            )
+        }
+    }
+
+    /// One client connection to a socket daemon.
+    struct Client {
+        stream: UnixStream,
+        reader: BufReader<UnixStream>,
+        /// Expected next `seq` on this connection (asserted gapless).
+        next_seq: u64,
+    }
+
+    impl Client {
+        fn connect(path: &Path) -> Client {
+            let stream = UnixStream::connect(path).unwrap();
+            // A hung daemon should fail the test, not wedge the harness.
+            stream
+                .set_read_timeout(Some(Duration::from_secs(60)))
+                .unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            Client {
+                stream,
+                reader,
+                next_seq: 1,
+            }
+        }
+
+        fn send(&mut self, line: &str) {
+            writeln!(self.stream, "{line}").unwrap();
+            self.stream.flush().unwrap();
+        }
+
+        fn read_json(&mut self) -> Json {
+            let mut buf = String::new();
+            let n = self.reader.read_line(&mut buf).unwrap();
+            assert!(n > 0, "daemon closed the connection early");
+            Json::parse(buf.trim_end()).unwrap_or_else(|e| panic!("bad response `{buf}`: {e}"))
+        }
+
+        /// Sends one request and reads its `n` response lines, asserting
+        /// this connection's `seq` numbering is gapless and private.
+        fn request(&mut self, line: &str, n: usize) -> Vec<Json> {
+            self.send(line);
+            let responses: Vec<Json> = (0..n).map(|_| self.read_json()).collect();
+            for r in &responses {
+                assert_eq!(
+                    num(r, "seq"),
+                    self.next_seq as f64,
+                    "seq not gapless/per-connection: {r:?}"
+                );
+            }
+            self.next_seq += 1;
+            responses
+        }
+
+        fn ping(&mut self) {
+            let pong = self.request(r#"{"cmd":"ping"}"#, 1).remove(0);
+            assert_eq!(pong.get("pong"), Some(&Json::Bool(true)));
+        }
+
+        fn shutdown_daemon(&mut self) {
+            let ack = self.request(r#"{"cmd":"shutdown"}"#, 1).remove(0);
+            assert_eq!(ack.get("shutdown"), Some(&Json::Bool(true)));
+        }
+    }
+
+    /// The tentpole contract: concurrent clients are served simultaneously
+    /// with byte-identical per-item outputs vs the solo CLI at jobs 1 and
+    /// 4, each connection's `seq` is gapless, and a sibling spraying
+    /// protocol garbage perturbs nothing but the exit class.
+    #[test]
+    fn concurrent_clients_get_cli_identical_outputs_and_private_seqs() {
+        let dir = temp_dir("conc");
+        let pre = write(&dir, "pre.c", &pre_source());
+        let post = write(&dir, "post.c", &post_source());
+        let target = write(&dir, "kernel.c", &buggy_target());
+        let specs = dir.join("specs.txt");
+        cli_stdout(&[
+            "infer",
+            "--pre",
+            pre.to_str().unwrap(),
+            "--post",
+            post.to_str().unwrap(),
+            "--out",
+            specs.to_str().unwrap(),
+        ]);
+        let mut refs = std::collections::HashMap::new();
+        for jobs in ["1", "4"] {
+            refs.insert(
+                jobs,
+                (
+                    cli_stdout(&[
+                        "infer",
+                        "--pre",
+                        pre.to_str().unwrap(),
+                        "--post",
+                        post.to_str().unwrap(),
+                        "--jobs",
+                        jobs,
+                    ]),
+                    cli_stdout(&[
+                        "detect",
+                        "--target",
+                        target.to_str().unwrap(),
+                        "--specs",
+                        specs.to_str().unwrap(),
+                        "--jobs",
+                        jobs,
+                    ]),
+                    cli_stdout(&[
+                        "hunt",
+                        "--pre",
+                        pre.to_str().unwrap(),
+                        "--post",
+                        post.to_str().unwrap(),
+                        "--target",
+                        target.to_str().unwrap(),
+                        "--jobs",
+                        jobs,
+                    ]),
+                ),
+            );
+        }
+        let batch = |jobs: &str| {
+            format!(
+                r#"{{"cmd":"batch","items":[{{"cmd":"infer","pre":"{pre}","post":"{post}","jobs":{jobs}}},{{"cmd":"detect","target":"{target}","specs":"{specs}","jobs":{jobs}}},{{"cmd":"hunt","pre":"{pre}","post":"{post}","target":"{target}","jobs":{jobs}}}]}}"#,
+                pre = pre.display(),
+                post = post.display(),
+                target = target.display(),
+                specs = specs.display(),
+            )
+        };
+
+        let sock = dir.join("seal.sock");
+        let daemon = SockDaemon::spawn(&sock, &[], &[]);
+        daemon.wait_ready();
+
+        std::thread::scope(|scope| {
+            // Three well-behaved clients, interleaved with one garbage
+            // client; every thread runs concurrently against one daemon.
+            for _ in 0..3 {
+                let (sock, refs, batch) = (&sock, &refs, &batch);
+                scope.spawn(move || {
+                    let mut c = Client::connect(sock);
+                    c.ping(); // seq 1
+                    for jobs in ["1", "4"] {
+                        let (infer_ref, detect_ref, hunt_ref) = &refs[jobs];
+                        let responses = c.request(&batch(jobs), 3);
+                        for (i, r) in responses.iter().enumerate() {
+                            assert_ok_item(r);
+                            assert_eq!(num(r, "item"), i as f64);
+                        }
+                        assert_eq!(output(&responses[0]), infer_ref, "infer at jobs={jobs}");
+                        assert_eq!(output(&responses[1]), detect_ref, "detect at jobs={jobs}");
+                        assert_eq!(output(&responses[2]), hunt_ref, "hunt at jobs={jobs}");
+                    }
+                });
+            }
+            let sock = &sock;
+            scope.spawn(move || {
+                let mut c = Client::connect(sock);
+                for bad in [
+                    "this is not json",
+                    r#"{"cmd":"frobnicate"}"#,
+                    r#"{"cmd":"hunt","pre":"x.c"}"#,
+                ] {
+                    let r = c.request(bad, 1).remove(0);
+                    assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+                    assert_eq!(r.get("stage").and_then(Json::as_str), Some("protocol"));
+                }
+                c.ping(); // still served after the garbage
+            });
+        });
+
+        let mut closer = Client::connect(&sock);
+        closer.shutdown_daemon();
+        // The garbage client's protocol errors set the partial class.
+        let (code, stderr) = daemon.wait();
+        assert_eq!(code, 2, "stderr: {stderr}");
+        assert!(
+            !stderr.contains("panicked"),
+            "a connection handler panicked: {stderr}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Connections are served *simultaneously*: a client that connects and
+    /// then says nothing must not block a later client (the pre-concurrency
+    /// daemon served connections to completion, one at a time).
+    #[test]
+    fn idle_connection_does_not_block_siblings() {
+        let dir = temp_dir("idle");
+        let sock = dir.join("seal.sock");
+        let daemon = SockDaemon::spawn(&sock, &[], &[]);
+        daemon.wait_ready();
+
+        let mut idle = Client::connect(&sock);
+        // With a sequential accept loop this ping would time out: the
+        // daemon would still be waiting for `idle`'s first line.
+        let mut active = Client::connect(&sock);
+        active.ping();
+        idle.ping(); // The idle connection was being served all along too.
+        active.shutdown_daemon();
+        let (code, _) = daemon.wait();
+        assert_eq!(code, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The `--max-conns` semaphore: a connection beyond the bound gets one
+    /// "server busy" protocol line and is closed; admitted connections are
+    /// untouched, and rejections do not dirty the exit class.
+    #[test]
+    fn connection_beyond_max_conns_is_rejected_busy() {
+        let dir = temp_dir("busy");
+        let sock = dir.join("seal.sock");
+        let daemon = SockDaemon::spawn(&sock, &["--max-conns", "1"], &[]);
+        daemon.wait_ready();
+
+        // The readiness probe's connection may still be winding down and
+        // holding the single slot; retry until this client is admitted.
+        // From then on it holds the slot itself.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut held = loop {
+            let mut c = Client::connect(&sock);
+            c.send(r#"{"cmd":"ping"}"#);
+            let r = c.read_json();
+            if r.get("pong") == Some(&Json::Bool(true)) {
+                c.next_seq = 2;
+                break c;
+            }
+            assert!(Instant::now() < deadline, "never admitted: {r:?}");
+            std::thread::sleep(Duration::from_millis(20));
+        };
+
+        let mut rejected = Client::connect(&sock);
+        let busy = rejected.read_json();
+        assert_eq!(busy.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(busy.get("stage").and_then(Json::as_str), Some("protocol"));
+        assert_eq!(num(&busy, "seq"), 0.0, "no request was read: seq must be 0");
+        assert!(
+            busy.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("busy"),
+            "not a busy rejection: {busy:?}"
+        );
+        // The rejected stream is closed after the busy line.
+        let mut rest = String::new();
+        assert_eq!(rejected.reader.read_line(&mut rest).unwrap(), 0);
+
+        held.ping(); // The admitted connection never noticed.
+        held.shutdown_daemon();
+        let (code, _) = daemon.wait();
+        assert_eq!(code, 0, "busy rejections must not dirty the exit class");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The stale-socket satellite: a second daemon must refuse to steal a
+    /// *live* daemon's socket path, while a genuinely stale socket file is
+    /// reclaimed and served.
+    #[test]
+    fn live_socket_is_refused_and_stale_socket_is_reclaimed() {
+        let dir = temp_dir("stale");
+        let sock = dir.join("seal.sock");
+        let daemon = SockDaemon::spawn(&sock, &[], &[]);
+        daemon.wait_ready();
+
+        // A contender on the same path must fail fatally without touching
+        // the live daemon's socket.
+        let out = Command::new(seal_bin())
+            .args(["serve", "--listen", sock.to_str().unwrap()])
+            .stdin(Stdio::null())
+            .env_remove("SEAL_CACHE_DIR")
+            .output()
+            .unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+        assert!(
+            stderr.contains("in use by a live daemon"),
+            "missing live-daemon diagnostic: {stderr}"
+        );
+
+        // The original daemon still owns the address.
+        let mut c = Client::connect(&sock);
+        c.ping();
+        c.shutdown_daemon();
+        assert_eq!(daemon.wait().0, 0);
+
+        // A stale file (a bound-then-dropped listener leaves the inode
+        // behind, like a daemon that died without unlinking) is reclaimed.
+        let stale = dir.join("stale.sock");
+        drop(UnixListener::bind(&stale).unwrap());
+        assert!(stale.exists(), "test setup: no stale socket file");
+        let daemon = SockDaemon::spawn(&stale, &[], &[]);
+        daemon.wait_ready();
+        let mut c = Client::connect(&stale);
+        c.ping();
+        c.shutdown_daemon();
+        assert_eq!(daemon.wait().0, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The swallowed-error satellite: a client vanishing before its
+    /// response is written produces one logged connection error and a
+    /// `serve.conn_errors` bump — and nothing else: siblings are served,
+    /// and the exit class stays clean.
+    #[test]
+    fn client_disconnect_is_logged_but_never_kills_the_daemon() {
+        let dir = temp_dir("connerr");
+        let pre = write(&dir, "pre.c", &pre_source());
+        let post = write(&dir, "post.c", &post_source());
+        let target = write(&dir, "kernel.c", &buggy_target());
+        let sock = dir.join("seal.sock");
+        let metrics = dir.join("metrics.json");
+        let daemon = SockDaemon::spawn(&sock, &["--metrics", metrics.to_str().unwrap()], &[]);
+        daemon.wait_ready();
+
+        // Send a slow request and vanish: by the time the response is
+        // ready, the peer is gone and the write fails.
+        {
+            let mut ghost = Client::connect(&sock);
+            ghost.send(&format!(
+                r#"{{"cmd":"hunt","pre":"{}","post":"{}","target":"{}","jobs":1}}"#,
+                pre.display(),
+                post.display(),
+                target.display()
+            ));
+            ghost.stream.shutdown(std::net::Shutdown::Both).unwrap();
+        }
+
+        // A sibling is served as if nothing happened.
+        let mut c = Client::connect(&sock);
+        c.ping();
+        c.shutdown_daemon();
+        let (code, stderr) = daemon.wait();
+        assert_eq!(
+            code, 0,
+            "a connection I/O error must not dirty the exit class: {stderr}"
+        );
+        assert!(
+            stderr.contains("connection error"),
+            "dropped write was not logged: {stderr}"
+        );
+        let snapshot = std::fs::read_to_string(&metrics).unwrap();
+        assert!(
+            snapshot.contains("serve.conn_errors"),
+            "serve.conn_errors missing from metrics: {snapshot}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Shutdown during in-flight work: the drain lets the in-flight hunt
+    /// finish (its client still gets the byte-identical response), and the
+    /// final atomic flush leaves a store that reloads with zero
+    /// invalidations.
+    #[test]
+    fn shutdown_drains_in_flight_work_and_store_reloads_cleanly() {
+        let dir = temp_dir("drain");
+        let cache_dir = dir.join("cache");
+        let pre = write(&dir, "pre.c", &pre_source());
+        let post = write(&dir, "post.c", &post_source());
+        let target = write(&dir, "kernel.c", &buggy_target());
+        let reference = cli_stdout(&[
+            "hunt",
+            "--pre",
+            pre.to_str().unwrap(),
+            "--post",
+            post.to_str().unwrap(),
+            "--target",
+            target.to_str().unwrap(),
+            "--jobs",
+            "1",
+        ]);
+        let sock = dir.join("seal.sock");
+        let daemon = SockDaemon::spawn(
+            &sock,
+            &["--cache-dir", cache_dir.to_str().unwrap(), "--cache", "rw"],
+            &[],
+        );
+        daemon.wait_ready();
+
+        let mut worker = Client::connect(&sock);
+        worker.send(&format!(
+            r#"{{"cmd":"hunt","pre":"{}","post":"{}","target":"{}","jobs":1}}"#,
+            pre.display(),
+            post.display(),
+            target.display()
+        ));
+        // Shut down from a second connection while the hunt is in flight.
+        let mut closer = Client::connect(&sock);
+        closer.shutdown_daemon();
+
+        // The drain waits for the worker: its response still arrives and
+        // still matches the CLI byte for byte.
+        let r = worker.read_json();
+        assert_ok_item(&r);
+        assert_eq!(output(&r), reference, "drained response drifted from CLI");
+        let (code, stderr) = daemon.wait();
+        assert_eq!(code, 0, "stderr: {stderr}");
+
+        // The final atomic flush wrote a store that reloads cleanly.
+        let store = seal_store::Store::open(Path::new(&cache_dir), seal_store::CacheMode::ReadOnly)
+            .unwrap();
+        let st = store.stats();
+        assert_eq!(st.invalidations, 0, "drained store is torn");
+        assert!(st.disk_entries > 0, "drained store is empty");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
