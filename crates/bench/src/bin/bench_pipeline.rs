@@ -920,6 +920,90 @@ fn measure_serve_concurrency(_iters: usize) -> Option<(String, bool)> {
     None
 }
 
+/// Measures the scale tier: the eval corpus at 1x and 10x, streamed
+/// (always-spill, `--max-rss-mb 0`) versus materialized, one `seal
+/// scale-run` child process per row — peak RSS (VmHWM) is monotonic over
+/// a process lifetime, so a shared process could not attribute a peak to
+/// a row. Returns the JSON section, the report-identity verdict, and the
+/// streamed/materialized peak-RSS ratio at 10x (the gated headline:
+/// streaming must cost at most half the materialized peak while the
+/// reports stay byte-identical). `None` when the binary is absent.
+fn measure_scale() -> Option<(String, bool, f64)> {
+    use seal::json::Json;
+    use std::process::Command;
+
+    let seal_bin = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("seal")))?;
+    if !seal_bin.exists() {
+        eprintln!(
+            "bench_pipeline: skipping scale section ({} not built)",
+            seal_bin.display()
+        );
+        return None;
+    }
+
+    let field = |j: &Json, key: &str| -> f64 {
+        j.get(key)
+            .and_then(Json::as_num)
+            .unwrap_or_else(|| panic!("scale-run summary misses `{key}`"))
+    };
+    let mut rows: Vec<String> = Vec::new();
+    let mut identical = true;
+    let mut rss = std::collections::HashMap::new();
+    let mut fingerprints = std::collections::HashMap::new();
+    for &(scale, mode) in &[
+        (1usize, "streamed"),
+        (1, "materialized"),
+        (10, "streamed"),
+        (10, "materialized"),
+    ] {
+        let mut cmd = Command::new(&seal_bin);
+        cmd.args(["scale-run", "--jobs", "4", "--mode", mode])
+            .arg("--scale")
+            .arg(scale.to_string());
+        if mode == "streamed" {
+            // Always-spill: the row demonstrates the bounded-memory
+            // discipline, not a lucky corpus that fits in the budget.
+            cmd.args(["--max-rss-mb", "0"]);
+        }
+        let out = cmd.output().expect("cannot spawn seal scale-run");
+        assert!(
+            out.status.success(),
+            "scale-run --scale {scale} --mode {mode} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).expect("non-utf8 scale-run output");
+        let line = stdout
+            .lines()
+            .last()
+            .expect("scale-run prints a summary line");
+        let j = Json::parse(line).unwrap_or_else(|e| panic!("bad scale-run summary: {e}"));
+        let fp = j
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .expect("scale-run summary misses `fingerprint`")
+            .to_string();
+        identical &= fingerprints.entry(scale).or_insert_with(|| fp.clone()) == &fp;
+        if mode == "streamed" {
+            assert!(
+                field(j.get("spill").expect("spill"), "writes") > 0.0,
+                "streamed {scale}x row never spilled under a zero budget"
+            );
+        }
+        rss.insert((scale, mode), field(&j, "rss_peak_kb"));
+        rows.push(line.to_string());
+    }
+    let rss_ratio_10x = rss[&(10, "streamed")] / rss[&(10, "materialized")];
+    let section = format!(
+        "{{\n    \"jobs\": 4,\n    \"rows\": [\n      {}\n    ],\n    \
+         \"identical_reports_streamed_vs_materialized\": {identical},\n    \
+         \"streamed_rss_ratio_10x\": {rss_ratio_10x:.3}\n  }}",
+        rows.join(",\n      ")
+    );
+    Some((section, identical, rss_ratio_10x))
+}
+
 fn warm_row_default() -> CacheRow {
     CacheRow {
         row: "",
@@ -1121,6 +1205,25 @@ fn main() {
         .map(|(s, _)| format!("\n  \"serve_concurrency\": {s},"))
         .unwrap_or_default();
 
+    eprintln!("measuring scale tier (1x/10x, streamed always-spill vs materialized)");
+    let scale = measure_scale();
+    if let Some((_, identical, rss_ratio)) = &scale {
+        assert!(
+            identical,
+            "streamed and materialized scale runs produced different reports — \
+             scale-tier equivalence broken"
+        );
+        assert!(
+            *rss_ratio <= 0.5,
+            "streamed 10x peak RSS is {:.0}% of materialized (acceptance ceiling: 50%)",
+            rss_ratio * 100.0
+        );
+    }
+    let scale_json = scale
+        .as_ref()
+        .map(|(s, _, _)| format!("\n  \"scale\": {s},"))
+        .unwrap_or_default();
+
     // One instrumented run: every measured run above had the registry
     // disabled (the default), so the medians include only the disabled-path
     // cost; this extra run collects the per-stage counters for the report.
@@ -1143,7 +1246,7 @@ fn main() {
          \"baseline_seed_equivalent\": {},\n  \
          \"workers\": [\n    {}\n  ],\n  \
          \"matrix\": [\n    {}\n  ],\n  \
-         \"cache\": {},{serve_json}{serve_conc_json}\n  \
+         \"cache\": {},{serve_json}{serve_conc_json}{scale_json}\n  \
          \"stage_metrics\": {},\n  \
          \"identical_output_across_workers\": {identical}\n}}\n",
         cfg.seed,
@@ -1198,6 +1301,13 @@ fn main() {
         println!(
             "serve concurrency: 1/4/8 simultaneous clients measured, \
              outputs identical under contention: {identical}"
+        );
+    }
+    if let Some((_, identical, rss_ratio)) = &scale {
+        println!(
+            "scale: streamed 10x peak RSS at {:.0}% of materialized, \
+             reports identical streamed/materialized: {identical}",
+            rss_ratio * 100.0
         );
     }
 }

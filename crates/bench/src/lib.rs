@@ -20,6 +20,7 @@ pub fn eval_config() -> CorpusConfig {
         bug_rate: 0.18,
         patches_per_template: 6,
         refactor_patches: 20,
+        scale: 1,
     }
 }
 
@@ -236,6 +237,7 @@ mod tests {
             bug_rate: 0.3,
             patches_per_template: 1,
             refactor_patches: 1,
+            scale: 1,
         }
     }
 

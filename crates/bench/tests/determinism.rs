@@ -12,6 +12,7 @@ fn config() -> CorpusConfig {
         bug_rate: 0.25,
         patches_per_template: 2,
         refactor_patches: 4,
+        scale: 1,
     }
 }
 

@@ -30,6 +30,7 @@ fn small(seed: u64) -> CorpusConfig {
         bug_rate: 0.3,
         patches_per_template: 2,
         refactor_patches: 2,
+        scale: 1,
     }
 }
 

@@ -40,6 +40,7 @@ pub mod extract;
 pub mod patch;
 pub mod report;
 pub mod roles;
+pub mod spill;
 pub mod warm;
 
 pub use batch::infer_batch;

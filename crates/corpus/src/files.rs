@@ -84,6 +84,7 @@ mod tests {
             bug_rate: 0.5,
             patches_per_template: 1,
             refactor_patches: 1,
+            scale: 1,
         });
         let dir = tmp("tree");
         let tree = write_to_dir(&corpus, &dir).unwrap();

@@ -45,6 +45,7 @@ const SUFFIXES: &[&str] = &[
 /// Generates unique driver names.
 pub struct DriverNamePool {
     used: std::collections::HashSet<String>,
+    serial: u64,
 }
 
 impl DriverNamePool {
@@ -53,12 +54,23 @@ impl DriverNamePool {
     pub fn new(_rng: &mut Rng) -> Self {
         DriverNamePool {
             used: std::collections::HashSet::new(),
+            serial: 0,
         }
     }
 
     /// Draws a fresh unique driver name.
+    ///
+    /// The combinatorial pool holds 49 x 41 x 9 = 18,081 distinct names;
+    /// large-scale streams (`scale` >= ~25 on the eval config) need more.
+    /// After a bounded number of collision retries the draw falls back to
+    /// a serial-numbered variant — `_x{n}` cannot collide with the normal
+    /// single-digit `_1..8` form, so uniqueness holds without scanning.
+    /// The bound is large enough that sub-exhaustion pools (the committed
+    /// 1x/10x corpora) never reach it: at 40% occupancy the odds of 64
+    /// straight collisions are ~1e-26, so existing byte-identity pins are
+    /// unaffected.
     pub fn next_name(&mut self, rng: &mut Rng) -> String {
-        loop {
+        for _ in 0..64 {
             let p = PREFIXES[rng.gen_range(0..PREFIXES.len())];
             let s = SUFFIXES[rng.gen_range(0..SUFFIXES.len())];
             let candidate = if rng.gen_bool(0.25) {
@@ -70,6 +82,12 @@ impl DriverNamePool {
                 return candidate;
             }
         }
+        let p = PREFIXES[rng.gen_range(0..PREFIXES.len())];
+        let s = SUFFIXES[rng.gen_range(0..SUFFIXES.len())];
+        self.serial += 1;
+        let candidate = format!("{p}{s}_x{}", self.serial);
+        self.used.insert(candidate.clone());
+        candidate
     }
 }
 
@@ -100,6 +118,20 @@ mod tests {
             let n = pool.next_name(&mut rng);
             assert!(n.chars().next().unwrap().is_ascii_alphabetic());
             assert!(n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn names_stay_unique_past_pool_exhaustion() {
+        // 25k draws exceed the 18,081-name combinatorial pool; the serial
+        // fallback must keep every name unique (and terminate).
+        let mut rng = Rng::seed_from_u64(3);
+        let mut pool = DriverNamePool::new(&mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..25_000 {
+            let n = pool.next_name(&mut rng);
+            assert!(n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+            assert!(seen.insert(n));
         }
     }
 

@@ -15,6 +15,7 @@ fn main() {
         bug_rate: 0.25,
         patches_per_template: 2,
         refactor_patches: 2,
+        scale: 1,
     });
     let target = corpus.target_module();
     let is_bug = |f: &str| corpus.bug_for(f).is_some();

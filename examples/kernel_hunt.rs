@@ -15,6 +15,7 @@ fn main() {
         bug_rate: 0.2,
         patches_per_template: 3,
         refactor_patches: 5,
+        scale: 1,
     };
     let corpus = generate(&config);
     let target = corpus.target_module();

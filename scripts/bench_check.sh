@@ -17,7 +17,11 @@
 #   * the fresh file carries a `serve_concurrency` section whose outputs
 #     under contention differ from the solo CLI, or (on hosts with >= 4
 #     CPUs) whose 4-client aggregate items/sec is less than 1.5x the
-#     1-client figure — concurrent connections must actually overlap.
+#     1-client figure — concurrent connections must actually overlap, or
+#   * the fresh file carries a `scale` section whose streamed and
+#     materialized reports differ, whose streamed 10x peak RSS exceeds
+#     50% of the materialized peak, or whose streamed rows never spilled
+#     under their zero budget.
 #
 # Older committed reference files may predate the `matrix` or `cache`
 # sections (or individual phases inside a row); every lookup degrades to
@@ -160,6 +164,25 @@ if conc is not None:
                 "being serialized"
             )
 
+# Scale gate: only the fresh file is checked (pre-scale reference files
+# simply lack the section).
+scale = new.get("scale")
+if scale is not None:
+    if not scale.get("identical_reports_streamed_vs_materialized", False):
+        failures.append("scale: streamed and materialized reports differ")
+    ratio = scale.get("streamed_rss_ratio_10x")
+    if ratio is not None and ratio > 0.5:
+        failures.append(
+            f"scale: streamed 10x peak RSS is {ratio:.0%} of materialized "
+            "(ceiling: 50%)"
+        )
+    for row in scale.get("rows", []):
+        if row.get("mode") == "streamed" and row.get("spill", {}).get("writes", 0) == 0:
+            failures.append(
+                f"scale: streamed {row.get('scale')}x row never spilled "
+                "under a zero budget"
+            )
+
 if failures:
     for f in failures:
         print(f"bench_check: {f}", file=sys.stderr)
@@ -171,5 +194,7 @@ if serve is not None:
     notes += " + serve section"
 if conc is not None:
     notes += " + serve_concurrency section"
+if scale is not None:
+    notes += " + scale section"
 print(f"bench_check: ok ({len(new_rows)} matrix rows within bounds{notes})")
 EOF

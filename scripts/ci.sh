@@ -332,3 +332,44 @@ if grep -q "panicked at" "$CONC_DIR/err.log"; then
 fi
 rm -rf "$CONC_DIR"
 echo "serve-concurrency smoke: ok (4 parallel clients, poisoned sibling isolated, clean shutdown)"
+
+# --- scale-tier smoke ------------------------------------------------------
+# A small streamed run (4x corpus) under a zero RSS budget: every chunk and
+# spec segment must round-trip through the spill layer, the run must exit
+# cleanly, and the reports must be byte-identical to the materialized path.
+# The full 10x/100x suite stays behind SEAL_SCALE=1 (set in the env to run
+# it here as well).
+SCALE_DIR=$(mktemp -d)
+"$SEAL" scale-run --scale 4 --mode streamed --max-rss-mb 0 \
+    --reports-out "$SCALE_DIR/streamed.reports" >"$SCALE_DIR/streamed.json"
+"$SEAL" scale-run --scale 4 --mode materialized \
+    --reports-out "$SCALE_DIR/materialized.reports" >"$SCALE_DIR/materialized.json"
+if ! cmp -s "$SCALE_DIR/streamed.reports" "$SCALE_DIR/materialized.reports"; then
+    echo "scale smoke: streamed and materialized reports differ" >&2
+    exit 1
+fi
+python3 - "$SCALE_DIR/streamed.json" <<'EOF'
+import json, sys
+
+row = json.load(open(sys.argv[1]))
+spill = row.get("spill", {})
+errors = []
+if spill.get("writes", 0) < 1 or spill.get("reads", 0) < 1:
+    errors.append(f"no spill round-trip under a zero budget: {spill}")
+if spill.get("bytes_read") != spill.get("bytes_written"):
+    errors.append(f"spill bytes read != written: {spill}")
+if row.get("store_errors", 1) != 0:
+    errors.append(f"clean run surfaced store errors: {row['store_errors']}")
+if row.get("recall", 0) < 0.95:
+    errors.append(f"scale smoke recall {row.get('recall')} < 0.95")
+if errors:
+    for e in errors:
+        print(f"scale smoke: {e}", file=sys.stderr)
+    sys.exit(1)
+print(f"scale smoke: ok (streamed 4x, {int(spill['writes'])} spill writes, "
+      f"{int(spill['reads'])} reads, reports identical to materialized)")
+EOF
+rm -rf "$SCALE_DIR"
+if [ "${SEAL_SCALE:-0}" = "1" ]; then
+    SEAL_SCALE=1 cargo test --release --test scale
+fi

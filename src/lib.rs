@@ -7,7 +7,9 @@
 
 pub mod json;
 pub mod request;
+pub mod scale;
 pub mod serve;
+pub mod testing;
 
 pub use seal_baselines as baselines;
 pub use seal_core as core;

@@ -137,6 +137,7 @@ fn run(args: &[String]) -> Result<Outcome, Fatal> {
             }
         }
         "merge" => merge(&opts).map_err(Fatal::from),
+        "scale-run" => scale_run(&opts).map_err(Fatal::from),
         "gen-corpus" => gen_corpus(&opts).map_err(Fatal::from),
         "mutate" => mutate(&opts).map_err(Fatal::from),
         "stats" => stats(&opts).map_err(Fatal::from),
@@ -223,6 +224,16 @@ fn known_flags(cmd: &str) -> Option<&'static [&'static str]> {
             "warm-mb",
         ],
         "merge" => &["specs", "out"],
+        "scale-run" => &[
+            "scale",
+            "mode",
+            "jobs",
+            "seed",
+            "max-rss-mb",
+            "spill-dir",
+            "chunk-drivers",
+            "reports-out",
+        ],
         "gen-corpus" => &["dir", "seed", "drivers"],
         "mutate" => &["src", "out", "n", "seed"],
         "stats" => &["trace", "metrics", "cache-dir"],
@@ -456,6 +467,8 @@ fn usage() -> String {
      seal detect --target <file,...> --specs <specs-file> [--jobs <n>]\n  \
      seal hunt   --pre <file,...> --post <file,...> --target <file,...> [--jobs <n>]\n  \
      seal merge  --specs <file,file,...> --out <specs-file>\n  \
+     seal scale-run [--scale <n>] [--mode streamed|materialized] [--jobs <n>] [--seed <n>]\n  \
+     \u{20}              [--max-rss-mb <mb>] [--spill-dir <dir>] [--chunk-drivers <n>] [--reports-out <file>]\n  \
      seal gen-corpus --dir <dir> [--seed <n>] [--drivers <n>]\n  \
      seal mutate --src <file,...> --out <dir> [--n <k>] [--seed <n>]\n  \
      seal serve  [--listen <socket>] [--jobs <n>] [--warm-mb <mb>] [--max-conns <n>]\n  \
@@ -471,6 +484,14 @@ fn usage() -> String {
      served concurrently up to --max-conns (default 16); one beyond the\n\
      bound is answered with a `server busy` protocol error and closed, and\n\
      a --listen path already owned by a live daemon is a fatal error.\n\
+     \n\
+     scale-run executes the scale tier: the seeded evaluation corpus,\n\
+     multiplied by --scale, streamed through chunked compile + inference +\n\
+     detection (default) or fully materialized (--mode materialized), and\n\
+     prints one JSON line with score, throughput, peak RSS, and spill\n\
+     counters. --max-rss-mb arms the disk-spill budget (0 = always spill);\n\
+     --reports-out dumps the rendered reports, byte-identical across\n\
+     modes, worker counts, and spill settings.\n\
      \n\
      infer/detect/hunt accept [--cache-dir <dir>] [--cache off|ro|rw] (or\n\
      SEAL_CACHE_DIR / SEAL_CACHE) to reuse per-function artifacts across\n\
@@ -678,6 +699,85 @@ fn merge(opts: &HashMap<String, String>) -> Result<Outcome, String> {
     } else {
         Outcome::Partial
     })
+}
+
+/// Runs one scale-tier configuration and prints a single JSON line with
+/// the score, throughput, peak RSS, and spill counters. Benches and the
+/// gated scale suite spawn one process per row: VmHWM is process-lifetime
+/// monotonic, so a fresh process is what makes per-row peak RSS readable.
+fn scale_run(opts: &HashMap<String, String>) -> Result<Outcome, String> {
+    let parse_num = |key: &str, default: u64| -> Result<u64, String> {
+        match opts.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("--{key} must be a number")),
+            None => Ok(default),
+        }
+    };
+    let streamed = match opts.get("mode").map(String::as_str) {
+        None | Some("streamed") => true,
+        Some("materialized") => false,
+        Some(m) => {
+            return Err(format!(
+                "--mode must be streamed or materialized, got `{m}`"
+            ))
+        }
+    };
+    let mut config = seal::scale::eval_base_config();
+    config.seed = parse_num("seed", config.seed)?;
+    config.scale = parse_num("scale", 1)?.max(1) as usize;
+    let sopts = seal::scale::ScaleOptions {
+        config,
+        jobs: jobs(opts)?,
+        streamed,
+        chunk_drivers: parse_num("chunk-drivers", 256)?.max(1) as usize,
+        max_rss_mb: opts
+            .get("max-rss-mb")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--max-rss-mb must be a number, got `{v}`"))
+            })
+            .transpose()?,
+        spill_dir: opts.get("spill-dir").map(std::path::PathBuf::from),
+        ..seal::scale::ScaleOptions::default()
+    };
+    let scale = sopts.config.scale;
+    let jobs_used = seal_runtime::effective_jobs(sopts.jobs);
+    let out = seal::scale::run(sopts).map_err(|e| format!("scale run failed: {e}"))?;
+    if let Some(path) = opts.get("reports-out") {
+        std::fs::write(path, seal::scale::render_reports(&out.reports))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    for e in &out.store_errors {
+        eprintln!("scale-run: degraded spill reload (recomputed): {e}");
+    }
+    println!(
+        "{{\"mode\":\"{mode}\",\"scale\":{scale},\"jobs\":{jobs_used},\
+         \"drivers\":{},\"patches\":{},\"specs\":{},\"reports\":{},\"chunks\":{},\
+         \"fingerprint\":\"{:016x}\",\"precision\":{:.4},\"recall\":{:.4},\
+         \"gen_infer_secs\":{:.3},\"detect_secs\":{:.3},\"items_per_sec\":{:.2},\
+         \"rss_peak_kb\":{},\"spill\":{{\"writes\":{},\"reads\":{},\
+         \"bytes_written\":{},\"bytes_read\":{},\"recomputes\":{}}},\
+         \"store_errors\":{}}}",
+        out.drivers,
+        out.patches,
+        out.specs,
+        out.reports.len(),
+        out.chunks,
+        seal::scale::reports_fingerprint(&out.reports),
+        out.score.precision(),
+        out.score.recall(),
+        out.gen_infer.as_secs_f64(),
+        out.detect.as_secs_f64(),
+        out.items_per_sec(),
+        seal::serve::rss_peak_kb(),
+        out.spill.writes,
+        out.spill.reads,
+        out.spill.bytes_written,
+        out.spill.bytes_read,
+        out.spill.recomputes,
+        out.store_errors.len(),
+        mode = if streamed { "streamed" } else { "materialized" },
+    );
+    Ok(Outcome::Full)
 }
 
 /// Materializes a synthetic kernel + patch corpus on disk, ready for the

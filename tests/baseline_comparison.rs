@@ -12,6 +12,7 @@ fn corpus() -> seal::corpus::Corpus {
         bug_rate: 0.25,
         patches_per_template: 2,
         refactor_patches: 2,
+        scale: 1,
     })
 }
 

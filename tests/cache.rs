@@ -23,6 +23,7 @@ fn tiny_corpus() -> seal_corpus::Corpus {
         bug_rate: 0.3,
         patches_per_template: 1,
         refactor_patches: 1,
+        scale: 1,
     })
 }
 

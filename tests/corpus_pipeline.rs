@@ -12,6 +12,7 @@ fn small_config() -> CorpusConfig {
         bug_rate: 0.25,
         patches_per_template: 1,
         refactor_patches: 2,
+        scale: 1,
     }
 }
 

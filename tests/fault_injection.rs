@@ -26,6 +26,7 @@ fn mutated_patch_set() -> Vec<Patch> {
         drivers_per_template: 2,
         patches_per_template: 2,
         refactor_patches: 2,
+        scale: 1,
         ..CorpusConfig::default()
     });
     assert!(!corpus.patches.is_empty());
@@ -116,6 +117,7 @@ fn unmutated_originals_all_survive() {
         drivers_per_template: 2,
         patches_per_template: 2,
         refactor_patches: 2,
+        scale: 1,
         ..CorpusConfig::default()
     });
     let seal = Seal::default();

@@ -14,6 +14,7 @@ fn dataset_round_trip_preserves_detection() {
         bug_rate: 0.3,
         patches_per_template: 1,
         refactor_patches: 0,
+        scale: 1,
     });
     let target = corpus.target_module();
     let seal = Seal::default();
@@ -55,6 +56,7 @@ fn incremental_dataset_growth() {
         bug_rate: 0.4,
         patches_per_template: 1,
         refactor_patches: 0,
+        scale: 1,
     });
     let target = corpus.target_module();
     let seal = Seal::default();

@@ -18,6 +18,7 @@ fn snapshot_config() -> CorpusConfig {
         bug_rate: 0.3,
         patches_per_template: 2,
         refactor_patches: 2,
+        scale: 1,
     }
 }
 
